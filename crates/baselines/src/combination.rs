@@ -1,0 +1,239 @@
+//! Combination-preference three-dimensional stable matching.
+//!
+//! "In (ref. 4), the preference order is defined as one gender against the
+//! combination of all the remaining genders … each member of a gender has
+//! a preference order for all combination of the other two genders, which
+//! have n² combinations" (§I). Deciding existence is NP-complete (refs. 4, 5);
+//! we store the n² rankings densely and solve exactly by enumeration for
+//! small `n` — the baseline against which the paper's always-solvable
+//! model is compared (experiment T16).
+//!
+//! Note the representational cost alone: each member stores `n²` entries
+//! versus the paper's `2n` ("separate orders … one for each gender",
+//! §I) — quadratic versus linear per member.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::triple::{for_each_matching, TripleMatching};
+
+/// A combination-preference instance: every member of each gender ranks
+/// all `n²` ordered pairs of the other two genders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinationInstance {
+    n: usize,
+    /// `rank_a[a][b * n + c]` — rank of pair `(b, c)` for A-member `a`.
+    rank_a: Vec<u32>,
+    /// `rank_b[b][a * n + c]` — rank of pair `(a, c)` for B-member `b`.
+    rank_b: Vec<u32>,
+    /// `rank_c[c][a * n + b]` — rank of pair `(a, b)` for C-member `c`.
+    rank_c: Vec<u32>,
+}
+
+impl CombinationInstance {
+    /// Build from per-member pair orders: `a_lists[a]` is a permutation of
+    /// pair codes `b·n + c`, and analogously for the other genders.
+    pub fn from_lists(a_lists: &[Vec<u32>], b_lists: &[Vec<u32>], c_lists: &[Vec<u32>]) -> Self {
+        let n = a_lists.len();
+        assert!(
+            n > 0 && b_lists.len() == n && c_lists.len() == n,
+            "balanced instance"
+        );
+        let invert = |lists: &[Vec<u32>]| -> Vec<u32> {
+            let mut rank = vec![0u32; n * n * n];
+            for (i, list) in lists.iter().enumerate() {
+                assert_eq!(list.len(), n * n, "pair lists have n^2 entries");
+                for (r, &code) in list.iter().enumerate() {
+                    rank[i * n * n + code as usize] = r as u32;
+                }
+            }
+            rank
+        };
+        CombinationInstance {
+            n,
+            rank_a: invert(a_lists),
+            rank_b: invert(b_lists),
+            rank_c: invert(c_lists),
+        }
+    }
+
+    /// Uniform-random instance.
+    pub fn random(n: usize, rng: &mut impl Rng) -> Self {
+        let fam = |rng: &mut dyn rand::RngCore| -> Vec<Vec<u32>> {
+            (0..n)
+                .map(|_| {
+                    let mut v: Vec<u32> = (0..(n * n) as u32).collect();
+                    v.shuffle(rng);
+                    v
+                })
+                .collect()
+        };
+        let (a, b, c) = (fam(rng), fam(rng), fam(rng));
+        CombinationInstance::from_lists(&a, &b, &c)
+    }
+
+    /// Members per gender.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn code(&self, x: u32, y: u32) -> usize {
+        x as usize * self.n + y as usize
+    }
+
+    /// Rank A-member `a` assigns to partner pair `(b, c)`.
+    #[inline]
+    pub fn rank_a(&self, a: u32, b: u32, c: u32) -> u32 {
+        self.rank_a[a as usize * self.n * self.n + self.code(b, c)]
+    }
+
+    /// Rank B-member `b` assigns to partner pair `(a, c)`.
+    #[inline]
+    pub fn rank_b(&self, b: u32, a: u32, c: u32) -> u32 {
+        self.rank_b[b as usize * self.n * self.n + self.code(a, c)]
+    }
+
+    /// Rank C-member `c` assigns to partner pair `(a, b)`.
+    #[inline]
+    pub fn rank_c(&self, c: u32, a: u32, b: u32) -> u32 {
+        self.rank_c[c as usize * self.n * self.n + self.code(a, b)]
+    }
+}
+
+/// Find a blocking triple: `(a, b, c)` not currently a triple where every
+/// member strictly prefers the new pair of partners to its current pair.
+pub fn find_combination_blocking_triple(
+    inst: &CombinationInstance,
+    m: &TripleMatching,
+) -> Option<(u32, u32, u32)> {
+    let n = inst.n() as u32;
+    for a in 0..n {
+        let (cur_b, cur_c) = (m.b_of_a[a as usize], m.c_of_a[a as usize]);
+        let cur_rank_a = inst.rank_a(a, cur_b, cur_c);
+        for b in 0..n {
+            let a_of_b = m.a_of_b(b);
+            let b_cur = (a_of_b, m.c_of_a[a_of_b as usize]);
+            for c in 0..n {
+                if b == cur_b && c == cur_c {
+                    continue; // the existing triple
+                }
+                if inst.rank_a(a, b, c) >= cur_rank_a {
+                    continue;
+                }
+                if inst.rank_b(b, a, c) >= inst.rank_b(b, b_cur.0, b_cur.1) {
+                    continue;
+                }
+                let a_of_c = m.a_of_c(c);
+                let c_cur = (a_of_c, m.b_of_a[a_of_c as usize]);
+                if inst.rank_c(c, a, b) < inst.rank_c(c, c_cur.0, c_cur.1) {
+                    return Some((a, b, c));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Is the matching stable under combined preferences?
+pub fn is_combination_stable(inst: &CombinationInstance, m: &TripleMatching) -> bool {
+    find_combination_blocking_triple(inst, m).is_none()
+}
+
+/// Exact solver by enumeration of all `(n!)²` matchings; returns a stable
+/// matching (or `None`) and the number of matchings inspected.
+pub fn solve_combination_exact(inst: &CombinationInstance) -> (Option<TripleMatching>, u64) {
+    let mut found = None;
+    let mut inspected = 0u64;
+    for_each_matching(inst.n(), |m| {
+        inspected += 1;
+        if is_combination_stable(inst, m) {
+            found = Some(m.clone());
+            true
+        } else {
+            false
+        }
+    });
+    (found, inspected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn aligned_pairs_identity_stable() {
+        // Everyone ranks pair (i, i) first when they are member i: build
+        // lists where member i puts code i*n+i first, rest ascending.
+        let n = 3usize;
+        let fam: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let favorite = (i * n + i) as u32;
+                std::iter::once(favorite)
+                    .chain((0..(n * n) as u32).filter(|&x| x != favorite))
+                    .collect()
+            })
+            .collect();
+        let inst = CombinationInstance::from_lists(&fam, &fam, &fam);
+        let m = TripleMatching::new(vec![0, 1, 2], vec![0, 1, 2]);
+        assert!(
+            is_combination_stable(&inst, &m),
+            "everyone has their favorite pair"
+        );
+    }
+
+    #[test]
+    fn existence_usually_holds_at_small_n() {
+        // NP-completeness is about worst cases; random small instances are
+        // almost always solvable — measure and require a majority.
+        let mut rng = ChaCha8Rng::seed_from_u64(121);
+        let mut solved = 0;
+        for _ in 0..20 {
+            let inst = CombinationInstance::random(3, &mut rng);
+            let (found, _) = solve_combination_exact(&inst);
+            if let Some(m) = &found {
+                assert!(is_combination_stable(&inst, m));
+                solved += 1;
+            }
+        }
+        assert!(
+            solved >= 10,
+            "most random n=3 instances should be solvable, got {solved}"
+        );
+    }
+
+    #[test]
+    fn blocking_triple_detected() {
+        // Construct an instance where the identity matching is blocked:
+        // a=0 ranks (1, 1) above everything, and b=1, c=1 both rank
+        // pairings with 0 top.
+        let n = 2usize;
+        let mk = |first: u32| -> Vec<u32> {
+            std::iter::once(first)
+                .chain((0..(n * n) as u32).filter(|&x| x != first))
+                .collect()
+        };
+        // Codes: (b, c) -> b*2 + c.
+        let a_lists = vec![mk(3), mk(0)]; // a0 wants (1,1); a1 wants (0,0)
+        let b_lists = vec![mk(0), mk(1)]; // b0 wants (a0,c0); b1 wants (a0,c1)
+        let c_lists = vec![mk(0), mk(1)]; // c0 wants (a0,b0); c1 wants (a0,b1)
+        let inst = CombinationInstance::from_lists(&a_lists, &b_lists, &c_lists);
+        let identity = TripleMatching::new(vec![0, 1], vec![0, 1]);
+        // (a0, b1, c1): a0 gets its favorite pair; b1 gets (a0, c1) = its
+        // favorite; c1 gets (a0, b1) = its favorite. Blocks.
+        assert_eq!(
+            find_combination_blocking_triple(&inst, &identity),
+            Some((0, 1, 1))
+        );
+    }
+
+    #[test]
+    fn inspected_counts_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(122);
+        let inst = CombinationInstance::random(3, &mut rng);
+        let (_, inspected) = solve_combination_exact(&inst);
+        assert!(inspected <= 36, "(3!)^2 = 36");
+    }
+}

@@ -1,0 +1,34 @@
+//! # kmatch-baselines — the multi-dimensional SMP models the paper
+//! contrasts with
+//!
+//! §I of the paper positions its k-ary model against the existing
+//! three-dimensional extensions of Ng & Hirschberg (ref. 4) and Huang (ref. 5):
+//!
+//! * [`cyclic`] — **cyclic preferences**: gender 0 ranks only gender 1,
+//!   gender 1 only gender 2, gender 2 only gender 0. A matching of
+//!   triples is blocked by a triple each of whose members strictly
+//!   improves along the cycle. Deciding existence is NP-complete in
+//!   general (Huang); we provide an exact exponential solver for small `n`
+//!   plus a restart local-search heuristic.
+//! * [`combination`] — **combined preferences**: each member of a gender
+//!   totally orders all `n²` *pairs* of the other two genders. Blocking
+//!   triples need all three members to prefer the new triple. Also
+//!   NP-complete in general; exact solver for small `n`.
+//!
+//! The experiment harness (table T16) contrasts both with the paper's
+//! model, where stable k-ary matchings **always** exist and are found in
+//! `O((k−1)n²)` time (Theorems 2–3) — the paper's core selling point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combination;
+pub mod cyclic;
+pub mod triple;
+
+pub use combination::{solve_combination_exact, CombinationInstance};
+pub use cyclic::{
+    find_cyclic_blocking_triple, is_cyclic_stable, local_search_cyclic, solve_cyclic_exact,
+    CyclicInstance,
+};
+pub use triple::TripleMatching;

@@ -1,0 +1,139 @@
+//! Matchings of triples over three balanced genders.
+
+/// A perfect matching of `n` triples `(a_i, b_i, c_i)`: one member of each
+/// of the three genders per triple. Stored as two permutations relative to
+/// gender 0: triple `i` is `(i, b_of_a[i], c_of_a[i])`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TripleMatching {
+    /// Gender-1 member matched with gender-0 member `i`.
+    pub b_of_a: Vec<u32>,
+    /// Gender-2 member matched with gender-0 member `i`.
+    pub c_of_a: Vec<u32>,
+}
+
+impl TripleMatching {
+    /// Build from the two permutations, validating both.
+    ///
+    /// # Panics
+    /// If either array is not a permutation of `0..n`.
+    pub fn new(b_of_a: Vec<u32>, c_of_a: Vec<u32>) -> Self {
+        let n = b_of_a.len();
+        assert_eq!(c_of_a.len(), n, "arity mismatch");
+        for arr in [&b_of_a, &c_of_a] {
+            let mut seen = vec![false; n];
+            for &x in arr.iter() {
+                assert!(
+                    !std::mem::replace(&mut seen[x as usize], true),
+                    "not a permutation"
+                );
+            }
+        }
+        TripleMatching { b_of_a, c_of_a }
+    }
+
+    /// Number of triples.
+    pub fn n(&self) -> usize {
+        self.b_of_a.len()
+    }
+
+    /// Gender-0 member in the triple containing gender-1 member `b`.
+    pub fn a_of_b(&self, b: u32) -> u32 {
+        self.b_of_a
+            .iter()
+            .position(|&x| x == b)
+            .expect("permutation") as u32
+    }
+
+    /// Gender-0 member in the triple containing gender-2 member `c`.
+    pub fn a_of_c(&self, c: u32) -> u32 {
+        self.c_of_a
+            .iter()
+            .position(|&x| x == c)
+            .expect("permutation") as u32
+    }
+
+    /// The triples `(a, b, c)`.
+    pub fn triples(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        (0..self.n() as u32).map(|a| (a, self.b_of_a[a as usize], self.c_of_a[a as usize]))
+    }
+}
+
+/// Visit every `TripleMatching` on `n` members per gender
+/// (`(n!)²` of them — small `n` only).
+pub fn for_each_matching(n: usize, mut visit: impl FnMut(&TripleMatching) -> bool) {
+    let mut b: Vec<u32> = (0..n as u32).collect();
+    let mut c: Vec<u32> = (0..n as u32).collect();
+    // Heap's-algorithm-free approach: recursive permutation of both arrays.
+    fn perms(arr: &mut [u32], i: usize, f: &mut impl FnMut(&[u32]) -> bool) -> bool {
+        if i == arr.len() {
+            return f(arr);
+        }
+        for j in i..arr.len() {
+            arr.swap(i, j);
+            if perms(arr, i + 1, f) {
+                arr.swap(i, j);
+                return true;
+            }
+            arr.swap(i, j);
+        }
+        false
+    }
+    let mut stop = false;
+    let c_ref = &mut c;
+    perms(&mut b, 0, &mut |bp: &[u32]| {
+        let bp = bp.to_vec();
+        perms(c_ref, 0, &mut |cp: &[u32]| {
+            let m = TripleMatching {
+                b_of_a: bp.clone(),
+                c_of_a: cp.to_vec(),
+            };
+            if visit(&m) {
+                stop = true;
+            }
+            stop
+        });
+        stop
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let m = TripleMatching::new(vec![1, 0], vec![0, 1]);
+        assert_eq!(m.a_of_b(1), 0);
+        assert_eq!(m.a_of_c(1), 1);
+        assert_eq!(m.triples().collect::<Vec<_>>(), vec![(0, 1, 0), (1, 0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_duplicates() {
+        let _ = TripleMatching::new(vec![0, 0], vec![0, 1]);
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        // (n!)² matchings.
+        for (n, expected) in [(1usize, 1usize), (2, 4), (3, 36)] {
+            let mut count = 0;
+            for_each_matching(n, |_| {
+                count += 1;
+                false
+            });
+            assert_eq!(count, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn enumeration_early_stop() {
+        let mut count = 0;
+        for_each_matching(3, |_| {
+            count += 1;
+            count == 5
+        });
+        assert_eq!(count, 5, "visitor can stop the sweep");
+    }
+}

@@ -1,0 +1,71 @@
+//! E5/E6 — Algorithm 1: binding cost across k, n and tree topology, and
+//! the union-find vs naive-closure ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmatch_bench::rng;
+use kmatch_core::bind_with_stats;
+use kmatch_graph::union_find::{classes_naive, UnionFind};
+use kmatch_graph::{random_tree, BindingTree};
+use kmatch_prefs::gen::uniform::uniform_kpartite;
+use std::time::Duration;
+
+fn bench_binding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binding");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for (k, n) in [(4usize, 64usize), (4, 256), (8, 64), (8, 256), (16, 64)] {
+        let inst = uniform_kpartite(k, n, &mut rng(201));
+        for (name, tree) in [
+            ("path", BindingTree::path(k)),
+            ("star", BindingTree::star(k, 0)),
+            ("random", random_tree(k, &mut rng(202))),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("k{k}_n{n}")),
+                &(&inst, &tree),
+                |b, (inst, tree)| b.iter(|| bind_with_stats(inst, tree).total_proposals()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_class_merge(c: &mut Criterion) {
+    // Ablation: union-find vs naive relational closure on the (k-1)*n
+    // pair workload of a large binding.
+    let mut group = c.benchmark_group("class_merge");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for (k, n) in [(8usize, 512usize), (16, 512)] {
+        // Pairs of a path binding: (g*n+i, (g+1)*n+i) shuffled-ish.
+        let pairs: Vec<(u32, u32)> = (0..k - 1)
+            .flat_map(|g| {
+                (0..n as u32).map(move |i| ((g * n) as u32 + i, ((g + 1) * n) as u32 + i))
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("union_find", format!("k{k}_n{n}")),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut uf = UnionFind::new(k * n);
+                    for &(a, x) in pairs {
+                        uf.union(a, x);
+                    }
+                    uf.classes().len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_closure", format!("k{k}_n{n}")),
+            &pairs,
+            |b, pairs| b.iter(|| classes_naive(k * n, pairs).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binding, bench_class_merge);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E1 — Gale–Shapley scaling: proposals grow with n² on adversarial
+//! workloads, linearly on benign ones; the McVitie–Wilson variant is the
+//! low-bookkeeping baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kmatch_bench::rng;
+use kmatch_gs::{gale_shapley, mcvitie_wilson};
+use kmatch_prefs::gen::structured::{cyclic_bipartite, identical_bipartite};
+use kmatch_prefs::gen::uniform::uniform_bipartite;
+use std::time::Duration;
+
+fn bench_gs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gs");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for n in [64usize, 256, 1024] {
+        let uniform = uniform_bipartite(n, &mut rng(101));
+        let identical = identical_bipartite(n);
+        let cyclic = cyclic_bipartite(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("uniform", n), &uniform, |b, inst| {
+            b.iter(|| gale_shapley(inst).stats.proposals)
+        });
+        group.bench_with_input(
+            BenchmarkId::new("identical_worst", n),
+            &identical,
+            |b, inst| b.iter(|| gale_shapley(inst).stats.proposals),
+        );
+        group.bench_with_input(BenchmarkId::new("cyclic_best", n), &cyclic, |b, inst| {
+            b.iter(|| gale_shapley(inst).stats.proposals)
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mcvitie_uniform", n),
+            &uniform,
+            |b, inst| b.iter(|| mcvitie_wilson(inst).stats.proposals),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gs);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E11/E12 — Algorithm 2 vs Algorithm 1: priority-tree construction is
+//! free; the cost difference is tree shape only. Plus weak-stability
+//! verification cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kmatch_bench::rng;
+use kmatch_core::{
+    bind, bind_with_stats, is_weakly_stable, priority_bind, AttachChoice, GenderPriorities,
+};
+use kmatch_graph::BindingTree;
+use kmatch_prefs::gen::uniform::uniform_kpartite;
+use std::time::Duration;
+
+fn bench_priority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for (k, n) in [(4usize, 128usize), (8, 128)] {
+        let inst = uniform_kpartite(k, n, &mut rng(501));
+        let pr = GenderPriorities::by_id(k);
+        let id = format!("k{k}_n{n}");
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1_path", &id),
+            &inst,
+            |b, inst| b.iter(|| bind_with_stats(inst, &BindingTree::path(k)).total_proposals()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2_chain", &id),
+            &inst,
+            |b, inst| b.iter(|| priority_bind(inst, &pr, AttachChoice::Chain).1.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("algorithm2_star", &id),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    priority_bind(inst, &pr, AttachChoice::HighestPriority)
+                        .1
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_weak_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak_verify");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for (k, n) in [(3usize, 16usize), (4, 12), (5, 8)] {
+        let inst = uniform_kpartite(k, n, &mut rng(502));
+        let pr = GenderPriorities::by_id(k);
+        let (matching, _) = priority_bind(&inst, &pr, AttachChoice::Chain);
+        group.bench_with_input(
+            BenchmarkId::new("weak_stable_check", format!("k{k}_n{n}")),
+            &(&inst, &matching),
+            |b, (inst, m)| b.iter(|| is_weakly_stable(inst, m, &pr)),
+        );
+        let full = bind(&inst, &BindingTree::path(k));
+        group.bench_with_input(
+            BenchmarkId::new("full_stable_check", format!("k{k}_n{n}")),
+            &(&inst, &full),
+            |b, (inst, m)| b.iter(|| kmatch_core::is_kary_stable(inst, m)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_priority, bench_weak_verify);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! Parameter sweeps written as CSV files under `results/` — the data
+//! series behind the experiment tables (plot-ready).
+//!
+//! ```text
+//! cargo run -p kmatch-bench --bin sweeps --release [-- --quick] [--out DIR]
+//! ```
+//!
+//! Produces:
+//! * `gs_scaling.csv` — proposals/rounds/happiness vs n per workload;
+//! * `binding_topology.csv` — Algorithm 1 cost and EREW model vs tree;
+//! * `roommates_solvability.csv` — P(stable matching exists) vs n;
+//! * `weak_failure.csv` — weakened-condition failure rate of non-bitonic
+//!   trees vs (k, n);
+//! * `quorum_frontier.csv` — quorum-stability rate vs q.
+
+use kmatch_bench::{rng, sweep::Csv};
+use kmatch_core::{
+    bind, bind_with_stats, find_weak_blocking_family, is_quorum_stable, GenderPriorities,
+};
+use kmatch_graph::{random_tree, BindingTree};
+use kmatch_gs::{gale_shapley, mean_proposer_rank, mean_responder_rank};
+use kmatch_parallel::erew_cost;
+use kmatch_prefs::gen::euclidean::euclidean_bipartite;
+use kmatch_prefs::gen::mallows::mallows_bipartite;
+use kmatch_prefs::gen::structured::{cyclic_bipartite, identical_bipartite};
+use kmatch_prefs::gen::uniform::{uniform_bipartite, uniform_kpartite, uniform_roommates};
+use kmatch_prefs::BipartiteInstance;
+use kmatch_roommates::solve;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+
+    gs_scaling(quick, &out_dir);
+    binding_topology(quick, &out_dir);
+    roommates_solvability(quick, &out_dir);
+    weak_failure(quick, &out_dir);
+    quorum_frontier(quick, &out_dir);
+    println!("sweeps written under {out_dir}/");
+}
+
+fn gs_scaling(quick: bool, out_dir: &str) {
+    let mut csv = Csv::new(&[
+        "n",
+        "workload",
+        "seed",
+        "proposals",
+        "rounds",
+        "men_rank",
+        "women_rank",
+    ]);
+    let sizes: &[usize] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 32, 64, 128, 256, 512]
+    };
+    let seeds: u64 = if quick { 3 } else { 10 };
+    for &n in sizes {
+        for seed in 0..seeds {
+            let mut r = rng(21_000 + seed);
+            let workloads: Vec<(&str, BipartiteInstance)> = vec![
+                ("uniform", uniform_bipartite(n, &mut r)),
+                ("identical", identical_bipartite(n)),
+                ("cyclic", cyclic_bipartite(n)),
+                ("mallows_phi_0.5", mallows_bipartite(n, 0.5, &mut r)),
+                ("euclidean", euclidean_bipartite(n, &mut r).0),
+            ];
+            for (name, inst) in workloads {
+                let out = gale_shapley(&inst);
+                csv.row(vec![
+                    n.to_string(),
+                    name.to_string(),
+                    seed.to_string(),
+                    out.stats.proposals.to_string(),
+                    out.stats.rounds.to_string(),
+                    format!("{:.4}", mean_proposer_rank(&inst, &out.matching)),
+                    format!("{:.4}", mean_responder_rank(&inst, &out.matching)),
+                ]);
+            }
+        }
+    }
+    csv.write(format!("{out_dir}/gs_scaling.csv"))
+        .expect("write CSV");
+    println!("gs_scaling.csv: {} rows", csv.len());
+}
+
+fn binding_topology(quick: bool, out_dir: &str) {
+    let mut csv = Csv::new(&[
+        "k",
+        "n",
+        "tree",
+        "delta",
+        "proposals",
+        "erew_iters",
+        "rounds",
+    ]);
+    let grid: &[(usize, usize)] = if quick {
+        &[(6, 32)]
+    } else {
+        &[(4, 64), (8, 64), (12, 64), (8, 256)]
+    };
+    for &(k, n) in grid {
+        let inst = uniform_kpartite(k, n, &mut rng(22_000 + k as u64));
+        for (name, tree) in [
+            ("path", BindingTree::path(k)),
+            ("balanced", BindingTree::balanced_binary(k)),
+            ("star", BindingTree::star(k, 0)),
+            ("random", random_tree(k, &mut rng(22_500 + k as u64))),
+        ] {
+            let out = bind_with_stats(&inst, &tree);
+            let cost = erew_cost(&tree, &out.per_edge, None);
+            csv.row(vec![
+                k.to_string(),
+                n.to_string(),
+                name.to_string(),
+                tree.max_degree().to_string(),
+                out.total_proposals().to_string(),
+                cost.total_iterations().to_string(),
+                cost.depth().to_string(),
+            ]);
+        }
+    }
+    csv.write(format!("{out_dir}/binding_topology.csv"))
+        .expect("write CSV");
+    println!("binding_topology.csv: {} rows", csv.len());
+}
+
+fn roommates_solvability(quick: bool, out_dir: &str) {
+    // Classic empirical curve: solvability of uniform roommates declines
+    // slowly with n.
+    let mut csv = Csv::new(&["n", "trials", "solvable", "rate"]);
+    let sizes: &[usize] = if quick {
+        &[4, 8]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
+    let trials: u64 = if quick { 20 } else { 200 };
+    for &n in sizes {
+        let mut solvable = 0u64;
+        for seed in 0..trials {
+            let inst = uniform_roommates(n, &mut rng(23_000 + seed * 131 + n as u64));
+            if solve(&inst).is_stable() {
+                solvable += 1;
+            }
+        }
+        csv.row(vec![
+            n.to_string(),
+            trials.to_string(),
+            solvable.to_string(),
+            format!("{:.3}", solvable as f64 / trials as f64),
+        ]);
+    }
+    csv.write(format!("{out_dir}/roommates_solvability.csv"))
+        .expect("write CSV");
+    println!("roommates_solvability.csv: {} rows", csv.len());
+}
+
+fn weak_failure(quick: bool, out_dir: &str) {
+    let mut csv = Csv::new(&["k", "n", "tree", "bitonic", "trials", "weak_unstable"]);
+    let trials: u64 = if quick { 20 } else { 100 };
+    for (k, n) in [(4usize, 3usize), (4, 5), (5, 3)] {
+        let pr = GenderPriorities::by_id(k);
+        // Fig-5a shape (the highest-priority gender hangs off the lowest:
+        // path k-1, 0, 1, …, k-2 — not bitonic) vs the ascending path.
+        let mut edges: Vec<(u16, u16)> = vec![(k as u16 - 1, 0)];
+        for i in 0..k as u16 - 2 {
+            edges.push((i, i + 1));
+        }
+        let fig5a_like = BindingTree::new(k, edges).unwrap();
+        for (name, tree) in [
+            ("non_bitonic_path", fig5a_like),
+            ("ascending_path", BindingTree::path(k)),
+        ] {
+            let mut fails = 0u64;
+            for seed in 0..trials {
+                let inst = uniform_kpartite(k, n, &mut rng(24_000 + seed));
+                let m = bind(&inst, &tree);
+                if find_weak_blocking_family(&inst, &m, &pr).is_some() {
+                    fails += 1;
+                }
+            }
+            csv.row(vec![
+                k.to_string(),
+                n.to_string(),
+                name.to_string(),
+                pr.is_bitonic_under(&tree).to_string(),
+                trials.to_string(),
+                fails.to_string(),
+            ]);
+        }
+    }
+    csv.write(format!("{out_dir}/weak_failure.csv"))
+        .expect("write CSV");
+    println!("weak_failure.csv: {} rows", csv.len());
+}
+
+fn quorum_frontier(quick: bool, out_dir: &str) {
+    let mut csv = Csv::new(&["k", "n", "q", "trials", "stable"]);
+    let trials: u64 = if quick { 10 } else { 50 };
+    let (k, n) = (3usize, 4usize);
+    let mut stable = vec![0u64; k + 1];
+    for seed in 0..trials {
+        let inst = uniform_kpartite(k, n, &mut rng(25_000 + seed));
+        let m = bind(&inst, &BindingTree::path(k));
+        for (q, slot) in stable.iter_mut().enumerate().take(k + 1).skip(1) {
+            if is_quorum_stable(&inst, &m, q) {
+                *slot += 1;
+            }
+        }
+    }
+    for (q, &count) in stable.iter().enumerate().take(k + 1).skip(1) {
+        csv.row(vec![
+            k.to_string(),
+            n.to_string(),
+            q.to_string(),
+            trials.to_string(),
+            count.to_string(),
+        ]);
+    }
+    csv.write(format!("{out_dir}/quorum_frontier.csv"))
+        .expect("write CSV");
+    println!("quorum_frontier.csv: {} rows", csv.len());
+}

@@ -1,0 +1,118 @@
+//! Shared harness for the experiment binary and the Criterion benches:
+//! deterministic workload construction and a plain-text table printer whose
+//! output is pasted into EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+
+pub mod sweep;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic RNG for experiment `tag` — every table regenerates
+/// identically.
+pub fn rng(tag: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x5EED_0000 + tag)
+}
+
+/// Fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render with per-column widths.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:>width$}", cell, width = widths[c]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n=== {title} ===\n");
+        print!("{}", self.render());
+    }
+}
+
+/// Shorthand: stringify mixed cells.
+#[macro_export]
+macro_rules! cells {
+    ($($x:expr),* $(,)?) => {
+        vec![$(format!("{}", $x)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["k", "value"]);
+        t.row(cells!(3, "abc"));
+        t.row(cells!(100, 2.5));
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("k"));
+        assert!(lines[3].contains("100"));
+        // All rows equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(cells!(1));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        use rand::RngCore;
+        assert_eq!(rng(1).next_u64(), rng(1).next_u64());
+        assert_ne!(rng(1).next_u64(), rng(2).next_u64());
+    }
+}

@@ -1,0 +1,116 @@
+//! CSV output for parameter sweeps (the data behind plots).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A CSV table accumulated row by row.
+#[derive(Debug, Clone)]
+pub struct Csv {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Start a CSV with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Csv {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as CSV text (comma-separated; cells containing commas or
+    /// quotes are quoted).
+    pub fn render(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write to a file, creating parent directories.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_escapes() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.row(vec!["1".into(), "plain".into()]);
+        csv.row(vec!["2".into(), "has,comma".into()]);
+        csv.row(vec!["3".into(), "has\"quote".into()]);
+        let text = csv.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[2], "2,\"has,comma\"");
+        assert_eq!(lines[3], "3,\"has\"\"quote\"");
+        assert_eq!(csv.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_enforced() {
+        let mut csv = Csv::new(&["a"]);
+        csv.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let mut csv = Csv::new(&["x"]);
+        csv.row(vec!["7".into()]);
+        let dir = std::env::temp_dir().join("kmatch-sweep-test");
+        let path = dir.join("out.csv");
+        csv.write(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n7\n");
+    }
+}

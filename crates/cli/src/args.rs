@@ -1,0 +1,115 @@
+//! Minimal flag parser (no external CLI dependency).
+//!
+//! Supports `--flag value` and `--flag=value` forms plus a positional
+//! subcommand chain; unknown flags are an error so typos fail loudly.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional words followed by `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse raw arguments (without the program name).
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(stripped) = arg.strip_prefix("--") {
+                if let Some((key, value)) = stripped.split_once('=') {
+                    out.flags.insert(key.to_string(), value.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("flag --{stripped} expects a value"))?;
+                    out.flags.insert(stripped.to_string(), value);
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional word at `idx`.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.positional.get(idx).map(String::as_str)
+    }
+
+    /// Raw flag value.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Parse a flag into any `FromStr` type, with a default.
+    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flag(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    /// Require a flag to be present and parseable.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let v = self
+            .flag(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))?;
+        v.parse()
+            .map_err(|_| format!("invalid value for --{key}: {v}"))
+    }
+
+    /// Error on flags not in the allow list (catches typos).
+    pub fn check_known(&self, known: &[&str]) -> Result<(), String> {
+        for key in self.flags.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown flag --{key} (expected one of: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(&["gen", "kpartite", "--k", "4", "--n=8"]);
+        assert_eq!(a.positional(0), Some("gen"));
+        assert_eq!(a.positional(1), Some("kpartite"));
+        assert_eq!(a.flag("k"), Some("4"));
+        assert_eq!(a.flag_or("n", 0usize).unwrap(), 8);
+        assert_eq!(a.flag_or("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Args::parse(vec!["--k".to_string()]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detected() {
+        let a = parse(&["--oops", "1"]);
+        assert!(a.check_known(&["k", "n"]).is_err());
+        assert!(a.check_known(&["oops"]).is_ok());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse(&["x"]);
+        assert!(a.require::<usize>("k").is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! `kmatch` — command-line interface to the stable-matching library.
+//!
+//! ```text
+//! kmatch gen kpartite  --k 4 --n 8 --seed 1 [--alpha 0.0] --out inst.json
+//! kmatch gen theorem1  --k 3 --n 4 --out rm.json
+//! kmatch solve kary    --input inst.json [--tree path|star|random|priority] [--seed 7]
+//! kmatch solve binary  --input rm.json
+//! kmatch solve smp     --n 16 --seed 3 [--mode gs|fair|man|woman]
+//! kmatch verify kary   --input inst.json --matching matching.json [--weak]
+//! ```
+
+mod args;
+
+use std::fs;
+use std::process::ExitCode;
+
+use args::Args;
+use kmatch_core::{
+    bind_with_stats, family_cost, find_blocking_family, find_weak_blocking_family,
+    priority_binding_tree, AttachChoice, GenderPriorities, KAryMatching,
+};
+use kmatch_graph::{random_tree, BindingTree};
+use kmatch_gs::{gale_shapley, mean_proposer_rank, mean_responder_rank};
+use kmatch_prefs::serde_support::{KPartiteDto, RoommatesDto};
+use kmatch_prefs::{KPartiteInstance, RoommatesInstance};
+use kmatch_roommates::kpartite::{solve_global_binary, KPartiteBinaryOutcome};
+use kmatch_roommates::{fair_stable_marriage, oriented_stable_marriage, SmpOrientation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const USAGE: &str = "\
+kmatch — stable matching beyond bipartite graphs (IPPS 2016 reproduction)
+
+USAGE:
+  kmatch gen kpartite  --k K --n N [--seed S] [--alpha A] [--out FILE]
+  kmatch gen theorem1  --k K --n N [--out FILE]
+  kmatch solve kary    --input FILE [--tree path|star|random|priority] [--seed S]
+  kmatch solve binary  --input FILE
+  kmatch solve smp     --n N [--seed S] [--mode gs|fair|man|woman]
+  kmatch verify kary   --input FILE --matching FILE [--weak]
+  kmatch lattice       --n N [--seed S] [--limit L]
+  kmatch trace         --input FILE            (roommates JSON, paper-style trace)
+  kmatch render-tree   --k K [--tree path|star|balanced|random] [--seed S]
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    match (args.positional(0), args.positional(1)) {
+        (Some("gen"), Some("kpartite")) => gen_kpartite(&args),
+        (Some("gen"), Some("theorem1")) => gen_theorem1(&args),
+        (Some("solve"), Some("kary")) => solve_kary(&args),
+        (Some("solve"), Some("binary")) => solve_binary(&args),
+        (Some("solve"), Some("smp")) => solve_smp(&args),
+        (Some("verify"), Some("kary")) => verify_kary(&args),
+        (Some("lattice"), _) => lattice(&args),
+        (Some("trace"), _) => trace_cmd(&args),
+        (Some("render-tree"), _) => render_tree_cmd(&args),
+        _ => Err("unrecognized command".to_string()),
+    }
+}
+
+fn lattice(args: &Args) -> Result<(), String> {
+    args.check_known(&["n", "seed", "limit"])?;
+    let n: usize = args.require("n")?;
+    let seed: u64 = args.flag_or("seed", 0)?;
+    let limit: usize = args.flag_or("limit", 100_000)?;
+    let inst =
+        kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut ChaCha8Rng::seed_from_u64(seed));
+    let lattice = kmatch_gs::rotations::enumerate_stable_lattice(&inst, limit)?;
+    println!("stable matchings : {}", lattice.matchings.len());
+    println!("rotations fired  : {}", lattice.eliminations);
+    let show = |name: &str, m: &kmatch_gs::BipartiteMatching| {
+        println!(
+            "{name:<14}: men {:.2}, women {:.2}",
+            mean_proposer_rank(&inst, m),
+            mean_responder_rank(&inst, m)
+        );
+    };
+    show("man-optimal", &lattice.matchings[0]);
+    show("egalitarian", lattice.egalitarian(&inst));
+    let (poly, _) = kmatch_gs::egalitarian_stable_matching(&inst);
+    show("egal (min-cut)", &poly);
+    show("sex-equal", lattice.sex_equal(&inst));
+    show(
+        "woman-optimal",
+        &kmatch_gs::responder_optimal(&inst).matching,
+    );
+    Ok(())
+}
+
+fn trace_cmd(args: &Args) -> Result<(), String> {
+    args.check_known(&["input"])?;
+    let input: String = args.require("input")?;
+    let text = fs::read_to_string(&input).map_err(|e| format!("reading {input}: {e}"))?;
+    let dto: RoommatesDto = serde_json::from_str(&text).map_err(|e| format!("{input}: {e}"))?;
+    let inst = RoommatesInstance::try_from(dto).map_err(|e| format!("{input}: {e}"))?;
+    let (outcome, events) = kmatch_roommates::solve_traced(&inst);
+    let names = kmatch_viz::NameMap::numbered(inst.n(), "p");
+    print!("{}", kmatch_viz::render_roommates_trace(&events, &names));
+    match outcome.matching() {
+        Some(m) => {
+            let pairs: Vec<String> = m
+                .pairs()
+                .iter()
+                .map(|&(a, b)| format!("({}, {})", names.of(a), names.of(b)))
+                .collect();
+            println!("stable matching: {}", pairs.join(" "));
+        }
+        None => println!("no stable matching"),
+    }
+    Ok(())
+}
+
+fn render_tree_cmd(args: &Args) -> Result<(), String> {
+    args.check_known(&["k", "tree", "seed"])?;
+    let k: usize = args.require("k")?;
+    if k < 2 {
+        return Err("need --k >= 2".to_string());
+    }
+    let tree = match args.flag("tree").unwrap_or("path") {
+        "path" => BindingTree::path(k),
+        "star" => BindingTree::star(k, (k - 1) as u16),
+        "balanced" => BindingTree::balanced_binary(k),
+        "random" => {
+            let seed: u64 = args.flag_or("seed", 0)?;
+            random_tree(k, &mut ChaCha8Rng::seed_from_u64(seed))
+        }
+        other => return Err(format!("unknown tree kind: {other}")),
+    };
+    println!("{tree}");
+    print!("{}", kmatch_viz::render_tree(&tree));
+    println!(
+        "Δ = {} → {} parallel rounds",
+        tree.max_degree(),
+        tree.max_degree()
+    );
+    Ok(())
+}
+
+fn write_out(args: &Args, json: String) -> Result<(), String> {
+    match args.flag("out") {
+        Some(path) => {
+            fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            println!("{json}");
+            Ok(())
+        }
+    }
+}
+
+fn gen_kpartite(args: &Args) -> Result<(), String> {
+    args.check_known(&["k", "n", "seed", "alpha", "out"])?;
+    let k: usize = args.require("k")?;
+    let n: usize = args.require("n")?;
+    let seed: u64 = args.flag_or("seed", 0)?;
+    let alpha: f64 = args.flag_or("alpha", 0.0)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inst = if alpha > 0.0 {
+        kmatch_prefs::gen::correlated::correlated_kpartite(k, n, alpha, &mut rng)
+    } else {
+        kmatch_prefs::gen::uniform::uniform_kpartite(k, n, &mut rng)
+    };
+    let json =
+        serde_json::to_string_pretty(&KPartiteDto::from(&inst)).map_err(|e| e.to_string())?;
+    write_out(args, json)
+}
+
+fn gen_theorem1(args: &Args) -> Result<(), String> {
+    args.check_known(&["k", "n", "out"])?;
+    let k: usize = args.require("k")?;
+    let n: usize = args.require("n")?;
+    if k < 3 {
+        return Err("theorem1 needs --k >= 3".to_string());
+    }
+    let inst = kmatch_prefs::gen::adversarial::theorem1_roommates(k, n);
+    let json =
+        serde_json::to_string_pretty(&RoommatesDto::from(&inst)).map_err(|e| e.to_string())?;
+    write_out(args, json)
+}
+
+fn load_kpartite(path: &str) -> Result<KPartiteInstance, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let dto: KPartiteDto = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    KPartiteInstance::try_from(dto).map_err(|e| format!("{path}: {e}"))
+}
+
+fn solve_kary(args: &Args) -> Result<(), String> {
+    args.check_known(&["input", "tree", "seed", "out"])?;
+    let input: String = args.require("input")?;
+    let inst = load_kpartite(&input)?;
+    let k = inst.k();
+    let tree = match args.flag("tree").unwrap_or("path") {
+        "path" => BindingTree::path(k),
+        "star" => BindingTree::star(k, (k - 1) as u16),
+        "random" => {
+            let seed: u64 = args.flag_or("seed", 0)?;
+            random_tree(k, &mut ChaCha8Rng::seed_from_u64(seed))
+        }
+        "priority" => priority_binding_tree(&GenderPriorities::by_id(k), AttachChoice::Chain),
+        other => return Err(format!("unknown tree kind: {other}")),
+    };
+    let out = bind_with_stats(&inst, &tree);
+    let stable = find_blocking_family(&inst, &out.matching).is_none();
+    let cost = family_cost(&inst, &out.matching);
+    println!("binding tree : {tree}");
+    let bound = (k - 1) * inst.n() * inst.n();
+    println!(
+        "proposals    : {} (Theorem-3 bound (k-1)n^2 = {bound})",
+        out.total_proposals()
+    );
+    println!("stable       : {stable}");
+    println!("mean rank    : {:.3}", cost.mean_rank);
+    for (f, tuple) in out.matching.to_tuples().iter().enumerate() {
+        println!("family {f:>3}  : {tuple:?}");
+    }
+    if args.flag("out").is_some() {
+        let json =
+            serde_json::to_string_pretty(&out.matching.to_tuples()).map_err(|e| e.to_string())?;
+        write_out(args, json)?;
+    }
+    Ok(())
+}
+
+fn solve_binary(args: &Args) -> Result<(), String> {
+    args.check_known(&["input"])?;
+    let input: String = args.require("input")?;
+    let text = fs::read_to_string(&input).map_err(|e| format!("reading {input}: {e}"))?;
+    let dto: RoommatesDto = serde_json::from_str(&text).map_err(|e| format!("{input}: {e}"))?;
+    let inst = RoommatesInstance::try_from(dto).map_err(|e| format!("{input}: {e}"))?;
+    // Infer n-per-gender is unknown for a raw roommates file; report raw ids.
+    match solve_global_binary(&inst, inst.n() as u32) {
+        KPartiteBinaryOutcome::Stable { pairs, stats } => {
+            println!(
+                "stable binary matching found ({} proposals):",
+                stats.proposals
+            );
+            for (a, b) in pairs {
+                println!("  ({}, {})", a.index, b.index);
+            }
+        }
+        KPartiteBinaryOutcome::NoStableMatching { culprit, stats } => {
+            println!(
+                "no stable binary matching (participant {}'s reduced list emptied; {} proposals)",
+                culprit.index, stats.proposals
+            );
+        }
+    }
+    Ok(())
+}
+
+fn solve_smp(args: &Args) -> Result<(), String> {
+    args.check_known(&["n", "seed", "mode"])?;
+    let n: usize = args.require("n")?;
+    let seed: u64 = args.flag_or("seed", 0)?;
+    let inst =
+        kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut ChaCha8Rng::seed_from_u64(seed));
+    let mode = args.flag("mode").unwrap_or("gs");
+    let matching = match mode {
+        "gs" => gale_shapley(&inst).matching,
+        "fair" => fair_stable_marriage(&inst).matching,
+        "man" => oriented_stable_marriage(&inst, SmpOrientation::SeedFromWomen).matching,
+        "woman" => oriented_stable_marriage(&inst, SmpOrientation::SeedFromMen).matching,
+        other => return Err(format!("unknown mode: {other}")),
+    };
+    println!("mode          : {mode}");
+    println!(
+        "men mean rank : {:.3}",
+        mean_proposer_rank(&inst, &matching)
+    );
+    println!(
+        "women mean rank: {:.3}",
+        mean_responder_rank(&inst, &matching)
+    );
+    for (m, w) in matching.pairs() {
+        println!("  ({m}, {w})");
+    }
+    Ok(())
+}
+
+fn verify_kary(args: &Args) -> Result<(), String> {
+    args.check_known(&["input", "matching", "weak"])?;
+    let input: String = args.require("input")?;
+    let matching_path: String = args.require("matching")?;
+    let inst = load_kpartite(&input)?;
+    let text =
+        fs::read_to_string(&matching_path).map_err(|e| format!("reading {matching_path}: {e}"))?;
+    let tuples: Vec<Vec<u32>> =
+        serde_json::from_str(&text).map_err(|e| format!("{matching_path}: {e}"))?;
+    let matching = KAryMatching::from_tuples(inst.k(), inst.n(), &tuples);
+    let weak: bool = args.flag_or("weak", false)?;
+    let verdict = if weak {
+        find_weak_blocking_family(&inst, &matching, &GenderPriorities::by_id(inst.k()))
+    } else {
+        find_blocking_family(&inst, &matching)
+    };
+    match verdict {
+        None => {
+            println!(
+                "STABLE ({})",
+                if weak {
+                    "weakened condition"
+                } else {
+                    "full condition"
+                }
+            );
+            Ok(())
+        }
+        Some(bf) => {
+            println!(
+                "UNSTABLE: blocking family {:?} from families {:?}",
+                bf.members, bf.source_families
+            );
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(words: &[&str]) -> Result<(), String> {
+        run(words.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn usage_error_on_nonsense() {
+        assert!(call(&["frobnicate"]).is_err());
+        assert!(call(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_and_solve_roundtrip() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.json");
+        let inst_str = inst_path.to_str().unwrap();
+        call(&[
+            "gen", "kpartite", "--k", "3", "--n", "4", "--seed", "9", "--out", inst_str,
+        ])
+        .unwrap();
+        call(&["solve", "kary", "--input", inst_str, "--tree", "path"]).unwrap();
+        call(&["solve", "kary", "--input", inst_str, "--tree", "priority"]).unwrap();
+    }
+
+    #[test]
+    fn theorem1_binary_reports_unsolvable() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rm.json");
+        let p = path.to_str().unwrap();
+        call(&["gen", "theorem1", "--k", "3", "--n", "4", "--out", p]).unwrap();
+        call(&["solve", "binary", "--input", p]).unwrap();
+    }
+
+    #[test]
+    fn lattice_command_runs() {
+        call(&["lattice", "--n", "8", "--seed", "3"]).unwrap();
+        assert!(call(&["lattice", "--seed", "3"]).is_err(), "--n required");
+    }
+
+    #[test]
+    fn trace_and_render_commands() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rm3.json");
+        let p = path.to_str().unwrap();
+        call(&["gen", "theorem1", "--k", "3", "--n", "2", "--out", p]).unwrap();
+        call(&["trace", "--input", p]).unwrap();
+        call(&["render-tree", "--k", "6", "--tree", "balanced"]).unwrap();
+        call(&["render-tree", "--k", "5", "--tree", "random", "--seed", "4"]).unwrap();
+        assert!(call(&["render-tree", "--k", "1"]).is_err());
+    }
+
+    #[test]
+    fn smp_modes_run() {
+        for mode in ["gs", "fair", "man", "woman"] {
+            call(&["solve", "smp", "--n", "8", "--seed", "1", "--mode", mode]).unwrap();
+        }
+        assert!(call(&["solve", "smp", "--n", "8", "--mode", "nope"]).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Family-happiness metrics for k-ary matchings.
+//!
+//! Used by the experiment harness to compare the matchings produced by
+//! different binding trees (§IV-B notes different trees produce different
+//! stable matchings — these metrics quantify *how* different).
+
+use kmatch_prefs::{GenderId, KPartiteInstance, Member};
+
+use crate::kary::KAryMatching;
+
+/// Happiness summary of a k-ary matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyCost {
+    /// Mean rank each member assigns to its `k − 1` family partners,
+    /// averaged over all members (0 = everyone's family is their first
+    /// choices).
+    pub mean_rank: f64,
+    /// Per-gender mean rank, exposing which genders the binding-tree
+    /// orientation favored (proposer-optimality per edge).
+    pub per_gender_mean: Vec<f64>,
+    /// Worst rank any member assigns to a family partner.
+    pub max_rank: u32,
+}
+
+/// Compute happiness metrics of `matching` under `inst`.
+pub fn family_cost(inst: &KPartiteInstance, matching: &KAryMatching) -> FamilyCost {
+    let (k, n) = (inst.k(), inst.n());
+    let mut per_gender_total = vec![0u64; k];
+    let mut max_rank = 0u32;
+    for f in matching.family_ids() {
+        #[allow(clippy::needless_range_loop)]
+        for g in 0..k {
+            let me = matching.member_of(f, GenderId::from(g));
+            for h in 0..k {
+                if h == g {
+                    continue;
+                }
+                let partner = matching.member_of(f, GenderId::from(h));
+                let r = inst.rank_of(me, partner.gender, partner.index);
+                per_gender_total[g] += r as u64;
+                max_rank = max_rank.max(r);
+            }
+        }
+    }
+    let per_member_pairs = ((k - 1) * n) as f64;
+    let per_gender_mean: Vec<f64> = per_gender_total
+        .iter()
+        .map(|&t| t as f64 / per_member_pairs)
+        .collect();
+    let mean_rank = per_gender_total.iter().sum::<u64>() as f64 / (per_member_pairs * k as f64);
+    FamilyCost {
+        mean_rank,
+        per_gender_mean,
+        max_rank,
+    }
+}
+
+/// Rank member `m` assigns to its own family's gender-`h` member.
+pub fn member_rank_of_partner(
+    inst: &KPartiteInstance,
+    matching: &KAryMatching,
+    m: Member,
+    h: GenderId,
+) -> u32 {
+    let partner = matching.current_partner(m, h);
+    inst.rank_of(m, h, partner.index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::bind;
+    use kmatch_graph::BindingTree;
+    use kmatch_prefs::gen::paper::fig3_tripartite;
+
+    #[test]
+    fn fig3_costs() {
+        let inst = fig3_tripartite();
+        let tree = BindingTree::new(3, vec![(0, 1), (1, 2)]).unwrap();
+        let m = bind(&inst, &tree);
+        let cost = family_cost(&inst, &m);
+        assert_eq!(cost.per_gender_mean.len(), 3);
+        assert!(
+            cost.mean_rank >= 0.0 && cost.mean_rank <= 1.0,
+            "n = 2 ranks are 0 or 1"
+        );
+        assert!(cost.max_rank <= 1);
+    }
+
+    #[test]
+    fn member_rank_lookup() {
+        let inst = fig3_tripartite();
+        let tree = BindingTree::new(3, vec![(0, 1), (1, 2)]).unwrap();
+        let matching = bind(&inst, &tree);
+        // Family 0 = (m, w, u); m ranks w first (rank 0) and u last (rank 1,
+        // since m prefers u').
+        let m = Member::new(0usize, 0);
+        assert_eq!(member_rank_of_partner(&inst, &matching, m, GenderId(1)), 0);
+        assert_eq!(member_rank_of_partner(&inst, &matching, m, GenderId(2)), 1);
+    }
+
+    #[test]
+    fn different_trees_different_costs() {
+        // §IV-B: different binding trees may favor different genders.
+        let inst = fig3_tripartite();
+        let t1 = BindingTree::new(3, vec![(0, 1), (1, 2)]).unwrap();
+        let t2 = BindingTree::new(3, vec![(0, 2), (2, 1)]).unwrap();
+        let c1 = family_cost(&inst, &bind(&inst, &t1));
+        let c2 = family_cost(&inst, &bind(&inst, &t2));
+        assert_ne!(
+            c1.per_gender_mean, c2.per_gender_mean,
+            "tree choice matters"
+        );
+    }
+}

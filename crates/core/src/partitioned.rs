@@ -1,0 +1,233 @@
+//! Partitioned k-ary matching in k′-partite graphs (the paper's §VII
+//! second future-work direction).
+//!
+//! "We plan to study a more general k-ary matching in k′-partite graphs,
+//! where k < k′ and ck = nk′ for some constant c."
+//!
+//! This module implements the *block-partition* case of that program: the
+//! k′ genders are partitioned into blocks of `k` genders each (requires
+//! `k | k′`), and Algorithm 1 runs independently inside every block. The
+//! result is `c = n·k′/k` families of arity `k` — satisfying the paper's
+//! counting constraint `c·k = n·k′` — and each family is **stable against
+//! every blocking family drawn from its own block's genders** (Theorem 2
+//! applied per block).
+//!
+//! Cross-block blocking is not defined in this restricted model: a family
+//! only contains genders of one block, so a §II-C-style blocking k-tuple —
+//! one member per gender of a single block — can only raid families of the
+//! same block. The fully general model (families mixing genders
+//! arbitrarily) remains open, as in the paper.
+
+use kmatch_graph::BindingTree;
+use kmatch_prefs::{GenderId, KPartiteInstance, Member};
+
+use crate::binding::bind_with_stats;
+use crate::blocking::find_blocking_family;
+use crate::kary::KAryMatching;
+
+/// A partition of the `k′` genders into equal blocks of `k` genders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenderPartition {
+    blocks: Vec<Vec<GenderId>>,
+}
+
+impl GenderPartition {
+    /// Validate a partition: blocks must be non-overlapping, cover all
+    /// `k_total` genders, and share one size ≥ 2.
+    pub fn new(k_total: usize, blocks: Vec<Vec<GenderId>>) -> Result<Self, String> {
+        if blocks.is_empty() {
+            return Err("partition needs at least one block".to_string());
+        }
+        let k = blocks[0].len();
+        if k < 2 {
+            return Err("blocks need at least 2 genders".to_string());
+        }
+        let mut seen = vec![false; k_total];
+        for block in &blocks {
+            if block.len() != k {
+                return Err(format!("unequal block sizes: {} vs {k}", block.len()));
+            }
+            for &g in block {
+                if g.idx() >= k_total {
+                    return Err(format!("gender {g} out of range"));
+                }
+                if seen[g.idx()] {
+                    return Err(format!("gender {g} in two blocks"));
+                }
+                seen[g.idx()] = true;
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("partition must cover every gender".to_string());
+        }
+        Ok(GenderPartition { blocks })
+    }
+
+    /// Contiguous partition `[0..k], [k..2k], …` of `k_total` genders.
+    ///
+    /// # Panics
+    /// If `k` does not divide `k_total`.
+    pub fn contiguous(k_total: usize, k: usize) -> Self {
+        assert!(
+            k >= 2 && k_total.is_multiple_of(k),
+            "need k >= 2 dividing k_total"
+        );
+        let blocks = (0..k_total / k)
+            .map(|b| (b * k..(b + 1) * k).map(GenderId::from).collect())
+            .collect();
+        GenderPartition { blocks }
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[Vec<GenderId>] {
+        &self.blocks
+    }
+
+    /// Family arity `k` (= block size).
+    pub fn family_arity(&self) -> usize {
+        self.blocks[0].len()
+    }
+}
+
+/// A family of the partitioned matching: which block it lives in, its
+/// block-local family id, and its members in original-instance coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockFamily {
+    /// Index of the block in the partition.
+    pub block: usize,
+    /// The members, one per gender of the block (original gender ids).
+    pub members: Vec<Member>,
+}
+
+/// Outcome of partitioned binding: per-block matchings plus global stats.
+#[derive(Debug, Clone)]
+pub struct PartitionedOutcome {
+    /// Per-block k-ary matchings in *block-local* gender coordinates.
+    pub per_block: Vec<KAryMatching>,
+    /// All families in original-instance coordinates.
+    pub families: Vec<BlockFamily>,
+    /// Total GS proposals across all blocks.
+    pub total_proposals: u64,
+}
+
+/// Run Algorithm 1 independently inside every block of the partition,
+/// using a path binding tree over each block's genders (in block order).
+pub fn partitioned_bind(
+    inst: &KPartiteInstance,
+    partition: &GenderPartition,
+) -> PartitionedOutcome {
+    let k = partition.family_arity();
+    let mut per_block = Vec::with_capacity(partition.blocks().len());
+    let mut families = Vec::new();
+    let mut total_proposals = 0u64;
+    for (b, block) in partition.blocks().iter().enumerate() {
+        let sub = inst.restrict_to_genders(block);
+        let out = bind_with_stats(&sub, &BindingTree::path(k));
+        total_proposals += out.total_proposals();
+        for f in out.matching.family_ids() {
+            let members = out
+                .matching
+                .family(f)
+                .iter()
+                .enumerate()
+                .map(|(local_g, &i)| Member {
+                    gender: block[local_g],
+                    index: i,
+                })
+                .collect();
+            families.push(BlockFamily { block: b, members });
+        }
+        per_block.push(out.matching);
+    }
+    PartitionedOutcome {
+        per_block,
+        families,
+        total_proposals,
+    }
+}
+
+/// Verify block-local stability: no blocking family inside any block.
+pub fn is_partition_stable(
+    inst: &KPartiteInstance,
+    partition: &GenderPartition,
+    outcome: &PartitionedOutcome,
+) -> bool {
+    partition
+        .blocks()
+        .iter()
+        .zip(&outcome.per_block)
+        .all(|(block, matching)| {
+            let sub = inst.restrict_to_genders(block);
+            find_blocking_family(&sub, matching).is_none()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_prefs::gen::uniform::uniform_kpartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn six_genders_into_two_ternary_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(64);
+        let inst = uniform_kpartite(6, 4, &mut rng);
+        let partition = GenderPartition::contiguous(6, 3);
+        let out = partitioned_bind(&inst, &partition);
+        // c·k = n·k′: 8 families of 3 = 24 = 4·6 members.
+        assert_eq!(out.families.len(), 8);
+        assert!(out.families.iter().all(|f| f.members.len() == 3));
+        assert!(is_partition_stable(&inst, &partition, &out));
+        // Every member appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for f in &out.families {
+            for &m in &f.members {
+                assert!(seen.insert(m), "member {m} duplicated");
+            }
+        }
+        assert_eq!(seen.len(), 24);
+        // Families never mix blocks.
+        for f in &out.families {
+            let blocks: std::collections::HashSet<usize> =
+                f.members.iter().map(|m| m.gender.idx() / 3).collect();
+            assert_eq!(blocks.len(), 1);
+        }
+    }
+
+    #[test]
+    fn custom_partition_order() {
+        let mut rng = ChaCha8Rng::seed_from_u64(65);
+        let inst = uniform_kpartite(4, 3, &mut rng);
+        // Interleaved blocks {0, 2} and {1, 3}: families are pairs.
+        let partition = GenderPartition::new(
+            4,
+            vec![
+                vec![GenderId(0), GenderId(2)],
+                vec![GenderId(1), GenderId(3)],
+            ],
+        )
+        .unwrap();
+        let out = partitioned_bind(&inst, &partition);
+        assert_eq!(out.families.len(), 6);
+        assert!(is_partition_stable(&inst, &partition, &out));
+        assert!(out.total_proposals <= 2 * 9, "two bipartite GS runs, n = 3");
+    }
+
+    #[test]
+    fn partition_validation() {
+        use kmatch_prefs::GenderId as G;
+        assert!(GenderPartition::new(4, vec![]).is_err());
+        assert!(GenderPartition::new(4, vec![vec![G(0)], vec![G(1)]]).is_err());
+        assert!(GenderPartition::new(4, vec![vec![G(0), G(1)], vec![G(1), G(2)]]).is_err());
+        assert!(GenderPartition::new(4, vec![vec![G(0), G(1)]]).is_err());
+        assert!(GenderPartition::new(4, vec![vec![G(0), G(1), G(2)], vec![G(3)]]).is_err());
+        assert!(GenderPartition::new(4, vec![vec![G(0), G(1)], vec![G(2), G(3)]]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "dividing")]
+    fn contiguous_requires_divisibility() {
+        let _ = GenderPartition::contiguous(5, 2);
+    }
+}

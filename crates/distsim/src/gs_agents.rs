@@ -1,0 +1,197 @@
+//! Distributed Gale–Shapley over the message-passing network.
+//!
+//! Agents `0..n` are proposers, `n..2n` responders. The protocol is the
+//! paper's §II-A dialogue made explicit:
+//!
+//! * a free proposer sends `Propose` to the best responder it has not yet
+//!   proposed to;
+//! * a responder replies `Accept` to the best suitor among its current
+//!   fiancé and this round's proposers ("maybe"), `Reject` to the rest,
+//!   and sends a displacement `Reject` to a fiancé it trades away;
+//! * a proposer that receives `Reject` proposes onward; one that holds an
+//!   `Accept` stays silent until displaced.
+//!
+//! Quiescence = everyone engaged. GS is confluent, so the result equals
+//! the centralized engine's proposer-optimal matching with the **same
+//! proposal count**; message count is `2 × proposals + displacements`.
+
+use kmatch_gs::BipartiteMatching;
+use kmatch_prefs::BipartitePrefs;
+
+use crate::network::{Envelope, Network, NetworkStats};
+
+/// Protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GsMsg {
+    /// Proposer → responder.
+    Propose,
+    /// Responder → proposer: provisional "maybe".
+    Accept,
+    /// Responder → proposer: refusal or displacement.
+    Reject,
+}
+
+/// Result of a distributed GS run.
+#[derive(Debug, Clone)]
+pub struct DistributedGsOutcome {
+    /// The proposer-optimal stable matching (identical to the centralized
+    /// engine's).
+    pub matching: BipartiteMatching,
+    /// `Propose` messages sent (= the centralized proposal count).
+    pub proposals: u64,
+    /// Network counters (all message kinds, communication rounds).
+    pub net: NetworkStats,
+}
+
+/// Run the protocol to quiescence.
+pub fn distributed_gale_shapley<P: BipartitePrefs>(prefs: &P) -> DistributedGsOutcome {
+    let n = prefs.n();
+    assert!(n > 0, "empty instance");
+    let nn = n as u32;
+    let mut net: Network<GsMsg> = Network::new(2 * n);
+    // Proposer state: next list index to propose to.
+    let mut next = vec![0u32; n];
+    // Responder state: current fiancé (proposer id) or NONE.
+    const NONE: u32 = u32::MAX;
+    let mut fiance = vec![NONE; n];
+    let mut proposals = 0u64;
+
+    // Round 0: every proposer proposes to its first choice.
+    let seeds: Vec<Envelope<GsMsg>> = (0..nn)
+        .map(|m| {
+            proposals += 1;
+            next[m as usize] = 1;
+            Envelope {
+                from: m,
+                to: nn + prefs.proposer_list(m)[0],
+                payload: GsMsg::Propose,
+            }
+        })
+        .collect();
+    net.seed(seeds);
+
+    // Generous limit: each proposal takes ≤ 2 rounds, ≤ n² proposals.
+    let limit = (4 * n * n + 8) as u32;
+    net.run_to_quiescence(limit, |id, inbox| {
+        let mut out = Vec::new();
+        if id < nn {
+            // Proposer: every Reject triggers the next proposal; Accepts
+            // require no action.
+            for env in inbox {
+                if env.payload == GsMsg::Reject {
+                    let m = id;
+                    let idx = next[m as usize] as usize;
+                    debug_assert!(idx < n, "proposer exhausted its list");
+                    next[m as usize] += 1;
+                    proposals += 1;
+                    out.push(Envelope {
+                        from: m,
+                        to: nn + prefs.proposer_list(m)[idx],
+                        payload: GsMsg::Propose,
+                    });
+                }
+            }
+        } else {
+            // Responder: keep the best of {current fiancé} ∪ proposers.
+            let w = id - nn;
+            let mut best = fiance[w as usize];
+            for env in inbox {
+                debug_assert_eq!(env.payload, GsMsg::Propose, "responders only get proposals");
+                let m = env.from;
+                if best == NONE || prefs.responder_prefers(w, m, best) {
+                    if best != NONE {
+                        // Displacement or same-round loser.
+                        out.push(Envelope {
+                            from: id,
+                            to: best,
+                            payload: GsMsg::Reject,
+                        });
+                    }
+                    best = m;
+                } else {
+                    out.push(Envelope {
+                        from: id,
+                        to: m,
+                        payload: GsMsg::Reject,
+                    });
+                }
+            }
+            if best != fiance[w as usize] {
+                out.push(Envelope {
+                    from: id,
+                    to: best,
+                    payload: GsMsg::Accept,
+                });
+                fiance[w as usize] = best;
+            }
+            // Note: a previously-engaged fiancé displaced this round got
+            // its Reject in the loop above (it was `best` when beaten).
+        }
+        out
+    });
+
+    let mut partner = vec![0u32; n];
+    for (w, &m) in fiance.iter().enumerate() {
+        assert_ne!(m, NONE, "GS terminates with everyone matched");
+        partner[m as usize] = w as u32;
+    }
+    DistributedGsOutcome {
+        matching: BipartiteMatching::from_proposer_partners(partner),
+        proposals,
+        net: net.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_gs::gale_shapley;
+    use kmatch_prefs::gen::paper::{example1_first, example1_second};
+    use kmatch_prefs::gen::structured::{cyclic_bipartite, identical_bipartite};
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn agrees_with_centralized_engine() {
+        let mut rng = ChaCha8Rng::seed_from_u64(131);
+        for n in [1usize, 2, 3, 8, 32, 100] {
+            let inst = uniform_bipartite(n, &mut rng);
+            let central = gale_shapley(&inst);
+            let dist = distributed_gale_shapley(&inst);
+            assert_eq!(dist.matching, central.matching, "n = {n}");
+            assert_eq!(dist.proposals, central.stats.proposals, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn paper_examples() {
+        let out = distributed_gale_shapley(&example1_first());
+        assert_eq!(out.matching.partner_of_proposer(0), 1);
+        assert_eq!(out.matching.partner_of_proposer(1), 0);
+        assert_eq!(out.proposals, 3);
+        let out = distributed_gale_shapley(&example1_second());
+        assert_eq!(out.matching.partner_of_proposer(0), 0);
+        assert_eq!(out.proposals, 2);
+    }
+
+    #[test]
+    fn message_complexity_bounds() {
+        // messages = proposals + responses ≤ 3 × proposals; rounds bounded
+        // by 2 per proposal chain.
+        let inst = identical_bipartite(20);
+        let out = distributed_gale_shapley(&inst);
+        assert_eq!(out.proposals, 20 * 21 / 2);
+        assert!(
+            out.net.messages >= 2 * out.proposals,
+            "every proposal gets a response"
+        );
+        assert!(out.net.messages <= 3 * out.proposals);
+        // One-round instance: n proposals, n accepts → 2 rounds.
+        let inst = cyclic_bipartite(16);
+        let out = distributed_gale_shapley(&inst);
+        assert_eq!(out.proposals, 16);
+        assert_eq!(out.net.messages, 32);
+        assert_eq!(out.net.rounds, 2);
+    }
+}

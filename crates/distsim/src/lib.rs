@@ -1,0 +1,34 @@
+//! # kmatch-distsim — a synchronous message-passing substrate
+//!
+//! §II-A of the paper describes Gale–Shapley as "a distributed algorithm,
+//! where men propose to women iteratively", and the venue (IPPS) is a
+//! parallel-processing conference — so this crate supplies the distributed
+//! execution model the paper implies but never spells out:
+//!
+//! * [`network`] — a synchronous round-based message-passing network of
+//!   agents: per-round delivery, per-agent inboxes, counted messages and
+//!   rounds. No shared memory; the only inter-agent channel is messages.
+//! * [`gs_agents`] — proposer/responder agents implementing deferred
+//!   acceptance purely over messages (`Propose`, `Accept`, `Reject`).
+//!   The tests prove the distributed run produces **exactly** the
+//!   centralized engine's matching, round count, and proposal count.
+//! * [`binding_agents`] — distributed Algorithm 1: every member of every
+//!   gender is an agent; each binding-tree edge runs message-passing GS,
+//!   with edges of the same schedule round executing in the same
+//!   communication rounds (the distributed reading of Corollaries 1–2).
+//!
+//! Message complexity mirrors the paper's iteration counts: one `Propose`
+//! per GS proposal, plus one `Accept`/`Reject` response — so the total
+//! message count is exactly `2 ×` the proposal count, bounded by
+//! `2(k−1)n²` for a full binding run (Theorem 3 restated for messages).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binding_agents;
+pub mod gs_agents;
+pub mod network;
+
+pub use binding_agents::{distributed_bind, DistributedBindOutcome};
+pub use gs_agents::{distributed_gale_shapley, DistributedGsOutcome};
+pub use network::{Envelope, Network, NetworkStats};

@@ -1,0 +1,218 @@
+//! The synchronous message-passing network.
+//!
+//! Execution proceeds in *communication rounds*: all messages sent during
+//! round `r` are delivered at the start of round `r + 1` (synchronous,
+//! reliable, FIFO-per-sender delivery — the standard synchronous model).
+//! The network counts every message and round so experiments can restate
+//! the paper's iteration bounds as message complexity.
+
+/// A message in flight: sender, receiver, and an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sending agent id.
+    pub from: u32,
+    /// Receiving agent id.
+    pub to: u32,
+    /// Application payload.
+    pub payload: M,
+}
+
+/// Counters accumulated over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkStats {
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Communication rounds executed (rounds with at least one delivery
+    /// or one send).
+    pub rounds: u32,
+}
+
+/// A synchronous network over `n` agents exchanging messages of type `M`.
+///
+/// The driver loop is owned by the caller: each call to
+/// [`Network::step`] delivers the messages sent in the previous round to
+/// per-agent inboxes and hands them to the agent callback, collecting new
+/// sends for the next round.
+#[derive(Debug)]
+pub struct Network<M> {
+    n: usize,
+    in_flight: Vec<Envelope<M>>,
+    stats: NetworkStats,
+}
+
+impl<M> Network<M> {
+    /// A network of `n` agents with empty channels.
+    pub fn new(n: usize) -> Self {
+        Network {
+            n,
+            in_flight: Vec::new(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Number of agents.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Inject initial messages before the first round (e.g. "wake up"
+    /// signals). Counted like normal sends.
+    pub fn seed(&mut self, envelopes: impl IntoIterator<Item = Envelope<M>>) {
+        self.in_flight.extend(envelopes);
+    }
+
+    /// Are any messages still in flight?
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Execute one synchronous round: deliver everything in flight,
+    /// grouped per receiving agent, and collect the agents' replies.
+    ///
+    /// `agent` is called once per agent that received at least one message
+    /// this round, with `(agent_id, inbox)`; it returns the messages that
+    /// agent sends, which will be delivered next round.
+    ///
+    /// Returns `false` when the network was already idle (no round ran).
+    pub fn step(&mut self, mut agent: impl FnMut(u32, &[Envelope<M>]) -> Vec<Envelope<M>>) -> bool {
+        if self.in_flight.is_empty() {
+            return false;
+        }
+        self.stats.rounds += 1;
+        self.stats.messages += self.in_flight.len() as u64;
+        // Group by receiver, preserving send order (stable partition).
+        let mut inboxes: Vec<Vec<Envelope<M>>> = (0..self.n).map(|_| Vec::new()).collect();
+        for env in self.in_flight.drain(..) {
+            let to = env.to as usize;
+            assert!(to < self.n, "receiver out of range");
+            inboxes[to].push(env);
+        }
+        let mut next: Vec<Envelope<M>> = Vec::new();
+        for (id, inbox) in inboxes.iter().enumerate() {
+            if inbox.is_empty() {
+                continue;
+            }
+            next.extend(agent(id as u32, inbox));
+        }
+        self.in_flight = next;
+        true
+    }
+
+    /// Drive to quiescence, with a round limit as a hang guard.
+    ///
+    /// # Panics
+    /// If the limit is exceeded (indicates a protocol bug).
+    pub fn run_to_quiescence(
+        &mut self,
+        limit: u32,
+        mut agent: impl FnMut(u32, &[Envelope<M>]) -> Vec<Envelope<M>>,
+    ) {
+        let mut rounds = 0;
+        while self.step(&mut agent) {
+            rounds += 1;
+            assert!(
+                rounds <= limit,
+                "network did not quiesce within {limit} rounds"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_counts_messages_and_rounds() {
+        let mut net: Network<&'static str> = Network::new(2);
+        net.seed([Envelope {
+            from: 0,
+            to: 1,
+            payload: "ping",
+        }]);
+        let mut pongs = 0;
+        net.run_to_quiescence(10, |id, inbox| {
+            let mut out = Vec::new();
+            for env in inbox {
+                if env.payload == "ping" && pongs < 3 {
+                    pongs += 1;
+                    out.push(Envelope {
+                        from: id,
+                        to: env.from,
+                        payload: "pong",
+                    });
+                } else if env.payload == "pong" {
+                    out.push(Envelope {
+                        from: id,
+                        to: env.from,
+                        payload: "ping",
+                    });
+                }
+            }
+            out
+        });
+        assert_eq!(pongs, 3);
+        // ping, pong, ping, pong, ping, pong, ping(dropped) = 7 messages.
+        assert_eq!(net.stats().messages, 7);
+        assert_eq!(net.stats().rounds, 7);
+    }
+
+    #[test]
+    fn idle_network_does_not_step() {
+        let mut net: Network<()> = Network::new(1);
+        assert!(!net.step(|_, _| Vec::new()));
+        assert_eq!(net.stats().rounds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn hang_guard_fires() {
+        let mut net: Network<u32> = Network::new(2);
+        net.seed([Envelope {
+            from: 0,
+            to: 1,
+            payload: 0,
+        }]);
+        net.run_to_quiescence(5, |id, inbox| {
+            // Perpetual forwarding.
+            inbox
+                .iter()
+                .map(|e| Envelope {
+                    from: id,
+                    to: e.from,
+                    payload: e.payload,
+                })
+                .collect()
+        });
+    }
+
+    #[test]
+    fn fan_in_same_round() {
+        // Two senders to one receiver: both delivered in one round.
+        let mut net: Network<u32> = Network::new(3);
+        net.seed([
+            Envelope {
+                from: 0,
+                to: 2,
+                payload: 10,
+            },
+            Envelope {
+                from: 1,
+                to: 2,
+                payload: 20,
+            },
+        ]);
+        let mut seen = Vec::new();
+        net.run_to_quiescence(3, |_, inbox| {
+            seen.extend(inbox.iter().map(|e| e.payload));
+            Vec::new()
+        });
+        assert_eq!(seen, vec![10, 20]);
+        assert_eq!(net.stats().rounds, 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Bitonic sequences and bitonic trees (§IV-D).
+//!
+//! A sequence is *bitonic* if it monotonically increases and then
+//! monotonically decreases (either phase may be empty): `(1,3,4,2)` and
+//! `(4,3,2,1)` are bitonic, `(4,1,2,3)` is not. A labeled tree with
+//! distinct node priorities is a *bitonic tree* if the label sequence along
+//! the path between **every** pair of nodes is bitonic.
+//!
+//! Theorem 5: a bitonic binding tree prevents every *weakened* blocking
+//! family. Algorithm 2 grows such trees by attaching genders in decreasing
+//! priority to nodes already in the tree, yielding `(k−1)!` distinct
+//! priority-based binding trees (Fig. 6).
+
+use crate::tree::BindingTree;
+
+/// Is `seq` bitonic (strictly increasing then strictly decreasing, either
+/// phase possibly empty)?
+///
+/// Node labels along a tree path are distinct, so strict/non-strict
+/// monotonicity coincide on the inputs we care about; we require strict to
+/// surface accidental duplicates in tests.
+pub fn is_bitonic_sequence(seq: &[u16]) -> bool {
+    let n = seq.len();
+    if n <= 2 {
+        return true;
+    }
+    let mut i = 0;
+    while i + 1 < n && seq[i] < seq[i + 1] {
+        i += 1;
+    }
+    while i + 1 < n && seq[i] > seq[i + 1] {
+        i += 1;
+    }
+    i + 1 == n
+}
+
+/// Is the tree bitonic: is the label path between every pair of nodes a
+/// bitonic sequence?
+///
+/// Runs in `O(k²)` path checks of `O(k)` each — fine for gender counts.
+/// An equivalent local characterization (each node has at most one neighbor
+/// with a larger label, except the global maximum) is exposed as
+/// [`is_bitonic_tree_local`] and tested to agree.
+pub fn is_bitonic_tree(tree: &BindingTree) -> bool {
+    let k = tree.k() as u16;
+    for a in 0..k {
+        for b in (a + 1)..k {
+            if !is_bitonic_sequence(&tree.path_between(a, b)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Local O(k) characterization of bitonic trees: every node other than the
+/// maximum-label node has **exactly one** neighbor with a larger label.
+///
+/// Sketch: if some node `v` had two larger neighbors `a, b`, the path
+/// `a — v — b` dips at `v` and cannot be bitonic. Conversely if every node
+/// has one larger neighbor, following larger neighbors from any node yields
+/// a strictly increasing path to the unique maximum, so the path between
+/// any two nodes increases to its maximum label and then decreases.
+pub fn is_bitonic_tree_local(tree: &BindingTree) -> bool {
+    let adj = tree.adjacency();
+    let max_label = (tree.k() - 1) as u16;
+    for (v, neighbors) in adj.iter().enumerate() {
+        let larger = neighbors.iter().filter(|&&w| w > v as u16).count();
+        if v as u16 == max_label {
+            if larger != 0 {
+                return false;
+            }
+        } else if larger != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Count the bitonic trees among an exhaustive enumeration — used by tests
+/// and experiment E12 to confirm the `(k−1)!` count of Fig. 6.
+pub fn count_bitonic_trees(k: usize, max_trees: usize) -> usize {
+    crate::prufer::all_trees(k, max_trees)
+        .iter()
+        .filter(|t| is_bitonic_tree(t))
+        .count()
+}
+
+/// `(k−1)!`, the number of priority-based (bitonic) binding trees
+/// (§IV-D: `T(k) = (k−1)·T(k−1)`, `T(2) = T(1) = 1`).
+pub fn bitonic_tree_count(k: usize) -> Option<u128> {
+    if k == 0 {
+        return Some(0);
+    }
+    let mut acc: u128 = 1;
+    for f in 1..k as u128 {
+        acc = acc.checked_mul(f)?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sequence_examples() {
+        // §IV-D: "(1, 3, 4, 2), (4, 3, 2, 1), and (1, 2, 3, 4) are bitonic,
+        // but (4, 1, 2, 3) is not".
+        assert!(is_bitonic_sequence(&[1, 3, 4, 2]));
+        assert!(is_bitonic_sequence(&[4, 3, 2, 1]));
+        assert!(is_bitonic_sequence(&[1, 2, 3, 4]));
+        assert!(!is_bitonic_sequence(&[4, 1, 2, 3]));
+        assert!(is_bitonic_sequence(&[]));
+        assert!(is_bitonic_sequence(&[7]));
+        assert!(is_bitonic_sequence(&[2, 9]));
+    }
+
+    #[test]
+    fn fig5_trees() {
+        // Fig. 5(a): path 4-1-2-3 (0-indexed: 3-0-1-2) is NOT bitonic —
+        // the path from 3 (label 2) to 4 (label 3) reads (2, 1, 0, 3).
+        let unstable = BindingTree::new(4, vec![(3, 0), (0, 1), (1, 2)]).unwrap();
+        assert!(!is_bitonic_tree(&unstable));
+        // Fig. 5(b)-style bitonic alternative: path 2-4-3-1
+        // (0-indexed labels: 1-3-2-0).
+        let stable = BindingTree::new(4, vec![(1, 3), (3, 2), (2, 0)]).unwrap();
+        assert!(is_bitonic_tree(&stable));
+    }
+
+    #[test]
+    fn local_matches_global_for_all_small_trees() {
+        for k in 2..=6 {
+            for tree in crate::prufer::all_trees(k, 2000) {
+                assert_eq!(
+                    is_bitonic_tree(&tree),
+                    is_bitonic_tree_local(&tree),
+                    "disagreement on {tree}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitonic_count_is_factorial() {
+        // Fig. 6: T(k) = (k-1)!.
+        assert_eq!(count_bitonic_trees(2, 10), 1);
+        assert_eq!(count_bitonic_trees(3, 10), 2);
+        assert_eq!(count_bitonic_trees(4, 50), 6);
+        assert_eq!(count_bitonic_trees(5, 200), 24);
+        assert_eq!(count_bitonic_trees(6, 2000), 120);
+        assert_eq!(bitonic_tree_count(4), Some(6));
+        assert_eq!(bitonic_tree_count(6), Some(120));
+    }
+
+    #[test]
+    fn ascending_path_is_bitonic_star_depends_on_center() {
+        assert!(is_bitonic_tree(&BindingTree::path(6)));
+        // Star centered at the max label: every path is v — max — w,
+        // increasing then decreasing: bitonic.
+        assert!(is_bitonic_tree(&BindingTree::star(5, 4)));
+        // Star centered elsewhere: path between two larger labels dips.
+        assert!(!is_bitonic_tree(&BindingTree::star(5, 0)));
+    }
+}

@@ -1,0 +1,38 @@
+//! # kmatch-graph — graph substrate for binding-tree construction
+//!
+//! Algorithm 1 of the paper ("iterative binding GS") runs one Gale–Shapley
+//! pass per edge of a **spanning tree over the gender set**; everything
+//! about those trees lives here:
+//!
+//! * [`tree::BindingTree`] — a labeled tree on `k` genders whose edges carry
+//!   a proposer → responder orientation; builders for the topologies the
+//!   paper discusses (path, star, balanced, random).
+//! * [`prufer`] — Prüfer-sequence encoding/decoding: Cayley's `k^{k−2}`
+//!   labeled trees (§IV-B), uniform random tree sampling, and exhaustive
+//!   enumeration for small `k`.
+//! * [`bitonic`] — bitonic sequences and bitonic trees (§IV-D): the class
+//!   of binding trees that defeats *weakened* blocking families (Theorem 5).
+//! * [`schedule`] — parallel binding schedules: a proper edge coloring of a
+//!   tree into exactly `Δ` rounds (Corollary 1) and the even–odd 2-round
+//!   path schedule of Fig. 4 (Corollary 2).
+//! * [`union_find`] — the equivalence-relation engine that merges binary
+//!   matching pairs into k-tuples ("in the same matching tuple", §IV-A).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitonic;
+pub mod matching;
+pub mod maxflow;
+pub mod prufer;
+pub mod schedule;
+pub mod tree;
+pub mod union_find;
+
+pub use bitonic::{is_bitonic_sequence, is_bitonic_tree};
+pub use matching::{has_perfect_matching, maximum_matching, maximum_matching_size, SimpleGraph};
+pub use maxflow::{min_weight_closed_set, FlowNetwork};
+pub use prufer::{all_trees, decode_prufer, encode_prufer, random_tree, tree_count};
+pub use schedule::{even_odd_path_schedule, tree_edge_coloring, Schedule};
+pub use tree::{BindingTree, TreeError};
+pub use union_find::UnionFind;

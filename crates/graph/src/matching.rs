@@ -1,0 +1,315 @@
+//! Maximum matching in general graphs: Edmonds' blossom algorithm.
+//!
+//! Theorem 1 states both a negative half (no *stable* binary matching) and
+//! a positive half ("there is a perfect matching"). The acceptability
+//! graph of binary matching in a k-partite graph — any two cross-gender
+//! members may pair — is **not** bipartite, so deciding the positive half
+//! at scale needs general-graph matching. This is the classic `O(V³)`
+//! blossom implementation: grow an alternating BFS forest from each free
+//! vertex, contracting odd cycles (blossoms) to their base as they appear.
+
+/// A simple undirected graph on `n` vertices, adjacency-list based.
+#[derive(Debug, Clone)]
+pub struct SimpleGraph {
+    adj: Vec<Vec<u32>>,
+}
+
+impl SimpleGraph {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SimpleGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add an undirected edge (no dedup; duplicates are harmless).
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        assert!(a != b, "no self-loops");
+        assert!(
+            (a as usize) < self.n() && (b as usize) < self.n(),
+            "vertex out of range"
+        );
+        self.adj[a as usize].push(b);
+        self.adj[b as usize].push(a);
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+}
+
+const NONE: u32 = u32::MAX;
+
+/// State for one run of the blossom algorithm.
+struct Blossom<'g> {
+    graph: &'g SimpleGraph,
+    mate: Vec<u32>,
+    /// BFS parent in the alternating forest.
+    parent: Vec<u32>,
+    /// Base vertex of the blossom containing each vertex.
+    base: Vec<u32>,
+    used: Vec<bool>,
+    blossom: Vec<bool>,
+}
+
+impl<'g> Blossom<'g> {
+    fn lca(&self, mut a: u32, mut b: u32) -> u32 {
+        let n = self.graph.n();
+        let mut on_path = vec![false; n];
+        // Walk up from a marking bases.
+        loop {
+            a = self.base[a as usize];
+            on_path[a as usize] = true;
+            if self.mate[a as usize] == NONE {
+                break;
+            }
+            a = self.parent[self.mate[a as usize] as usize];
+        }
+        // Walk up from b until a marked base.
+        loop {
+            b = self.base[b as usize];
+            if on_path[b as usize] {
+                return b;
+            }
+            b = self.parent[self.mate[b as usize] as usize];
+        }
+    }
+
+    fn mark_path(&mut self, mut v: u32, b: u32, mut child: u32) {
+        while self.base[v as usize] != b {
+            self.blossom[self.base[v as usize] as usize] = true;
+            self.blossom[self.base[self.mate[v as usize] as usize] as usize] = true;
+            self.parent[v as usize] = child;
+            child = self.mate[v as usize];
+            v = self.parent[self.mate[v as usize] as usize];
+        }
+    }
+
+    /// BFS from `root` looking for an augmenting path; returns its
+    /// endpoint or `NONE`.
+    fn find_path(&mut self, root: u32) -> u32 {
+        let n = self.graph.n();
+        self.used.iter_mut().for_each(|u| *u = false);
+        self.parent.iter_mut().for_each(|p| *p = NONE);
+        for (i, b) in self.base.iter_mut().enumerate() {
+            *b = i as u32;
+        }
+        self.used[root as usize] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            for idx in 0..self.graph.neighbors(v).len() {
+                let to = self.graph.neighbors(v)[idx];
+                if self.base[v as usize] == self.base[to as usize] || self.mate[v as usize] == to {
+                    continue;
+                }
+                if to == root
+                    || (self.mate[to as usize] != NONE
+                        && self.parent[self.mate[to as usize] as usize] != NONE)
+                {
+                    // Odd cycle: contract the blossom.
+                    let cur_base = self.lca(v, to);
+                    self.blossom.iter_mut().for_each(|b| *b = false);
+                    self.mark_path(v, cur_base, to);
+                    self.mark_path(to, cur_base, v);
+                    for i in 0..n as u32 {
+                        if self.blossom[self.base[i as usize] as usize] {
+                            self.base[i as usize] = cur_base;
+                            if !self.used[i as usize] {
+                                self.used[i as usize] = true;
+                                queue.push_back(i);
+                            }
+                        }
+                    }
+                } else if self.parent[to as usize] == NONE {
+                    self.parent[to as usize] = v;
+                    if self.mate[to as usize] == NONE {
+                        return to; // Augmenting path found.
+                    }
+                    let next = self.mate[to as usize];
+                    self.used[next as usize] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        NONE
+    }
+}
+
+/// Maximum matching of a general graph; returns `mate[v]` with `u32::MAX`
+/// for unmatched vertices.
+pub fn maximum_matching(graph: &SimpleGraph) -> Vec<u32> {
+    let n = graph.n();
+    let mut state = Blossom {
+        graph,
+        mate: vec![NONE; n],
+        parent: vec![NONE; n],
+        base: (0..n as u32).collect(),
+        used: vec![false; n],
+        blossom: vec![false; n],
+    };
+    for v in 0..n as u32 {
+        if state.mate[v as usize] != NONE {
+            continue;
+        }
+        let mut u = state.find_path(v);
+        // Augment along parent pointers.
+        while u != NONE {
+            let pv = state.parent[u as usize];
+            let ppv = state.mate[pv as usize];
+            state.mate[u as usize] = pv;
+            state.mate[pv as usize] = u;
+            u = ppv;
+        }
+    }
+    state.mate
+}
+
+/// Size of a maximum matching.
+pub fn maximum_matching_size(graph: &SimpleGraph) -> usize {
+    maximum_matching(graph)
+        .iter()
+        .filter(|&&m| m != NONE)
+        .count()
+        / 2
+}
+
+/// Does the graph admit a perfect matching?
+pub fn has_perfect_matching(graph: &SimpleGraph) -> bool {
+    let n = graph.n();
+    n.is_multiple_of(2) && maximum_matching_size(graph) * 2 == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Exponential reference: maximum matching size by branch and bound.
+    fn brute_max_matching(graph: &SimpleGraph) -> usize {
+        fn recurse(graph: &SimpleGraph, used: &mut Vec<bool>, v: u32) -> usize {
+            let n = graph.n() as u32;
+            if v == n {
+                return 0;
+            }
+            if used[v as usize] {
+                return recurse(graph, used, v + 1);
+            }
+            // Skip v.
+            let mut best = recurse(graph, used, v + 1);
+            // Match v with an unused neighbor.
+            used[v as usize] = true;
+            for &w in graph.neighbors(v) {
+                if w > v && !used[w as usize] {
+                    used[w as usize] = true;
+                    best = best.max(1 + recurse(graph, used, v + 1));
+                    used[w as usize] = false;
+                }
+            }
+            used[v as usize] = false;
+            best
+        }
+        recurse(graph, &mut vec![false; graph.n()], 0)
+    }
+
+    #[test]
+    fn triangle_plus_pendant() {
+        // Triangle 0-1-2 with pendant 3 attached to 0: perfect matching
+        // exists (1-2, 0-3).
+        let mut g = SimpleGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        assert!(has_perfect_matching(&g));
+        let mate = maximum_matching(&g);
+        assert_eq!(mate[3], 0);
+        assert_eq!(mate[0], 3);
+    }
+
+    #[test]
+    fn odd_cycle_matching() {
+        // C5: maximum matching 2, no perfect matching.
+        let mut g = SimpleGraph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        assert_eq!(maximum_matching_size(&g), 2);
+        assert!(!has_perfect_matching(&g));
+    }
+
+    #[test]
+    fn petersen_graph_is_perfectly_matchable() {
+        // The Petersen graph (3-regular, blossom-rich) has a perfect
+        // matching.
+        let mut g = SimpleGraph::new(10);
+        for i in 0..5u32 {
+            g.add_edge(i, (i + 1) % 5); // outer C5
+            g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+            g.add_edge(i, 5 + i); // spokes
+        }
+        assert!(has_perfect_matching(&g));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(181);
+        for n in [4usize, 6, 8, 10] {
+            for _ in 0..30 {
+                let mut g = SimpleGraph::new(n);
+                for a in 0..n as u32 {
+                    for b in a + 1..n as u32 {
+                        if rng.gen_bool(0.35) {
+                            g.add_edge(a, b);
+                        }
+                    }
+                }
+                assert_eq!(
+                    maximum_matching_size(&g),
+                    brute_max_matching(&g),
+                    "n = {n}, graph {:?}",
+                    g.adj
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matching_is_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(182);
+        let n = 20;
+        let mut g = SimpleGraph::new(n);
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                if rng.gen_bool(0.2) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        let mate = maximum_matching(&g);
+        for v in 0..n as u32 {
+            let m = mate[v as usize];
+            if m != u32::MAX {
+                assert_eq!(mate[m as usize], v, "symmetry");
+                assert!(g.neighbors(v).contains(&m), "matched along an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_disconnected() {
+        let g = SimpleGraph::new(4);
+        assert_eq!(maximum_matching_size(&g), 0);
+        assert!(!has_perfect_matching(&g));
+        let mut g = SimpleGraph::new(4);
+        g.add_edge(0, 1);
+        assert_eq!(maximum_matching_size(&g), 1);
+    }
+}

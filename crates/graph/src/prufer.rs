@@ -1,0 +1,231 @@
+//! Prüfer sequences: the bijection behind Cayley's formula.
+//!
+//! §IV-B: "Based on Cayley's formula, there are `k^{k−2}` different binding
+//! trees to bind k genders." The Prüfer code realizes that count as a
+//! bijection between labeled trees on `k` nodes and sequences in
+//! `{0..k}^{k−2}`, giving us uniform random tree sampling (one uniform
+//! sequence → one uniform tree) and exhaustive enumeration for small `k`
+//! (experiment E13, and the "every tree yields a stable matching" sweep of
+//! E5).
+
+use rand::Rng;
+
+use crate::tree::BindingTree;
+
+/// Cayley's count of labeled trees on `k` nodes: `k^{k−2}` (with the
+/// conventional values 1 for `k ∈ {1, 2}`). Returns `None` on overflow.
+pub fn tree_count(k: usize) -> Option<u128> {
+    match k {
+        0 => Some(0),
+        1 | 2 => Some(1),
+        _ => {
+            let mut acc: u128 = 1;
+            for _ in 0..k - 2 {
+                acc = acc.checked_mul(k as u128)?;
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// Decode a Prüfer sequence of length `k − 2` (entries in `0..k`) into a
+/// labeled tree on `k` nodes. Edges are oriented low → high label.
+///
+/// # Panics
+/// If any entry is out of range or `k < 2` (sequence length + 2).
+pub fn decode_prufer(seq: &[u16], k: usize) -> BindingTree {
+    assert!(k >= 2, "need k >= 2");
+    assert_eq!(
+        seq.len(),
+        k - 2,
+        "Prüfer sequence for k nodes has length k-2"
+    );
+    let mut degree = vec![1u32; k];
+    for &s in seq {
+        assert!((s as usize) < k, "sequence entry out of range");
+        degree[s as usize] += 1;
+    }
+    let mut edges = Vec::with_capacity(k - 1);
+    // `ptr` scans for the smallest leaf; `leaf` tracks the current one.
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &s in seq {
+        edges.push(((leaf as u16).min(s), (leaf as u16).max(s)));
+        degree[s as usize] -= 1;
+        if degree[s as usize] == 1 && (s as usize) < ptr {
+            leaf = s as usize;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    edges.push((leaf as u16, (k - 1) as u16));
+    BindingTree::new(k, edges).expect("Prüfer decoding always yields a tree")
+}
+
+/// Encode a labeled tree as its Prüfer sequence (length `k − 2`).
+pub fn encode_prufer(tree: &BindingTree) -> Vec<u16> {
+    let k = tree.k();
+    if k <= 2 {
+        return Vec::new();
+    }
+    let adj: Vec<Vec<u16>> = tree.adjacency();
+    let mut degree: Vec<u32> = adj.iter().map(|a| a.len() as u32).collect();
+    let mut removed = vec![false; k];
+    let mut seq = Vec::with_capacity(k - 2);
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for _ in 0..k - 2 {
+        // The unique remaining neighbor of the current leaf.
+        let nb = *adj[leaf]
+            .iter()
+            .find(|&&w| !removed[w as usize])
+            .expect("leaf has one live neighbor");
+        seq.push(nb);
+        removed[leaf] = true;
+        degree[nb as usize] -= 1;
+        if degree[nb as usize] == 1 && (nb as usize) < ptr {
+            leaf = nb as usize;
+        } else {
+            ptr += 1;
+            while ptr < k && (degree[ptr] != 1 || removed[ptr]) {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    seq
+}
+
+/// Sample a uniformly-random labeled tree on `k` nodes by decoding a
+/// uniform Prüfer sequence.
+pub fn random_tree(k: usize, rng: &mut impl Rng) -> BindingTree {
+    assert!(k >= 2, "need k >= 2");
+    let seq: Vec<u16> = (0..k.saturating_sub(2))
+        .map(|_| rng.gen_range(0..k as u16))
+        .collect();
+    decode_prufer(&seq, k)
+}
+
+/// Enumerate **all** `k^{k−2}` labeled trees on `k` nodes by iterating every
+/// Prüfer sequence. Practical for `k ≤ 8` (`8^6 = 262144` trees).
+///
+/// # Panics
+/// If the tree count exceeds `max_trees` (a safety valve, default callers
+/// pass explicit limits).
+pub fn all_trees(k: usize, max_trees: usize) -> Vec<BindingTree> {
+    let count = tree_count(k).expect("tree count overflow");
+    assert!(
+        count <= max_trees as u128,
+        "k = {k} has {count} trees, over the {max_trees} limit"
+    );
+    if k == 2 {
+        return vec![BindingTree::path(2)];
+    }
+    let mut out = Vec::with_capacity(count as usize);
+    let mut seq = vec![0u16; k - 2];
+    loop {
+        out.push(decode_prufer(&seq, k));
+        // Odometer increment over base-k digits.
+        let mut pos = 0;
+        loop {
+            if pos == seq.len() {
+                return out;
+            }
+            seq[pos] += 1;
+            if (seq[pos] as usize) < k {
+                break;
+            }
+            seq[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cayley_counts() {
+        assert_eq!(tree_count(2), Some(1));
+        assert_eq!(tree_count(3), Some(3));
+        assert_eq!(tree_count(4), Some(16));
+        assert_eq!(tree_count(5), Some(125));
+        assert_eq!(tree_count(8), Some(262144));
+    }
+
+    #[test]
+    fn decode_simple_sequences() {
+        // Sequence [] for k = 2: single edge.
+        let t = decode_prufer(&[], 2);
+        assert_eq!(t.canonical_edges(), vec![(0, 1)]);
+        // Sequence [3, 3] for k = 4: star centered at 3.
+        let t = decode_prufer(&[3, 3], 4);
+        assert_eq!(t.canonical_edges(), vec![(0, 3), (1, 3), (2, 3)]);
+        // Sequence [1, 2] for k = 4: path 0-1-2-3.
+        let t = decode_prufer(&[1, 2], 4);
+        assert_eq!(t.canonical_edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exhaustive_k5() {
+        for tree in all_trees(5, 200) {
+            let seq = encode_prufer(&tree);
+            let back = decode_prufer(&seq, 5);
+            assert_eq!(back.canonical_edges(), tree.canonical_edges());
+        }
+    }
+
+    #[test]
+    fn encode_known_trees() {
+        assert_eq!(encode_prufer(&BindingTree::star(5, 2)), vec![2, 2, 2]);
+        assert_eq!(encode_prufer(&BindingTree::path(4)), vec![1, 2]);
+        assert!(encode_prufer(&BindingTree::path(2)).is_empty());
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_distinct() {
+        for k in 2..=6 {
+            let trees = all_trees(k, 2000);
+            assert_eq!(trees.len() as u128, tree_count(k).unwrap());
+            let distinct: HashSet<Vec<(u16, u16)>> =
+                trees.iter().map(|t| t.canonical_edges()).collect();
+            assert_eq!(distinct.len(), trees.len(), "all {k}-trees distinct");
+        }
+    }
+
+    #[test]
+    fn random_tree_is_valid_and_varied() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut shapes = HashSet::new();
+        for _ in 0..50 {
+            let t = random_tree(6, &mut rng);
+            assert_eq!(t.edges().len(), 5);
+            shapes.insert(t.canonical_edges());
+        }
+        assert!(shapes.len() > 10, "sampling should hit many distinct trees");
+    }
+
+    #[test]
+    fn roundtrip_random_large_k() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..20 {
+            let t = random_tree(40, &mut rng);
+            let back = decode_prufer(&encode_prufer(&t), 40);
+            assert_eq!(back.canonical_edges(), t.canonical_edges());
+        }
+    }
+}

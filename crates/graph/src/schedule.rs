@@ -1,0 +1,256 @@
+//! Parallel binding schedules (§IV-C).
+//!
+//! Two bindings `GS(i, j)` and `GS(i', j')` can run concurrently iff their
+//! gender sets are disjoint, so a parallel execution plan is a partition of
+//! the binding tree's edges into rounds of pairwise node-disjoint edges —
+//! i.e. a **proper edge coloring**. Trees are class-1 graphs (χ′ = Δ), so:
+//!
+//! * [`tree_edge_coloring`] produces exactly `Δ` rounds for any tree —
+//!   realizing Corollary 1's `Δ·n²` iteration bound with `k − 1` processors;
+//! * [`even_odd_path_schedule`] produces the 2-round plan of Fig. 4 /
+//!   Corollary 2 for path-shaped trees (`Δ = 2`).
+
+use crate::tree::BindingTree;
+
+/// A parallel execution plan: `rounds[r]` lists the indices (into
+/// [`BindingTree::edges`]) of the bindings executed concurrently in round
+/// `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    rounds: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Build a schedule from explicit rounds, validating that it is a
+    /// partition of all edges into node-disjoint groups.
+    pub fn new(tree: &BindingTree, rounds: Vec<Vec<usize>>) -> Result<Self, String> {
+        let edge_count = tree.edges().len();
+        let mut seen_edge = vec![false; edge_count];
+        for (r, round) in rounds.iter().enumerate() {
+            let mut busy = vec![false; tree.k()];
+            for &e in round {
+                let Some(&(a, b)) = tree.edges().get(e) else {
+                    return Err(format!("round {r} references missing edge {e}"));
+                };
+                if seen_edge[e] {
+                    return Err(format!("edge {e} scheduled twice"));
+                }
+                seen_edge[e] = true;
+                for node in [a as usize, b as usize] {
+                    if busy[node] {
+                        return Err(format!("round {r}: gender {node} used by two bindings"));
+                    }
+                    busy[node] = true;
+                }
+            }
+        }
+        if let Some(missing) = seen_edge.iter().position(|&s| !s) {
+            return Err(format!("edge {missing} never scheduled"));
+        }
+        Ok(Schedule { rounds })
+    }
+
+    /// Number of parallel rounds (the schedule's makespan in GS passes).
+    pub fn depth(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The rounds, each a set of edge indices.
+    pub fn rounds(&self) -> &[Vec<usize>] {
+        &self.rounds
+    }
+
+    /// Maximum number of concurrent bindings in any round (processor
+    /// requirement).
+    pub fn width(&self) -> usize {
+        self.rounds.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Degenerate sequential schedule: one edge per round, in tree order.
+    pub fn sequential(tree: &BindingTree) -> Self {
+        Schedule {
+            rounds: (0..tree.edges().len()).map(|e| vec![e]).collect(),
+        }
+    }
+}
+
+/// Proper edge coloring of a tree with exactly `Δ` colors, as a schedule
+/// of `Δ` rounds.
+///
+/// DFS from node 0: at each node the incident child edges take the colors
+/// `0, 1, …` skipping the color of the edge to the parent. Every node sees
+/// at most `Δ` incident edges, so `Δ` colors suffice — trees are class 1.
+pub fn tree_edge_coloring(tree: &BindingTree) -> Schedule {
+    let delta = tree.max_degree();
+    let k = tree.k();
+    // Map unordered node pair -> edge index.
+    let adj = tree.adjacency();
+    let edge_index = |a: u16, b: u16| -> usize {
+        tree.edges()
+            .iter()
+            .position(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+            .expect("adjacent nodes share an edge")
+    };
+    let mut rounds: Vec<Vec<usize>> = vec![Vec::new(); delta];
+    let mut colored = vec![usize::MAX; tree.edges().len()];
+    // Iterative DFS carrying the parent edge's color.
+    let mut stack: Vec<(u16, u16, usize)> = vec![(0, u16::MAX, usize::MAX)];
+    let mut visited = vec![false; k];
+    while let Some((v, parent, parent_color)) = stack.pop() {
+        visited[v as usize] = true;
+        let mut color = 0usize;
+        for &w in &adj[v as usize] {
+            if w == parent || visited[w as usize] {
+                continue;
+            }
+            if color == parent_color {
+                color += 1;
+            }
+            let e = edge_index(v, w);
+            debug_assert_eq!(colored[e], usize::MAX);
+            colored[e] = color;
+            rounds[color].push(e);
+            stack.push((w, v, color));
+            color += 1;
+        }
+    }
+    Schedule::new(tree, rounds).expect("DFS edge coloring is proper")
+}
+
+/// The even–odd two-round schedule for a path-shaped tree (Fig. 4):
+/// round 0 runs every second path edge, round 1 the rest.
+///
+/// Returns `None` when the tree is not a path. For the canonical
+/// [`BindingTree::path`] labeling this puts edges `0-1, 2-3, …` (genders
+/// `2i ↔ 2i+1`) in round 0 and edges `1-2, 3-4, …` in round 1, exactly the
+/// paper's pairing of even-labeled genders with their left then right
+/// neighbors.
+pub fn even_odd_path_schedule(tree: &BindingTree) -> Option<Schedule> {
+    if !tree.is_path() {
+        return None;
+    }
+    if tree.k() == 2 {
+        return Some(Schedule::new(tree, vec![vec![0]]).expect("single edge"));
+    }
+    // Find an endpoint and walk the path.
+    let degrees = tree.degrees();
+    let start = degrees
+        .iter()
+        .position(|&d| d == 1)
+        .expect("a path has endpoints") as u16;
+    let adj = tree.adjacency();
+    let mut order = vec![start];
+    let mut prev = u16::MAX;
+    let mut cur = start;
+    while order.len() < tree.k() {
+        let next = *adj[cur as usize]
+            .iter()
+            .find(|&&w| w != prev)
+            .expect("path continues");
+        order.push(next);
+        prev = cur;
+        cur = next;
+    }
+    let edge_index = |a: u16, b: u16| -> usize {
+        tree.edges()
+            .iter()
+            .position(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+            .expect("consecutive path nodes share an edge")
+    };
+    let mut rounds = vec![Vec::new(), Vec::new()];
+    for (step, pair) in order.windows(2).enumerate() {
+        rounds[step % 2].push(edge_index(pair[0], pair[1]));
+    }
+    Some(Schedule::new(tree, rounds).expect("alternating path edges are disjoint"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn coloring_depth_equals_delta() {
+        for tree in [
+            BindingTree::path(8),
+            BindingTree::star(8, 0),
+            BindingTree::star(8, 5),
+            BindingTree::balanced_binary(9),
+        ] {
+            let s = tree_edge_coloring(&tree);
+            assert_eq!(s.depth(), tree.max_degree(), "depth must be Δ for {tree}");
+        }
+    }
+
+    #[test]
+    fn coloring_valid_on_random_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for _ in 0..30 {
+            let tree = crate::prufer::random_tree(12, &mut rng);
+            let s = tree_edge_coloring(&tree);
+            assert_eq!(s.depth(), tree.max_degree());
+            // Schedule::new already validated partition + disjointness.
+            let total: usize = s.rounds().iter().map(Vec::len).sum();
+            assert_eq!(total, 11);
+        }
+    }
+
+    #[test]
+    fn even_odd_is_two_rounds() {
+        for k in 3..=12 {
+            let tree = BindingTree::path(k);
+            let s = even_odd_path_schedule(&tree).expect("path accepts even-odd");
+            assert_eq!(s.depth(), 2, "Corollary 2: two rounds for k = {k}");
+        }
+        // k = 2: single binding, one round.
+        assert_eq!(
+            even_odd_path_schedule(&BindingTree::path(2))
+                .unwrap()
+                .depth(),
+            1
+        );
+    }
+
+    #[test]
+    fn even_odd_round0_is_even_edges() {
+        let tree = BindingTree::path(7);
+        let s = even_odd_path_schedule(&tree).unwrap();
+        // Canonical path: edge i joins genders i and i+1.
+        assert_eq!(s.rounds()[0], vec![0, 2, 4]);
+        assert_eq!(s.rounds()[1], vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn even_odd_rejects_non_path() {
+        assert!(even_odd_path_schedule(&BindingTree::star(5, 0)).is_none());
+    }
+
+    #[test]
+    fn schedule_validation_catches_conflicts() {
+        let tree = BindingTree::path(4);
+        // Edges 0 (0-1) and 1 (1-2) share gender 1.
+        assert!(Schedule::new(&tree, vec![vec![0, 1], vec![2]]).is_err());
+        // Missing edge.
+        assert!(Schedule::new(&tree, vec![vec![0], vec![2]]).is_err());
+        // Duplicate edge.
+        assert!(Schedule::new(&tree, vec![vec![0], vec![0], vec![1, 2]]).is_err());
+        // Out-of-range edge index.
+        assert!(Schedule::new(&tree, vec![vec![0], vec![1], vec![9]]).is_err());
+    }
+
+    #[test]
+    fn sequential_schedule_shape() {
+        let tree = BindingTree::star(6, 2);
+        let s = Schedule::sequential(&tree);
+        assert_eq!(s.depth(), 5);
+        assert_eq!(s.width(), 1);
+    }
+
+    #[test]
+    fn width_counts_processors() {
+        let tree = BindingTree::path(9);
+        let s = even_odd_path_schedule(&tree).unwrap();
+        assert_eq!(s.width(), 4);
+    }
+}

@@ -1,0 +1,317 @@
+//! Binding trees: labeled spanning trees on the gender set with oriented
+//! edges.
+//!
+//! An edge `(i, j)` means "run `GS(i, j)` with gender `i` proposing and
+//! gender `j` responding" — Algorithm 1's binding primitive. The tree
+//! shape determines both *which* stable k-ary matching is produced (§IV-B)
+//! and the parallel round count (`Δ`, Corollary 1), so builders for all
+//! topologies discussed in the paper are provided.
+
+use crate::union_find::UnionFind;
+use core::fmt;
+
+/// Errors raised when validating a would-be binding tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Fewer than two genders.
+    TooSmall,
+    /// An edge endpoint is out of `0..k`.
+    BadEndpoint {
+        /// The offending gender label.
+        node: u16,
+        /// Number of genders.
+        k: usize,
+    },
+    /// An edge connects a gender to itself.
+    SelfLoop {
+        /// The offending gender label.
+        node: u16,
+    },
+    /// Wrong edge count (a spanning tree on `k` nodes has exactly `k − 1`).
+    WrongEdgeCount {
+        /// Expected `k − 1`.
+        expected: usize,
+        /// Actual edge count.
+        actual: usize,
+    },
+    /// The edges contain a cycle (equivalently, the graph is disconnected
+    /// given the edge count is right).
+    Cyclic,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::TooSmall => write!(f, "a binding tree needs at least 2 genders"),
+            TreeError::BadEndpoint { node, k } => {
+                write!(f, "edge endpoint {node} out of range for k = {k}")
+            }
+            TreeError::SelfLoop { node } => write!(f, "self-loop at gender {node}"),
+            TreeError::WrongEdgeCount { expected, actual } => {
+                write!(f, "spanning tree needs {expected} edges, got {actual}")
+            }
+            TreeError::Cyclic => write!(f, "edges contain a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A spanning tree over genders `0..k` with oriented edges
+/// (proposer, responder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingTree {
+    k: usize,
+    edges: Vec<(u16, u16)>,
+}
+
+impl BindingTree {
+    /// Validate and build a tree from oriented edges.
+    pub fn new(k: usize, edges: Vec<(u16, u16)>) -> Result<Self, TreeError> {
+        if k < 2 {
+            return Err(TreeError::TooSmall);
+        }
+        if edges.len() != k - 1 {
+            return Err(TreeError::WrongEdgeCount {
+                expected: k - 1,
+                actual: edges.len(),
+            });
+        }
+        let mut uf = UnionFind::new(k);
+        for &(a, b) in &edges {
+            for node in [a, b] {
+                if node as usize >= k {
+                    return Err(TreeError::BadEndpoint { node, k });
+                }
+            }
+            if a == b {
+                return Err(TreeError::SelfLoop { node: a });
+            }
+            if !uf.union(a as u32, b as u32) {
+                return Err(TreeError::Cyclic);
+            }
+        }
+        Ok(BindingTree { k, edges })
+    }
+
+    /// Path (linear chain) `0 − 1 − 2 − … − (k−1)`, each edge proposing
+    /// left-to-right. Minimum possible `Δ = 2`: the topology behind the
+    /// even–odd two-round schedule (Corollary 2, Fig. 4).
+    ///
+    /// ```
+    /// use kmatch_graph::{even_odd_path_schedule, BindingTree};
+    ///
+    /// let tree = BindingTree::path(6);
+    /// assert_eq!(tree.max_degree(), 2);
+    /// assert_eq!(even_odd_path_schedule(&tree).unwrap().depth(), 2);
+    /// ```
+    pub fn path(k: usize) -> Self {
+        assert!(k >= 2, "path tree needs k >= 2");
+        let edges = (0..k - 1).map(|i| (i as u16, (i + 1) as u16)).collect();
+        BindingTree { k, edges }
+    }
+
+    /// Star centered at `center`: the worst case `Δ = k − 1` for parallel
+    /// binding (Corollary 1's bottleneck example). The center responds to
+    /// every leaf.
+    pub fn star(k: usize, center: u16) -> Self {
+        assert!(k >= 2, "star tree needs k >= 2");
+        assert!((center as usize) < k, "center out of range");
+        let edges = (0..k as u16)
+            .filter(|&v| v != center)
+            .map(|v| (v, center))
+            .collect();
+        BindingTree { k, edges }
+    }
+
+    /// Balanced binary tree rooted at gender 0 (node `i` has children
+    /// `2i+1`, `2i+2`), parents proposing to children. `Δ = 3` for interior
+    /// nodes — an intermediate topology between path and star.
+    pub fn balanced_binary(k: usize) -> Self {
+        assert!(k >= 2, "balanced tree needs k >= 2");
+        let edges = (1..k as u16).map(|v| (((v - 1) / 2), v)).collect();
+        BindingTree { k, edges }
+    }
+
+    /// Number of genders.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Oriented edges (proposer, responder) in binding order.
+    pub fn edges(&self) -> &[(u16, u16)] {
+        &self.edges
+    }
+
+    /// Degree of every node.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.k];
+        for &(a, b) in &self.edges {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        deg
+    }
+
+    /// Maximum node degree `Δ` — the parallel bottleneck of Corollary 1.
+    pub fn max_degree(&self) -> usize {
+        self.degrees().into_iter().max().unwrap_or(0)
+    }
+
+    /// Adjacency lists (undirected), sorted.
+    pub fn adjacency(&self) -> Vec<Vec<u16>> {
+        let mut adj = vec![Vec::new(); self.k];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        adj
+    }
+
+    /// The unique path between two genders (inclusive), found by DFS.
+    pub fn path_between(&self, from: u16, to: u16) -> Vec<u16> {
+        assert!(
+            (from as usize) < self.k && (to as usize) < self.k,
+            "nodes out of range"
+        );
+        let adj = self.adjacency();
+        let mut parent = vec![u16::MAX; self.k];
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.k];
+        seen[from as usize] = true;
+        while let Some(v) = stack.pop() {
+            if v == to {
+                break;
+            }
+            for &w in &adj[v as usize] {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    parent[w as usize] = v;
+                    stack.push(w);
+                }
+            }
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = parent[cur as usize];
+            debug_assert_ne!(cur, u16::MAX, "tree is connected");
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Is this tree a path (every degree ≤ 2)?
+    pub fn is_path(&self) -> bool {
+        self.degrees().into_iter().all(|d| d <= 2)
+    }
+
+    /// Reverse the orientation of every edge (responders become proposers).
+    /// Changes which stable matching Algorithm 1 produces (proposer-optimal
+    /// per edge), not whether the result is stable.
+    pub fn reversed(&self) -> BindingTree {
+        BindingTree {
+            k: self.k,
+            edges: self.edges.iter().map(|&(a, b)| (b, a)).collect(),
+        }
+    }
+
+    /// A canonical form ignoring edge order and orientation, for equality
+    /// testing across construction methods.
+    pub fn canonical_edges(&self) -> Vec<(u16, u16)> {
+        let mut es: Vec<(u16, u16)> = self
+            .edges
+            .iter()
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        es.sort_unstable();
+        es
+    }
+}
+
+impl fmt::Display for BindingTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BindingTree(k={}; ", self.k)?;
+        for (idx, (a, b)) in self.edges.iter().enumerate() {
+            if idx > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "G{a}→G{b}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_star_balanced_shapes() {
+        let p = BindingTree::path(5);
+        assert_eq!(p.max_degree(), 2);
+        assert!(p.is_path());
+        let s = BindingTree::star(5, 0);
+        assert_eq!(s.max_degree(), 4);
+        assert!(!s.is_path());
+        let b = BindingTree::balanced_binary(7);
+        assert_eq!(b.max_degree(), 3);
+        assert_eq!(b.edges().len(), 6);
+    }
+
+    #[test]
+    fn rejects_cycle_and_self_loop() {
+        assert_eq!(
+            BindingTree::new(3, vec![(0, 1), (1, 0)]).unwrap_err(),
+            TreeError::Cyclic
+        );
+        assert_eq!(
+            BindingTree::new(3, vec![(0, 0), (1, 2)]).unwrap_err(),
+            TreeError::SelfLoop { node: 0 }
+        );
+        assert!(matches!(
+            BindingTree::new(4, vec![(0, 1)]).unwrap_err(),
+            TreeError::WrongEdgeCount {
+                expected: 3,
+                actual: 1
+            }
+        ));
+        assert!(matches!(
+            BindingTree::new(3, vec![(0, 1), (1, 7)]).unwrap_err(),
+            TreeError::BadEndpoint { node: 7, k: 3 }
+        ));
+    }
+
+    #[test]
+    fn path_between_endpoints() {
+        let p = BindingTree::path(6);
+        assert_eq!(p.path_between(0, 5), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.path_between(4, 2), vec![4, 3, 2]);
+        assert_eq!(p.path_between(3, 3), vec![3]);
+        let s = BindingTree::star(5, 2);
+        assert_eq!(s.path_between(0, 4), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn reversed_swaps_orientation() {
+        let t = BindingTree::path(4);
+        let r = t.reversed();
+        assert_eq!(r.edges(), &[(1, 0), (2, 1), (3, 2)]);
+        assert_eq!(r.canonical_edges(), t.canonical_edges());
+    }
+
+    #[test]
+    fn degrees_sum_to_twice_edges() {
+        for t in [
+            BindingTree::path(8),
+            BindingTree::star(8, 3),
+            BindingTree::balanced_binary(8),
+        ] {
+            assert_eq!(t.degrees().iter().sum::<usize>(), 2 * (t.k() - 1));
+        }
+    }
+}

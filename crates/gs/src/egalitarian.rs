@@ -1,0 +1,223 @@
+//! Polynomial-time egalitarian stable marriage via the rotation poset.
+//!
+//! The lattice enumeration in [`crate::rotations`] is exponential in the
+//! worst case. The classical Irving–Leather–Gusfield result computes the
+//! **egalitarian** stable matching (minimum total rank over both sides) in
+//! polynomial time: every stable matching corresponds to a *closed subset*
+//! of the rotation poset; eliminating a rotation changes the total cost by
+//! a constant weight; so the optimum is the man-optimal matching plus the
+//! minimum-weight closed subset, found by min-cut (project selection,
+//! `kmatch_graph::maxflow`).
+//!
+//! Poset construction here is *semantic* and provably correct (at `O(R)`
+//! elimination sweeps): `π′ ⪯ π` iff `π` is **not** eliminated by the
+//! greedy sweep that eliminates every exposed rotation except `π′` — that
+//! sweep terminates at the unique maximal closed set avoiding `π′`, which
+//! contains exactly the rotations not above `π′`. Tests cross-validate the
+//! whole pipeline against exhaustive lattice enumeration.
+
+use std::collections::HashMap;
+
+use kmatch_graph::maxflow::min_weight_closed_set;
+use kmatch_prefs::BipartiteInstance;
+
+use crate::engine::gale_shapley;
+use crate::matching::BipartiteMatching;
+use crate::rotations::{eliminate, exposed_rotations, SmpRotation};
+
+/// Canonical identity of a rotation: its sorted `(man, wife)` pairs (the
+/// same rotation carries the same pairs in every elimination order).
+fn rotation_key(rot: &SmpRotation) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = rot
+        .men
+        .iter()
+        .copied()
+        .zip(rot.wives.iter().copied())
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// All rotations of the instance, discovered by one maximal elimination
+/// sweep from the man-optimal matching (every maximal sweep meets every
+/// rotation exactly once).
+pub fn all_rotations(inst: &BipartiteInstance) -> Vec<SmpRotation> {
+    let mut matching = gale_shapley(inst).matching;
+    let mut out = Vec::new();
+    loop {
+        let exposed = exposed_rotations(inst, &matching);
+        let Some(rot) = exposed.into_iter().next() else {
+            return out;
+        };
+        matching = eliminate(&matching, &rot);
+        out.push(rot);
+    }
+}
+
+/// Greedy sweep that never eliminates the rotation keyed `avoid`; returns
+/// the keys of everything eliminated — exactly the rotations **not above**
+/// `avoid` in the poset.
+fn sweep_avoiding(
+    inst: &BipartiteInstance,
+    avoid: &[(u32, u32)],
+) -> std::collections::HashSet<Vec<(u32, u32)>> {
+    let mut matching = gale_shapley(inst).matching;
+    let mut eliminated = std::collections::HashSet::new();
+    loop {
+        let exposed = exposed_rotations(inst, &matching);
+        let Some(rot) = exposed.into_iter().find(|r| rotation_key(r) != avoid) else {
+            return eliminated;
+        };
+        eliminated.insert(rotation_key(&rot));
+        matching = eliminate(&matching, &rot);
+    }
+}
+
+/// Change in total rank (both sides) caused by eliminating `rot` —
+/// independent of when it is eliminated, since only the rotation's own
+/// pairs change.
+fn rotation_weight(inst: &BipartiteInstance, rot: &SmpRotation) -> i64 {
+    let r = rot.men.len();
+    let mut delta = 0i64;
+    for i in 0..r {
+        let m = rot.men[i];
+        let old_w = rot.wives[i];
+        let new_w = rot.wives[(i + 1) % r];
+        delta += inst.proposer_rank(m, new_w) as i64 - inst.proposer_rank(m, old_w) as i64;
+        // Woman new_w trades the man matched before (men[i+1]) for men[i].
+        let old_m = rot.men[(i + 1) % r];
+        delta += inst.responder_rank(new_w, m) as i64 - inst.responder_rank(new_w, old_m) as i64;
+    }
+    delta
+}
+
+/// The egalitarian stable matching, in polynomial time.
+///
+/// Returns the matching and its total rank cost (sum over both sides).
+pub fn egalitarian_stable_matching(inst: &BipartiteInstance) -> (BipartiteMatching, u64) {
+    let rotations = all_rotations(inst);
+    let r = rotations.len();
+    let keys: Vec<Vec<(u32, u32)>> = rotations.iter().map(rotation_key).collect();
+    let index: HashMap<&Vec<(u32, u32)>, usize> =
+        keys.iter().enumerate().map(|(i, k)| (k, i)).collect();
+
+    // Precedence: for each rotation π′, everything NOT eliminated by the
+    // avoiding sweep is above π′ (π′ itself included).
+    let mut requires: Vec<(u32, u32)> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let reached = sweep_avoiding(inst, key);
+        for (j, other) in keys.iter().enumerate() {
+            if j != i && !reached.contains(other) {
+                // `other` (j) is above π′ (i): choosing j requires i.
+                requires.push((j as u32, i as u32));
+            }
+        }
+    }
+
+    let weights: Vec<i64> = rotations
+        .iter()
+        .map(|rot| rotation_weight(inst, rot))
+        .collect();
+    let (chosen, _) = min_weight_closed_set(&weights, &requires);
+
+    // Apply the chosen closed set: repeatedly eliminate exposed rotations
+    // that are in the set.
+    let mut matching = gale_shapley(inst).matching;
+    let mut remaining: std::collections::HashSet<usize> = (0..r).filter(|&i| chosen[i]).collect();
+    while !remaining.is_empty() {
+        let exposed = exposed_rotations(inst, &matching);
+        let next = exposed
+            .into_iter()
+            .find(|rot| {
+                index
+                    .get(&rotation_key(rot))
+                    .is_some_and(|i| remaining.contains(i))
+            })
+            .expect("a chosen closed set always has an exposed member");
+        remaining.remove(&index[&rotation_key(&next)]);
+        matching = eliminate(&matching, &next);
+    }
+
+    let cost: u64 = (0..inst.n() as u32)
+        .map(|p| {
+            inst.proposer_rank(p, matching.partner_of_proposer(p)) as u64
+                + inst.responder_rank(p, matching.partner_of_responder(p)) as u64
+        })
+        .sum();
+    (matching, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rotations::enumerate_stable_lattice;
+    use crate::stability::is_stable;
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn total_cost(inst: &BipartiteInstance, m: &BipartiteMatching) -> u64 {
+        (0..inst.n() as u32)
+            .map(|p| {
+                inst.proposer_rank(p, m.partner_of_proposer(p)) as u64
+                    + inst.responder_rank(p, m.partner_of_responder(p)) as u64
+            })
+            .sum()
+    }
+
+    #[test]
+    fn matches_lattice_enumeration() {
+        // The flagship correctness test: the poly-time egalitarian cost
+        // must equal the exhaustive lattice minimum on many instances.
+        let mut rng = ChaCha8Rng::seed_from_u64(191);
+        for n in [2usize, 4, 8, 12, 16] {
+            for _ in 0..15 {
+                let inst = uniform_bipartite(n, &mut rng);
+                let (m, cost) = egalitarian_stable_matching(&inst);
+                assert!(is_stable(&inst, &m), "n = {n}");
+                assert_eq!(cost, total_cost(&inst, &m));
+                let lattice = enumerate_stable_lattice(&inst, 1_000_000).unwrap();
+                let best = lattice
+                    .matchings
+                    .iter()
+                    .map(|mm| total_cost(&inst, mm))
+                    .min()
+                    .unwrap();
+                assert_eq!(
+                    cost, best,
+                    "n = {n}: min-cut must match the lattice optimum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unique_stable_matching_instance() {
+        let inst = kmatch_prefs::gen::paper::example1_first();
+        let (m, _) = egalitarian_stable_matching(&inst);
+        assert_eq!(m.partner_of_proposer(0), 1, "the unique stable matching");
+    }
+
+    #[test]
+    fn deadlock_instance_picks_either_extreme() {
+        // Both stable matchings of the Fig. 2 instance cost 2; the solver
+        // must return one of them.
+        let inst = kmatch_prefs::gen::paper::example1_second();
+        let (m, cost) = egalitarian_stable_matching(&inst);
+        assert!(is_stable(&inst, &m));
+        assert_eq!(cost, 2);
+    }
+
+    #[test]
+    fn rotation_discovery_counts() {
+        // Rotations split the lattice: |rotations| >= log2(lattice size).
+        let mut rng = ChaCha8Rng::seed_from_u64(192);
+        let inst = uniform_bipartite(10, &mut rng);
+        let rots = all_rotations(&inst);
+        let lattice = enumerate_stable_lattice(&inst, 1_000_000).unwrap();
+        assert!(
+            (1usize << rots.len().min(20)) >= lattice.matchings.len(),
+            "2^R bounds the lattice size"
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! The Gale–Shapley deferred-acceptance engine.
+//!
+//! Faithful to §II-A of the paper: the algorithm proceeds in *rounds*; in
+//! each round every currently-unengaged proposer proposes to the most
+//! preferred responder it has not yet proposed to, then every responder
+//! keeps the best suitor seen so far ("maybe") and rejects the rest.
+//! Engagements are provisional — a responder trades up whenever a better
+//! suitor arrives, so responders improve monotonically while proposers
+//! slide down their lists.
+//!
+//! Complexity: every proposer advances through its list at most once, so
+//! the total number of proposals is at most `n²` (and at least `n`); both
+//! bounds are exercised by the structured workloads in
+//! `kmatch_prefs::gen::structured`.
+
+use kmatch_prefs::BipartitePrefs;
+
+use crate::matching::BipartiteMatching;
+use crate::trace::GsEvent;
+
+/// Instrumentation counters from one GS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GsStats {
+    /// Total proposals issued — the paper's "iterations of the matching
+    /// process" (Theorem 3 bounds the sum of these over all bindings by
+    /// `(k−1)·n²`).
+    pub proposals: u64,
+    /// Synchronous proposal rounds — the PRAM cost unit of §IV-C.
+    pub rounds: u32,
+}
+
+/// Result of a GS run: the stable matching plus instrumentation, and the
+/// event trace when requested.
+#[derive(Debug, Clone)]
+pub struct GsOutcome {
+    /// The proposer-optimal stable matching.
+    pub matching: BipartiteMatching,
+    /// Proposal/round counters.
+    pub stats: GsStats,
+    /// Event log (only from [`gale_shapley_traced`]).
+    pub trace: Option<Vec<GsEvent>>,
+}
+
+const FREE: u32 = u32::MAX;
+
+fn run<P: BipartitePrefs>(prefs: &P, mut trace: Option<&mut Vec<GsEvent>>) -> GsOutcome {
+    let n = prefs.n();
+    assert!(n > 0, "empty instance");
+    // next[m]: position in m's list of the next responder to propose to.
+    let mut next = vec![0u32; n];
+    // fiance[w]: current provisional proposer of w, or FREE.
+    let mut fiance = vec![FREE; n];
+    let mut stats = GsStats::default();
+
+    // Free proposers processed in synchronized rounds to count rounds the
+    // way §II-A describes; the matching itself is order-independent.
+    let mut free: Vec<u32> = (0..n as u32).collect();
+    let mut next_free: Vec<u32> = Vec::new();
+    while !free.is_empty() {
+        stats.rounds += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(GsEvent::RoundStart {
+                round: stats.rounds,
+            });
+        }
+        for &m in &free {
+            let list = prefs.proposer_list(m);
+            let w = list[next[m as usize] as usize];
+            next[m as usize] += 1;
+            stats.proposals += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(GsEvent::Propose {
+                    proposer: m,
+                    responder: w,
+                });
+            }
+            let holder = fiance[w as usize];
+            if holder == FREE {
+                fiance[w as usize] = m;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(GsEvent::Engage {
+                        proposer: m,
+                        responder: w,
+                    });
+                }
+            } else if prefs.responder_prefers(w, m, holder) {
+                fiance[w as usize] = m;
+                next_free.push(holder);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(GsEvent::Reject {
+                        proposer: holder,
+                        responder: w,
+                    });
+                    t.push(GsEvent::Engage {
+                        proposer: m,
+                        responder: w,
+                    });
+                }
+            } else {
+                next_free.push(m);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(GsEvent::Reject {
+                        proposer: m,
+                        responder: w,
+                    });
+                }
+            }
+        }
+        free.clear();
+        std::mem::swap(&mut free, &mut next_free);
+    }
+
+    let mut partner = vec![0u32; n];
+    for (w, &m) in fiance.iter().enumerate() {
+        debug_assert_ne!(m, FREE, "GS always terminates with a perfect matching");
+        partner[m as usize] = w as u32;
+    }
+    GsOutcome {
+        matching: BipartiteMatching::from_proposer_partners(partner),
+        stats,
+        trace: None,
+    }
+}
+
+/// Run proposer-proposing Gale–Shapley; returns the proposer-optimal stable
+/// matching with proposal/round counts.
+///
+/// ```
+/// use kmatch_gs::{gale_shapley, is_stable};
+/// use kmatch_prefs::gen::paper::example1_first;
+///
+/// let inst = example1_first();
+/// let out = gale_shapley(&inst);
+/// assert!(is_stable(&inst, &out.matching));
+/// assert_eq!(out.matching.partner_of_proposer(1), 0); // (m', w)
+/// assert!(out.stats.proposals <= 4);                  // n² bound
+/// ```
+pub fn gale_shapley<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
+    run(prefs, None)
+}
+
+/// [`gale_shapley`] with a full event trace attached to the outcome.
+pub fn gale_shapley_traced<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
+    let mut events = Vec::new();
+    let mut out = run(prefs, Some(&mut events));
+    out.trace = Some(events);
+    out
+}
+
+/// The **responder-optimal** stable matching: run GS with the roles
+/// swapped via a zero-copy [`kmatch_prefs::ReverseView`], then swap the
+/// result back into the original orientation.
+pub fn responder_optimal<P>(prefs: &P) -> GsOutcome
+where
+    P: BipartitePrefs + kmatch_prefs::ResponderListSlice,
+{
+    let rev = kmatch_prefs::ReverseView::new(prefs);
+    let mut out = run(&rev, None);
+    out.matching = out.matching.swapped();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_prefs::gen::paper::{example1_first, example1_second};
+    use kmatch_prefs::gen::structured::{cyclic_bipartite, identical_bipartite};
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn example1_first_outcome() {
+        // Paper: "m will then propose to w' to form a stable matching:
+        // (m', w) and (m, w')".
+        let out = gale_shapley(&example1_first());
+        assert_eq!(out.matching.partner_of_proposer(1), 0); // (m', w)
+        assert_eq!(out.matching.partner_of_proposer(0), 1); // (m, w')
+        assert_eq!(out.stats.proposals, 3); // m→w, m'→w, then m→w'
+    }
+
+    #[test]
+    fn example1_second_is_man_optimal() {
+        // Paper: "The GS algorithm will generate one stable matching:
+        // (m, w) and (m', w') in favor of men".
+        let out = gale_shapley(&example1_second());
+        assert_eq!(out.matching.partner_of_proposer(0), 0);
+        assert_eq!(out.matching.partner_of_proposer(1), 1);
+        assert_eq!(out.stats.proposals, 2);
+        assert_eq!(out.stats.rounds, 1);
+    }
+
+    #[test]
+    fn woman_optimal_via_swapped_instance() {
+        // Running GS from the women's side on Example 1 (second lists)
+        // yields the woman-optimal (m, w'), (m', w).
+        let out = gale_shapley(&example1_second().swapped());
+        // Proposers are now women; w (0) gets m' (1), w' (1) gets m (0).
+        assert_eq!(out.matching.partner_of_proposer(0), 1);
+        assert_eq!(out.matching.partner_of_proposer(1), 0);
+    }
+
+    #[test]
+    fn identical_lists_hit_quadratic_proposals() {
+        // Serial dictatorship: n(n+1)/2 proposals.
+        for n in [1usize, 2, 5, 30] {
+            let out = gale_shapley(&identical_bipartite(n));
+            assert_eq!(out.stats.proposals, (n * (n + 1) / 2) as u64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn cyclic_lists_finish_in_one_round() {
+        let out = gale_shapley(&cyclic_bipartite(64));
+        assert_eq!(out.stats.proposals, 64);
+        assert_eq!(out.stats.rounds, 1);
+    }
+
+    #[test]
+    fn proposals_bounded_by_n_squared() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let inst = uniform_bipartite(40, &mut rng);
+            let out = gale_shapley(&inst);
+            assert!(out.stats.proposals <= 40 * 40);
+            assert!(out.stats.proposals >= 40);
+        }
+    }
+
+    #[test]
+    fn output_is_stable_on_random_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..20 {
+            let inst = uniform_bipartite(25, &mut rng);
+            let out = gale_shapley(&inst);
+            assert!(crate::stability::is_stable(&inst, &out.matching));
+        }
+    }
+
+    #[test]
+    fn trace_records_paper_dialogue() {
+        let out = gale_shapley_traced(&example1_first());
+        let trace = out.trace.unwrap();
+        // Round 1: both m and m' propose to w; w keeps m' (prefers m').
+        assert!(trace.contains(&GsEvent::Propose {
+            proposer: 0,
+            responder: 0
+        }));
+        assert!(trace.contains(&GsEvent::Propose {
+            proposer: 1,
+            responder: 0
+        }));
+        assert!(trace.contains(&GsEvent::Reject {
+            proposer: 0,
+            responder: 0
+        }));
+        // Round 2: m proposes to w' and is accepted.
+        assert!(trace.contains(&GsEvent::Propose {
+            proposer: 0,
+            responder: 1
+        }));
+        assert!(trace.contains(&GsEvent::Engage {
+            proposer: 0,
+            responder: 1
+        }));
+    }
+
+    #[test]
+    fn traced_matches_untraced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let inst = uniform_bipartite(30, &mut rng);
+        let a = gale_shapley(&inst);
+        let b = gale_shapley_traced(&inst);
+        assert_eq!(a.matching, b.matching);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn responder_optimal_matches_swapped_instance() {
+        // The zero-copy ReverseView path must agree with running GS on the
+        // deep-copied swapped instance.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for n in [2usize, 9, 33] {
+            let inst = uniform_bipartite(n, &mut rng);
+            let via_view = super::responder_optimal(&inst);
+            let via_swap = gale_shapley(&inst.swapped()).matching.swapped();
+            assert_eq!(via_view.matching, via_swap, "n = {n}");
+            assert!(crate::stability::is_stable(&inst, &via_view.matching));
+        }
+        // On Example 1 (second lists) it is the woman-optimal matching.
+        let out = super::responder_optimal(&example1_second());
+        assert_eq!(out.matching.partner_of_proposer(0), 1);
+        assert_eq!(out.matching.partner_of_proposer(1), 0);
+    }
+
+    #[test]
+    fn single_member_instance() {
+        let inst = identical_bipartite(1);
+        let out = gale_shapley(&inst);
+        assert_eq!(out.matching.partner_of_proposer(0), 0);
+        assert_eq!(out.stats.proposals, 1);
+    }
+}

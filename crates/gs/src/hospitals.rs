@@ -1,0 +1,369 @@
+//! The hospitals/residents (college admissions) problem — the many-to-one
+//! generalization of the SMP that the paper's related-work section (§V-A)
+//! singles out: "a hospital (college) can take multiple residents
+//! (students)".
+//!
+//! Resident-proposing deferred acceptance: each hospital `h` with capacity
+//! `c_h` provisionally keeps the best `c_h` applicants seen so far. The
+//! outcome is resident-optimal among stable assignments (Gale & Shapley's
+//! original college-admissions result), and with all capacities 1 the
+//! algorithm *is* the SMP engine — a cross-check the tests enforce.
+
+use kmatch_prefs::{PrefsError, Rank};
+
+use crate::engine::GsStats;
+
+/// Is `list` a permutation of `0..n`? (`seen` is scratch of length ≥ n.)
+fn permutation_check(list: &[u32], n: usize, seen: &mut [bool]) -> bool {
+    if list.len() != n {
+        return false;
+    }
+    seen[..n].iter_mut().for_each(|s| *s = false);
+    for &x in list {
+        match seen.get_mut(x as usize) {
+            Some(slot) if !*slot && (x as usize) < n => *slot = true,
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// A hospitals/residents instance: `r` residents with complete preference
+/// lists over `h` hospitals, and hospitals with complete lists over
+/// residents plus a capacity each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HospitalsInstance {
+    residents: usize,
+    hospitals: usize,
+    /// `resident_lists[r]` — hospitals in preference order.
+    resident_lists: Vec<Vec<u32>>,
+    /// `hospital_ranks[h * residents + r]` — rank of resident `r` at `h`.
+    hospital_ranks: Vec<Rank>,
+    capacities: Vec<u32>,
+}
+
+impl HospitalsInstance {
+    /// Build and validate an instance. Total capacity must be at least the
+    /// number of residents so a full assignment exists.
+    pub fn new(
+        resident_lists: Vec<Vec<u32>>,
+        hospital_lists: Vec<Vec<u32>>,
+        capacities: Vec<u32>,
+    ) -> Result<Self, PrefsError> {
+        let residents = resident_lists.len();
+        let hospitals = hospital_lists.len();
+        if residents == 0 || hospitals == 0 {
+            return Err(PrefsError::Empty);
+        }
+        if capacities.len() != hospitals {
+            return Err(PrefsError::ShapeMismatch {
+                what: "capacities",
+                expected: hospitals,
+                actual: capacities.len(),
+            });
+        }
+        let mut seen = vec![false; hospitals.max(residents)];
+        for (r, list) in resident_lists.iter().enumerate() {
+            if !permutation_check(list, hospitals, &mut seen) {
+                return Err(PrefsError::NotAPermutation {
+                    owner: (0, r),
+                    over: 1,
+                });
+            }
+        }
+        let mut hospital_ranks = vec![0 as Rank; hospitals * residents];
+        for (h, list) in hospital_lists.iter().enumerate() {
+            if !permutation_check(list, residents, &mut seen) {
+                return Err(PrefsError::NotAPermutation {
+                    owner: (1, h),
+                    over: 0,
+                });
+            }
+            for (rank, &r) in list.iter().enumerate() {
+                hospital_ranks[h * residents + r as usize] = rank as Rank;
+            }
+        }
+        let total: u64 = capacities.iter().map(|&c| c as u64).sum();
+        if total < residents as u64 {
+            return Err(PrefsError::TooLarge {
+                what: "total capacity below resident count",
+            });
+        }
+        Ok(HospitalsInstance {
+            residents,
+            hospitals,
+            resident_lists,
+            hospital_ranks,
+            capacities,
+        })
+    }
+
+    /// Number of residents.
+    pub fn residents(&self) -> usize {
+        self.residents
+    }
+
+    /// Number of hospitals.
+    pub fn hospitals(&self) -> usize {
+        self.hospitals
+    }
+
+    /// Capacity of hospital `h`.
+    pub fn capacity(&self, h: u32) -> u32 {
+        self.capacities[h as usize]
+    }
+
+    /// Rank of resident `r` at hospital `h` (0 = most preferred).
+    #[inline]
+    pub fn hospital_rank(&self, h: u32, r: u32) -> Rank {
+        self.hospital_ranks[h as usize * self.residents + r as usize]
+    }
+
+    /// Resident `r`'s preference list over hospitals.
+    #[inline]
+    pub fn resident_list(&self, r: u32) -> &[u32] {
+        &self.resident_lists[r as usize]
+    }
+
+    /// Rank of hospital `h` in resident `r`'s list.
+    pub fn resident_rank(&self, r: u32, h: u32) -> Rank {
+        self.resident_list(r)
+            .iter()
+            .position(|&x| x == h)
+            .expect("complete list") as Rank
+    }
+}
+
+/// A many-to-one assignment: each resident to one hospital, capacities
+/// respected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `hospital_of[r]` — the hospital resident `r` is assigned to.
+    pub hospital_of: Vec<u32>,
+}
+
+impl Assignment {
+    /// Residents assigned to hospital `h`, ascending.
+    pub fn admitted(&self, h: u32) -> Vec<u32> {
+        self.hospital_of
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &x)| if x == h { Some(r as u32) } else { None })
+            .collect()
+    }
+}
+
+/// Resident-proposing deferred acceptance. Returns the resident-optimal
+/// stable assignment with proposal counts.
+pub fn hospitals_residents(inst: &HospitalsInstance) -> (Assignment, GsStats) {
+    let nr = inst.residents();
+    let mut stats = GsStats::default();
+    // Per hospital: currently-held residents (unsorted; we evict by rank).
+    let mut held: Vec<Vec<u32>> = vec![Vec::new(); inst.hospitals()];
+    let mut next = vec![0usize; nr];
+    let mut free: Vec<u32> = (0..nr as u32).rev().collect();
+    while let Some(r) = free.pop() {
+        stats.rounds += 1;
+        let h = inst.resident_list(r)[next[r as usize]];
+        next[r as usize] += 1;
+        stats.proposals += 1;
+        let slot = &mut held[h as usize];
+        if (slot.len() as u32) < inst.capacity(h) {
+            slot.push(r);
+            continue;
+        }
+        // Full: evict the worst-held if the newcomer beats them.
+        let (worst_idx, &worst) = slot
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &x)| inst.hospital_rank(h, x))
+            .expect("full hospital holds someone");
+        if inst.hospital_rank(h, r) < inst.hospital_rank(h, worst) {
+            slot[worst_idx] = r;
+            free.push(worst);
+        } else {
+            free.push(r);
+        }
+    }
+    let mut hospital_of = vec![u32::MAX; nr];
+    for (h, slot) in held.iter().enumerate() {
+        for &r in slot {
+            hospital_of[r as usize] = h as u32;
+        }
+    }
+    debug_assert!(hospital_of.iter().all(|&h| h != u32::MAX));
+    (Assignment { hospital_of }, stats)
+}
+
+/// Find a blocking pair `(resident, hospital)`: the resident prefers `h`
+/// to their assignment, and `h` has a free slot or prefers the resident to
+/// its worst admittee.
+pub fn find_hr_blocking_pair(
+    inst: &HospitalsInstance,
+    assignment: &Assignment,
+) -> Option<(u32, u32)> {
+    let mut worst_rank: Vec<Option<Rank>> = vec![None; inst.hospitals()];
+    let mut load = vec![0u32; inst.hospitals()];
+    for (r, &h) in assignment.hospital_of.iter().enumerate() {
+        load[h as usize] += 1;
+        let rank = inst.hospital_rank(h, r as u32);
+        worst_rank[h as usize] = Some(worst_rank[h as usize].map_or(rank, |w: Rank| w.max(rank)));
+    }
+    for r in 0..inst.residents() as u32 {
+        let assigned = assignment.hospital_of[r as usize];
+        for &h in inst.resident_list(r) {
+            if h == assigned {
+                break; // Worse hospitals cannot block for r.
+            }
+            let has_room = load[h as usize] < inst.capacity(h);
+            let beats_worst = worst_rank[h as usize].is_some_and(|w| inst.hospital_rank(h, r) < w);
+            if has_room || beats_worst {
+                return Some((r, h));
+            }
+        }
+    }
+    None
+}
+
+/// Is the assignment stable?
+pub fn is_hr_stable(inst: &HospitalsInstance, assignment: &Assignment) -> bool {
+    find_hr_blocking_pair(inst, assignment).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::gale_shapley;
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_hr(nr: usize, nh: usize, rng: &mut ChaCha8Rng) -> HospitalsInstance {
+        let mut caps: Vec<u32> = vec![1; nh];
+        // Distribute extra capacity so Σ c >= nr.
+        let mut total = nh as i64;
+        while total < nr as i64 {
+            caps[rng.gen_range(0..nh)] += 1;
+            total += 1;
+        }
+        let perm = |n: usize, rng: &mut ChaCha8Rng| {
+            let mut v: Vec<u32> = (0..n as u32).collect();
+            v.shuffle(rng);
+            v
+        };
+        let residents = (0..nr).map(|_| perm(nh, rng)).collect();
+        let hospitals = (0..nh).map(|_| perm(nr, rng)).collect();
+        HospitalsInstance::new(residents, hospitals, caps).unwrap()
+    }
+
+    #[test]
+    fn outputs_are_stable_and_feasible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        for (nr, nh) in [(6usize, 3usize), (20, 4), (50, 7)] {
+            let inst = random_hr(nr, nh, &mut rng);
+            let (a, stats) = hospitals_residents(&inst);
+            assert!(is_hr_stable(&inst, &a), "nr={nr}, nh={nh}");
+            for h in 0..nh as u32 {
+                assert!(a.admitted(h).len() as u32 <= inst.capacity(h));
+            }
+            assert!(stats.proposals <= (nr * nh) as u64);
+        }
+    }
+
+    #[test]
+    fn unit_capacities_reduce_to_smp() {
+        // With capacity 1 everywhere and nr = nh, HR == GS exactly.
+        let mut rng = ChaCha8Rng::seed_from_u64(92);
+        let n = 12;
+        let smp = uniform_bipartite(n, &mut rng);
+        let residents: Vec<Vec<u32>> = (0..n as u32)
+            .map(|m| smp.proposer_list(m).to_vec())
+            .collect();
+        let hospitals: Vec<Vec<u32>> = (0..n as u32)
+            .map(|w| smp.responder_list(w).to_vec())
+            .collect();
+        let inst = HospitalsInstance::new(residents, hospitals, vec![1; n]).unwrap();
+        let (a, _) = hospitals_residents(&inst);
+        let gs = gale_shapley(&smp);
+        for r in 0..n as u32 {
+            assert_eq!(
+                a.hospital_of[r as usize],
+                gs.matching.partner_of_proposer(r)
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_pair_detected_on_bad_assignment() {
+        // 2 residents, 2 hospitals, cap 1. r0: h0 > h1; r1: h0 > h1;
+        // h0: r0 > r1. Assign r1->h0, r0->h1: (r0, h0) blocks.
+        let inst = HospitalsInstance::new(
+            vec![vec![0, 1], vec![0, 1]],
+            vec![vec![0, 1], vec![0, 1]],
+            vec![1, 1],
+        )
+        .unwrap();
+        let bad = Assignment {
+            hospital_of: vec![1, 0],
+        };
+        assert_eq!(find_hr_blocking_pair(&inst, &bad), Some((0, 0)));
+        let (good, _) = hospitals_residents(&inst);
+        assert_eq!(good.hospital_of, vec![0, 1]);
+    }
+
+    #[test]
+    fn free_capacity_blocks() {
+        // Hospital with spare room and a resident that prefers it: block.
+        let inst =
+            HospitalsInstance::new(vec![vec![0, 1]], vec![vec![0], vec![0]], vec![2, 2]).unwrap();
+        let bad = Assignment {
+            hospital_of: vec![1],
+        };
+        assert_eq!(find_hr_blocking_pair(&inst, &bad), Some((0, 0)));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(HospitalsInstance::new(vec![], vec![], vec![]).is_err());
+        // Capacity shortfall.
+        assert!(
+            HospitalsInstance::new(vec![vec![0], vec![0]], vec![vec![0, 1]], vec![1],).is_err()
+        );
+        // Bad permutation.
+        assert!(
+            HospitalsInstance::new(vec![vec![0, 0]], vec![vec![0], vec![0]], vec![1, 1],).is_err()
+        );
+    }
+
+    #[test]
+    fn resident_optimality_spot_check() {
+        // Each resident's outcome is at least as good as under any other
+        // stable assignment — spot-check against exhaustive enumeration on
+        // a tiny instance.
+        let inst = HospitalsInstance::new(
+            vec![vec![0, 1], vec![0, 1], vec![1, 0]],
+            vec![vec![2, 0, 1], vec![1, 2, 0]],
+            vec![2, 1],
+        )
+        .unwrap();
+        let (best, _) = hospitals_residents(&inst);
+        assert!(is_hr_stable(&inst, &best));
+        // Enumerate all feasible assignments (2 hospitals, 3 residents).
+        for bits in 0..8u32 {
+            let hospital_of: Vec<u32> = (0..3).map(|r| (bits >> r) & 1).collect();
+            let load0 = hospital_of.iter().filter(|&&h| h == 0).count();
+            if load0 > 2 || (3 - load0) > 1 {
+                continue;
+            }
+            let a = Assignment { hospital_of };
+            if is_hr_stable(&inst, &a) {
+                for r in 0..3u32 {
+                    let via_best = inst.resident_rank(r, best.hospital_of[r as usize]);
+                    let via_a = inst.resident_rank(r, a.hospital_of[r as usize]);
+                    assert!(via_best <= via_a, "resident-optimality violated for {r}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Stable marriage with incomplete lists (SMI), possibly unbalanced.
+//!
+//! The paper's §III-B leans on "incomplete preference lists (i.e., a
+//! person can exclude some members)" for the roommates reduction; this
+//! module provides the same generality on the bipartite side: proposers
+//! and responders may find only some of the other side acceptable
+//! (mutually), and the sides may have different sizes. A stable matching
+//! always exists but may leave members unmatched; the classic
+//! *Rural Hospitals* consequence — every stable matching matches exactly
+//! the same set of people — is verified in the tests.
+
+use kmatch_prefs::{PrefsError, Rank, UNRANKED};
+
+use crate::engine::GsStats;
+
+/// An SMI instance: `np` proposers and `nr` responders with mutual,
+/// possibly-incomplete preference lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmiInstance {
+    np: usize,
+    nr: usize,
+    proposer_lists: Vec<Vec<u32>>,
+    /// `responder_ranks[w * np + m]`, or [`UNRANKED`].
+    responder_ranks: Vec<Rank>,
+    /// `proposer_ranks[m * nr + w]`, or [`UNRANKED`].
+    proposer_ranks: Vec<Rank>,
+}
+
+impl SmiInstance {
+    /// Build from per-member acceptable lists (best first). Acceptability
+    /// must be mutual: `w ∈ proposer_lists[m] ⟺ m ∈ responder_lists[w]`.
+    pub fn from_lists(
+        proposer_lists: Vec<Vec<u32>>,
+        responder_lists: Vec<Vec<u32>>,
+    ) -> Result<Self, PrefsError> {
+        let np = proposer_lists.len();
+        let nr = responder_lists.len();
+        if np == 0 || nr == 0 {
+            return Err(PrefsError::Empty);
+        }
+        let mut proposer_ranks = vec![UNRANKED; np * nr];
+        for (m, list) in proposer_lists.iter().enumerate() {
+            for (r, &w) in list.iter().enumerate() {
+                if w as usize >= nr {
+                    return Err(PrefsError::BadRoommatesList {
+                        owner: m,
+                        reason: "entry out of range",
+                    });
+                }
+                if proposer_ranks[m * nr + w as usize] != UNRANKED {
+                    return Err(PrefsError::BadRoommatesList {
+                        owner: m,
+                        reason: "duplicate entry",
+                    });
+                }
+                proposer_ranks[m * nr + w as usize] = r as Rank;
+            }
+        }
+        let mut responder_ranks = vec![UNRANKED; nr * np];
+        for (w, list) in responder_lists.iter().enumerate() {
+            for (r, &m) in list.iter().enumerate() {
+                if m as usize >= np {
+                    return Err(PrefsError::BadRoommatesList {
+                        owner: w,
+                        reason: "entry out of range",
+                    });
+                }
+                if responder_ranks[w * np + m as usize] != UNRANKED {
+                    return Err(PrefsError::BadRoommatesList {
+                        owner: w,
+                        reason: "duplicate entry",
+                    });
+                }
+                responder_ranks[w * np + m as usize] = r as Rank;
+            }
+        }
+        // Mutual acceptability.
+        for m in 0..np {
+            for w in 0..nr {
+                let p_has = proposer_ranks[m * nr + w] != UNRANKED;
+                let r_has = responder_ranks[w * np + m] != UNRANKED;
+                if p_has != r_has {
+                    return Err(PrefsError::AsymmetricAcceptability { a: m, b: w });
+                }
+            }
+        }
+        Ok(SmiInstance {
+            np,
+            nr,
+            proposer_lists,
+            responder_ranks,
+            proposer_ranks,
+        })
+    }
+
+    /// Number of proposers.
+    pub fn proposers(&self) -> usize {
+        self.np
+    }
+
+    /// Number of responders.
+    pub fn responders(&self) -> usize {
+        self.nr
+    }
+
+    /// Is the pair mutually acceptable?
+    #[inline]
+    pub fn acceptable(&self, m: u32, w: u32) -> bool {
+        self.proposer_ranks[m as usize * self.nr + w as usize] != UNRANKED
+    }
+
+    /// Rank of `w` for proposer `m` ([`UNRANKED`] when unacceptable).
+    #[inline]
+    pub fn proposer_rank(&self, m: u32, w: u32) -> Rank {
+        self.proposer_ranks[m as usize * self.nr + w as usize]
+    }
+
+    /// Rank of `m` for responder `w` ([`UNRANKED`] when unacceptable).
+    #[inline]
+    pub fn responder_rank(&self, w: u32, m: u32) -> Rank {
+        self.responder_ranks[w as usize * self.np + m as usize]
+    }
+}
+
+/// A partial matching: `u32::MAX` marks unmatched members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialMatching {
+    /// Partner of each proposer, or `u32::MAX`.
+    pub partner_of_proposer: Vec<u32>,
+    /// Partner of each responder, or `u32::MAX`.
+    pub partner_of_responder: Vec<u32>,
+}
+
+/// Unmatched marker.
+pub const UNMATCHED: u32 = u32::MAX;
+
+impl PartialMatching {
+    /// Proposers with a partner.
+    pub fn matched_proposers(&self) -> Vec<u32> {
+        (0..self.partner_of_proposer.len() as u32)
+            .filter(|&m| self.partner_of_proposer[m as usize] != UNMATCHED)
+            .collect()
+    }
+
+    /// Responders with a partner.
+    pub fn matched_responders(&self) -> Vec<u32> {
+        (0..self.partner_of_responder.len() as u32)
+            .filter(|&w| self.partner_of_responder[w as usize] != UNMATCHED)
+            .collect()
+    }
+}
+
+/// Proposer-proposing deferred acceptance for SMI: a proposer exhausted of
+/// acceptable partners stays unmatched.
+pub fn smi_gale_shapley(inst: &SmiInstance) -> (PartialMatching, GsStats) {
+    let (np, nr) = (inst.proposers(), inst.responders());
+    let mut stats = GsStats::default();
+    let mut next = vec![0usize; np];
+    let mut fiance = vec![UNMATCHED; nr];
+    let mut free: Vec<u32> = (0..np as u32).rev().collect();
+    while let Some(m) = free.pop() {
+        stats.rounds += 1;
+        loop {
+            let list = &inst.proposer_lists[m as usize];
+            let Some(&w) = list.get(next[m as usize]) else {
+                break; // m stays unmatched.
+            };
+            next[m as usize] += 1;
+            stats.proposals += 1;
+            let holder = fiance[w as usize];
+            if holder == UNMATCHED {
+                fiance[w as usize] = m;
+                break;
+            }
+            if inst.responder_rank(w, m) < inst.responder_rank(w, holder) {
+                fiance[w as usize] = m;
+                free.push(holder);
+                break;
+            }
+        }
+    }
+    let mut partner_of_proposer = vec![UNMATCHED; np];
+    for (w, &m) in fiance.iter().enumerate() {
+        if m != UNMATCHED {
+            partner_of_proposer[m as usize] = w as u32;
+        }
+    }
+    (
+        PartialMatching {
+            partner_of_proposer,
+            partner_of_responder: fiance,
+        },
+        stats,
+    )
+}
+
+/// Find a blocking pair: a mutually-acceptable `(m, w)`, not matched to
+/// each other, where `m` is unmatched or prefers `w`, and `w` is unmatched
+/// or prefers `m`. (Comparisons against `UNRANKED = u32::MAX` make
+/// "unmatched" the worst outcome automatically.)
+pub fn find_smi_blocking_pair(
+    inst: &SmiInstance,
+    matching: &PartialMatching,
+) -> Option<(u32, u32)> {
+    for m in 0..inst.proposers() as u32 {
+        let his = matching.partner_of_proposer[m as usize];
+        let his_rank = if his == UNMATCHED {
+            UNRANKED
+        } else {
+            inst.proposer_rank(m, his)
+        };
+        for &w in &inst.proposer_lists[m as usize] {
+            if inst.proposer_rank(m, w) >= his_rank {
+                break; // List is sorted; nothing better remains.
+            }
+            let her = matching.partner_of_responder[w as usize];
+            let her_rank = if her == UNMATCHED {
+                UNRANKED
+            } else {
+                inst.responder_rank(w, her)
+            };
+            if inst.responder_rank(w, m) < her_rank {
+                return Some((m, w));
+            }
+        }
+    }
+    None
+}
+
+/// Is the partial matching stable (internally consistent, pairs
+/// acceptable, no blocking pair)?
+pub fn is_smi_stable(inst: &SmiInstance, matching: &PartialMatching) -> bool {
+    for m in 0..inst.proposers() as u32 {
+        let w = matching.partner_of_proposer[m as usize];
+        if w != UNMATCHED
+            && (!inst.acceptable(m, w) || matching.partner_of_responder[w as usize] != m)
+        {
+            return false;
+        }
+    }
+    find_smi_blocking_pair(inst, matching).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Random SMI: each pair acceptable with probability `p`, unbalanced
+    /// sides allowed.
+    fn random_smi(np: usize, nr: usize, p: f64, rng: &mut ChaCha8Rng) -> SmiInstance {
+        loop {
+            let mut accept = vec![false; np * nr];
+            for cell in accept.iter_mut() {
+                *cell = rng.gen_bool(p);
+            }
+            let mut p_lists = Vec::with_capacity(np);
+            for m in 0..np {
+                let mut list: Vec<u32> = (0..nr as u32)
+                    .filter(|&w| accept[m * nr + w as usize])
+                    .collect();
+                list.shuffle(rng);
+                p_lists.push(list);
+            }
+            let mut r_lists = Vec::with_capacity(nr);
+            for w in 0..nr as u32 {
+                let mut list: Vec<u32> = (0..np as u32)
+                    .filter(|&m| accept[m as usize * nr + w as usize])
+                    .collect();
+                list.shuffle(rng);
+                r_lists.push(list);
+            }
+            if let Ok(inst) = SmiInstance::from_lists(p_lists, r_lists) {
+                return inst;
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_are_stable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(151);
+        for (np, nr, p) in [
+            (5usize, 5usize, 0.5),
+            (8, 4, 0.6),
+            (3, 9, 0.4),
+            (10, 10, 0.2),
+        ] {
+            for _ in 0..10 {
+                let inst = random_smi(np, nr, p, &mut rng);
+                let (m, stats) = smi_gale_shapley(&inst);
+                assert!(is_smi_stable(&inst, &m), "np={np}, nr={nr}");
+                assert!(stats.proposals <= (np * nr) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn rural_hospitals_same_matched_set() {
+        // Every stable matching of an SMI instance matches the same
+        // people: compare proposer-optimal with responder-optimal (the
+        // reversed instance).
+        let mut rng = ChaCha8Rng::seed_from_u64(152);
+        for _ in 0..20 {
+            let inst = random_smi(7, 7, 0.5, &mut rng);
+            let (a, _) = smi_gale_shapley(&inst);
+            // Responder-optimal: swap the roles.
+            let p_lists: Vec<Vec<u32>> = (0..inst.responders() as u32)
+                .map(|w| {
+                    let mut l: Vec<u32> = (0..inst.proposers() as u32)
+                        .filter(|&m| inst.acceptable(m, w))
+                        .collect();
+                    l.sort_by_key(|&m| inst.responder_rank(w, m));
+                    l
+                })
+                .collect();
+            let r_lists: Vec<Vec<u32>> = (0..inst.proposers() as u32)
+                .map(|m| {
+                    let mut l: Vec<u32> = (0..inst.responders() as u32)
+                        .filter(|&w| inst.acceptable(m, w))
+                        .collect();
+                    l.sort_by_key(|&w| inst.proposer_rank(m, w));
+                    l
+                })
+                .collect();
+            let rev = SmiInstance::from_lists(p_lists, r_lists).unwrap();
+            let (b, _) = smi_gale_shapley(&rev);
+            // b's proposers are the original responders.
+            assert_eq!(
+                a.matched_proposers(),
+                b.matched_responders(),
+                "Rural Hospitals: same proposers matched in every stable matching"
+            );
+            assert_eq!(a.matched_responders(), b.matched_proposers());
+        }
+    }
+
+    #[test]
+    fn empty_lists_leave_unmatched() {
+        let inst = SmiInstance::from_lists(vec![vec![0], vec![]], vec![vec![0]]).unwrap();
+        let (m, _) = smi_gale_shapley(&inst);
+        assert_eq!(m.partner_of_proposer, vec![0, UNMATCHED]);
+        assert!(is_smi_stable(&inst, &m));
+    }
+
+    #[test]
+    fn unbalanced_sides() {
+        // 2 proposers, 1 responder who accepts both: someone stays single,
+        // and only the responder's favorite is matched.
+        let inst = SmiInstance::from_lists(vec![vec![0], vec![0]], vec![vec![1, 0]]).unwrap();
+        let (m, _) = smi_gale_shapley(&inst);
+        assert_eq!(m.partner_of_proposer, vec![UNMATCHED, 0]);
+        assert!(is_smi_stable(&inst, &m));
+    }
+
+    #[test]
+    fn mutuality_enforced() {
+        let err = SmiInstance::from_lists(vec![vec![0]], vec![vec![]]).unwrap_err();
+        assert!(matches!(err, PrefsError::AsymmetricAcceptability { .. }));
+    }
+
+    #[test]
+    fn blocking_pair_detection() {
+        // m0: w0 > w1; m1: w0; w0: m0 > m1; w1: m0.
+        let inst =
+            SmiInstance::from_lists(vec![vec![0, 1], vec![0]], vec![vec![0, 1], vec![0]]).unwrap();
+        // Bad: m0—w1, m1—w0. (m0, w0) blocks.
+        let bad = PartialMatching {
+            partner_of_proposer: vec![1, 0],
+            partner_of_responder: vec![1, 0],
+        };
+        assert_eq!(find_smi_blocking_pair(&inst, &bad), Some((0, 0)));
+        let (good, _) = smi_gale_shapley(&inst);
+        assert!(is_smi_stable(&inst, &good));
+        assert_eq!(good.partner_of_proposer[0], 0);
+    }
+}

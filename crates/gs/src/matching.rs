@@ -1,0 +1,91 @@
+//! Perfect bipartite matchings.
+
+/// A perfect matching between `n` proposers and `n` responders, stored in
+/// both directions for O(1) partner lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteMatching {
+    partner_of_proposer: Vec<u32>,
+    partner_of_responder: Vec<u32>,
+}
+
+impl BipartiteMatching {
+    /// Build from the proposer-side partner array; the responder side is
+    /// derived.
+    ///
+    /// # Panics
+    /// If `partner_of_proposer` is not a permutation of `0..n`.
+    pub fn from_proposer_partners(partner_of_proposer: Vec<u32>) -> Self {
+        let n = partner_of_proposer.len();
+        let mut partner_of_responder = vec![u32::MAX; n];
+        for (m, &w) in partner_of_proposer.iter().enumerate() {
+            let slot = &mut partner_of_responder[w as usize];
+            assert_eq!(*slot, u32::MAX, "responder {w} matched twice");
+            *slot = m as u32;
+        }
+        BipartiteMatching {
+            partner_of_proposer,
+            partner_of_responder,
+        }
+    }
+
+    /// Number of pairs.
+    pub fn n(&self) -> usize {
+        self.partner_of_proposer.len()
+    }
+
+    /// Responder matched with proposer `m`.
+    #[inline]
+    pub fn partner_of_proposer(&self, m: u32) -> u32 {
+        self.partner_of_proposer[m as usize]
+    }
+
+    /// Proposer matched with responder `w`.
+    #[inline]
+    pub fn partner_of_responder(&self, w: u32) -> u32 {
+        self.partner_of_responder[w as usize]
+    }
+
+    /// All pairs as `(proposer, responder)`, in proposer order.
+    pub fn pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.partner_of_proposer
+            .iter()
+            .enumerate()
+            .map(|(m, &w)| (m as u32, w))
+    }
+
+    /// The same matching with the roles swapped.
+    pub fn swapped(&self) -> BipartiteMatching {
+        BipartiteMatching {
+            partner_of_proposer: self.partner_of_responder.clone(),
+            partner_of_responder: self.partner_of_proposer.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_consistent() {
+        let m = BipartiteMatching::from_proposer_partners(vec![2, 0, 1]);
+        assert_eq!(m.partner_of_proposer(0), 2);
+        assert_eq!(m.partner_of_responder(2), 0);
+        assert_eq!(m.partner_of_responder(0), 1);
+        assert_eq!(m.pairs().collect::<Vec<_>>(), vec![(0, 2), (1, 0), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matched twice")]
+    fn rejects_non_permutation() {
+        let _ = BipartiteMatching::from_proposer_partners(vec![1, 1]);
+    }
+
+    #[test]
+    fn swapped_inverts() {
+        let m = BipartiteMatching::from_proposer_partners(vec![2, 0, 1]);
+        let s = m.swapped();
+        assert_eq!(s.partner_of_proposer(2), 0);
+        assert_eq!(s.swapped(), m);
+    }
+}

@@ -1,0 +1,110 @@
+//! Preferential-happiness metrics.
+//!
+//! §II-A observes that "the GS algorithm still favors men over women in
+//! terms of preferential happiness": proposers end up high on their own
+//! lists, responders low on theirs. These metrics quantify that asymmetry
+//! for experiment E1/T4 (and the fairness comparison against the roommates
+//! based fair-SMP solver).
+
+use kmatch_prefs::BipartitePrefs;
+
+use crate::matching::BipartiteMatching;
+
+/// Aggregate rank cost of a matching for one side (lower = happier).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankCost {
+    /// Mean rank (0 = everyone got their first choice).
+    pub mean: f64,
+    /// Worst individual rank.
+    pub max: u32,
+    /// Total rank summed over members.
+    pub total: u64,
+}
+
+fn summarize(ranks: impl Iterator<Item = u32>) -> RankCost {
+    let mut total = 0u64;
+    let mut max = 0u32;
+    let mut count = 0u64;
+    for r in ranks {
+        total += r as u64;
+        max = max.max(r);
+        count += 1;
+    }
+    RankCost {
+        mean: total as f64 / count.max(1) as f64,
+        max,
+        total,
+    }
+}
+
+/// Rank cost of the matching from the proposers' point of view.
+pub fn proposer_cost<P: BipartitePrefs>(prefs: &P, m: &BipartiteMatching) -> RankCost {
+    summarize((0..prefs.n() as u32).map(|p| prefs.proposer_rank(p, m.partner_of_proposer(p))))
+}
+
+/// Rank cost of the matching from the responders' point of view.
+pub fn responder_cost<P: BipartitePrefs>(prefs: &P, m: &BipartiteMatching) -> RankCost {
+    summarize((0..prefs.n() as u32).map(|w| prefs.responder_rank(w, m.partner_of_responder(w))))
+}
+
+/// Mean proposer rank (convenience wrapper used by benches).
+pub fn mean_proposer_rank<P: BipartitePrefs>(prefs: &P, m: &BipartiteMatching) -> f64 {
+    proposer_cost(prefs, m).mean
+}
+
+/// Mean responder rank (convenience wrapper used by benches).
+pub fn mean_responder_rank<P: BipartitePrefs>(prefs: &P, m: &BipartiteMatching) -> f64 {
+    responder_cost(prefs, m).mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::gale_shapley;
+    use kmatch_prefs::gen::paper::example1_second;
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn man_optimal_matching_favors_men() {
+        let inst = example1_second();
+        let man_opt = gale_shapley(&inst).matching;
+        assert_eq!(
+            mean_proposer_rank(&inst, &man_opt),
+            0.0,
+            "every man got his top choice"
+        );
+        assert_eq!(
+            mean_responder_rank(&inst, &man_opt),
+            1.0,
+            "every woman got her last choice"
+        );
+    }
+
+    #[test]
+    fn gs_bias_holds_statistically() {
+        // Over random instances, proposers average a better (lower) rank
+        // than responders under proposer-proposing GS.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut p_sum = 0.0;
+        let mut r_sum = 0.0;
+        for _ in 0..30 {
+            let inst = uniform_bipartite(30, &mut rng);
+            let m = gale_shapley(&inst).matching;
+            p_sum += mean_proposer_rank(&inst, &m);
+            r_sum += mean_responder_rank(&inst, &m);
+        }
+        assert!(p_sum < r_sum, "proposer bias: {p_sum} !< {r_sum}");
+    }
+
+    #[test]
+    fn cost_fields_consistent() {
+        let inst = example1_second();
+        let m = gale_shapley(&inst).matching;
+        let c = responder_cost(&inst, &m);
+        assert_eq!(c.total, 2);
+        assert_eq!(c.max, 1);
+        assert!((c.mean - 1.0).abs() < 1e-12);
+    }
+}

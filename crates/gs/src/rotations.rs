@@ -1,0 +1,337 @@
+//! Rotations and the lattice of all stable matchings of an SMP instance.
+//!
+//! The stable matchings of a marriage instance form a distributive lattice
+//! between the man-optimal and woman-optimal matchings (Knuth, attributed
+//! to Conway); moving down the lattice = eliminating *rotations*
+//! (Gusfield & Irving 1989 — reference 9 of the paper). The paper leans
+//! on exactly this structure in §III-B when it alternates man- and
+//! woman-oriented loop breaking for procedural fairness; this module makes
+//! the whole lattice explorable so the fairness experiments can report
+//! *where* each solver's output sits among all stable matchings.
+//!
+//! A rotation exposed in stable matching `M` is a cyclic sequence
+//! `(m_0, w_0), …, (m_{r−1}, w_{r−1})` with `w_i = M(m_i)` and
+//! `w_{i+1} = s_M(m_i)`, where `s_M(m)` is the first woman after `M(m)` on
+//! `m`'s list who prefers `m` to her current partner. Eliminating it
+//! remarries `m_i` with `w_{i+1}`, yielding another stable matching that
+//! is strictly worse for the men involved and better for the women.
+
+use std::collections::{HashSet, VecDeque};
+
+use kmatch_prefs::BipartiteInstance;
+
+use crate::engine::{gale_shapley, responder_optimal};
+use crate::matching::BipartiteMatching;
+use crate::stability::is_stable;
+
+/// A rotation exposed in some stable matching: the cyclically-ordered
+/// `(man, current wife)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmpRotation {
+    /// The men of the rotation, in cycle order.
+    pub men: Vec<u32>,
+    /// `wives[i]` = the current wife of `men[i]` (before elimination).
+    pub wives: Vec<u32>,
+}
+
+/// `s_M(m)`: the first woman after `M(m)` on `m`'s list who prefers `m` to
+/// her current partner, if any.
+fn next_candidate(inst: &BipartiteInstance, matching: &BipartiteMatching, m: u32) -> Option<u32> {
+    let current = matching.partner_of_proposer(m);
+    let list = inst.proposer_list(m);
+    let start = inst.proposer_rank(m, current) as usize + 1;
+    list[start..]
+        .iter()
+        .copied()
+        .find(|&w| inst.responder_prefers(w, m, matching.partner_of_responder(w)))
+}
+
+/// Find every rotation exposed in `matching` (each man belongs to at most
+/// one exposed rotation).
+pub fn exposed_rotations(
+    inst: &BipartiteInstance,
+    matching: &BipartiteMatching,
+) -> Vec<SmpRotation> {
+    let n = inst.n();
+    // Functional graph on men: m -> husband of s_M(m).
+    let succ: Vec<Option<u32>> = (0..n as u32)
+        .map(|m| next_candidate(inst, matching, m).map(|w| matching.partner_of_responder(w)))
+        .collect();
+    // Cycles of this partial functional graph are the exposed rotations.
+    let mut state = vec![0u8; n]; // 0 = unseen, 1 = on stack, 2 = done
+    let mut rotations = Vec::new();
+    for start in 0..n as u32 {
+        if state[start as usize] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = Some(start);
+        while let Some(m) = cur {
+            match state[m as usize] {
+                1 => {
+                    // Found a cycle: the tail of `path` from m.
+                    let pos = path.iter().position(|&x| x == m).expect("on stack");
+                    let men: Vec<u32> = path[pos..].to_vec();
+                    let wives = men
+                        .iter()
+                        .map(|&x| matching.partner_of_proposer(x))
+                        .collect();
+                    rotations.push(SmpRotation { men, wives });
+                    break;
+                }
+                2 => break,
+                _ => {
+                    state[m as usize] = 1;
+                    path.push(m);
+                    cur = succ[m as usize];
+                }
+            }
+        }
+        for &m in &path {
+            state[m as usize] = 2;
+        }
+    }
+    rotations
+}
+
+/// Eliminate a rotation: each `m_i` remarries `s_M(m_i) = w_{i+1}`.
+pub fn eliminate(matching: &BipartiteMatching, rotation: &SmpRotation) -> BipartiteMatching {
+    let n = matching.n();
+    let mut partner: Vec<u32> = (0..n as u32)
+        .map(|m| matching.partner_of_proposer(m))
+        .collect();
+    let r = rotation.men.len();
+    for i in 0..r {
+        let m = rotation.men[i];
+        let next_wife = rotation.wives[(i + 1) % r];
+        partner[m as usize] = next_wife;
+    }
+    BipartiteMatching::from_proposer_partners(partner)
+}
+
+/// The full lattice of stable matchings, enumerated by BFS over rotation
+/// eliminations from the man-optimal matching.
+#[derive(Debug, Clone)]
+pub struct StableLattice {
+    /// All stable matchings, man-optimal first (insertion order of the
+    /// BFS; the woman-optimal matching is always present).
+    pub matchings: Vec<BipartiteMatching>,
+    /// Total rotation eliminations performed during enumeration.
+    pub eliminations: u64,
+}
+
+impl StableLattice {
+    /// Index of the matching minimizing `cost` (ties → first).
+    pub fn argmin_by<F: Fn(&BipartiteMatching) -> u64>(&self, cost: F) -> usize {
+        self.matchings
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| cost(m))
+            .expect("lattice is non-empty")
+            .0
+    }
+
+    /// The egalitarian stable matching: minimum total rank summed over
+    /// both sides.
+    pub fn egalitarian(&self, inst: &BipartiteInstance) -> &BipartiteMatching {
+        let idx = self.argmin_by(|m| {
+            (0..inst.n() as u32)
+                .map(|p| {
+                    inst.proposer_rank(p, m.partner_of_proposer(p)) as u64
+                        + inst.responder_rank(p, m.partner_of_responder(p)) as u64
+                })
+                .sum()
+        });
+        &self.matchings[idx]
+    }
+
+    /// The sex-equal stable matching: minimizes |men's total rank −
+    /// women's total rank|.
+    pub fn sex_equal(&self, inst: &BipartiteInstance) -> &BipartiteMatching {
+        let idx = self.argmin_by(|m| {
+            let men: u64 = (0..inst.n() as u32)
+                .map(|p| inst.proposer_rank(p, m.partner_of_proposer(p)) as u64)
+                .sum();
+            let women: u64 = (0..inst.n() as u32)
+                .map(|w| inst.responder_rank(w, m.partner_of_responder(w)) as u64)
+                .sum();
+            men.abs_diff(women)
+        });
+        &self.matchings[idx]
+    }
+}
+
+/// Enumerate all stable matchings by rotation elimination. `limit` caps
+/// the lattice size (an error is returned when exceeded — lattices can be
+/// exponential).
+pub fn enumerate_stable_lattice(
+    inst: &BipartiteInstance,
+    limit: usize,
+) -> Result<StableLattice, String> {
+    let man_opt = gale_shapley(inst).matching;
+    debug_assert!(is_stable(inst, &man_opt));
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    let mut matchings = Vec::new();
+    let mut queue = VecDeque::new();
+    let key = |m: &BipartiteMatching| -> Vec<u32> { m.pairs().map(|(_, w)| w).collect() };
+    seen.insert(key(&man_opt));
+    matchings.push(man_opt.clone());
+    queue.push_back(man_opt);
+    let mut eliminations = 0u64;
+    while let Some(m) = queue.pop_front() {
+        for rot in exposed_rotations(inst, &m) {
+            eliminations += 1;
+            let next = eliminate(&m, &rot);
+            debug_assert!(
+                is_stable(inst, &next),
+                "elimination must preserve stability"
+            );
+            if seen.insert(key(&next)) {
+                if matchings.len() >= limit {
+                    return Err(format!("stable lattice exceeds limit {limit}"));
+                }
+                matchings.push(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    // Sanity: the woman-optimal matching must be in the lattice.
+    debug_assert!(seen.contains(&key(&responder_optimal(inst).matching)));
+    Ok(StableLattice {
+        matchings,
+        eliminations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stability::all_stable_matchings;
+    use kmatch_prefs::gen::paper::{example1_first, example1_second};
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn example1_lattices() {
+        let l = enumerate_stable_lattice(&example1_first(), 100).unwrap();
+        assert_eq!(l.matchings.len(), 1, "unique stable matching");
+        let l = enumerate_stable_lattice(&example1_second(), 100).unwrap();
+        assert_eq!(l.matchings.len(), 2, "man- and woman-optimal");
+        // Man-optimal first; eliminating its single rotation gives the
+        // woman-optimal.
+        assert_eq!(l.matchings[0].partner_of_proposer(0), 0);
+        assert_eq!(l.matchings[1].partner_of_proposer(0), 1);
+    }
+
+    #[test]
+    fn lattice_equals_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(95);
+        for n in [2usize, 4, 6, 7] {
+            for _ in 0..10 {
+                let inst = uniform_bipartite(n, &mut rng);
+                let lattice = enumerate_stable_lattice(&inst, 10_000).unwrap();
+                let brute = all_stable_matchings(&inst);
+                let as_set = |ms: &[BipartiteMatching]| -> std::collections::HashSet<Vec<u32>> {
+                    ms.iter()
+                        .map(|m| m.pairs().map(|(_, w)| w).collect())
+                        .collect()
+                };
+                assert_eq!(
+                    as_set(&lattice.matchings),
+                    as_set(&brute),
+                    "n = {n}: rotation enumeration must equal brute force"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extremes_are_in_lattice_and_extreme() {
+        let mut rng = ChaCha8Rng::seed_from_u64(96);
+        let inst = uniform_bipartite(8, &mut rng);
+        let lattice = enumerate_stable_lattice(&inst, 10_000).unwrap();
+        let man_opt = &lattice.matchings[0];
+        let woman_opt = responder_optimal(&inst).matching;
+        // Every man is weakly happier under man_opt than any lattice
+        // element; dually for women under woman_opt.
+        for m in &lattice.matchings {
+            for p in 0..8u32 {
+                assert!(
+                    inst.proposer_rank(p, man_opt.partner_of_proposer(p))
+                        <= inst.proposer_rank(p, m.partner_of_proposer(p))
+                );
+                assert!(
+                    inst.responder_rank(p, woman_opt.partner_of_responder(p))
+                        <= inst.responder_rank(p, m.partner_of_responder(p))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn egalitarian_and_sex_equal_are_stable_members() {
+        let mut rng = ChaCha8Rng::seed_from_u64(97);
+        let inst = uniform_bipartite(10, &mut rng);
+        let lattice = enumerate_stable_lattice(&inst, 10_000).unwrap();
+        let eg = lattice.egalitarian(&inst).clone();
+        let se = lattice.sex_equal(&inst).clone();
+        assert!(is_stable(&inst, &eg));
+        assert!(is_stable(&inst, &se));
+        // Egalitarian total cost is minimal by construction; spot-check
+        // against the extremes.
+        let total = |m: &BipartiteMatching| -> u64 {
+            (0..10u32)
+                .map(|p| {
+                    inst.proposer_rank(p, m.partner_of_proposer(p)) as u64
+                        + inst.responder_rank(p, m.partner_of_responder(p)) as u64
+                })
+                .sum()
+        };
+        assert!(total(&eg) <= total(&lattice.matchings[0]));
+    }
+
+    #[test]
+    fn rotation_structure_of_deadlock() {
+        // The Fig. 2 deadlock: one rotation exposed in the man-optimal
+        // matching, involving both men.
+        let inst = example1_second();
+        let man_opt = gale_shapley(&inst).matching;
+        let rots = exposed_rotations(&inst, &man_opt);
+        assert_eq!(rots.len(), 1);
+        let mut men = rots[0].men.clone();
+        men.sort_unstable();
+        assert_eq!(men, vec![0, 1]);
+        // Eliminating it yields the woman-optimal matching, after which no
+        // rotation is exposed.
+        let next = eliminate(&man_opt, &rots[0]);
+        assert_eq!(next, responder_optimal(&inst).matching);
+        assert!(exposed_rotations(&inst, &next).is_empty());
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        // Latin-square-like instances have large lattices; a tiny limit
+        // must error rather than blow up.
+        let inst = kmatch_prefs::gen::structured::cyclic_bipartite(6);
+        let r = enumerate_stable_lattice(&inst, 2);
+        if let Ok(l) = r {
+            assert!(l.matchings.len() <= 2);
+        }
+        // (cyclic instances of size 6 may or may not exceed 2 — the point
+        // is no panic either way; a genuine overflow errors.)
+        let mut rng = ChaCha8Rng::seed_from_u64(98);
+        let mut hit_limit = false;
+        for _ in 0..20 {
+            let inst = uniform_bipartite(12, &mut rng);
+            if enumerate_stable_lattice(&inst, 3).is_err() {
+                hit_limit = true;
+                break;
+            }
+        }
+        assert!(
+            hit_limit,
+            "some n = 12 instance has more than 3 stable matchings"
+        );
+    }
+}

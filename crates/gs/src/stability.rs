@@ -1,0 +1,157 @@
+//! Blocking-pair search for bipartite matchings.
+//!
+//! A matching is unstable iff some proposer `m` and responder `w`, not
+//! matched to each other, each strictly prefer the other to their assigned
+//! partner (§I). `find_blocking_pair` returns the first such pair in
+//! proposer-major order, giving deterministic counterexamples in tests.
+
+use kmatch_prefs::BipartitePrefs;
+
+use crate::matching::BipartiteMatching;
+
+/// A witness of instability: `(proposer, responder)` prefer each other to
+/// their assigned partners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockingPair {
+    /// The proposer-side member of the blocking pair.
+    pub proposer: u32,
+    /// The responder-side member of the blocking pair.
+    pub responder: u32,
+}
+
+/// Find a blocking pair, if any, scanning proposers in index order and each
+/// proposer's list in preference order.
+///
+/// For each proposer `m`, only responders `m` strictly prefers to its
+/// current partner can block, so the scan stops at `m`'s partner — total
+/// cost `O(n²)` worst case but typically far less on stable-ish matchings.
+pub fn find_blocking_pair<P: BipartitePrefs>(
+    prefs: &P,
+    matching: &BipartiteMatching,
+) -> Option<BlockingPair> {
+    let n = prefs.n();
+    assert_eq!(matching.n(), n, "matching size must equal instance size");
+    for m in 0..n as u32 {
+        let current = matching.partner_of_proposer(m);
+        for &w in prefs.proposer_list(m) {
+            if w == current {
+                break; // Everything after this is worse for m.
+            }
+            let her_partner = matching.partner_of_responder(w);
+            if prefs.responder_prefers(w, m, her_partner) {
+                return Some(BlockingPair {
+                    proposer: m,
+                    responder: w,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Is the matching stable under `prefs`?
+pub fn is_stable<P: BipartitePrefs>(prefs: &P, matching: &BipartiteMatching) -> bool {
+    find_blocking_pair(prefs, matching).is_none()
+}
+
+/// Exhaustively enumerate **all** stable matchings of a small instance by
+/// checking every permutation — ground truth for regression tests
+/// (practical to `n ≤ 8`).
+pub fn all_stable_matchings<P: BipartitePrefs>(prefs: &P) -> Vec<BipartiteMatching> {
+    let n = prefs.n();
+    assert!(n <= 8, "exhaustive enumeration is factorial; use n <= 8");
+    let mut out = Vec::new();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    permute(&mut perm, 0, &mut |p: &[u32]| {
+        let m = BipartiteMatching::from_proposer_partners(p.to_vec());
+        if is_stable(prefs, &m) {
+            out.push(m);
+        }
+    });
+    out
+}
+
+fn permute(perm: &mut [u32], i: usize, visit: &mut impl FnMut(&[u32])) {
+    if i == perm.len() {
+        visit(perm);
+        return;
+    }
+    for j in i..perm.len() {
+        perm.swap(i, j);
+        permute(perm, i + 1, visit);
+        perm.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::gale_shapley;
+    use kmatch_prefs::gen::paper::{example1_first, example1_second};
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn detects_instability() {
+        let inst = example1_first();
+        // (m, w), (m', w') is unstable: m' and w prefer each other.
+        let bad = BipartiteMatching::from_proposer_partners(vec![0, 1]);
+        let bp = find_blocking_pair(&inst, &bad).expect("blocking pair exists");
+        assert_eq!(
+            bp,
+            BlockingPair {
+                proposer: 1,
+                responder: 0
+            }
+        );
+        assert!(!is_stable(&inst, &bad));
+    }
+
+    #[test]
+    fn gs_outputs_are_stable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for n in [2usize, 7, 20] {
+            let inst = uniform_bipartite(n, &mut rng);
+            assert!(is_stable(&inst, &gale_shapley(&inst).matching));
+        }
+    }
+
+    #[test]
+    fn example1_second_has_exactly_two_stable_matchings() {
+        // Paper: both (m,w),(m',w') and (m,w'),(m',w) are stable.
+        let all = all_stable_matchings(&example1_second());
+        assert_eq!(all.len(), 2);
+        let man_opt = BipartiteMatching::from_proposer_partners(vec![0, 1]);
+        let woman_opt = BipartiteMatching::from_proposer_partners(vec![1, 0]);
+        assert!(all.contains(&man_opt));
+        assert!(all.contains(&woman_opt));
+    }
+
+    #[test]
+    fn example1_first_has_one_stable_matching() {
+        let all = all_stable_matchings(&example1_first());
+        assert_eq!(
+            all,
+            vec![BipartiteMatching::from_proposer_partners(vec![1, 0])]
+        );
+    }
+
+    #[test]
+    fn proposer_optimality_on_random_instances() {
+        // The GS matching gives every proposer its best partner over all
+        // stable matchings (classic result, checked exhaustively).
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            let inst = uniform_bipartite(5, &mut rng);
+            let gs = gale_shapley(&inst).matching;
+            for other in all_stable_matchings(&inst) {
+                for m in 0..5u32 {
+                    let via_gs = inst.proposer_rank(m, gs.partner_of_proposer(m));
+                    let via_other = inst.proposer_rank(m, other.partner_of_proposer(m));
+                    assert!(via_gs <= via_other, "GS must be proposer-optimal");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Stable marriage with ties (indifference).
+//!
+//! The paper's related work (§V-A) highlights Huang's preference models
+//! "where indifference is allowed (i.e., a tie situation is allowed)" with
+//! "four variations: weak, strong, super, and altra stable matchings".
+//! This module implements the three standard tie-aware stability notions
+//! for the bipartite case:
+//!
+//! * **weak** — a pair blocks only if *both* members strictly prefer each
+//!   other. A weakly stable matching always exists: break ties arbitrarily
+//!   and run GS ([`solve_weak`]).
+//! * **strong** — a pair blocks if one member strictly prefers and the
+//!   other does not strictly prefer its current partner (ties suffice on
+//!   one side).
+//! * **super** — a pair blocks if neither member strictly prefers its
+//!   current partner (ties suffice on both sides). Super-stable matchings
+//!   can fail to exist — the complete-indifference instance is the
+//!   classic witness, exercised in the tests.
+
+use kmatch_prefs::{PrefsError, Rank};
+
+use crate::engine::gale_shapley;
+use crate::matching::BipartiteMatching;
+use kmatch_prefs::BipartiteInstance;
+
+/// A bipartite instance with ties: each member's preferences are a list of
+/// tie groups, best group first; members of one group are indifferent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TiedBipartiteInstance {
+    n: usize,
+    /// `rank0[m * n + w]` = tie-group index of responder `w` for proposer `m`.
+    rank0: Vec<Rank>,
+    /// `rank1[w * n + m]` = tie-group index of proposer `m` for responder `w`.
+    rank1: Vec<Rank>,
+    /// Original tie groups (used to materialize tie-broken instances).
+    groups0: Vec<Vec<Vec<u32>>>,
+    groups1: Vec<Vec<Vec<u32>>>,
+}
+
+impl TiedBipartiteInstance {
+    /// Build from per-member tie groups; the concatenation of each
+    /// member's groups must be a permutation of `0..n`.
+    pub fn from_groups(
+        side0: Vec<Vec<Vec<u32>>>,
+        side1: Vec<Vec<Vec<u32>>>,
+    ) -> Result<Self, PrefsError> {
+        let n = side0.len();
+        if n == 0 {
+            return Err(PrefsError::Empty);
+        }
+        if side1.len() != n {
+            return Err(PrefsError::ShapeMismatch {
+                what: "tied bipartite side 1",
+                expected: n,
+                actual: side1.len(),
+            });
+        }
+        let build = |side: &[Vec<Vec<u32>>], side_idx: usize| -> Result<Vec<Rank>, PrefsError> {
+            let mut rank = vec![Rank::MAX; n * n];
+            for (i, groups) in side.iter().enumerate() {
+                let mut seen = 0usize;
+                for (g, group) in groups.iter().enumerate() {
+                    for &x in group {
+                        if x as usize >= n || rank[i * n + x as usize] != Rank::MAX {
+                            return Err(PrefsError::NotAPermutation {
+                                owner: (side_idx, i),
+                                over: 1 - side_idx,
+                            });
+                        }
+                        rank[i * n + x as usize] = g as Rank;
+                        seen += 1;
+                    }
+                }
+                if seen != n {
+                    return Err(PrefsError::NotAPermutation {
+                        owner: (side_idx, i),
+                        over: 1 - side_idx,
+                    });
+                }
+            }
+            Ok(rank)
+        };
+        let rank0 = build(&side0, 0)?;
+        let rank1 = build(&side1, 1)?;
+        Ok(TiedBipartiteInstance {
+            n,
+            rank0,
+            rank1,
+            groups0: side0,
+            groups1: side1,
+        })
+    }
+
+    /// Members per side.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Tie-group rank of responder `w` for proposer `m`.
+    #[inline]
+    pub fn proposer_rank(&self, m: u32, w: u32) -> Rank {
+        self.rank0[m as usize * self.n + w as usize]
+    }
+
+    /// Tie-group rank of proposer `m` for responder `w`.
+    #[inline]
+    pub fn responder_rank(&self, w: u32, m: u32) -> Rank {
+        self.rank1[w as usize * self.n + m as usize]
+    }
+
+    /// Materialize a strict instance by breaking every tie in index order
+    /// (deterministic; any tie-breaking preserves weak stability of the
+    /// GS result).
+    pub fn break_ties(&self) -> BipartiteInstance {
+        let flatten = |groups: &[Vec<Vec<u32>>]| -> Vec<Vec<u32>> {
+            groups
+                .iter()
+                .map(|gs| {
+                    gs.iter()
+                        .flat_map(|g| {
+                            let mut g = g.clone();
+                            g.sort_unstable();
+                            g
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        BipartiteInstance::from_lists(&flatten(&self.groups0), &flatten(&self.groups1))
+            .expect("tie-broken groups form permutations")
+    }
+}
+
+/// Random tied instance: draw a uniform order, then merge adjacent
+/// entries into one tie group with probability `tie_prob`.
+pub fn random_tied_bipartite(
+    n: usize,
+    tie_prob: f64,
+    rng: &mut impl rand::Rng,
+) -> TiedBipartiteInstance {
+    use rand::seq::SliceRandom;
+    assert!(n > 0, "n must be positive");
+    assert!(
+        (0.0..=1.0).contains(&tie_prob),
+        "tie_prob must be a probability"
+    );
+    let side = |rng: &mut dyn rand::RngCore| -> Vec<Vec<Vec<u32>>> {
+        (0..n)
+            .map(|_| {
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.shuffle(rng);
+                let mut groups: Vec<Vec<u32>> = Vec::new();
+                for x in order {
+                    let extend = !groups.is_empty() && rand::Rng::gen_bool(rng, tie_prob);
+                    if extend {
+                        groups.last_mut().expect("non-empty").push(x);
+                    } else {
+                        groups.push(vec![x]);
+                    }
+                }
+                groups
+            })
+            .collect()
+    };
+    let (a, b) = (side(rng), side(rng));
+    TiedBipartiteInstance::from_groups(a, b).expect("generated groups partition 0..n")
+}
+
+/// Tie-aware stability notion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieStability {
+    /// Blocks need strict preference on both sides.
+    Weak,
+    /// Blocks need strict preference on one side, non-strict on the other.
+    Strong,
+    /// Blocks need non-strict preference on both sides.
+    Super,
+}
+
+/// Find a blocking pair under the chosen notion, or `None`.
+pub fn find_tied_blocking_pair(
+    inst: &TiedBipartiteInstance,
+    matching: &BipartiteMatching,
+    notion: TieStability,
+) -> Option<(u32, u32)> {
+    let n = inst.n();
+    assert_eq!(matching.n(), n, "matching size mismatch");
+    for m in 0..n as u32 {
+        let his = matching.partner_of_proposer(m);
+        for w in 0..n as u32 {
+            if w == his {
+                continue;
+            }
+            let her = matching.partner_of_responder(w);
+            let m_strict = inst.proposer_rank(m, w) < inst.proposer_rank(m, his);
+            let m_weak = inst.proposer_rank(m, w) <= inst.proposer_rank(m, his);
+            let w_strict = inst.responder_rank(w, m) < inst.responder_rank(w, her);
+            let w_weak = inst.responder_rank(w, m) <= inst.responder_rank(w, her);
+            let blocks = match notion {
+                TieStability::Weak => m_strict && w_strict,
+                TieStability::Strong => (m_strict && w_weak) || (m_weak && w_strict),
+                TieStability::Super => m_weak && w_weak,
+            };
+            if blocks {
+                return Some((m, w));
+            }
+        }
+    }
+    None
+}
+
+/// Is the matching stable under `notion`?
+pub fn is_tied_stable(
+    inst: &TiedBipartiteInstance,
+    matching: &BipartiteMatching,
+    notion: TieStability,
+) -> bool {
+    find_tied_blocking_pair(inst, matching, notion).is_none()
+}
+
+/// Solve for a **weakly** stable matching: break ties, run GS. Always
+/// succeeds (the classic reduction).
+pub fn solve_weak(inst: &TiedBipartiteInstance) -> BipartiteMatching {
+    gale_shapley(&inst.break_ties()).matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2×2 instance with full indifference on both sides.
+    fn all_indifferent() -> TiedBipartiteInstance {
+        let side = vec![vec![vec![0, 1]], vec![vec![0, 1]]];
+        TiedBipartiteInstance::from_groups(side.clone(), side).unwrap()
+    }
+
+    #[test]
+    fn weak_always_solvable_even_with_full_indifference() {
+        let inst = all_indifferent();
+        let m = solve_weak(&inst);
+        assert!(is_tied_stable(&inst, &m, TieStability::Weak));
+    }
+
+    #[test]
+    fn super_stable_may_not_exist() {
+        // Complete indifference: any unmatched pair weakly prefers each
+        // other, so every matching is super-blocked.
+        let inst = all_indifferent();
+        for partner in [vec![0u32, 1], vec![1, 0]] {
+            let m = BipartiteMatching::from_proposer_partners(partner);
+            assert!(!is_tied_stable(&inst, &m, TieStability::Super));
+        }
+    }
+
+    #[test]
+    fn strict_instance_notions_coincide() {
+        // Without ties, weak = strong = super = classical stability.
+        let side0 = vec![vec![vec![0], vec![1]], vec![vec![1], vec![0]]];
+        let side1 = vec![vec![vec![0], vec![1]], vec![vec![1], vec![0]]];
+        let inst = TiedBipartiteInstance::from_groups(side0, side1).unwrap();
+        let m = solve_weak(&inst);
+        for notion in [
+            TieStability::Weak,
+            TieStability::Strong,
+            TieStability::Super,
+        ] {
+            assert!(is_tied_stable(&inst, &m, notion), "{notion:?}");
+        }
+    }
+
+    #[test]
+    fn stability_notions_are_nested() {
+        // super-stable => strong-stable => weak-stable on any matching.
+        let inst = TiedBipartiteInstance::from_groups(
+            vec![
+                vec![vec![0, 1], vec![2]],
+                vec![vec![2], vec![0, 1]],
+                vec![vec![1], vec![0], vec![2]],
+            ],
+            vec![
+                vec![vec![0], vec![1, 2]],
+                vec![vec![1, 2], vec![0]],
+                vec![vec![2], vec![0, 1]],
+            ],
+        )
+        .unwrap();
+        for partners in [
+            vec![0u32, 1, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![0, 2, 1],
+        ] {
+            let m = BipartiteMatching::from_proposer_partners(partners);
+            let sup = is_tied_stable(&inst, &m, TieStability::Super);
+            let strong = is_tied_stable(&inst, &m, TieStability::Strong);
+            let weak = is_tied_stable(&inst, &m, TieStability::Weak);
+            assert!(!sup || strong, "super implies strong");
+            assert!(!strong || weak, "strong implies weak");
+        }
+    }
+
+    #[test]
+    fn random_tied_instances_nest_and_weak_solve() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(210);
+        for _ in 0..20 {
+            let inst = random_tied_bipartite(6, 0.4, &mut rng);
+            let m = solve_weak(&inst);
+            assert!(is_tied_stable(&inst, &m, TieStability::Weak));
+            // Nesting on the solved matching too.
+            let sup = is_tied_stable(&inst, &m, TieStability::Super);
+            let strong = is_tied_stable(&inst, &m, TieStability::Strong);
+            assert!(!sup || strong);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_groups() {
+        let bad = vec![vec![vec![0], vec![0, 1]], vec![vec![0, 1]]];
+        let good = vec![vec![vec![0, 1]], vec![vec![0, 1]]];
+        assert!(TiedBipartiteInstance::from_groups(bad, good.clone()).is_err());
+        // Missing member.
+        let short = vec![vec![vec![0]], vec![vec![0, 1]]];
+        assert!(TiedBipartiteInstance::from_groups(short, good).is_err());
+    }
+
+    #[test]
+    fn break_ties_is_deterministic_and_consistent() {
+        let inst = TiedBipartiteInstance::from_groups(
+            vec![vec![vec![1, 0]], vec![vec![0], vec![1]]],
+            vec![vec![vec![0, 1]], vec![vec![1], vec![0]]],
+        )
+        .unwrap();
+        let strict = inst.break_ties();
+        // Ties broken by index: group [1, 0] flattens to [0, 1].
+        assert_eq!(strict.proposer_list(0), &[0, 1]);
+        assert_eq!(strict.proposer_list(1), &[0, 1]);
+        // Tie-group ranks survive where no tie existed.
+        assert_eq!(inst.proposer_rank(1, 0), 0);
+        assert_eq!(inst.proposer_rank(1, 1), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Event traces of a Gale–Shapley run.
+
+/// One event of a traced GS execution.
+///
+/// Events record the deferred-acceptance dialogue of §II-A: proposals, the
+/// "maybe" replies that create provisional engagements, and the rejections
+/// (including a previous fiancé being displaced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GsEvent {
+    /// A new round of simultaneous proposals by all currently-free
+    /// proposers begins (1-indexed).
+    RoundStart {
+        /// Round number, starting at 1.
+        round: u32,
+    },
+    /// `proposer` proposes to `responder`.
+    Propose {
+        /// The proposing member.
+        proposer: u32,
+        /// The member receiving the proposal.
+        responder: u32,
+    },
+    /// `responder` provisionally accepts `proposer` ("maybe").
+    Engage {
+        /// The accepted proposer.
+        proposer: u32,
+        /// The accepting responder.
+        responder: u32,
+    },
+    /// `responder` rejects `proposer` — either an unsuccessful proposal or
+    /// a displaced previous engagement.
+    Reject {
+        /// The rejected proposer.
+        proposer: u32,
+        /// The rejecting responder.
+        responder: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_compare() {
+        assert_eq!(
+            GsEvent::Propose {
+                proposer: 0,
+                responder: 1
+            },
+            GsEvent::Propose {
+                proposer: 0,
+                responder: 1
+            }
+        );
+        assert_ne!(
+            GsEvent::Engage {
+                proposer: 0,
+                responder: 1
+            },
+            GsEvent::Reject {
+                proposer: 0,
+                responder: 1
+            }
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Rayon-based parallel binding executor.
+//!
+//! Each `GS(i, j)` binding reads only the preference tables of genders `i`
+//! and `j` and writes only its own pair list, so bindings with disjoint
+//! gender pairs are embarrassingly parallel. The executor runs either the
+//! whole edge set at once ([`parallel_bind`] — legal because binding
+//! results never feed each other; only the final class merge is shared) or
+//! round-by-round following a schedule ([`parallel_bind_scheduled`] —
+//! the paper's PRAM discipline, where a gender's data is held exclusively
+//! by one binding per round).
+
+use kmatch_core::binding::BindingOutcome;
+use kmatch_core::KAryMatching;
+use kmatch_graph::{BindingTree, Schedule, UnionFind};
+use kmatch_gs::{gale_shapley, GsStats};
+use kmatch_prefs::{GenderId, KPartiteInstance, KPartitePairView, Member};
+use rayon::prelude::*;
+
+/// Outcome of a parallel binding run.
+#[derive(Debug, Clone)]
+pub struct ParallelBindingOutcome {
+    /// The stable k-ary matching (identical to the sequential result).
+    pub matching: KAryMatching,
+    /// Per-edge GS statistics in binding-tree edge order.
+    pub per_edge: Vec<GsStats>,
+    /// Number of barrier-separated rounds executed (1 for the unscheduled
+    /// executor).
+    pub rounds_executed: usize,
+}
+
+impl From<ParallelBindingOutcome> for BindingOutcome {
+    fn from(p: ParallelBindingOutcome) -> Self {
+        BindingOutcome {
+            matching: p.matching,
+            per_edge: p.per_edge,
+        }
+    }
+}
+
+type EdgeResult = (usize, Vec<(u32, u32)>, GsStats);
+
+/// Run one binding edge, returning (edge index, global-id pairs, stats).
+fn run_edge(inst: &KPartiteInstance, edge_idx: usize, i: u16, j: u16) -> EdgeResult {
+    let n = inst.n() as u32;
+    let view = KPartitePairView::new(inst, GenderId(i), GenderId(j));
+    let out = gale_shapley(&view);
+    let pairs: Vec<(u32, u32)> = out
+        .matching
+        .pairs()
+        .map(|(m, w)| {
+            (
+                Member {
+                    gender: GenderId(i),
+                    index: m,
+                }
+                .global(n),
+                Member {
+                    gender: GenderId(j),
+                    index: w,
+                }
+                .global(n),
+            )
+        })
+        .collect();
+    (edge_idx, pairs, out.stats)
+}
+
+fn merge(
+    inst: &KPartiteInstance,
+    edge_count: usize,
+    results: Vec<EdgeResult>,
+    rounds_executed: usize,
+) -> ParallelBindingOutcome {
+    let (k, n) = (inst.k(), inst.n());
+    let mut uf = UnionFind::new(k * n);
+    let mut per_edge = vec![GsStats::default(); edge_count];
+    for (idx, pairs, stats) in results {
+        per_edge[idx] = stats;
+        for (a, b) in pairs {
+            uf.union(a, b);
+        }
+    }
+    let matching = KAryMatching::from_classes(k, n, &uf.classes());
+    ParallelBindingOutcome {
+        matching,
+        per_edge,
+        rounds_executed,
+    }
+}
+
+/// Bind all tree edges concurrently on the rayon pool and merge.
+///
+/// Result is identical to `kmatch_core::binding::bind_with_stats` — the
+/// union–find merge is order-insensitive and each GS run is deterministic.
+pub fn parallel_bind(inst: &KPartiteInstance, tree: &BindingTree) -> ParallelBindingOutcome {
+    assert_eq!(
+        tree.k(),
+        inst.k(),
+        "binding tree must span the instance's genders"
+    );
+    let results: Vec<EdgeResult> = tree
+        .edges()
+        .par_iter()
+        .enumerate()
+        .map(|(idx, &(i, j))| run_edge(inst, idx, i, j))
+        .collect();
+    merge(inst, tree.edges().len(), results, 1)
+}
+
+/// Bind round-by-round following `schedule`: edges within a round run
+/// concurrently, rounds are separated by barriers — the EREW PRAM
+/// discipline of Corollary 1.
+pub fn parallel_bind_scheduled(
+    inst: &KPartiteInstance,
+    tree: &BindingTree,
+    schedule: &Schedule,
+) -> ParallelBindingOutcome {
+    assert_eq!(
+        tree.k(),
+        inst.k(),
+        "binding tree must span the instance's genders"
+    );
+    let mut results: Vec<EdgeResult> = Vec::with_capacity(tree.edges().len());
+    for round in schedule.rounds() {
+        let mut batch: Vec<EdgeResult> = round
+            .par_iter()
+            .map(|&e| {
+                let (i, j) = tree.edges()[e];
+                run_edge(inst, e, i, j)
+            })
+            .collect();
+        results.append(&mut batch);
+    }
+    merge(inst, tree.edges().len(), results, schedule.depth())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_core::binding::bind_with_stats;
+    use kmatch_core::is_kary_stable;
+    use kmatch_graph::prufer::random_tree;
+    use kmatch_graph::schedule::{even_odd_path_schedule, tree_edge_coloring};
+    use kmatch_prefs::gen::uniform::uniform_kpartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        for (k, n) in [(3usize, 8usize), (5, 6), (8, 4)] {
+            let inst = uniform_kpartite(k, n, &mut rng);
+            let tree = random_tree(k, &mut rng);
+            let seq = bind_with_stats(&inst, &tree);
+            let par = parallel_bind(&inst, &tree);
+            assert_eq!(par.matching, seq.matching, "k={k}, n={n}");
+            assert_eq!(par.per_edge, seq.per_edge);
+        }
+    }
+
+    #[test]
+    fn scheduled_equals_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for k in [4usize, 6, 9] {
+            let inst = uniform_kpartite(k, 5, &mut rng);
+            let tree = random_tree(k, &mut rng);
+            let schedule = tree_edge_coloring(&tree);
+            let seq = bind_with_stats(&inst, &tree);
+            let par = parallel_bind_scheduled(&inst, &tree, &schedule);
+            assert_eq!(par.matching, seq.matching);
+            assert_eq!(par.rounds_executed, tree.max_degree());
+        }
+    }
+
+    #[test]
+    fn even_odd_executes_two_rounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        let inst = uniform_kpartite(7, 6, &mut rng);
+        let tree = BindingTree::path(7);
+        let schedule = even_odd_path_schedule(&tree).unwrap();
+        let par = parallel_bind_scheduled(&inst, &tree, &schedule);
+        assert_eq!(par.rounds_executed, 2, "Corollary 2");
+        assert_eq!(par.matching, bind_with_stats(&inst, &tree).matching);
+    }
+
+    #[test]
+    fn parallel_output_is_stable() {
+        let mut rng = ChaCha8Rng::seed_from_u64(44);
+        let inst = uniform_kpartite(4, 5, &mut rng);
+        let tree = BindingTree::star(4, 3);
+        let par = parallel_bind(&inst, &tree);
+        assert!(is_kary_stable(&inst, &par.matching));
+    }
+
+    #[test]
+    fn outcome_converts_to_binding_outcome() {
+        let mut rng = ChaCha8Rng::seed_from_u64(45);
+        let inst = uniform_kpartite(3, 4, &mut rng);
+        let tree = BindingTree::path(3);
+        let par = parallel_bind(&inst, &tree);
+        let total: u64 = par.per_edge.iter().map(|s| s.proposals).sum();
+        let bo: BindingOutcome = par.into();
+        assert_eq!(bo.total_proposals(), total);
+    }
+}

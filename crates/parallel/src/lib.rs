@@ -1,0 +1,34 @@
+//! # kmatch-parallel — parallel binding execution and PRAM cost models
+//!
+//! §IV-C of the paper: "pairwise matching in the original GS algorithm is
+//! difficult to parallelize … However, parallelization at the binding tree
+//! level is feasible." Two bindings can run concurrently when their gender
+//! pairs are disjoint, so a parallel plan is an edge coloring of the
+//! binding tree (see `kmatch_graph::schedule`).
+//!
+//! This crate provides:
+//!
+//! * [`executor`] — a real shared-memory executor on the rayon work-stealing
+//!   pool: independent `GS(i, j)` bindings of each schedule round run
+//!   concurrently. Its output is bit-identical to the sequential
+//!   Algorithm 1 (GS is deterministic per edge and edges touch disjoint
+//!   data), which the tests enforce.
+//! * [`pram`] — the paper's own cost model, implemented as an explicit
+//!   simulator: EREW round accounting reproducing Corollary 1
+//!   (`≤ Δ·n²` iterations with `k − 1` processors), the 2-round even–odd
+//!   path schedule of Corollary 2 / Fig. 4, and the `⌈log₂ Δ⌉`-round data
+//!   replication that lets EREW emulate CREW.
+//!
+//! The host machine for this reproduction has a single core, so wall-clock
+//! speedups are reported by the PRAM model (the paper's metric) while the
+//! rayon executor is validated for correctness and scales on real
+//! multicore hardware.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod pram;
+
+pub use executor::{parallel_bind, parallel_bind_scheduled, ParallelBindingOutcome};
+pub use pram::{crew_cost, erew_cost, replication_rounds, PramCost, PramModel};

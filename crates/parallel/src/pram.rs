@@ -1,0 +1,212 @@
+//! The paper's PRAM cost model, as an explicit simulator.
+//!
+//! §IV-C measures parallel binding in *iterations of the matching process*
+//! (proposals) under the PRAM abstraction:
+//!
+//! * **EREW** (exclusive read, exclusive write): a gender's preference data
+//!   can serve one binding at a time, so bindings execute in the rounds of
+//!   an edge coloring; with `k − 1` processors the makespan is
+//!   `Σ_rounds max(edge cost)` ≤ `Δ·n²` (Corollary 1). A path tree under
+//!   the even–odd schedule needs exactly two rounds (Corollary 2, Fig. 4).
+//! * **CREW** (concurrent read, exclusive write): every binding can read
+//!   gender data simultaneously, so all `k − 1` bindings run in one round;
+//!   EREW emulates this by first replicating each gender's data for
+//!   `⌈log₂ Δ⌉` doubling rounds.
+
+use kmatch_graph::{tree_edge_coloring, BindingTree, Schedule};
+use kmatch_gs::GsStats;
+
+/// Which PRAM variant a cost was computed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PramModel {
+    /// Exclusive read, exclusive write: edge-colored rounds.
+    Erew,
+    /// Concurrent read (after data replication), exclusive write.
+    Crew,
+}
+
+/// Modeled parallel cost of a binding execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PramCost {
+    /// The model used.
+    pub model: PramModel,
+    /// Per-round iteration cost: the maximum proposal count among the
+    /// bindings of each round.
+    pub round_costs: Vec<u64>,
+    /// Data-replication rounds paid up front (CREW emulation only).
+    pub replication_rounds: u32,
+    /// Processors used (concurrent bindings in the widest round).
+    pub processors: usize,
+}
+
+impl PramCost {
+    /// Total modeled iterations: the sum of per-round maxima.
+    pub fn total_iterations(&self) -> u64 {
+        self.round_costs.iter().sum()
+    }
+
+    /// Number of GS rounds (excluding replication).
+    pub fn depth(&self) -> usize {
+        self.round_costs.len()
+    }
+}
+
+/// `⌈log₂ Δ⌉`: doubling rounds needed to replicate one copy of a gender's
+/// data into `Δ` copies.
+pub fn replication_rounds(delta: usize) -> u32 {
+    if delta <= 1 {
+        return 0;
+    }
+    usize::BITS - (delta - 1).leading_zeros()
+}
+
+fn schedule_cost(schedule: &Schedule, per_edge: &[GsStats]) -> (Vec<u64>, usize) {
+    let round_costs: Vec<u64> = schedule
+        .rounds()
+        .iter()
+        .map(|round| {
+            round
+                .iter()
+                .map(|&e| per_edge[e].proposals)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    (round_costs, schedule.width())
+}
+
+/// EREW cost of executing `per_edge` (stats from a real run, edge order
+/// matching `tree.edges()`) under `schedule`; defaults to the Δ-round edge
+/// coloring when `schedule` is `None`.
+pub fn erew_cost(
+    tree: &BindingTree,
+    per_edge: &[GsStats],
+    schedule: Option<&Schedule>,
+) -> PramCost {
+    assert_eq!(per_edge.len(), tree.edges().len(), "one stat per edge");
+    let coloring;
+    let schedule = match schedule {
+        Some(s) => s,
+        None => {
+            coloring = tree_edge_coloring(tree);
+            &coloring
+        }
+    };
+    let (round_costs, processors) = schedule_cost(schedule, per_edge);
+    PramCost {
+        model: PramModel::Erew,
+        round_costs,
+        replication_rounds: 0,
+        processors,
+    }
+}
+
+/// CREW cost: one round of all bindings after `⌈log₂ Δ⌉` replication
+/// rounds.
+pub fn crew_cost(tree: &BindingTree, per_edge: &[GsStats]) -> PramCost {
+    assert_eq!(per_edge.len(), tree.edges().len(), "one stat per edge");
+    let max_cost = per_edge.iter().map(|s| s.proposals).max().unwrap_or(0);
+    PramCost {
+        model: PramModel::Crew,
+        round_costs: vec![max_cost],
+        replication_rounds: replication_rounds(tree.max_degree()),
+        processors: tree.edges().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_core::binding::bind_with_stats;
+    use kmatch_graph::prufer::random_tree;
+    use kmatch_graph::schedule::even_odd_path_schedule;
+    use kmatch_prefs::gen::uniform::uniform_kpartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn corollary1_bound_holds() {
+        // EREW cost ≤ Δ·n² for any tree.
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        for k in [4usize, 6, 10] {
+            let n = 8usize;
+            let inst = uniform_kpartite(k, n, &mut rng);
+            let tree = random_tree(k, &mut rng);
+            let out = bind_with_stats(&inst, &tree);
+            let cost = erew_cost(&tree, &out.per_edge, None);
+            let bound = (tree.max_degree() * n * n) as u64;
+            assert!(cost.total_iterations() <= bound, "Δn² = {bound} exceeded");
+            assert_eq!(cost.depth(), tree.max_degree());
+        }
+    }
+
+    #[test]
+    fn corollary2_two_round_path() {
+        let mut rng = ChaCha8Rng::seed_from_u64(52);
+        let inst = uniform_kpartite(9, 6, &mut rng);
+        let tree = BindingTree::path(9);
+        let out = bind_with_stats(&inst, &tree);
+        let schedule = even_odd_path_schedule(&tree).unwrap();
+        let cost = erew_cost(&tree, &out.per_edge, Some(&schedule));
+        assert_eq!(cost.depth(), 2, "Corollary 2: two rounds");
+        // Two-round cost is also within the Δn² bound (Δ = 2 on a path).
+        assert!(cost.total_iterations() <= 2 * 6 * 6);
+    }
+
+    #[test]
+    fn star_is_sequential_under_erew() {
+        // A star has Δ = k − 1: no parallelism at all under EREW.
+        let mut rng = ChaCha8Rng::seed_from_u64(53);
+        let inst = uniform_kpartite(6, 5, &mut rng);
+        let tree = BindingTree::star(6, 0);
+        let out = bind_with_stats(&inst, &tree);
+        let cost = erew_cost(&tree, &out.per_edge, None);
+        assert_eq!(cost.depth(), 5);
+        assert_eq!(cost.processors, 1);
+        assert_eq!(
+            cost.total_iterations(),
+            out.total_proposals(),
+            "no overlap possible"
+        );
+    }
+
+    #[test]
+    fn crew_single_round_with_replication() {
+        let mut rng = ChaCha8Rng::seed_from_u64(54);
+        let inst = uniform_kpartite(6, 5, &mut rng);
+        let tree = BindingTree::star(6, 0);
+        let out = bind_with_stats(&inst, &tree);
+        let cost = crew_cost(&tree, &out.per_edge);
+        assert_eq!(cost.depth(), 1);
+        assert_eq!(cost.replication_rounds, replication_rounds(5));
+        assert_eq!(cost.replication_rounds, 3); // ceil(log2 5)
+        assert!(cost.total_iterations() <= out.total_proposals());
+    }
+
+    #[test]
+    fn replication_round_values() {
+        assert_eq!(replication_rounds(1), 0);
+        assert_eq!(replication_rounds(2), 1);
+        assert_eq!(replication_rounds(3), 2);
+        assert_eq!(replication_rounds(4), 2);
+        assert_eq!(replication_rounds(5), 3);
+        assert_eq!(replication_rounds(8), 3);
+        assert_eq!(replication_rounds(9), 4);
+    }
+
+    #[test]
+    fn erew_beats_sequential_on_paths() {
+        // Path trees overlap bindings: modeled cost strictly below the
+        // sequential total whenever more than one edge shares a round.
+        let mut rng = ChaCha8Rng::seed_from_u64(55);
+        let inst = uniform_kpartite(8, 16, &mut rng);
+        let tree = BindingTree::path(8);
+        let out = bind_with_stats(&inst, &tree);
+        let schedule = even_odd_path_schedule(&tree).unwrap();
+        let cost = erew_cost(&tree, &out.per_edge, Some(&schedule));
+        assert!(
+            cost.total_iterations() < out.total_proposals(),
+            "parallel model must beat the sequential sum on a path"
+        );
+    }
+}

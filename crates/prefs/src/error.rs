@@ -1,0 +1,127 @@
+//! Validation errors for instance construction.
+
+use core::fmt;
+
+/// Errors raised while validating preference data.
+///
+/// Every constructor in this crate validates its input completely before
+/// building the dense tables, so solvers can assume well-formed instances
+/// and stay branch-free on the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefsError {
+    /// The instance would be empty (`k == 0` or `n == 0`).
+    Empty,
+    /// A k-partite instance needs at least two genders.
+    TooFewGenders {
+        /// The offending gender count.
+        k: usize,
+    },
+    /// The number of genders or members exceeds the index type.
+    TooLarge {
+        /// Human-readable description of the violated limit.
+        what: &'static str,
+    },
+    /// Outer structure has the wrong shape (e.g. `lists.len() != k`).
+    ShapeMismatch {
+        /// What was being validated.
+        what: &'static str,
+        /// Expected extent.
+        expected: usize,
+        /// Actual extent.
+        actual: usize,
+    },
+    /// A preference list over a gender is not a permutation of `0..n`.
+    NotAPermutation {
+        /// The member whose list is malformed (gender index, member index).
+        owner: (usize, usize),
+        /// The gender the malformed list ranks.
+        over: usize,
+    },
+    /// A member ranked itself, or a list over the member's own gender is
+    /// non-empty where the model forbids self-gender preferences.
+    SelfPreference {
+        /// The offending member (gender index, member index).
+        owner: (usize, usize),
+    },
+    /// A roommates list contains a duplicate or out-of-range entry.
+    BadRoommatesList {
+        /// The participant whose list is malformed.
+        owner: usize,
+        /// Explanation.
+        reason: &'static str,
+    },
+    /// Roommates acceptability is not mutual: `a` lists `b` but not vice
+    /// versa. Irving's algorithm requires symmetric acceptability.
+    AsymmetricAcceptability {
+        /// Participant listing the other.
+        a: usize,
+        /// Participant not listing back.
+        b: usize,
+    },
+}
+
+impl fmt::Display for PrefsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefsError::Empty => write!(f, "instance must have k >= 1 genders and n >= 1 members"),
+            PrefsError::TooFewGenders { k } => {
+                write!(f, "k-partite instance needs k >= 2 genders, got {k}")
+            }
+            PrefsError::TooLarge { what } => write!(f, "instance too large: {what}"),
+            PrefsError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {what}: expected {expected}, got {actual}"
+                )
+            }
+            PrefsError::NotAPermutation { owner, over } => write!(
+                f,
+                "preference list of member G{}[{}] over gender G{} is not a permutation of 0..n",
+                owner.0, owner.1, over
+            ),
+            PrefsError::SelfPreference { owner } => write!(
+                f,
+                "member G{}[{}] has a non-empty preference list over its own gender",
+                owner.0, owner.1
+            ),
+            PrefsError::BadRoommatesList { owner, reason } => {
+                write!(
+                    f,
+                    "roommates list of participant {owner} is invalid: {reason}"
+                )
+            }
+            PrefsError::AsymmetricAcceptability { a, b } => write!(
+                f,
+                "acceptability must be mutual: participant {a} lists {b} but {b} does not list {a}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PrefsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PrefsError::NotAPermutation {
+            owner: (1, 2),
+            over: 0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("G1[2]"));
+        assert!(s.contains("G0"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(PrefsError::Empty);
+        assert!(e.to_string().contains("k >= 1"));
+    }
+}

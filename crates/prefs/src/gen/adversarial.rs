@@ -1,0 +1,150 @@
+//! The Theorem-1 adversarial construction.
+//!
+//! Theorem 1 (Wu, IPPS 2016): *for any balanced k-partite graph with an even
+//! number of nodes and k > 2 there exist preference lists under which no
+//! stable binary matching exists, although a perfect matching does.*
+//!
+//! The constructive proof defines lists where
+//!
+//! 1. one node `u` of gender 0 is ranked **last** by every other node, and
+//! 2. within the remaining `k − 1` genders, every node is the **top** choice
+//!    of exactly one node from a *different* gender among those `k − 1`.
+//!
+//! Then whatever node `m` is matched with `u`, some third-gender node `w`
+//! has `m` as its top choice, and `(m, w)` is a blocking pair: `w` prefers
+//! `m` to anything (top), and `m` prefers `w` to `u` (last).
+//!
+//! Binary matching in a k-partite graph gives every node a single total
+//! order over *all* nodes of other genders (paper Fig. 1), so the natural
+//! encoding is a [`RoommatesInstance`] whose same-gender pairs are
+//! unacceptable — exactly the reduction §III-B uses.
+
+use crate::RoommatesInstance;
+
+/// Node numbering: participant `g·n + i` is member `i` of gender `g`.
+fn pid(g: usize, i: usize, n: usize) -> u32 {
+    (g * n + i) as u32
+}
+
+/// Successor in the top-choice cycle over genders `1..k`: round-robin
+/// blocks `(1, i), (2, i), …, (k-1, i), (1, i+1), …` so that consecutive
+/// nodes always come from different genders (requires `k ≥ 3`).
+fn cycle_successor(g: usize, i: usize, k: usize, n: usize) -> (usize, usize) {
+    if g + 1 < k {
+        (g + 1, i)
+    } else {
+        (1, (i + 1) % n)
+    }
+}
+
+/// Build the Theorem-1 instance for a balanced k-partite graph (`k ≥ 3`,
+/// `k·n` even is not required by the construction itself; any perfect
+/// matching that exists is unstable).
+///
+/// Returns the instance as a roommates problem with incomplete lists. The
+/// globally-despised node is participant `0` (gender 0, index 0).
+pub fn theorem1_roommates(k: usize, n: usize) -> RoommatesInstance {
+    assert!(k >= 3, "Theorem 1 needs k > 2");
+    assert!(n >= 1, "n must be positive");
+    let total = k * n;
+    let mut lists: Vec<Vec<u32>> = Vec::with_capacity(total);
+    for g in 0..k {
+        for i in 0..n {
+            let me = pid(g, i, n);
+            let mut list: Vec<u32> = Vec::with_capacity((k - 1) * n);
+            if g >= 1 {
+                // Top choice: cycle successor within genders 1..k.
+                let (sg, si) = cycle_successor(g, i, k, n);
+                list.push(pid(sg, si, n));
+            }
+            // Everyone else from different genders, ascending, except the
+            // despised node 0 and (for g >= 1) the already-placed top.
+            for h in 0..k {
+                if h == g {
+                    continue;
+                }
+                for j in 0..n {
+                    let q = pid(h, j, n);
+                    if q == me || q == 0 || list.contains(&q) {
+                        continue;
+                    }
+                    list.push(q);
+                }
+            }
+            // The despised node u = participant 0 goes last for everyone
+            // outside gender 0.
+            if g != 0 {
+                list.push(0);
+            }
+            lists.push(list);
+        }
+    }
+    RoommatesInstance::from_lists(lists).expect("Theorem-1 construction is a valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn despised_node_is_last_everywhere() {
+        for (k, n) in [(3, 2), (4, 2), (3, 4), (5, 3)] {
+            let inst = theorem1_roommates(k, n);
+            for p in 1..(k * n) as u32 {
+                if (p as usize) / n == 0 {
+                    // Same gender as u: u unacceptable, fine.
+                    assert!(!inst.acceptable(p, 0));
+                } else {
+                    let list = inst.list(p);
+                    assert_eq!(*list.last().unwrap(), 0, "u must be ranked last by {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_choice_cycle_covers_other_genders() {
+        let (k, n) = (4, 3);
+        let inst = theorem1_roommates(k, n);
+        // Every node of genders 1..k must be the top choice of exactly one
+        // node from a different gender among genders 1..k.
+        let mut top_count = vec![0usize; k * n];
+        for g in 1..k {
+            for i in 0..n {
+                let p = pid(g, i, n);
+                let top = inst.list(p)[0] as usize;
+                assert_ne!(top / n, g, "top choice must be cross-gender");
+                assert_ne!(top / n, 0, "top choice must avoid gender 0");
+                top_count[top] += 1;
+            }
+        }
+        for g in 1..k {
+            for i in 0..n {
+                assert_eq!(
+                    top_count[pid(g, i, n) as usize],
+                    1,
+                    "node ({g},{i}) must be topped once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lists_are_complete_over_other_genders() {
+        let (k, n) = (3, 2);
+        let inst = theorem1_roommates(k, n);
+        for p in 0..(k * n) as u32 {
+            assert_eq!(
+                inst.list(p).len(),
+                (k - 1) * n,
+                "participant {p} list length"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 2")]
+    fn rejects_bipartite() {
+        let _ = theorem1_roommates(2, 2);
+    }
+}

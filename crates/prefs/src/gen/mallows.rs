@@ -1,0 +1,154 @@
+//! Mallows-model preference orders.
+//!
+//! The Mallows distribution over permutations concentrates around a
+//! reference order `σ₀` with dispersion `φ ∈ (0, 1]`: a permutation at
+//! Kendall-tau distance `d` from `σ₀` has probability ∝ `φ^d`. `φ = 1` is
+//! uniform; `φ → 0` collapses onto the reference order. It is the standard
+//! "partially-correlated preferences" workload of the matching literature,
+//! complementing the popularity-weighted model in
+//! [`crate::gen::correlated`]: Mallows correlates the *order* globally,
+//! popularity weights correlate who sits near the top.
+//!
+//! Sampling uses the repeated-insertion method (RIM): item `i` of the
+//! reference order is inserted at position `j ≤ i` of the growing prefix
+//! with probability ∝ `φ^(i−j)` — exact and `O(n²)`.
+
+use rand::Rng;
+
+use crate::{BipartiteInstance, KPartiteInstance};
+
+/// One Mallows draw around the identity reference order.
+pub fn mallows_perm(n: usize, phi: f64, rng: &mut impl Rng) -> Vec<u32> {
+    assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+    let mut out: Vec<u32> = Vec::with_capacity(n);
+    for i in 0..n {
+        // Insertion position j in 0..=i with weight phi^(i - j).
+        let mut weights = Vec::with_capacity(i + 1);
+        let mut acc = 0.0f64;
+        for j in 0..=i {
+            acc += phi.powi((i - j) as i32);
+            weights.push(acc);
+        }
+        let target = rng.gen_range(0.0..acc.max(f64::MIN_POSITIVE));
+        let pos = weights.partition_point(|&w| w < target).min(i);
+        out.insert(pos, i as u32);
+    }
+    out
+}
+
+/// Mallows bipartite instance: every list an independent Mallows draw
+/// around the ascending reference order.
+pub fn mallows_bipartite(n: usize, phi: f64, rng: &mut impl Rng) -> BipartiteInstance {
+    assert!(n > 0, "n must be positive");
+    let side0: Vec<Vec<u32>> = (0..n).map(|_| mallows_perm(n, phi, rng)).collect();
+    let side1: Vec<Vec<u32>> = (0..n).map(|_| mallows_perm(n, phi, rng)).collect();
+    BipartiteInstance::from_lists(&side0, &side1).expect("Mallows draws are permutations")
+}
+
+/// Mallows k-partite instance.
+pub fn mallows_kpartite(k: usize, n: usize, phi: f64, rng: &mut impl Rng) -> KPartiteInstance {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(n > 0, "n must be positive");
+    let lists: Vec<Vec<Vec<Vec<u32>>>> = (0..k)
+        .map(|g| {
+            (0..n)
+                .map(|_| {
+                    (0..k)
+                        .map(|h| {
+                            if h == g {
+                                Vec::new()
+                            } else {
+                                mallows_perm(n, phi, rng)
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    KPartiteInstance::from_lists(&lists).expect("Mallows draws are permutations")
+}
+
+/// Kendall-tau distance between a permutation and the identity (inversion
+/// count), used to validate dispersion behaviour.
+pub fn inversions(perm: &[u32]) -> u64 {
+    let mut count = 0u64;
+    for i in 0..perm.len() {
+        for j in i + 1..perm.len() {
+            if perm[i] > perm[j] {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn phi_one_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(161);
+        let n = 16;
+        let trials = 300;
+        let mean: f64 = (0..trials)
+            .map(|_| inversions(&mallows_perm(n, 1.0, &mut rng)) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        // Uniform expectation: n(n-1)/4 = 60.
+        assert!(
+            (mean - 60.0).abs() < 8.0,
+            "phi = 1 should be uniform-ish, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn small_phi_concentrates_near_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(162);
+        let n = 16;
+        let mean: f64 = (0..200)
+            .map(|_| inversions(&mallows_perm(n, 0.2, &mut rng)) as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!(
+            mean < 8.0,
+            "phi = 0.2 must stay close to identity, mean {mean}"
+        );
+        // phi ordering: smaller phi => fewer inversions.
+        let mean_mid: f64 = (0..200)
+            .map(|_| inversions(&mallows_perm(n, 0.8, &mut rng)) as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!(mean < mean_mid, "dispersion must grow with phi");
+    }
+
+    #[test]
+    fn draws_are_permutations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(163);
+        for n in [1usize, 2, 7, 31] {
+            let p = mallows_perm(n, 0.5, &mut rng);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn instances_valid_and_deterministic() {
+        let a = mallows_bipartite(10, 0.5, &mut ChaCha8Rng::seed_from_u64(164));
+        let b = mallows_bipartite(10, 0.5, &mut ChaCha8Rng::seed_from_u64(164));
+        assert_eq!(a, b);
+        let inst = mallows_kpartite(3, 5, 0.3, &mut ChaCha8Rng::seed_from_u64(165));
+        assert_eq!(inst.k(), 3);
+        assert_eq!(inst.n(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in")]
+    fn rejects_bad_phi() {
+        let _ = mallows_perm(4, 0.0, &mut ChaCha8Rng::seed_from_u64(166));
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload generators for every experiment in EXPERIMENTS.md.
+//!
+//! All randomized generators take an explicit [`rand::Rng`] so that every
+//! experiment is reproducible from a seed; none of them touch global RNG
+//! state.
+//!
+//! * [`uniform`] — i.i.d. uniform-random preference orders (the default
+//!   workload).
+//! * [`correlated`] — popularity-weighted orders, modelling agreement among
+//!   members about who is desirable.
+//! * [`mallows`] — Mallows-dispersed orders around a reference ranking
+//!   (the matching literature's standard correlation model).
+//! * [`euclidean`] — geometric preferences: members are points, ranked by
+//!   distance.
+//! * [`structured`] — deterministic structured instances: identical lists
+//!   (a Θ(n²)-proposal workload for GS), cyclic/latin orders, master lists.
+//! * [`adversarial`] — the Theorem-1 construction: k-partite binary-matching
+//!   instances (k > 2) that provably admit **no** stable binary matching.
+//! * [`paper`] — the paper's worked examples encoded verbatim (Example 1,
+//!   Figs. 1–3, the §III-B traces, the §IV-B Theorem-4 cycle).
+
+pub mod adversarial;
+pub mod correlated;
+pub mod euclidean;
+pub mod mallows;
+pub mod paper;
+pub mod structured;
+pub mod uniform;
+
+pub use adversarial::theorem1_roommates;
+pub use correlated::{correlated_bipartite, correlated_kpartite};
+pub use euclidean::{euclidean_bipartite, euclidean_kpartite};
+pub use mallows::{mallows_bipartite, mallows_kpartite};
+pub use structured::{cyclic_bipartite, identical_bipartite, master_list_kpartite};
+pub use uniform::{uniform_bipartite, uniform_kpartite, uniform_roommates};

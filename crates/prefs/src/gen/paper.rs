@@ -1,0 +1,216 @@
+//! The paper's worked examples, encoded verbatim.
+//!
+//! Each fixture cites the paper location it reproduces; regression tests in
+//! `kmatch-gs`, `kmatch-roommates` and `kmatch-core` assert the exact
+//! outcomes the paper reports for these inputs.
+//!
+//! Gender/participant conventions used throughout:
+//! * tripartite instances: gender 0 = `M = {m, m'}`, gender 1 =
+//!   `W = {w, w'}`, gender 2 = `U = {u, u'}`; index 0 is the unprimed
+//!   member.
+//! * roommates encodings of the tripartite examples: participants
+//!   `m=0, m'=1, w=2, w'=3, u=4, u'=5`.
+
+use crate::{BipartiteInstance, KPartiteInstance, RoommatesInstance};
+
+/// Example 1, first preference set (§II-A):
+/// `m: w > w'`, `m': w > w'`, `w: m' > m`, `w': m' > m`.
+///
+/// GS (men propose) yields `(m', w), (m, w')` — "although neither m nor w'
+/// is happy".
+pub fn example1_first() -> BipartiteInstance {
+    BipartiteInstance::from_lists(&[vec![0, 1], vec![0, 1]], &[vec![1, 0], vec![1, 0]])
+        .expect("paper fixture is valid")
+}
+
+/// Example 1, second preference set (§II-A):
+/// `m: w > w'`, `m': w' > w`, `w: m' > m`, `w': m > m'`.
+///
+/// GS (men propose) yields the man-optimal `(m, w), (m', w')`; the
+/// woman-optimal `(m, w'), (m', w)` also stable but never produced by
+/// man-proposing GS — the paper's illustration of GS unfairness. The same
+/// lists are the §III-B "deadlock" example (Fig. 2).
+pub fn example1_second() -> BipartiteInstance {
+    BipartiteInstance::from_lists(&[vec![0, 1], vec![1, 0]], &[vec![1, 0], vec![0, 1]])
+        .expect("paper fixture is valid")
+}
+
+/// Fig. 2 / end of §III-B: the circular-proposal SMP instance. Identical to
+/// [`example1_second`]; exported under the figure's name for clarity.
+pub fn fig2_deadlock_smp() -> BipartiteInstance {
+    example1_second()
+}
+
+/// Fig. 3 (§IV-A): the tripartite instance used to demonstrate Algorithm 1.
+///
+/// Satisfies every constraint the text states:
+/// * "both u and u' rank m higher than m', although m ranks u' higher and
+///   m' ranks u higher";
+/// * binding `M−W` pairs `(m,w), (m',w')`; binding `W−U` pairs
+///   `(w,u), (w',u')`, giving families `(m,w,u), (m',w',u')`;
+/// * §IV-B: bindings `M−U, U−W` give `(m,w',u'), (m',w,u)` and bindings
+///   `M−U, M−W` give `(m,w,u'), (m',w',u)`.
+pub fn fig3_tripartite() -> KPartiteInstance {
+    let lists = vec![
+        // Gender 0 = M
+        vec![
+            // m : W: w > w'    U: u' > u
+            vec![vec![], vec![0, 1], vec![1, 0]],
+            // m': W: w' > w    U: u > u'
+            vec![vec![], vec![1, 0], vec![0, 1]],
+        ],
+        // Gender 1 = W
+        vec![
+            // w : M: m > m'    U: u > u'
+            vec![vec![0, 1], vec![], vec![0, 1]],
+            // w': M: m' > m    U: u' > u
+            vec![vec![1, 0], vec![], vec![1, 0]],
+        ],
+        // Gender 2 = U
+        vec![
+            // u : M: m > m'    W: w > w'
+            vec![vec![0, 1], vec![0, 1], vec![]],
+            // u': M: m > m'    W: w' > w
+            vec![vec![0, 1], vec![1, 0], vec![]],
+        ],
+    ];
+    KPartiteInstance::from_lists(&lists).expect("paper fixture is valid")
+}
+
+/// §III-B, left-hand preference lists (tripartite binary matching solved as
+/// roommates with incomplete lists):
+///
+/// ```text
+/// m : u' w w' u        w : m m' u' u        u : m m' w' w
+/// m': u' w u w'        w': m' m u u'        u': m w w' m'
+/// ```
+///
+/// The paper's trace ends with the stable matching
+/// `(m, u'), (m', w), (w', u)`.
+pub fn section3b_left() -> RoommatesInstance {
+    RoommatesInstance::from_lists(vec![
+        vec![5, 2, 3, 4], // m : u' w w' u
+        vec![5, 2, 4, 3], // m': u' w u w'
+        vec![0, 1, 5, 4], // w : m m' u' u
+        vec![1, 0, 4, 5], // w': m' m u u'
+        vec![0, 1, 3, 2], // u : m m' w' w
+        vec![0, 2, 3, 1], // u': m w w' m'
+    ])
+    .expect("paper fixture is valid")
+}
+
+/// §III-B, right-hand preference lists:
+///
+/// ```text
+/// m : w' u' u w        w : m' m u u'        u : m m' w w'
+/// m': w' w u u'        w': m m' u u'        u': m w' w m'
+/// ```
+///
+/// The paper's trace empties u's reduced list: **no stable binary matching
+/// exists**.
+pub fn section3b_right() -> RoommatesInstance {
+    RoommatesInstance::from_lists(vec![
+        vec![3, 5, 4, 2], // m : w' u' u w
+        vec![3, 2, 4, 5], // m': w' w u u'
+        vec![1, 0, 4, 5], // w : m' m u u'
+        vec![0, 1, 4, 5], // w': m m' u u'
+        vec![0, 1, 2, 3], // u : m m' w w'
+        vec![0, 3, 2, 1], // u': m w' w m'
+    ])
+    .expect("paper fixture is valid")
+}
+
+/// §IV-B (Theorem 4): the top-choice cycle showing that **three** bindings
+/// of a tripartite instance cannot all be consistent and stable:
+///
+/// ```text
+/// m: w   m': w   w: m   w': m'   (M ↔ W)
+/// w: u   w': u   u: w   u': w'   (W ↔ U)
+/// m: u   m': u   u: m'  u': m'   (M ↔ U)
+/// ```
+///
+/// The three pairwise-stable binary matchings produced by GS on the three
+/// edges merge all six members into a single equivalence class instead of
+/// two families — the cycle is unsatisfiable.
+pub fn theorem4_cycle_tripartite() -> KPartiteInstance {
+    let lists = vec![
+        // M over W, M over U
+        vec![
+            vec![vec![], vec![0, 1], vec![0, 1]], // m : w > w',  u > u'
+            vec![vec![], vec![0, 1], vec![0, 1]], // m': w > w',  u > u'
+        ],
+        // W over M, W over U
+        vec![
+            vec![vec![0, 1], vec![], vec![0, 1]], // w : m > m',  u > u'
+            vec![vec![1, 0], vec![], vec![0, 1]], // w': m' > m,  u > u'
+        ],
+        // U over M, U over W
+        vec![
+            vec![vec![1, 0], vec![0, 1], vec![]], // u : m' > m,  w > w'
+            vec![vec![1, 0], vec![1, 0], vec![]], // u': m' > m,  w' > w
+        ],
+    ];
+    KPartiteInstance::from_lists(&lists).expect("paper fixture is valid")
+}
+
+/// A classic 4-participant roommates instance with **no** stable matching
+/// (used to exercise the Irving solver's negative path alongside the
+/// paper's right-hand §III-B instance):
+///
+/// ```text
+/// 0: 1 2 3      2: 0 1 3
+/// 1: 2 0 3      3: 0 1 2
+/// ```
+///
+/// Participants 0, 1, 2 each rank "the next one around the triangle" first
+/// and the outsider 3 last; whoever rooms with 3 forms a blocking pair with
+/// the member of the triangle that prefers them.
+pub fn no_stable_roommates_4() -> RoommatesInstance {
+    RoommatesInstance::from_lists(vec![
+        vec![1, 2, 3],
+        vec![2, 0, 3],
+        vec![0, 1, 3],
+        vec![0, 1, 2],
+    ])
+    .expect("paper fixture is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_construct() {
+        assert_eq!(example1_first().n(), 2);
+        assert_eq!(example1_second().n(), 2);
+        assert_eq!(fig3_tripartite().k(), 3);
+        assert_eq!(section3b_left().n(), 6);
+        assert_eq!(section3b_right().n(), 6);
+        assert_eq!(theorem4_cycle_tripartite().k(), 3);
+        assert_eq!(no_stable_roommates_4().n(), 4);
+    }
+
+    #[test]
+    fn section3b_lists_transcribed_exactly() {
+        let left = section3b_left();
+        // Spot-check against the paper's table (§III-B).
+        assert_eq!(left.list(1), &[5, 2, 4, 3]); // m': u' w u w'
+        assert_eq!(left.list(3), &[1, 0, 4, 5]); // w': m' m u u'
+        assert_eq!(left.list(4), &[0, 1, 3, 2]); // u : m m' w' w
+        let right = section3b_right();
+        assert_eq!(right.list(0), &[3, 5, 4, 2]); // m : w' u' u w
+        assert_eq!(right.list(5), &[0, 3, 2, 1]); // u': m w' w m'
+    }
+
+    #[test]
+    fn theorem4_cycle_top_choices() {
+        let inst = theorem4_cycle_tripartite();
+        use crate::ids::{GenderId, Member};
+        let m = Member::new(0usize, 0);
+        let w = Member::new(1usize, 0);
+        let u = Member::new(2usize, 0);
+        assert_eq!(inst.pref_list(m, GenderId(1))[0], 0); // m: w
+        assert_eq!(inst.pref_list(w, GenderId(2))[0], 0); // w: u
+        assert_eq!(inst.pref_list(u, GenderId(0))[0], 1); // u: m'
+    }
+}

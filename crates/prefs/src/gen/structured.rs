@@ -1,0 +1,110 @@
+//! Deterministic structured instances.
+//!
+//! * [`identical_bipartite`] — all proposers share one list; GS then
+//!   degenerates to serial dictatorship and performs
+//!   `n + (n-1) + … + 1 = n(n+1)/2 = Θ(n²)` proposals, a tight workload for
+//!   the Theorem-3 bound experiments (E1/E6).
+//! * [`cyclic_bipartite`] — latin-square (cyclic-shift) orders; every member
+//!   is someone's first choice, so GS finishes in one round with `n`
+//!   proposals: the best case, bracketing the identical-lists worst case.
+//! * [`master_list_kpartite`] — every gender agrees on one master order per
+//!   target gender (shifted per member to stay well-defined when asked for
+//!   diversity = 0 it is a true master list).
+
+use crate::{BipartiteInstance, KPartiteInstance};
+
+/// All proposers rank responders `0, 1, …, n-1`; responders rank proposers
+/// `0, 1, …, n-1`. Proposer `m` issues `m + 1` proposals under GS, so the
+/// total is `n(n+1)/2`.
+pub fn identical_bipartite(n: usize) -> BipartiteInstance {
+    assert!(n > 0, "n must be positive");
+    let asc: Vec<u32> = (0..n as u32).collect();
+    let side: Vec<Vec<u32>> = (0..n).map(|_| asc.clone()).collect();
+    BipartiteInstance::from_lists(&side, &side).expect("ascending lists are permutations")
+}
+
+/// Cyclic (latin-square) instance: proposer `m`'s list is
+/// `m, m+1, …, m-1 (mod n)` and responder `w`'s list is `w, w+1, …`.
+/// Every proposer's first choice is distinct, so GS terminates after one
+/// round with exactly `n` proposals.
+pub fn cyclic_bipartite(n: usize) -> BipartiteInstance {
+    assert!(n > 0, "n must be positive");
+    let shifted = |s: usize| -> Vec<u32> { (0..n).map(|r| ((s + r) % n) as u32).collect() };
+    let side0: Vec<Vec<u32>> = (0..n).map(shifted).collect();
+    let side1: Vec<Vec<u32>> = (0..n).map(shifted).collect();
+    BipartiteInstance::from_lists(&side0, &side1).expect("cyclic shifts are permutations")
+}
+
+/// k-partite instance in which every member of gender `g` ranks gender `h`
+/// by the same master order `0, 1, …, n-1`, rotated by the member's own
+/// index when `rotate` is true (making first choices distinct).
+///
+/// With `rotate = false` this is the fully-aligned "everyone wants the same
+/// partners" regime — the k-partite analogue of [`identical_bipartite`].
+pub fn master_list_kpartite(k: usize, n: usize, rotate: bool) -> KPartiteInstance {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(n > 0, "n must be positive");
+    let lists: Vec<Vec<Vec<Vec<u32>>>> = (0..k)
+        .map(|g| {
+            (0..n)
+                .map(|i| {
+                    (0..k)
+                        .map(|h| {
+                            if h == g {
+                                Vec::new()
+                            } else {
+                                let shift = if rotate { i } else { 0 };
+                                (0..n).map(|r| ((shift + r) % n) as u32).collect()
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    KPartiteInstance::from_lists(&lists).expect("master lists are permutations")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{GenderId, Member};
+
+    #[test]
+    fn identical_lists_are_identical() {
+        let inst = identical_bipartite(5);
+        for m in 1..5u32 {
+            assert_eq!(inst.proposer_list(m), inst.proposer_list(0));
+        }
+        assert_eq!(inst.proposer_list(0), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cyclic_first_choices_distinct() {
+        let inst = cyclic_bipartite(6);
+        let firsts: Vec<u32> = (0..6u32).map(|m| inst.proposer_list(m)[0]).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..6u32).collect::<Vec<_>>(),
+            "first choices form a permutation"
+        );
+    }
+
+    #[test]
+    fn master_list_alignment() {
+        let inst = master_list_kpartite(3, 4, false);
+        let a = Member::new(0usize, 0);
+        let b = Member::new(0usize, 3);
+        assert_eq!(
+            inst.pref_list(a, GenderId(1)),
+            inst.pref_list(b, GenderId(1))
+        );
+        let rotated = master_list_kpartite(3, 4, true);
+        assert_ne!(
+            rotated.pref_list(a, GenderId(1)),
+            rotated.pref_list(Member::new(0usize, 1), GenderId(1))
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Uniform-random instances: every preference order an independent uniform
+//! permutation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{BipartiteInstance, KPartiteInstance, RoommatesInstance};
+
+/// One uniform-random permutation of `0..n`.
+fn random_perm(n: usize, rng: &mut impl Rng) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    v.shuffle(rng);
+    v
+}
+
+/// Uniform-random balanced bipartite (SMP) instance of size `n`.
+pub fn uniform_bipartite(n: usize, rng: &mut impl Rng) -> BipartiteInstance {
+    assert!(n > 0, "n must be positive");
+    let side0: Vec<Vec<u32>> = (0..n).map(|_| random_perm(n, rng)).collect();
+    let side1: Vec<Vec<u32>> = (0..n).map(|_| random_perm(n, rng)).collect();
+    BipartiteInstance::from_lists(&side0, &side1).expect("generated lists are permutations")
+}
+
+/// Uniform-random balanced k-partite instance: every member's order over
+/// every other gender is an independent uniform permutation.
+pub fn uniform_kpartite(k: usize, n: usize, rng: &mut impl Rng) -> KPartiteInstance {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(n > 0, "n must be positive");
+    let lists: Vec<Vec<Vec<Vec<u32>>>> = (0..k)
+        .map(|g| {
+            (0..n)
+                .map(|_| {
+                    (0..k)
+                        .map(|h| {
+                            if h == g {
+                                Vec::new()
+                            } else {
+                                random_perm(n, rng)
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    KPartiteInstance::from_lists(&lists).expect("generated lists are permutations")
+}
+
+/// Uniform-random complete roommates instance over `n` participants
+/// (everyone ranks everyone else).
+pub fn uniform_roommates(n: usize, rng: &mut impl Rng) -> RoommatesInstance {
+    assert!(n >= 2, "need at least two participants");
+    let lists: Vec<Vec<u32>> = (0..n as u32)
+        .map(|p| {
+            let mut others: Vec<u32> = (0..n as u32).filter(|&q| q != p).collect();
+            others.shuffle(rng);
+            others
+        })
+        .collect();
+    RoommatesInstance::from_lists(lists).expect("complete lists are always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn bipartite_shape_and_determinism() {
+        let a = uniform_bipartite(16, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = uniform_bipartite(16, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b, "same seed must give same instance");
+        assert_eq!(a.n(), 16);
+        let c = uniform_bipartite(16, &mut ChaCha8Rng::seed_from_u64(8));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn kpartite_shape() {
+        let inst = uniform_kpartite(4, 5, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(inst.k(), 4);
+        assert_eq!(inst.n(), 5);
+        // every non-self list is a permutation: from_lists validated it.
+    }
+
+    #[test]
+    fn roommates_complete_lists() {
+        let rm = uniform_roommates(9, &mut ChaCha8Rng::seed_from_u64(2));
+        assert_eq!(rm.n(), 9);
+        for p in 0..9u32 {
+            assert_eq!(rm.list(p).len(), 8);
+            for q in 0..9u32 {
+                assert_eq!(rm.acceptable(p, q), p != q);
+            }
+        }
+    }
+}

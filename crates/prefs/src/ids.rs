@@ -1,0 +1,116 @@
+//! Index-based identifiers for genders and members.
+//!
+//! The whole workspace addresses participants by dense indices: a gender is
+//! a small integer `0..k`, a member of a k-partite instance is a
+//! `(gender, index)` pair with `index` in `0..n`. Human-readable names, when
+//! needed (CLI output, paper examples), are attached at the edges and never
+//! enter solver hot paths.
+
+use core::fmt;
+
+/// A gender (one of the `k` disjoint node sets of the k-partite graph).
+///
+/// In the paper's notation this is an element of the gender set
+/// `I = {1, 2, …, k}`; we index from zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct GenderId(pub u16);
+
+impl GenderId {
+    /// The gender's dense index as a `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GenderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+impl From<usize> for GenderId {
+    fn from(v: usize) -> Self {
+        GenderId(u16::try_from(v).expect("gender index exceeds u16"))
+    }
+}
+
+/// A member of a k-partite instance: gender plus index within the gender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Member {
+    /// The disjoint set this member belongs to.
+    pub gender: GenderId,
+    /// Position within the gender, in `0..n`.
+    pub index: u32,
+}
+
+impl Member {
+    /// Convenience constructor from raw indices.
+    #[inline]
+    pub fn new(gender: impl Into<GenderId>, index: u32) -> Self {
+        Member {
+            gender: gender.into(),
+            index,
+        }
+    }
+
+    /// Flat global id `gender * n + index`, used when a single namespace is
+    /// required (e.g. the roommates adapter or union–find over all nodes).
+    #[inline]
+    pub fn global(self, n: u32) -> u32 {
+        self.gender.0 as u32 * n + self.index
+    }
+
+    /// Inverse of [`Member::global`].
+    #[inline]
+    pub fn from_global(g: u32, n: u32) -> Self {
+        Member {
+            gender: GenderId((g / n) as u16),
+            index: g % n,
+        }
+    }
+}
+
+impl fmt::Display for Member {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.gender, self.index)
+    }
+}
+
+/// A preference rank: `0` is the most preferred. Lower is better.
+pub type Rank = u32;
+
+/// Sentinel rank for "not ranked / unacceptable" entries in incomplete
+/// preference tables (stable-roommates with incomplete lists, §III-B).
+pub const UNRANKED: Rank = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_global_roundtrip() {
+        let n = 7;
+        for g in 0..5u16 {
+            for i in 0..n {
+                let m = Member::new(g as usize, i);
+                assert_eq!(Member::from_global(m.global(n), n), m);
+            }
+        }
+    }
+
+    #[test]
+    fn gender_display() {
+        assert_eq!(GenderId(3).to_string(), "G3");
+        assert_eq!(Member::new(1usize, 4).to_string(), "G1[4]");
+    }
+
+    #[test]
+    fn gender_ordering_follows_index() {
+        assert!(GenderId(0) < GenderId(1));
+        assert!(GenderId(9) > GenderId(2));
+    }
+}

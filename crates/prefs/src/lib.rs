@@ -1,0 +1,49 @@
+//! # kmatch-prefs — preference-list substrate
+//!
+//! Data model shared by every solver in the `kmatch` workspace:
+//!
+//! * [`BipartiteInstance`] — the classic stable-marriage input: two sides of
+//!   `n` members, each member totally ordering the opposite side.
+//! * [`KPartiteInstance`] — the paper's input: `k` genders of `n` members
+//!   each; every member keeps a **separate** total order over each of the
+//!   other `k − 1` genders (Wu, IPPS 2016, §II-B).
+//! * [`RoommatesInstance`] — one set of participants with (possibly
+//!   incomplete) preference lists, the input to Irving's stable-roommates
+//!   algorithm; adapters build it from k-partite and bipartite instances
+//!   (§III-B of the paper).
+//! * [`gen`] — workload generators: uniform, popularity-correlated,
+//!   structured worst cases, the Theorem-1 adversarial construction, and the
+//!   paper's worked examples encoded verbatim.
+//!
+//! ## Representation
+//!
+//! All hot-path structures are dense, flat `Vec<u32>` tables so that the one
+//! operation every algorithm performs millions of times —
+//! *"does x prefer a over b?"* — is two array loads and a compare
+//! ([`KPartiteInstance::prefers`]). Preference **lists** (best-to-worst
+//! member indices) and **rank tables** (member → position) are both stored;
+//! the former drives proposal order, the latter drives acceptance tests.
+//!
+//! Members are index-based: a member of a k-partite instance is a
+//! [`Member`] `{ gender, index }`; strings never appear in hot paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod error;
+pub mod gen;
+pub mod ids;
+pub mod kpartite;
+pub mod roommates;
+pub mod views;
+
+#[cfg(feature = "serde")]
+pub mod serde_support;
+
+pub use bipartite::BipartiteInstance;
+pub use error::PrefsError;
+pub use ids::{GenderId, Member, Rank, UNRANKED};
+pub use kpartite::KPartiteInstance;
+pub use roommates::{MergeStrategy, RoommatesInstance};
+pub use views::{BipartitePrefs, KPartitePairView, ResponderListSlice, ReverseView};

@@ -1,0 +1,156 @@
+//! Serde DTOs for instances (feature `serde`, default-on).
+//!
+//! Instances serialize through explicit, human-editable DTOs rather than
+//! their dense internal tables, so JSON files written by the CLI remain
+//! readable and stable across internal representation changes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BipartiteInstance, KPartiteInstance, PrefsError, RoommatesInstance};
+
+/// Serializable form of a [`KPartiteInstance`]: nested best-to-worst lists,
+/// `lists[g][i][h]` with an empty self block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KPartiteDto {
+    /// Number of genders.
+    pub k: usize,
+    /// Members per gender.
+    pub n: usize,
+    /// `lists[g][i][h]` — member `(g, i)`'s ordering of gender `h`.
+    pub lists: Vec<Vec<Vec<Vec<u32>>>>,
+}
+
+impl From<&KPartiteInstance> for KPartiteDto {
+    fn from(inst: &KPartiteInstance) -> Self {
+        KPartiteDto {
+            k: inst.k(),
+            n: inst.n(),
+            lists: inst.to_lists(),
+        }
+    }
+}
+
+impl TryFrom<KPartiteDto> for KPartiteInstance {
+    type Error = PrefsError;
+
+    fn try_from(dto: KPartiteDto) -> Result<Self, PrefsError> {
+        let inst = KPartiteInstance::from_lists(&dto.lists)?;
+        if inst.k() != dto.k {
+            return Err(PrefsError::ShapeMismatch {
+                what: "declared k",
+                expected: dto.k,
+                actual: inst.k(),
+            });
+        }
+        if inst.n() != dto.n {
+            return Err(PrefsError::ShapeMismatch {
+                what: "declared n",
+                expected: dto.n,
+                actual: inst.n(),
+            });
+        }
+        Ok(inst)
+    }
+}
+
+/// Serializable form of a [`BipartiteInstance`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BipartiteDto {
+    /// Members per side.
+    pub n: usize,
+    /// Proposer lists, best first.
+    pub proposers: Vec<Vec<u32>>,
+    /// Responder lists, best first.
+    pub responders: Vec<Vec<u32>>,
+}
+
+impl From<&BipartiteInstance> for BipartiteDto {
+    fn from(inst: &BipartiteInstance) -> Self {
+        let n = inst.n();
+        BipartiteDto {
+            n,
+            proposers: (0..n as u32)
+                .map(|m| inst.proposer_list(m).to_vec())
+                .collect(),
+            responders: (0..n as u32)
+                .map(|w| inst.responder_list(w).to_vec())
+                .collect(),
+        }
+    }
+}
+
+impl TryFrom<BipartiteDto> for BipartiteInstance {
+    type Error = PrefsError;
+
+    fn try_from(dto: BipartiteDto) -> Result<Self, PrefsError> {
+        BipartiteInstance::from_lists(&dto.proposers, &dto.responders)
+    }
+}
+
+/// Serializable form of a [`RoommatesInstance`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoommatesDto {
+    /// Number of participants.
+    pub n: usize,
+    /// Acceptable partners per participant, best first.
+    pub lists: Vec<Vec<u32>>,
+}
+
+impl From<&RoommatesInstance> for RoommatesDto {
+    fn from(inst: &RoommatesInstance) -> Self {
+        RoommatesDto {
+            n: inst.n(),
+            lists: inst.lists().to_vec(),
+        }
+    }
+}
+
+impl TryFrom<RoommatesDto> for RoommatesInstance {
+    type Error = PrefsError;
+
+    fn try_from(dto: RoommatesDto) -> Result<Self, PrefsError> {
+        RoommatesInstance::from_lists(dto.lists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::paper::{fig3_tripartite, section3b_left};
+
+    #[test]
+    fn kpartite_json_roundtrip() {
+        let inst = fig3_tripartite();
+        let dto = KPartiteDto::from(&inst);
+        let json = serde_json::to_string(&dto).unwrap();
+        let back: KPartiteDto = serde_json::from_str(&json).unwrap();
+        let inst2 = KPartiteInstance::try_from(back).unwrap();
+        assert_eq!(inst, inst2);
+    }
+
+    #[test]
+    fn roommates_json_roundtrip() {
+        let inst = section3b_left();
+        let dto = RoommatesDto::from(&inst);
+        let json = serde_json::to_string(&dto).unwrap();
+        let back: RoommatesDto = serde_json::from_str(&json).unwrap();
+        assert_eq!(RoommatesInstance::try_from(back).unwrap(), inst);
+    }
+
+    #[test]
+    fn dto_shape_mismatch_detected() {
+        let inst = fig3_tripartite();
+        let mut dto = KPartiteDto::from(&inst);
+        dto.k = 7;
+        assert!(KPartiteInstance::try_from(dto).is_err());
+    }
+
+    #[test]
+    fn bipartite_json_roundtrip() {
+        let inst = crate::gen::paper::example1_second();
+        let dto = BipartiteDto::from(&inst);
+        let json = serde_json::to_string(&dto).unwrap();
+        let back: BipartiteDto = serde_json::from_str(&json).unwrap();
+        assert_eq!(BipartiteInstance::try_from(back).unwrap(), inst);
+    }
+}

@@ -1,0 +1,224 @@
+//! The mutable "reduced list" table driving both phases of Irving's
+//! algorithm.
+//!
+//! Wraps a [`RoommatesInstance`] with an activity mask over its preference
+//! entries. All deletions are **bidirectional** (the paper's removal rule):
+//! deactivating `(p, q)` deactivates `(q, p)`. First/last lookups are
+//! amortized O(1) via monotone head/tail hints — entries are only ever
+//! deleted, never restored, so the hints advance monotonically.
+
+use kmatch_prefs::RoommatesInstance;
+
+/// Reduced preference lists: the instance plus an activity mask.
+#[derive(Debug, Clone)]
+pub struct ActiveTable<'a> {
+    inst: &'a RoommatesInstance,
+    n: usize,
+    /// `active[p * n + q]`.
+    active: Vec<bool>,
+    /// Remaining active entries per participant.
+    len: Vec<u32>,
+    /// First possibly-active position in `p`'s list (monotone hint).
+    head: Vec<u32>,
+    /// Last possibly-active position + 1 in `p`'s list (monotone hint).
+    tail: Vec<u32>,
+}
+
+impl<'a> ActiveTable<'a> {
+    /// Start with every listed pair active.
+    pub fn new(inst: &'a RoommatesInstance) -> Self {
+        let n = inst.n();
+        let mut active = vec![false; n * n];
+        let mut len = vec![0u32; n];
+        for p in 0..n as u32 {
+            for &q in inst.list(p) {
+                active[p as usize * n + q as usize] = true;
+            }
+            len[p as usize] = inst.list(p).len() as u32;
+        }
+        let tail = (0..n).map(|p| inst.list(p as u32).len() as u32).collect();
+        ActiveTable {
+            inst,
+            n,
+            active,
+            len,
+            head: vec![0; n],
+            tail,
+        }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &RoommatesInstance {
+        self.inst
+    }
+
+    /// Number of participants.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Is the pair `(p, q)` still active?
+    #[inline]
+    pub fn is_active(&self, p: u32, q: u32) -> bool {
+        self.active[p as usize * self.n + q as usize]
+    }
+
+    /// Remaining list length of `p`.
+    #[inline]
+    pub fn len(&self, p: u32) -> u32 {
+        self.len[p as usize]
+    }
+
+    /// True when `p`'s reduced list is empty (the no-stable-matching
+    /// signal).
+    #[inline]
+    pub fn is_empty(&self, p: u32) -> bool {
+        self.len[p as usize] == 0
+    }
+
+    /// Bidirectionally delete the pair `(p, q)`. No-op if already deleted.
+    pub fn delete(&mut self, p: u32, q: u32) {
+        if !self.is_active(p, q) {
+            return;
+        }
+        self.active[p as usize * self.n + q as usize] = false;
+        self.active[q as usize * self.n + p as usize] = false;
+        self.len[p as usize] -= 1;
+        self.len[q as usize] -= 1;
+    }
+
+    /// First (most preferred) active entry of `p`'s list.
+    pub fn first(&mut self, p: u32) -> Option<u32> {
+        let list = self.inst.list(p);
+        let mut h = self.head[p as usize] as usize;
+        while h < list.len() && !self.is_active(p, list[h]) {
+            h += 1;
+        }
+        self.head[p as usize] = h as u32;
+        list.get(h).copied()
+    }
+
+    /// Second active entry of `p`'s list.
+    pub fn second(&mut self, p: u32) -> Option<u32> {
+        let first_pos = {
+            self.first(p)?;
+            self.head[p as usize] as usize
+        };
+        let list = self.inst.list(p);
+        list[first_pos + 1..]
+            .iter()
+            .copied()
+            .find(|&q| self.is_active(p, q))
+    }
+
+    /// Last (least preferred) active entry of `p`'s list.
+    pub fn last(&mut self, p: u32) -> Option<u32> {
+        let list = self.inst.list(p);
+        let mut t = self.tail[p as usize] as usize;
+        while t > 0 && !self.is_active(p, list[t - 1]) {
+            t -= 1;
+        }
+        self.tail[p as usize] = t as u32;
+        if t == 0 {
+            None
+        } else {
+            Some(list[t - 1])
+        }
+    }
+
+    /// Delete every active entry of `p`'s list strictly worse than `q`
+    /// (bidirectionally), returning the removed partners in list order.
+    /// `q` must be on `p`'s original list.
+    ///
+    /// This is the paper's pruning step: "if m receives a proposal from w,
+    /// he will remove all persons, u, ranked lower than w. In addition, m
+    /// will be removed from u's preference list".
+    pub fn truncate_below(&mut self, p: u32, q: u32) -> Vec<u32> {
+        let threshold = self.inst.rank_of(p, q);
+        debug_assert_ne!(threshold, kmatch_prefs::UNRANKED, "q must be on p's list");
+        let list = self.inst.list(p);
+        // Collect to satisfy the borrow checker; lists are short-lived
+        // slices into the instance.
+        let doomed: Vec<u32> = list
+            .iter()
+            .copied()
+            .filter(|&z| self.inst.rank_of(p, z) > threshold && self.is_active(p, z))
+            .collect();
+        for &z in &doomed {
+            self.delete(p, z);
+        }
+        doomed
+    }
+
+    /// Current reduced list of `p`, in preference order (test/debug).
+    pub fn reduced_list(&self, p: u32) -> Vec<u32> {
+        self.inst
+            .list(p)
+            .iter()
+            .copied()
+            .filter(|&q| self.is_active(p, q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_prefs::gen::paper::section3b_left;
+
+    #[test]
+    fn first_second_last_track_deletions() {
+        let inst = section3b_left();
+        let mut t = ActiveTable::new(&inst);
+        // m: u' w w' u = [5, 2, 3, 4]
+        assert_eq!(t.first(0), Some(5));
+        assert_eq!(t.second(0), Some(2));
+        assert_eq!(t.last(0), Some(4));
+        t.delete(0, 5);
+        assert_eq!(t.first(0), Some(2));
+        assert_eq!(t.second(0), Some(3));
+        t.delete(0, 4);
+        assert_eq!(t.last(0), Some(3));
+        assert_eq!(t.len(0), 2);
+        // Bidirectional: 5 (u') lost m from its list [0, 2, 3, 1].
+        assert_eq!(t.first(5), Some(2));
+    }
+
+    #[test]
+    fn truncate_below_prunes_tail() {
+        let inst = section3b_left();
+        let mut t = ActiveTable::new(&inst);
+        // m holds a proposal from w (=2): remove everyone worse than w on
+        // m's list [5, 2, 3, 4] -> [5, 2].
+        t.truncate_below(0, 2);
+        assert_eq!(t.reduced_list(0), vec![5, 2]);
+        // Bidirectional: w' (=3) and u (=4) lost m.
+        assert!(!t.is_active(3, 0));
+        assert!(!t.is_active(4, 0));
+        assert_eq!(t.len(0), 2);
+    }
+
+    #[test]
+    fn emptying_a_list() {
+        let inst = section3b_left();
+        let mut t = ActiveTable::new(&inst);
+        for q in [5, 2, 3, 4] {
+            t.delete(0, q);
+        }
+        assert!(t.is_empty(0));
+        assert_eq!(t.first(0), None);
+        assert_eq!(t.last(0), None);
+        assert_eq!(t.second(0), None);
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let inst = section3b_left();
+        let mut t = ActiveTable::new(&inst);
+        t.delete(0, 5);
+        t.delete(0, 5);
+        t.delete(5, 0);
+        assert_eq!(t.len(0), 3);
+        assert_eq!(t.len(5), 3);
+    }
+}

@@ -1,0 +1,131 @@
+//! Exhaustive ground truth for small instances.
+//!
+//! Enumerates every perfect matching of the acceptability graph and filters
+//! the stable ones — factorial cost, used only at `n ≲ 12` to validate the
+//! Irving solver, the §III-B traces, and the Theorem-1 construction.
+
+use kmatch_prefs::RoommatesInstance;
+
+use crate::matching::{is_roommates_stable, RoommatesMatching};
+
+/// Enumerate all perfect matchings of the acceptability graph.
+pub fn all_perfect_matchings(inst: &RoommatesInstance) -> Vec<RoommatesMatching> {
+    let n = inst.n();
+    let mut out = Vec::new();
+    if !n.is_multiple_of(2) {
+        return out;
+    }
+    let mut partner = vec![u32::MAX; n];
+    fn recurse(inst: &RoommatesInstance, partner: &mut Vec<u32>, out: &mut Vec<RoommatesMatching>) {
+        // First unmatched participant.
+        let Some(p) = partner.iter().position(|&x| x == u32::MAX) else {
+            out.push(RoommatesMatching::new(partner.clone()));
+            return;
+        };
+        let p = p as u32;
+        for &q in inst.list(p) {
+            if partner[q as usize] == u32::MAX {
+                partner[p as usize] = q;
+                partner[q as usize] = p;
+                recurse(inst, partner, out);
+                partner[p as usize] = u32::MAX;
+                partner[q as usize] = u32::MAX;
+            }
+        }
+    }
+    recurse(inst, &mut partner, &mut out);
+    out
+}
+
+/// Enumerate all **stable** matchings of a small instance.
+pub fn all_stable_roommates_matchings(inst: &RoommatesInstance) -> Vec<RoommatesMatching> {
+    all_perfect_matchings(inst)
+        .into_iter()
+        .filter(|m| is_roommates_stable(inst, m))
+        .collect()
+}
+
+/// Does any stable matching exist? (Exhaustive; small `n` only.)
+pub fn stable_matching_exists_brute(inst: &RoommatesInstance) -> bool {
+    !all_stable_roommates_matchings(inst).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, RoommatesOutcome};
+    use kmatch_prefs::gen::adversarial::theorem1_roommates;
+    use kmatch_prefs::gen::paper::{no_stable_roommates_4, section3b_left, section3b_right};
+    use kmatch_prefs::gen::uniform::uniform_roommates;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn left_instance_paper_matching_found() {
+        let inst = section3b_left();
+        let stable = all_stable_roommates_matchings(&inst);
+        assert!(!stable.is_empty());
+        // The paper's trace result (m,u'), (m',w), (w',u) must be among
+        // the stable matchings.
+        let paper = RoommatesMatching::new(vec![5, 2, 1, 4, 3, 0]);
+        assert!(stable.contains(&paper), "paper matching must be stable");
+    }
+
+    #[test]
+    fn right_instance_brute_confirms_nonexistence() {
+        assert!(!stable_matching_exists_brute(&section3b_right()));
+        assert!(!stable_matching_exists_brute(&no_stable_roommates_4()));
+    }
+
+    #[test]
+    fn solver_agrees_with_brute_force() {
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let (mut solvable, mut unsolvable) = (0, 0);
+        for _ in 0..100 {
+            let inst = uniform_roommates(8, &mut rng);
+            let brute = stable_matching_exists_brute(&inst);
+            match solve(&inst) {
+                RoommatesOutcome::Stable { matching, .. } => {
+                    assert!(brute, "solver found a matching brute force missed?!");
+                    assert!(is_roommates_stable(&inst, &matching));
+                    solvable += 1;
+                }
+                RoommatesOutcome::NoStableMatching { .. } => {
+                    assert!(!brute, "solver gave up although a stable matching exists");
+                    unsolvable += 1;
+                }
+            }
+        }
+        assert!(solvable > 0, "expected some solvable instances");
+        // Unsolvable instances are rare at n = 8 but the assertion above
+        // is the point: exact agreement either way.
+        let _ = unsolvable;
+    }
+
+    #[test]
+    fn theorem1_small_instances_unsolvable_by_brute_force() {
+        // Theorem 1: the adversarial k-partite construction has a perfect
+        // matching but no stable one.
+        for (k, n) in [(3usize, 2usize), (4, 1), (3, 4)] {
+            if (k * n) % 2 != 0 {
+                continue;
+            }
+            let inst = theorem1_roommates(k, n);
+            assert!(
+                !all_perfect_matchings(&inst).is_empty(),
+                "perfect matching must exist for k={k}, n={n}"
+            );
+            assert!(
+                !stable_matching_exists_brute(&inst),
+                "no stable matching may exist for k={k}, n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_matching_count_complete_graph() {
+        // Complete graph on 6 participants: (6-1)!! = 15 perfect matchings.
+        let inst = uniform_roommates(6, &mut ChaCha8Rng::seed_from_u64(16));
+        assert_eq!(all_perfect_matchings(&inst).len(), 15);
+    }
+}

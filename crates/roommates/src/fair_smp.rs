@@ -1,0 +1,176 @@
+//! Procedurally fair stable marriage via the roommates reduction (§III-B).
+//!
+//! The GS algorithm structurally favors the proposing side. The paper's
+//! remedy: encode the SMP as a roommates instance where "both men and women
+//! can propose at the same time", then control phase 2 — "by alternating
+//! man-oriented and woman-oriented loop breaking in phase two, we can
+//! obtain a procedural fairness among men and women."
+//!
+//! Seeding a rotation from side X makes side X's members *fall back to
+//! their second choices*, so man-seeded elimination produces woman-favoring
+//! outcomes and vice versa; [`oriented_stable_marriage`] exposes both
+//! extremes and [`fair_stable_marriage`] alternates.
+
+use kmatch_gs::BipartiteMatching;
+use kmatch_prefs::{BipartiteInstance, RoommatesInstance};
+
+use crate::policy::RotationPolicy;
+use crate::solver::{solve_with, RoommatesOutcome, SolveStats};
+
+/// Which side's loops get broken in phase 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmpOrientation {
+    /// Break men's loops: men fall to their second choices —
+    /// **woman-favoring** outcome.
+    SeedFromMen,
+    /// Break women's loops: **man-favoring** outcome.
+    SeedFromWomen,
+}
+
+/// Result of a fair-SMP solve: the matching as proposer → responder pairs.
+#[derive(Debug, Clone)]
+pub struct FairSmpOutcome {
+    /// Matching as proposer-side partner array.
+    pub matching: BipartiteMatching,
+    /// Roommates-solver counters.
+    pub stats: SolveStats,
+}
+
+fn side_labels(n: usize) -> Vec<bool> {
+    // Participants 0..n are men (false), n..2n women (true), matching the
+    // `RoommatesInstance::from_bipartite` numbering.
+    (0..2 * n).map(|p| p >= n).collect()
+}
+
+fn to_bipartite_matching(n: usize, outcome: RoommatesOutcome) -> FairSmpOutcome {
+    match outcome {
+        RoommatesOutcome::Stable { matching, stats } => {
+            let partner: Vec<u32> = (0..n as u32)
+                .map(|m| matching.partner(m) - n as u32)
+                .collect();
+            FairSmpOutcome {
+                matching: BipartiteMatching::from_proposer_partners(partner),
+                stats,
+            }
+        }
+        RoommatesOutcome::NoStableMatching { culprit, .. } => {
+            unreachable!(
+                "SMP reductions always admit a stable matching (GS theorem); \
+                 solver claimed participant {culprit} is unmatchable"
+            )
+        }
+    }
+}
+
+/// Solve the SMP with one-sided loop breaking.
+pub fn oriented_stable_marriage(
+    inst: &BipartiteInstance,
+    orientation: SmpOrientation,
+) -> FairSmpOutcome {
+    let n = inst.n();
+    let rm = RoommatesInstance::from_bipartite(inst);
+    let side = side_labels(n);
+    let seed_from = matches!(orientation, SmpOrientation::SeedFromWomen);
+    let outcome = solve_with(&rm, RotationPolicy::PreferSide { side, seed_from });
+    to_bipartite_matching(n, outcome)
+}
+
+/// Solve the SMP with alternating man/woman loop breaking — the paper's
+/// procedurally fair variant.
+pub fn fair_stable_marriage(inst: &BipartiteInstance) -> FairSmpOutcome {
+    let n = inst.n();
+    let rm = RoommatesInstance::from_bipartite(inst);
+    let outcome = solve_with(
+        &rm,
+        RotationPolicy::AlternateSides {
+            side: side_labels(n),
+        },
+    );
+    to_bipartite_matching(n, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_prefs::gen::paper::fig2_deadlock_smp;
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn deadlock_seeded_from_men_is_woman_optimal() {
+        // Paper: "Both m and m' reject w and w', and they accept their
+        // second choices, respectively, to form a woman-optimal stable
+        // matching: (m, w') and (m', w)."
+        let out = oriented_stable_marriage(&fig2_deadlock_smp(), SmpOrientation::SeedFromMen);
+        assert_eq!(out.matching.partner_of_proposer(0), 1); // m  - w'
+        assert_eq!(out.matching.partner_of_proposer(1), 0); // m' - w
+    }
+
+    #[test]
+    fn deadlock_seeded_from_women_is_man_optimal() {
+        // Paper: "If we remove the loop involving w and w', we have a
+        // man-optimal stable matching, (m, w) and (m', w')."
+        let out = oriented_stable_marriage(&fig2_deadlock_smp(), SmpOrientation::SeedFromWomen);
+        assert_eq!(out.matching.partner_of_proposer(0), 0);
+        assert_eq!(out.matching.partner_of_proposer(1), 1);
+    }
+
+    #[test]
+    fn fair_solver_always_stable_on_random_smp() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for n in [2usize, 5, 12, 24] {
+            let inst = uniform_bipartite(n, &mut rng);
+            let out = fair_stable_marriage(&inst);
+            // Stability in bipartite terms: no (m, w) both preferring each
+            // other over their partners.
+            let partner_of_w = {
+                let mut v = vec![0u32; n];
+                for (m, w) in out.matching.pairs() {
+                    v[w as usize] = m;
+                }
+                v
+            };
+            for m in 0..n as u32 {
+                let wm = out.matching.partner_of_proposer(m);
+                for w in 0..n as u32 {
+                    if w == wm {
+                        continue;
+                    }
+                    let both_prefer = inst.proposer_prefers(m, w, wm)
+                        && inst.responder_prefers(w, m, partner_of_w[w as usize]);
+                    assert!(!both_prefer, "blocking pair ({m}, {w}) at n = {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fairness_sits_between_extremes() {
+        // Aggregate proposer rank under the fair solver should be no
+        // better than man-oriented and no worse than woman-oriented
+        // seeding (weak inequalities; they coincide when the instance has
+        // a unique stable matching).
+        let mut rng = ChaCha8Rng::seed_from_u64(18);
+        let mut men_cost = (0.0, 0.0, 0.0); // (man-opt, fair, woman-opt)
+        for _ in 0..20 {
+            let inst = uniform_bipartite(16, &mut rng);
+            let man_opt = oriented_stable_marriage(&inst, SmpOrientation::SeedFromWomen).matching;
+            let woman_opt = oriented_stable_marriage(&inst, SmpOrientation::SeedFromMen).matching;
+            let fair = fair_stable_marriage(&inst).matching;
+            let cost = |m: &BipartiteMatching| -> f64 {
+                (0..16u32)
+                    .map(|p| inst.proposer_rank(p, m.partner_of_proposer(p)) as f64)
+                    .sum()
+            };
+            men_cost.0 += cost(&man_opt);
+            men_cost.1 += cost(&fair);
+            men_cost.2 += cost(&woman_opt);
+        }
+        assert!(men_cost.0 <= men_cost.1 + 1e-9, "man-optimal best for men");
+        assert!(
+            men_cost.1 <= men_cost.2 + 1e-9,
+            "fair no worse than woman-optimal for men"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Stable **binary** matching in k-partite graphs via roommates (§III).
+//!
+//! Theorem 1 says stable binary matchings need not exist when `k > 2`; this
+//! adapter runs Irving's algorithm on the roommates reduction to *decide*
+//! existence and produce a matching when one exists — the paper's §III-B
+//! procedure. Pairs may join any two distinct genders.
+
+use kmatch_prefs::{KPartiteInstance, Member, MergeStrategy, RoommatesInstance};
+
+use crate::matching::RoommatesMatching;
+use crate::solver::{solve, RoommatesOutcome, SolveStats};
+
+/// Result of the k-partite binary matching search.
+#[derive(Debug, Clone)]
+pub enum KPartiteBinaryOutcome {
+    /// A stable binary matching: cross-gender pairs covering every member.
+    Stable {
+        /// The pairs, as members of the original k-partite instance.
+        pairs: Vec<(Member, Member)>,
+        /// Roommates-solver counters.
+        stats: SolveStats,
+    },
+    /// No stable binary matching exists under the chosen linear extension
+    /// of the per-gender preference orders.
+    NoStableMatching {
+        /// The member whose reduced list emptied.
+        culprit: Member,
+        /// Roommates-solver counters.
+        stats: SolveStats,
+    },
+}
+
+impl KPartiteBinaryOutcome {
+    /// True when a stable binary matching was found.
+    pub fn is_stable(&self) -> bool {
+        matches!(self, KPartiteBinaryOutcome::Stable { .. })
+    }
+}
+
+/// Convert a roommates matching on the `g·n + i` numbering back to member
+/// pairs.
+pub fn matching_to_pairs(matching: &RoommatesMatching, n: u32) -> Vec<(Member, Member)> {
+    matching
+        .pairs()
+        .into_iter()
+        .map(|(p, q)| (Member::from_global(p, n), Member::from_global(q, n)))
+        .collect()
+}
+
+/// Decide stable binary matching in a balanced k-partite instance, merging
+/// each member's per-gender orders into a global order with `strategy`.
+pub fn solve_kpartite_binary(
+    inst: &KPartiteInstance,
+    strategy: MergeStrategy,
+) -> KPartiteBinaryOutcome {
+    let rm = RoommatesInstance::from_kpartite(inst, strategy);
+    let n = inst.n() as u32;
+    match solve(&rm) {
+        RoommatesOutcome::Stable { matching, stats } => KPartiteBinaryOutcome::Stable {
+            pairs: matching_to_pairs(&matching, n),
+            stats,
+        },
+        RoommatesOutcome::NoStableMatching { culprit, stats } => {
+            KPartiteBinaryOutcome::NoStableMatching {
+                culprit: Member::from_global(culprit, n),
+                stats,
+            }
+        }
+    }
+}
+
+/// Decide stable binary matching for an instance that already carries
+/// global total orders (e.g. the Theorem-1 construction).
+pub fn solve_global_binary(rm: &RoommatesInstance, n: u32) -> KPartiteBinaryOutcome {
+    match solve(rm) {
+        RoommatesOutcome::Stable { matching, stats } => KPartiteBinaryOutcome::Stable {
+            pairs: matching_to_pairs(&matching, n),
+            stats,
+        },
+        RoommatesOutcome::NoStableMatching { culprit, stats } => {
+            KPartiteBinaryOutcome::NoStableMatching {
+                culprit: Member::from_global(culprit, n),
+                stats,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_prefs::gen::adversarial::theorem1_roommates;
+    use kmatch_prefs::gen::paper::fig3_tripartite;
+    use kmatch_prefs::GenderId;
+
+    #[test]
+    fn theorem1_instances_rejected_at_scale() {
+        // Theorem 1 holds for every k > 2, and Irving's algorithm scales
+        // far past brute force.
+        for (k, n) in [(3usize, 2u32), (3, 8), (4, 4), (5, 6), (6, 10)] {
+            let rm = theorem1_roommates(k, n as usize);
+            let out = solve_global_binary(&rm, n);
+            assert!(
+                !out.is_stable(),
+                "Theorem-1 instance k={k}, n={n} must have no stable binary matching"
+            );
+        }
+    }
+
+    #[test]
+    fn fig3_binary_matching_agrees_with_brute_force() {
+        // Under the round-robin linear extension, even the benign Fig. 3
+        // preferences admit no stable *binary* matching (u and u' must take
+        // one M and one W member, and the leftover M—W pair always blocks)
+        // — an instance of Theorem 1's message. The solver must agree with
+        // exhaustive search.
+        let inst = fig3_tripartite();
+        let rm =
+            kmatch_prefs::RoommatesInstance::from_kpartite(&inst, MergeStrategy::RoundRobinByRank);
+        let brute = crate::brute::stable_matching_exists_brute(&rm);
+        let out = solve_kpartite_binary(&inst, MergeStrategy::RoundRobinByRank);
+        assert_eq!(out.is_stable(), brute, "solver must agree with brute force");
+        assert!(
+            !brute,
+            "hand analysis: every cross-gender matching is blocked"
+        );
+        // The other linear extension must agree with its own brute force.
+        let rm2 =
+            kmatch_prefs::RoommatesInstance::from_kpartite(&inst, MergeStrategy::ConcatByGender);
+        let out2 = solve_kpartite_binary(&inst, MergeStrategy::ConcatByGender);
+        assert_eq!(
+            out2.is_stable(),
+            crate::brute::stable_matching_exists_brute(&rm2)
+        );
+    }
+
+    #[test]
+    fn stable_outcome_pairs_are_cross_gender() {
+        // A k-partite instance whose reduction *is* solvable: 2 genders
+        // (binary matching in a bipartite graph always works).
+        let inst = kmatch_prefs::gen::uniform::uniform_kpartite(
+            2,
+            4,
+            &mut <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(19),
+        );
+        match solve_kpartite_binary(&inst, MergeStrategy::RoundRobinByRank) {
+            KPartiteBinaryOutcome::Stable { pairs, .. } => {
+                assert_eq!(pairs.len(), 4);
+                for (a, b) in &pairs {
+                    assert_ne!(a.gender, b.gender, "pairs must be cross-gender");
+                }
+            }
+            KPartiteBinaryOutcome::NoStableMatching { .. } => {
+                panic!("bipartite binary matching always has a stable solution")
+            }
+        }
+    }
+
+    #[test]
+    fn culprit_is_the_despised_node() {
+        // In the Theorem-1 construction the globally-despised node (0,0)
+        // is the natural casualty; verify the culprit is a valid member.
+        let rm = theorem1_roommates(3, 2);
+        let out = solve_global_binary(&rm, 2);
+        match out {
+            KPartiteBinaryOutcome::NoStableMatching { culprit, .. } => {
+                assert!(culprit.gender <= GenderId(2));
+            }
+            KPartiteBinaryOutcome::Stable { .. } => panic!("must be unsolvable"),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Roommates matchings and their stability.
+
+use kmatch_prefs::RoommatesInstance;
+
+/// A perfect matching over the participants: `partner[p] = q` with
+/// `partner[q] = p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoommatesMatching {
+    partner: Vec<u32>,
+}
+
+impl RoommatesMatching {
+    /// Build from the partner array, validating the involution property.
+    ///
+    /// # Panics
+    /// If `partner` is not a fixed-point-free involution of `0..n`.
+    pub fn new(partner: Vec<u32>) -> Self {
+        let n = partner.len();
+        for (p, &q) in partner.iter().enumerate() {
+            assert!((q as usize) < n, "partner out of range");
+            assert_ne!(q as usize, p, "self-matching is not allowed");
+            assert_eq!(
+                partner[q as usize] as usize, p,
+                "partner relation must be symmetric"
+            );
+        }
+        RoommatesMatching { partner }
+    }
+
+    /// Number of participants.
+    pub fn n(&self) -> usize {
+        self.partner.len()
+    }
+
+    /// Partner of `p`.
+    #[inline]
+    pub fn partner(&self, p: u32) -> u32 {
+        self.partner[p as usize]
+    }
+
+    /// The pairs `(p, q)` with `p < q`.
+    pub fn pairs(&self) -> Vec<(u32, u32)> {
+        self.partner
+            .iter()
+            .enumerate()
+            .filter_map(|(p, &q)| {
+                if (p as u32) < q {
+                    Some((p as u32, q))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+/// Find a blocking pair of the matching under `inst`: a mutually-acceptable
+/// pair `(p, q)`, not matched together, where both strictly prefer each
+/// other to their assigned partners.
+pub fn find_roommates_blocking_pair(
+    inst: &RoommatesInstance,
+    matching: &RoommatesMatching,
+) -> Option<(u32, u32)> {
+    let n = inst.n();
+    assert_eq!(matching.n(), n, "matching must cover the instance");
+    for p in 0..n as u32 {
+        let mine = matching.partner(p);
+        for &q in inst.list(p) {
+            if q == mine {
+                break; // Entries after p's partner cannot improve p.
+            }
+            // p strictly prefers q (it appears before `mine`). Check q.
+            if inst.prefers(q, p, matching.partner(q)) {
+                return Some((p.min(q), p.max(q)));
+            }
+        }
+    }
+    None
+}
+
+/// Is the matching stable (perfect and free of blocking pairs)?
+pub fn is_roommates_stable(inst: &RoommatesInstance, matching: &RoommatesMatching) -> bool {
+    // Every matched pair must be mutually acceptable.
+    if (0..inst.n() as u32).any(|p| !inst.acceptable(p, matching.partner(p))) {
+        return false;
+    }
+    find_roommates_blocking_pair(inst, matching).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_prefs::gen::paper::section3b_left;
+
+    #[test]
+    fn involution_enforced() {
+        let m = RoommatesMatching::new(vec![1, 0, 3, 2]);
+        assert_eq!(m.partner(0), 1);
+        assert_eq!(m.pairs(), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_rejected() {
+        let _ = RoommatesMatching::new(vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-matching")]
+    fn self_match_rejected() {
+        let _ = RoommatesMatching::new(vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn paper_matching_is_stable() {
+        // §III-B left: final matching (m,u'), (m',w), (w',u)
+        //             = (0,5), (1,2), (3,4).
+        let inst = section3b_left();
+        let m = RoommatesMatching::new(vec![5, 2, 1, 4, 3, 0]);
+        assert!(is_roommates_stable(&inst, &m));
+    }
+
+    #[test]
+    fn blocking_pair_detected() {
+        // §III-B left with a deliberately bad matching:
+        // (m,w), (m',u'), (w',u) = (0,2), (1,5), (3,4).
+        // u' ranks m first and m ranks u' first, but they are apart:
+        // (m, u') blocks.
+        let inst = section3b_left();
+        let m = RoommatesMatching::new(vec![2, 5, 0, 4, 3, 1]);
+        assert_eq!(find_roommates_blocking_pair(&inst, &m), Some((0, 5)));
+        assert!(!is_roommates_stable(&inst, &m));
+    }
+
+    #[test]
+    fn unacceptable_pair_is_unstable() {
+        // Matching same-gender pair (m, m') violates acceptability.
+        let inst = section3b_left();
+        let m = RoommatesMatching::new(vec![1, 0, 4, 5, 2, 3]);
+        assert!(!is_roommates_stable(&inst, &m));
+    }
+}

@@ -1,0 +1,186 @@
+//! Phase 1 of Irving's algorithm: the proposal sequence.
+//!
+//! Everyone proposes down their list. When `x` proposes to the first entry
+//! `y` of its (reduced) list, `y` *always* holds the proposal: the
+//! truncation invariant guarantees `x` is better than whatever `y` held,
+//! because holding a proposal from `z` immediately deletes everything worse
+//! than `z` from `y`'s list — the paper's pruning rule, "if m receives a
+//! proposal from w, he will remove all persons, u, ranked lower than w",
+//! with the **bidirectional removal rule** ("if w removes m from her list,
+//! it also means m removes w from his list"). The displaced previous holder
+//! resumes proposing.
+//!
+//! Proposals are *unidirectional*: `p` may hold a proposal from one person
+//! while proposing to a different one ("a person can hold a proposal from
+//! another person, yet can make his own proposal to the third person",
+//! §III-B).
+//!
+//! Phase 1 ends with every participant semi-engaged (the relation
+//! `first(x) = y ⟺ holder(y) = x`), or with some list emptied — in which
+//! case no stable matching exists.
+
+use crate::active::ActiveTable;
+use crate::trace::RoommatesEvent;
+
+/// Outcome of phase 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase1Result {
+    /// Every participant holds a proposal; reduced lists are non-empty.
+    Reduced {
+        /// `holder[p]` = the participant whose proposal `p` holds.
+        holder: Vec<u32>,
+    },
+    /// Some participant ran out of list — no stable matching exists.
+    NoStableMatching {
+        /// The participant whose reduced list emptied.
+        culprit: u32,
+    },
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Run phase 1 on the table, mutating it into the phase-1 reduced lists.
+/// `proposals` is incremented once per proposal made.
+pub fn phase1(table: &mut ActiveTable<'_>, proposals: &mut u64) -> Phase1Result {
+    phase1_logged(table, proposals, &mut |_| {})
+}
+
+/// [`phase1`] with an event callback recording the paper-style trace.
+pub fn phase1_logged(
+    table: &mut ActiveTable<'_>,
+    proposals: &mut u64,
+    log: &mut dyn FnMut(RoommatesEvent),
+) -> Phase1Result {
+    let n = table.n();
+    // holds[y]: proposer whose proposal y currently holds.
+    let mut holds = vec![NONE; n];
+    let mut free: Vec<u32> = (0..n as u32).rev().collect();
+    while let Some(x) = free.pop() {
+        let Some(y) = table.first(x) else {
+            log(RoommatesEvent::ListEmptied { who: x });
+            return Phase1Result::NoStableMatching { culprit: x };
+        };
+        *proposals += 1;
+        // x is on y's reduced list, hence at least as good as y's current
+        // holder — y trades up unconditionally.
+        let z = holds[y as usize];
+        if z != NONE {
+            debug_assert!(
+                table.instance().prefers(y, x, z),
+                "truncation keeps only better suitors"
+            );
+            free.push(z);
+        }
+        holds[y as usize] = x;
+        log(RoommatesEvent::Proposal {
+            from: x,
+            to: y,
+            displaced: (z != NONE).then_some(z),
+        });
+        let removed = table.truncate_below(y, x);
+        if !removed.is_empty() {
+            log(RoommatesEvent::Truncation {
+                holder: y,
+                kept: x,
+                removed,
+            });
+        }
+    }
+    debug_assert!(
+        holds.iter().all(|&h| h != NONE),
+        "all participants hold a proposal when phase 1 succeeds"
+    );
+    Phase1Result::Reduced { holder: holds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::active::ActiveTable;
+    use kmatch_prefs::gen::paper::{fig2_deadlock_smp, section3b_left};
+    use kmatch_prefs::RoommatesInstance;
+
+    #[test]
+    fn deadlock_instance_reduces_to_full_lists() {
+        // Paper §III-B: after phase one the four lists are untouched —
+        // the circular waiting of Fig. 2.
+        let inst = RoommatesInstance::from_bipartite(&fig2_deadlock_smp());
+        let mut table = ActiveTable::new(&inst);
+        let mut proposals = 0;
+        let result = phase1(&mut table, &mut proposals);
+        assert!(matches!(result, Phase1Result::Reduced { .. }));
+        assert_eq!(table.reduced_list(0), vec![2, 3]); // m : w w'
+        assert_eq!(table.reduced_list(1), vec![3, 2]); // m': w' w
+        assert_eq!(table.reduced_list(2), vec![1, 0]); // w : m' m
+        assert_eq!(table.reduced_list(3), vec![0, 1]); // w': m m'
+        assert_eq!(proposals, 4, "one successful proposal each");
+    }
+
+    #[test]
+    fn holder_invariant_first_last() {
+        // Semi-engagement after phase 1: holder(y) = x  implies
+        // last(y) = x and first(x) = y.
+        let inst = section3b_left();
+        let mut table = ActiveTable::new(&inst);
+        let mut proposals = 0;
+        let Phase1Result::Reduced { holder } = phase1(&mut table, &mut proposals) else {
+            panic!("left instance has a stable matching");
+        };
+        for y in 0..6u32 {
+            let x = holder[y as usize];
+            assert_eq!(
+                table.last(y),
+                Some(x),
+                "last({y}) must be its held proposer"
+            );
+            assert_eq!(
+                table.first(x),
+                Some(y),
+                "first({x}) must be where it proposed"
+            );
+        }
+        assert!(proposals >= 6, "everyone proposed at least once");
+    }
+
+    #[test]
+    fn empty_list_detected() {
+        let inst = RoommatesInstance::from_lists(vec![vec![], vec![]]).unwrap();
+        let mut table = ActiveTable::new(&inst);
+        let mut proposals = 0;
+        let result = phase1(&mut table, &mut proposals);
+        assert!(matches!(result, Phase1Result::NoStableMatching { .. }));
+    }
+
+    #[test]
+    fn displaced_holder_resumes() {
+        // 4 participants, complete lists crafted so participant 2's
+        // proposal to 0 displaces participant 1.
+        // 0: 2 > 1 > 3 ; 1: 0 > 2 > 3 ; 2: 0 > 3 > 1 ; 3: 0 > 1 > 2.
+        let inst = RoommatesInstance::from_lists(vec![
+            vec![2, 1, 3],
+            vec![0, 2, 3],
+            vec![0, 3, 1],
+            vec![0, 1, 2],
+        ])
+        .unwrap();
+        let mut table = ActiveTable::new(&inst);
+        let mut proposals = 0;
+        let result = phase1(&mut table, &mut proposals);
+        // 0→2 (holds), 1→0 (holds, truncate below 1: deletes 3 from 0's list),
+        // 2→0: 0 prefers 2 over 1 → displaces 1; truncate below 2 empties
+        // the rest of 0's list; 1 resumes → 1→2 (holds; 2 truncates below 1:
+        // nothing after 1)… then 3 proposes: 0 gone (deleted), 1 …
+        assert!(proposals > 4, "displacement forces extra proposals");
+        match result {
+            Phase1Result::Reduced { holder } => {
+                // 0 must end up holding 2's proposal.
+                assert_eq!(holder[0], 2);
+            }
+            Phase1Result::NoStableMatching { .. } => {
+                // Also acceptable if lists empty — but for this instance a
+                // stable matching exists, so reaching here is a bug.
+                panic!("instance has stable matching {{(0,2),(1,3)}}… phase 1 must reduce");
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Phase 2 of Irving's algorithm: rotation discovery and elimination.
+//!
+//! The paper (§III-B): "we try to find a loop of alternating first and
+//! second preferences among reduced lists. Each participant involved in the
+//! loop will reject his first preference and goes with his second
+//! preference. The pruning process is applied again … The above process is
+//! repeated until no such loop exists."
+//!
+//! Formally a *rotation* is a cyclic sequence of pairs
+//! `(x_0, y_0), …, (x_{r−1}, y_{r−1})` with `y_i = first(x_i)` and
+//! `y_{i+1} = second(x_i)` (indices mod `r`). Eliminating it makes every
+//! `y_{i+1}` reject everything it ranks below `x_i` (bidirectionally), so
+//! each `x_i` advances to its former second choice. Elimination preserves
+//! the semi-engagement invariant; if it empties a list, no stable matching
+//! exists.
+
+use crate::active::ActiveTable;
+
+/// A rotation: the cyclic `(x_i, y_i = first(x_i))` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rotation {
+    /// The `x_i` participants, in cycle order.
+    pub xs: Vec<u32>,
+    /// `ys[i] = first(xs[i])` at discovery time.
+    pub ys: Vec<u32>,
+}
+
+/// Discover the rotation reachable from `start` (whose reduced list must
+/// have length ≥ 2) by following `b_{i+1} = second(a_i)`,
+/// `a_{i+1} = last(b_{i+1})` until a participant repeats.
+pub fn find_rotation(table: &mut ActiveTable<'_>, start: u32) -> Rotation {
+    debug_assert!(
+        table.len(start) >= 2,
+        "rotation seeds need a second preference"
+    );
+    let n = table.n();
+    // position_in_seq[p] = index in `seq` where p first appeared, or MAX.
+    let mut pos = vec![u32::MAX; n];
+    let mut seq: Vec<u32> = Vec::new();
+    let mut a = start;
+    loop {
+        if pos[a as usize] != u32::MAX {
+            let cycle_start = pos[a as usize] as usize;
+            let xs: Vec<u32> = seq[cycle_start..].to_vec();
+            let ys: Vec<u32> = xs
+                .iter()
+                .map(|&x| table.first(x).expect("rotation member has a list"))
+                .collect();
+            return Rotation { xs, ys };
+        }
+        pos[a as usize] = seq.len() as u32;
+        seq.push(a);
+        let b = table
+            .second(a)
+            .expect("rotation path stays within length-2 lists");
+        a = table
+            .last(b)
+            .expect("b holds a proposal, so its list is non-empty");
+    }
+}
+
+/// Eliminate the rotation: each `y_{i+1} = second(x_i)` deletes everything
+/// it ranks strictly below `x_i`. Returns the participant whose list
+/// emptied, if any (no stable matching).
+pub fn eliminate_rotation(table: &mut ActiveTable<'_>, rot: &Rotation) -> Option<u32> {
+    let r = rot.xs.len();
+    // Gather (receiver, new-last) pairs first: all second() lookups must
+    // reflect discovery-time state, before any deletion of this round.
+    let targets: Vec<(u32, u32)> = (0..r)
+        .map(|i| {
+            let x = rot.xs[i];
+            let y_next = table.second(x).expect("rotation member still has a second");
+            (y_next, x)
+        })
+        .collect();
+    for &(y, x) in &targets {
+        table.truncate_below(y, x);
+    }
+    (0..table.n() as u32).find(|&p| table.is_empty(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase1::{phase1, Phase1Result};
+    use kmatch_prefs::gen::paper::fig2_deadlock_smp;
+    use kmatch_prefs::RoommatesInstance;
+
+    fn reduced_deadlock(inst: &RoommatesInstance) -> ActiveTable<'_> {
+        let mut table = ActiveTable::new(inst);
+        let mut proposals = 0;
+        assert!(matches!(
+            phase1(&mut table, &mut proposals),
+            Phase1Result::Reduced { .. }
+        ));
+        table
+    }
+
+    #[test]
+    fn deadlock_rotation_from_men_side() {
+        // Seeding from m (participant 0) finds the rotation through m, m'
+        // whose elimination yields the woman-optimal matching (paper:
+        // "Both m and m' reject w and w', and they accept their second
+        // choices").
+        let inst = RoommatesInstance::from_bipartite(&fig2_deadlock_smp());
+        let mut table = reduced_deadlock(&inst);
+        let rot = find_rotation(&mut table, 0);
+        assert_eq!(rot.xs, vec![0, 1], "rotation visits m then m'");
+        assert_eq!(rot.ys, vec![2, 3], "their first choices are w, w'");
+        assert_eq!(eliminate_rotation(&mut table, &rot), None);
+        assert_eq!(table.reduced_list(0), vec![3]); // m  -> w'
+        assert_eq!(table.reduced_list(1), vec![2]); // m' -> w
+        assert_eq!(table.reduced_list(2), vec![1]); // w  -> m'
+        assert_eq!(table.reduced_list(3), vec![0]); // w' -> m
+    }
+
+    #[test]
+    fn deadlock_rotation_from_women_side() {
+        // Seeding from w (participant 2) eliminates the women's loop,
+        // producing the man-optimal matching (m,w), (m',w').
+        let inst = RoommatesInstance::from_bipartite(&fig2_deadlock_smp());
+        let mut table = reduced_deadlock(&inst);
+        let rot = find_rotation(&mut table, 2);
+        assert_eq!(rot.xs, vec![2, 3]);
+        assert_eq!(eliminate_rotation(&mut table, &rot), None);
+        assert_eq!(table.reduced_list(0), vec![2]); // m  -> w
+        assert_eq!(table.reduced_list(1), vec![3]); // m' -> w'
+    }
+
+    #[test]
+    fn rotation_preserves_semi_engagement() {
+        let inst = RoommatesInstance::from_bipartite(&fig2_deadlock_smp());
+        let mut table = reduced_deadlock(&inst);
+        let rot = find_rotation(&mut table, 0);
+        eliminate_rotation(&mut table, &rot);
+        // Invariant: first(x) = y iff last(y) = x.
+        for x in 0..4u32 {
+            let y = table.first(x).unwrap();
+            assert_eq!(table.last(y), Some(x));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Rotation-seeding policies for phase 2.
+//!
+//! Which participant seeds the next rotation search determines *which*
+//! stable matching the solver returns (when several exist). The paper ends
+//! §III-B with exactly this observation: "By alternating man-oriented and
+//! woman-oriented loop breaking in phase two, we can obtain a procedural
+//! fairness among men and women."
+
+/// Strategy choosing the participant that seeds the next rotation search.
+#[derive(Debug, Clone)]
+pub enum RotationPolicy {
+    /// Always the lowest-indexed participant with a reduced list of length
+    /// ≥ 2. Deterministic default.
+    FirstAvailable,
+    /// Participants carry a binary side label; rotation seeds alternate
+    /// between sides (starting with side `false`), falling back to the
+    /// other side when the preferred one has no candidate. Used for the
+    /// paper's procedurally-fair SMP.
+    AlternateSides {
+        /// `side[p]` — which side participant `p` belongs to.
+        side: Vec<bool>,
+    },
+    /// Seed only from the given side when possible. Seeding rotations from
+    /// one side *worsens* that side's outcomes (they move to their second
+    /// choices), producing the matching optimal for the *other* side on
+    /// bipartite reductions.
+    PreferSide {
+        /// `side[p]` — which side participant `p` belongs to.
+        side: Vec<bool>,
+        /// The side to seed rotations from.
+        seed_from: bool,
+    },
+}
+
+/// Mutable seeding state carried across rotation eliminations.
+#[derive(Debug, Clone)]
+pub struct SeedState {
+    policy: RotationPolicy,
+    /// Parity for [`RotationPolicy::AlternateSides`].
+    next_side: bool,
+}
+
+impl SeedState {
+    /// Start executing `policy`.
+    pub fn new(policy: RotationPolicy) -> Self {
+        SeedState {
+            policy,
+            next_side: false,
+        }
+    }
+
+    /// Choose a seed among `candidates` (participants whose reduced list
+    /// has length ≥ 2, ascending order). Returns `None` iff `candidates`
+    /// is empty.
+    pub fn pick(&mut self, candidates: &[u32]) -> Option<u32> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match &self.policy {
+            RotationPolicy::FirstAvailable => Some(candidates[0]),
+            RotationPolicy::AlternateSides { side } => {
+                let want = self.next_side;
+                self.next_side = !self.next_side;
+                candidates
+                    .iter()
+                    .copied()
+                    .find(|&p| side[p as usize] == want)
+                    .or(Some(candidates[0]))
+            }
+            RotationPolicy::PreferSide { side, seed_from } => candidates
+                .iter()
+                .copied()
+                .find(|&p| side[p as usize] == *seed_from)
+                .or(Some(candidates[0])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_available_picks_lowest() {
+        let mut s = SeedState::new(RotationPolicy::FirstAvailable);
+        assert_eq!(s.pick(&[3, 5, 9]), Some(3));
+        assert_eq!(s.pick(&[]), None);
+    }
+
+    #[test]
+    fn alternate_sides_toggles() {
+        // Participants 0,1 on side false; 2,3 on side true.
+        let side = vec![false, false, true, true];
+        let mut s = SeedState::new(RotationPolicy::AlternateSides { side });
+        assert_eq!(s.pick(&[0, 1, 2, 3]), Some(0), "first pick from side false");
+        assert_eq!(s.pick(&[0, 1, 2, 3]), Some(2), "second pick from side true");
+        assert_eq!(s.pick(&[0, 1, 2, 3]), Some(0), "third pick back to false");
+    }
+
+    #[test]
+    fn alternate_falls_back_when_side_empty() {
+        let side = vec![false, false, true, true];
+        let mut s = SeedState::new(RotationPolicy::AlternateSides { side });
+        s.pick(&[0]); // consumes the `false` turn
+        assert_eq!(s.pick(&[0, 1]), Some(0), "wants true, falls back to first");
+    }
+
+    #[test]
+    fn prefer_side_sticks() {
+        let side = vec![false, true, false, true];
+        let mut s = SeedState::new(RotationPolicy::PreferSide {
+            side,
+            seed_from: true,
+        });
+        assert_eq!(s.pick(&[0, 1, 2, 3]), Some(1));
+        assert_eq!(
+            s.pick(&[0, 2]),
+            Some(0),
+            "fallback when preferred side empty"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Event traces of Irving's algorithm, mirroring the paper's §III-B
+//! notation ("`w → m  m holds  w removes m: w′u`").
+
+/// One event of a traced roommates run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoommatesEvent {
+    /// `from` proposes to `to`; `displaced` is the proposer whose held
+    /// proposal `to` traded away (resuming its own proposals), if any.
+    Proposal {
+        /// The proposing participant.
+        from: u32,
+        /// The recipient now holding the proposal.
+        to: u32,
+        /// The previously-held proposer, now free again.
+        displaced: Option<u32>,
+    },
+    /// Holding the proposal pruned `holder`'s list below `kept`: every
+    /// participant in `removed` was deleted bidirectionally.
+    Truncation {
+        /// The participant whose list was pruned.
+        holder: u32,
+        /// The new bottom of the list (the held proposer).
+        kept: u32,
+        /// The removed partners, best-to-worst.
+        removed: Vec<u32>,
+    },
+    /// Phase 2 found a rotation (the paper's "loop of alternating first
+    /// and second preferences").
+    Rotation {
+        /// The `x_i` participants, in cycle order.
+        xs: Vec<u32>,
+        /// Their first preferences `y_i = first(x_i)` at discovery.
+        ys: Vec<u32>,
+    },
+    /// A reduced list emptied: no stable matching exists.
+    ListEmptied {
+        /// The participant with the empty list.
+        who: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_compare() {
+        let a = RoommatesEvent::Proposal {
+            from: 0,
+            to: 1,
+            displaced: None,
+        };
+        let b = RoommatesEvent::Proposal {
+            from: 0,
+            to: 1,
+            displaced: Some(2),
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! # kmatch-viz — plain-text rendering
+//!
+//! Human-readable views for reports, examples and the CLI:
+//!
+//! * [`tree_art`] — binding trees as indented ASCII art with per-node
+//!   degree and schedule-round annotations;
+//! * [`tables`] — k-ary matchings and bipartite matchings as aligned text
+//!   tables with happiness columns;
+//! * [`traces`] — Gale–Shapley and Irving traces rendered in the **paper's
+//!   §III-B notation** (`w → m   m holds   removes m: w'u`), with optional
+//!   participant name maps so the output reads exactly like the paper's
+//!   worked examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod names;
+pub mod tables;
+pub mod traces;
+pub mod tree_art;
+
+pub use names::NameMap;
+pub use tables::{render_bipartite_matching, render_kary_matching, render_reduced_lists};
+pub use traces::{render_gs_trace, render_roommates_trace};
+pub use tree_art::render_tree;

@@ -1,0 +1,62 @@
+//! Participant name maps.
+//!
+//! Solvers work on dense indices; renderers accept an optional [`NameMap`]
+//! so output can use the paper's `m, m', w, w', u, u'` notation.
+
+/// Maps participant/member indices to display names.
+#[derive(Debug, Clone, Default)]
+pub struct NameMap {
+    names: Vec<String>,
+}
+
+impl NameMap {
+    /// Build from explicit names; index `i` displays as `names[i]`.
+    pub fn new(names: Vec<String>) -> Self {
+        NameMap { names }
+    }
+
+    /// The paper's tripartite cast in the roommates numbering:
+    /// `m, m', w, w', u, u'`.
+    pub fn paper_tripartite() -> Self {
+        NameMap::new(["m", "m'", "w", "w'", "u", "u'"].map(String::from).to_vec())
+    }
+
+    /// Names `p0, p1, …` for anonymous participants.
+    pub fn numbered(n: usize, prefix: &str) -> Self {
+        NameMap::new((0..n).map(|i| format!("{prefix}{i}")).collect())
+    }
+
+    /// Display name of `i` (falls back to the bare index).
+    pub fn of(&self, i: u32) -> String {
+        self.names
+            .get(i as usize)
+            .cloned()
+            .unwrap_or_else(|| i.to_string())
+    }
+
+    /// Concatenated names of several indices (the paper writes removal
+    /// lists as `w'u`).
+    pub fn concat(&self, ids: &[u32]) -> String {
+        ids.iter().map(|&i| self.of(i)).collect::<Vec<_>>().join("")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_names() {
+        let names = NameMap::paper_tripartite();
+        assert_eq!(names.of(0), "m");
+        assert_eq!(names.of(5), "u'");
+        assert_eq!(names.concat(&[3, 4]), "w'u");
+    }
+
+    #[test]
+    fn fallback_and_numbered() {
+        let names = NameMap::numbered(3, "x");
+        assert_eq!(names.of(2), "x2");
+        assert_eq!(names.of(9), "9", "out-of-range falls back to the index");
+    }
+}

@@ -1,0 +1,133 @@
+//! Text tables for matchings.
+
+use kmatch_core::{family_cost, KAryMatching};
+use kmatch_gs::BipartiteMatching;
+use kmatch_prefs::{BipartiteInstance, GenderId, KPartiteInstance};
+
+use crate::names::NameMap;
+
+/// Render a k-ary matching as one line per family with each member's rank
+/// of its partners in parentheses, plus a happiness footer:
+///
+/// ```text
+/// family 0: G0[2] G1[0] G2[1]   mean partner rank 0.67
+/// ...
+/// overall mean 1.20, worst 3
+/// ```
+pub fn render_kary_matching(inst: &KPartiteInstance, matching: &KAryMatching) -> String {
+    let k = inst.k();
+    let mut out = String::new();
+    for f in matching.family_ids() {
+        let mut total = 0u64;
+        let members: Vec<String> = (0..k)
+            .map(|g| {
+                let me = matching.member_of(f, GenderId::from(g));
+                for h in 0..k {
+                    if h != g {
+                        let partner = matching.member_of(f, GenderId::from(h));
+                        total += inst.rank_of(me, partner.gender, partner.index) as u64;
+                    }
+                }
+                format!("G{g}[{}]", me.index)
+            })
+            .collect();
+        let mean = total as f64 / (k * (k - 1)) as f64;
+        out.push_str(&format!(
+            "family {f}: {}   mean partner rank {mean:.2}\n",
+            members.join(" ")
+        ));
+    }
+    let cost = family_cost(inst, matching);
+    out.push_str(&format!(
+        "overall mean {:.2}, worst {}\n",
+        cost.mean_rank, cost.max_rank
+    ));
+    out
+}
+
+/// Render a bipartite matching with names and both sides' ranks:
+///
+/// ```text
+/// m  — w'   (his rank 1, her rank 0)
+/// ```
+pub fn render_bipartite_matching(
+    inst: &BipartiteInstance,
+    matching: &BipartiteMatching,
+    proposers: &NameMap,
+    responders: &NameMap,
+) -> String {
+    let mut out = String::new();
+    for (m, w) in matching.pairs() {
+        out.push_str(&format!(
+            "{} — {}   (his rank {}, her rank {})\n",
+            proposers.of(m),
+            responders.of(w),
+            inst.proposer_rank(m, w),
+            inst.responder_rank(w, m)
+        ));
+    }
+    out
+}
+
+/// Render the reduced preference lists of a (partially solved) roommates
+/// table, §III-B style: one `who: partners…` line each.
+pub fn render_reduced_lists(
+    table: &kmatch_roommates::active::ActiveTable<'_>,
+    names: &NameMap,
+) -> String {
+    let mut out = String::new();
+    for p in 0..table.n() as u32 {
+        let list = table.reduced_list(p);
+        let rendered: Vec<String> = list.iter().map(|&q| names.of(q)).collect();
+        out.push_str(&format!("{:<4}: {}\n", names.of(p), rendered.join(" ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_core::bind;
+    use kmatch_graph::BindingTree;
+    use kmatch_gs::gale_shapley;
+    use kmatch_prefs::gen::paper::{example1_second, fig3_tripartite};
+
+    #[test]
+    fn kary_table_shape() {
+        let inst = fig3_tripartite();
+        let m = bind(&inst, &BindingTree::path(3));
+        let table = render_kary_matching(&inst, &m);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "two families + footer");
+        assert!(lines[0].starts_with("family 0:"));
+        assert!(lines[2].starts_with("overall mean"));
+    }
+
+    #[test]
+    fn reduced_lists_render_paper_style() {
+        use kmatch_roommates::active::ActiveTable;
+        use kmatch_roommates::phase1::phase1;
+        let inst = kmatch_prefs::gen::paper::section3b_left();
+        let mut table = ActiveTable::new(&inst);
+        let mut proposals = 0;
+        let _ = phase1(&mut table, &mut proposals);
+        let text = render_reduced_lists(&table, &NameMap::paper_tripartite());
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.starts_with("m   :"), "{text}");
+    }
+
+    #[test]
+    fn bipartite_table_uses_names() {
+        let inst = example1_second();
+        let m = gale_shapley(&inst).matching;
+        let men = NameMap::new(vec!["m".into(), "m'".into()]);
+        let women = NameMap::new(vec!["w".into(), "w'".into()]);
+        let table = render_bipartite_matching(&inst, &m, &men, &women);
+        assert!(
+            table.contains("m — w "),
+            "man-optimal pairs m with w:\n{table}"
+        );
+        assert!(table.contains("m' — w'"));
+        assert!(table.contains("his rank 0"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Trace rendering in the paper's notation.
+//!
+//! §III-B writes runs of the roommates algorithm as lines like
+//!
+//! ```text
+//! w → m   m holds   w removes m: w'u
+//! ```
+//!
+//! ("`w → m` represents a proposal from w to m. `m: uw'` represents
+//! removing u and w' from m's list.") These renderers reproduce that
+//! notation from the solvers' event logs.
+
+use kmatch_gs::GsEvent;
+use kmatch_roommates::RoommatesEvent;
+
+use crate::names::NameMap;
+
+/// Render a roommates event log in §III-B style, one event per line.
+pub fn render_roommates_trace(events: &[RoommatesEvent], names: &NameMap) -> String {
+    let mut out = String::new();
+    for event in events {
+        match event {
+            RoommatesEvent::Proposal {
+                from,
+                to,
+                displaced,
+            } => {
+                out.push_str(&format!(
+                    "{} → {}   {} holds",
+                    names.of(*from),
+                    names.of(*to),
+                    names.of(*to)
+                ));
+                if let Some(z) = displaced {
+                    out.push_str(&format!("   rejects {}", names.of(*z)));
+                }
+                out.push('\n');
+            }
+            RoommatesEvent::Truncation {
+                holder,
+                kept: _,
+                removed,
+            } => {
+                out.push_str(&format!(
+                    "        removes {}: {}\n",
+                    names.of(*holder),
+                    names.concat(removed)
+                ));
+            }
+            RoommatesEvent::Rotation { xs, ys } => {
+                let cycle: Vec<String> = xs
+                    .iter()
+                    .zip(ys)
+                    .map(|(x, y)| format!("{}→{}", names.of(*x), names.of(*y)))
+                    .collect();
+                out.push_str(&format!("loop: {}\n", cycle.join(", ")));
+            }
+            RoommatesEvent::ListEmptied { who } => {
+                out.push_str(&format!(
+                    "{}'s reduced list is empty — no stable matching\n",
+                    names.of(*who)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Render a Gale–Shapley event log; proposers and responders have separate
+/// name maps.
+pub fn render_gs_trace(events: &[GsEvent], proposers: &NameMap, responders: &NameMap) -> String {
+    let mut out = String::new();
+    for event in events {
+        match event {
+            GsEvent::RoundStart { round } => {
+                out.push_str(&format!("— round {round} —\n"));
+            }
+            GsEvent::Propose {
+                proposer,
+                responder,
+            } => {
+                out.push_str(&format!(
+                    "{} → {}\n",
+                    proposers.of(*proposer),
+                    responders.of(*responder)
+                ));
+            }
+            GsEvent::Engage {
+                proposer,
+                responder,
+            } => {
+                out.push_str(&format!(
+                    "        {} says maybe to {}\n",
+                    responders.of(*responder),
+                    proposers.of(*proposer)
+                ));
+            }
+            GsEvent::Reject {
+                proposer,
+                responder,
+            } => {
+                out.push_str(&format!(
+                    "        {} rejects {}\n",
+                    responders.of(*responder),
+                    proposers.of(*proposer)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_gs::gale_shapley_traced;
+    use kmatch_prefs::gen::paper::{example1_first, section3b_left, section3b_right};
+    use kmatch_roommates::solve_traced;
+
+    #[test]
+    fn left_instance_trace_reads_like_the_paper() {
+        let inst = section3b_left();
+        let (out, events) = solve_traced(&inst);
+        assert!(out.is_stable());
+        let text = render_roommates_trace(&events, &NameMap::paper_tripartite());
+        // The trace must contain paper-style proposal arrows and removal
+        // lines (the exact sequence differs from the paper's manual order,
+        // which is legal — phase 1 is confluent).
+        assert!(text.contains("→"), "has proposal arrows:\n{text}");
+        assert!(text.contains("removes"), "has removal lines:\n{text}");
+        // m proposes to u' at some point (m: u' is his top choice).
+        assert!(text.contains("m → u'"), "m's first proposal:\n{text}");
+    }
+
+    #[test]
+    fn right_instance_trace_ends_with_empty_list() {
+        let inst = section3b_right();
+        let (out, events) = solve_traced(&inst);
+        assert!(!out.is_stable());
+        let text = render_roommates_trace(&events, &NameMap::paper_tripartite());
+        assert!(
+            text.contains("reduced list is empty — no stable matching"),
+            "paper's certificate line:\n{text}"
+        );
+    }
+
+    #[test]
+    fn gs_trace_renders_dialogue() {
+        let out = gale_shapley_traced(&example1_first());
+        let men = NameMap::new(vec!["m".into(), "m'".into()]);
+        let women = NameMap::new(vec!["w".into(), "w'".into()]);
+        let text = render_gs_trace(out.trace.as_ref().unwrap(), &men, &women);
+        assert!(text.contains("— round 1 —"));
+        assert!(text.contains("m → w"));
+        assert!(text.contains("w rejects m"));
+        assert!(text.contains("w' says maybe to m"));
+    }
+}

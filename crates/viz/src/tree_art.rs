@@ -1,0 +1,114 @@
+//! ASCII rendering of binding trees.
+
+use kmatch_graph::{tree_edge_coloring, BindingTree};
+
+/// Render the tree rooted at node 0 with box-drawing branches. Each node
+/// line shows the gender, its degree, and the schedule round (edge color)
+/// of the edge to its parent:
+///
+/// ```text
+/// G0 (Δ-contrib 2)
+/// ├─[r0] G1
+/// │  └─[r1] G2
+/// └─[r1] G3
+/// ```
+pub fn render_tree(tree: &BindingTree) -> String {
+    let adj = tree.adjacency();
+    let schedule = tree_edge_coloring(tree);
+    // edge -> round number.
+    let mut round_of_edge = vec![0usize; tree.edges().len()];
+    for (r, round) in schedule.rounds().iter().enumerate() {
+        for &e in round {
+            round_of_edge[e] = r;
+        }
+    }
+    let edge_index = |a: u16, b: u16| -> usize {
+        tree.edges()
+            .iter()
+            .position(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+            .expect("adjacent nodes share an edge")
+    };
+    let mut out = String::new();
+    let degrees = tree.degrees();
+    out.push_str(&format!("G0 (degree {})\n", degrees[0]));
+    // Depth-first with prefix tracking.
+    fn recurse(
+        node: u16,
+        parent: u16,
+        prefix: &str,
+        adj: &[Vec<u16>],
+        edge_index: &dyn Fn(u16, u16) -> usize,
+        round_of_edge: &[usize],
+        out: &mut String,
+    ) {
+        let children: Vec<u16> = adj[node as usize]
+            .iter()
+            .copied()
+            .filter(|&c| c != parent)
+            .collect();
+        for (idx, &child) in children.iter().enumerate() {
+            let last = idx + 1 == children.len();
+            let branch = if last { "└─" } else { "├─" };
+            let round = round_of_edge[edge_index(node, child)];
+            out.push_str(&format!("{prefix}{branch}[r{round}] G{child}\n"));
+            let next_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+            recurse(
+                child,
+                node,
+                &next_prefix,
+                adj,
+                edge_index,
+                round_of_edge,
+                out,
+            );
+        }
+    }
+    recurse(0, u16::MAX, "", &adj, &edge_index, &round_of_edge, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_renders_as_chain() {
+        let art = render_tree(&BindingTree::path(4));
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("G0"));
+        assert!(lines[1].contains("G1"));
+        assert!(lines[3].contains("G3"));
+        // Alternating rounds along a path.
+        assert!(lines[1].contains("[r0]"));
+        assert!(lines[2].contains("[r1]"));
+        assert!(lines[3].contains("[r0]"));
+    }
+
+    #[test]
+    fn star_renders_all_children() {
+        let art = render_tree(&BindingTree::star(5, 0));
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("degree 4"));
+        // All four rounds distinct on a star.
+        for r in 0..4 {
+            assert!(art.contains(&format!("[r{r}]")), "round {r} missing");
+        }
+        // Last child uses the corner branch.
+        assert!(lines[4].starts_with("└─"));
+    }
+
+    #[test]
+    fn every_gender_appears_once() {
+        let tree = BindingTree::balanced_binary(7);
+        let art = render_tree(&tree);
+        for g in 0..7 {
+            assert_eq!(
+                art.matches(&format!("G{g}")).count(),
+                1,
+                "gender {g} must appear exactly once\n{art}"
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! k-parent family formation with gender priorities (§IV-D).
+//!
+//! When families can be *partially* raided — a sub-family defects if its
+//! lead member (highest-priority gender) agrees — ordinary binding trees no
+//! longer guarantee stability. Algorithm 2 grows a **bitonic** binding tree
+//! that does (Theorem 5).
+//!
+//! The example contrasts a non-bitonic tree (Fig. 5a) with Algorithm 2's
+//! priority trees, and shows the `(k−1)!` priority trees all succeed.
+//!
+//! ```text
+//! cargo run --example k_parent_families
+//! ```
+
+use kmatch::core::all_priority_trees;
+use kmatch::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let k = 4usize;
+    let n = 5usize;
+    let priorities = GenderPriorities::by_id(k);
+    println!("society: k = {k} genders (priority = gender id), n = {n} members each\n");
+
+    // Fig. 5(a): the path 4-1-2-3 (0-indexed 3-0-1-2) is NOT bitonic.
+    let fig5a = BindingTree::new(4, vec![(3, 0), (0, 1), (1, 2)]).unwrap();
+    println!(
+        "Fig. 5(a) tree {fig5a}: bitonic = {}",
+        priorities.is_bitonic_under(&fig5a)
+    );
+
+    // Hunt for an instance where the non-bitonic tree's matching admits a
+    // weakened blocking family.
+    let mut failures = 0;
+    let mut first_witness = None;
+    for seed in 0..100u64 {
+        let inst = kmatch::gen::uniform_kpartite(k, n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let m = bind(&inst, &fig5a);
+        assert!(
+            is_kary_stable(&inst, &m),
+            "Theorem 2 still holds (full condition)"
+        );
+        if let Some(bf) = find_weak_blocking_family(&inst, &m, &priorities) {
+            failures += 1;
+            first_witness.get_or_insert((seed, bf));
+        }
+    }
+    println!(
+        "weakened blocking family found on {failures}/100 random instances \
+         (full stability held on all 100)"
+    );
+    if let Some((seed, bf)) = first_witness {
+        println!(
+            "  e.g. seed {seed}: members {:?} drawn from families {:?}\n",
+            bf.members, bf.source_families
+        );
+    }
+
+    // Algorithm 2: every priority-based (bitonic) tree is immune.
+    let trees = all_priority_trees(&priorities);
+    println!(
+        "Algorithm 2 trees: {} = (k-1)! candidates, all bitonic; checking all on 25 instances…",
+        trees.len()
+    );
+    let mut checked = 0;
+    for seed in 0..25u64 {
+        let inst = kmatch::gen::uniform_kpartite(k, n, &mut ChaCha8Rng::seed_from_u64(1000 + seed));
+        for tree in &trees {
+            let m = bind(&inst, tree);
+            assert!(
+                is_weakly_stable(&inst, &m, &priorities),
+                "Theorem 5 violated by {tree} on seed {seed}"
+            );
+            checked += 1;
+        }
+    }
+    println!("  {checked} bindings, zero weakened blocking families (Theorem 5) ✓\n");
+
+    // Show one concrete family formation with the chain (descending
+    // priority path) tree.
+    let inst = kmatch::gen::uniform_kpartite(k, n, &mut ChaCha8Rng::seed_from_u64(5));
+    let (matching, _) = priority_bind(&inst, &priorities, AttachChoice::Chain);
+    println!("families from the descending-priority chain tree:");
+    for f in matching.family_ids() {
+        let members: Vec<String> = matching
+            .family(f)
+            .iter()
+            .enumerate()
+            .map(|(g, &i)| format!("G{g}[{i}]"))
+            .collect();
+        println!("  family {f}: ({})", members.join(", "));
+    }
+    let cost = kmatch::core::family_cost(&inst, &matching);
+    println!("mean partner rank: {:.2}", cost.mean_rank);
+}

@@ -1,0 +1,150 @@
+//! Edge cases and failure paths across the public API.
+
+use kmatch::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn n_equals_one_everywhere() {
+    // Single member per gender: everything degenerates gracefully.
+    let inst = kmatch::gen::uniform_kpartite(4, 1, &mut rng(1));
+    for tree in [
+        BindingTree::path(4),
+        BindingTree::star(4, 2),
+        BindingTree::balanced_binary(4),
+    ] {
+        let out = bind_with_stats(&inst, &tree);
+        assert_eq!(out.matching.n(), 1);
+        assert_eq!(out.total_proposals(), 3, "one proposal per binding");
+        assert!(is_kary_stable(&inst, &out.matching));
+        let pr = GenderPriorities::by_id(4);
+        assert!(is_weakly_stable(&inst, &out.matching, &pr));
+    }
+    // SMP with n = 1.
+    let smp = kmatch::gen::uniform_bipartite(1, &mut rng(2));
+    assert_eq!(
+        kmatch::gs::gale_shapley(&smp)
+            .matching
+            .partner_of_proposer(0),
+        0
+    );
+    let dist = kmatch::distsim::distributed_gale_shapley(&smp);
+    assert_eq!(dist.proposals, 1);
+    assert_eq!(dist.net.messages, 2, "one proposal, one accept");
+}
+
+#[test]
+fn k_equals_two_binding_is_plain_gs() {
+    // Algorithm 1 with k = 2 must coincide with GS on the extracted pair.
+    let inst = kmatch::gen::uniform_kpartite(2, 10, &mut rng(3));
+    let tree = BindingTree::path(2);
+    let out = bind_with_stats(&inst, &tree);
+    let pair = inst.extract_pair(GenderId(0), GenderId(1));
+    let gs = kmatch::gs::gale_shapley(&pair);
+    assert_eq!(out.total_proposals(), gs.stats.proposals);
+    for f in out.matching.family_ids() {
+        let fam = out.matching.family(f);
+        assert_eq!(gs.matching.partner_of_proposer(fam[0]), fam[1]);
+    }
+}
+
+#[test]
+fn lattice_on_unique_matching_instances() {
+    // Instances engineered for a unique stable matching: lattice size 1,
+    // egalitarian == man-optimal == woman-optimal.
+    let inst = kmatch::gen::identical_bipartite(8);
+    let lattice = kmatch::gs::enumerate_stable_lattice(&inst, 100).unwrap();
+    assert_eq!(lattice.matchings.len(), 1, "serial dictatorship is unique");
+    let (egal, _) = kmatch::gs::egalitarian_stable_matching(&inst);
+    assert_eq!(egal, lattice.matchings[0]);
+    assert!(kmatch::gs::all_rotations(&inst).is_empty());
+}
+
+#[test]
+fn schedule_of_two_genders() {
+    let tree = BindingTree::path(2);
+    let coloring = tree_edge_coloring(&tree);
+    assert_eq!(coloring.depth(), 1);
+    let eo = even_odd_path_schedule(&tree).unwrap();
+    assert_eq!(eo.depth(), 1);
+}
+
+#[test]
+fn serde_rejects_corrupted_payloads() {
+    use kmatch::prefs::serde_support::{KPartiteDto, RoommatesDto};
+    // Tampered k-partite DTO: non-permutation list.
+    let inst = kmatch::gen::uniform_kpartite(3, 2, &mut rng(4));
+    let mut dto = KPartiteDto::from(&inst);
+    dto.lists[0][0][1] = vec![0, 0];
+    assert!(KPartiteInstance::try_from(dto).is_err());
+    // Tampered roommates DTO: broken mutuality.
+    let rm = kmatch::gen::uniform_roommates(4, &mut rng(5));
+    let mut dto = RoommatesDto::from(&rm);
+    dto.lists[0].pop();
+    assert!(RoommatesInstance::try_from(dto).is_err());
+}
+
+#[test]
+fn quorum_threshold_boundaries() {
+    use kmatch::core::{is_quorum_stable, stability_threshold};
+    // With n = 1 there is a single family; no tuple spans two families, so
+    // the matching is stable at EVERY quorum and the threshold is 1.
+    let inst = kmatch::gen::uniform_kpartite(3, 1, &mut rng(6));
+    let m = bind(&inst, &BindingTree::path(3));
+    for q in 1..=3 {
+        assert!(is_quorum_stable(&inst, &m, q));
+    }
+    assert_eq!(stability_threshold(&inst, &m), Some(1));
+}
+
+#[test]
+fn priority_tree_count_monotone_construction() {
+    // Algorithm 2 at k = 2: a single tree, the single edge.
+    let pr = GenderPriorities::by_id(2);
+    let trees = kmatch::core::all_priority_trees(&pr);
+    assert_eq!(trees.len(), 1);
+    assert_eq!(
+        trees[0].edges(),
+        &[(1, 0)],
+        "highest priority proposes to the newcomer"
+    );
+}
+
+#[test]
+fn distributed_bind_on_two_genders() {
+    let inst = kmatch::gen::uniform_kpartite(2, 6, &mut rng(7));
+    let tree = BindingTree::path(2);
+    let schedule = tree_edge_coloring(&tree);
+    let out = kmatch::distsim::distributed_bind(&inst, &tree, &schedule);
+    assert_eq!(out.matching, bind(&inst, &tree));
+    assert_eq!(out.critical_path_rounds, out.per_edge[0].rounds as u64);
+}
+
+#[test]
+fn viz_handles_degenerate_inputs() {
+    use kmatch::viz::{render_kary_matching, render_tree, NameMap};
+    let tree = BindingTree::path(2);
+    let art = render_tree(&tree);
+    assert_eq!(art.lines().count(), 2);
+    let inst = kmatch::gen::uniform_kpartite(2, 1, &mut rng(8));
+    let m = bind(&inst, &tree);
+    let table = render_kary_matching(&inst, &m);
+    assert!(table.contains("family 0"));
+    let names = NameMap::default();
+    assert_eq!(names.of(3), "3", "empty map falls back to indices");
+}
+
+#[test]
+fn theorem1_smallest_possible_case() {
+    // k = 3, n = 1: three nodes, odd total — no perfect matching at all,
+    // so Theorem 1's precondition (even node count) matters.
+    let rm = kmatch::gen::theorem1_roommates(3, 1);
+    assert!(kmatch::roommates::brute::all_perfect_matchings(&rm).is_empty());
+    // k = 4, n = 1: even; perfect exists, stable does not.
+    let v = kmatch::core::theorem1_verdict(4, 1);
+    assert!(v.perfect_exists && !v.stable_exists);
+}

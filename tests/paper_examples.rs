@@ -1,0 +1,119 @@
+//! End-to-end regression of every worked example in the paper, exercising
+//! the full crate stack (prefs fixtures → solvers → verifiers).
+
+use kmatch::gs::{all_stable_matchings, gale_shapley, is_stable};
+use kmatch::prelude::*;
+use kmatch::roommates::brute::all_stable_roommates_matchings;
+use kmatch::roommates::matching::{is_roommates_stable, RoommatesMatching};
+use kmatch::roommates::oriented_stable_marriage;
+
+#[test]
+fn example1_both_preference_sets() {
+    // First set: unique stable matching (m', w), (m, w').
+    let inst = kmatch::gen::paper::example1_first();
+    let out = gale_shapley(&inst);
+    assert_eq!(out.matching.partner_of_proposer(0), 1);
+    assert_eq!(out.matching.partner_of_proposer(1), 0);
+    assert!(is_stable(&inst, &out.matching));
+    assert_eq!(all_stable_matchings(&inst).len(), 1);
+
+    // Second set: GS returns the man-optimal of the two stable matchings.
+    let inst = kmatch::gen::paper::example1_second();
+    let out = gale_shapley(&inst);
+    assert_eq!(out.matching.partner_of_proposer(0), 0);
+    assert_eq!(out.matching.partner_of_proposer(1), 1);
+    assert_eq!(all_stable_matchings(&inst).len(), 2);
+}
+
+#[test]
+fn figure2_deadlock_resolved_both_ways() {
+    let inst = kmatch::gen::paper::fig2_deadlock_smp();
+    let woman_opt = oriented_stable_marriage(&inst, SmpOrientation::SeedFromMen);
+    assert_eq!(woman_opt.matching.partner_of_proposer(0), 1, "(m, w')");
+    let man_opt = oriented_stable_marriage(&inst, SmpOrientation::SeedFromWomen);
+    assert_eq!(man_opt.matching.partner_of_proposer(0), 0, "(m, w)");
+}
+
+#[test]
+fn figure3_all_three_binding_choices() {
+    let inst = kmatch::gen::paper::fig3_tripartite();
+    // M−W, W−U  →  (m,w,u), (m',w',u').
+    let t = BindingTree::new(3, vec![(0, 1), (1, 2)]).unwrap();
+    assert_eq!(
+        bind(&inst, &t).to_tuples(),
+        vec![vec![0, 0, 0], vec![1, 1, 1]]
+    );
+    // M−U, U−W  →  (m,w',u'), (m',w,u).
+    let t = BindingTree::new(3, vec![(0, 2), (2, 1)]).unwrap();
+    assert_eq!(
+        bind(&inst, &t).to_tuples(),
+        vec![vec![0, 1, 1], vec![1, 0, 0]]
+    );
+    // M−U, M−W  →  (m,w,u'), (m',w',u).
+    let t = BindingTree::new(3, vec![(0, 2), (0, 1)]).unwrap();
+    assert_eq!(
+        bind(&inst, &t).to_tuples(),
+        vec![vec![0, 0, 1], vec![1, 1, 0]]
+    );
+    // All three matchings stable (Theorem 2).
+    for edges in [
+        vec![(0, 1), (1, 2)],
+        vec![(0, 2), (2, 1)],
+        vec![(0, 2), (0, 1)],
+    ] {
+        let t = BindingTree::new(3, edges).unwrap();
+        assert!(is_kary_stable(&inst, &bind(&inst, &t)));
+    }
+}
+
+#[test]
+fn section3b_left_trace_outcome() {
+    let inst = kmatch::gen::paper::section3b_left();
+    // The solver must find a stable matching; the paper's matching
+    // (m,u'), (m',w), (w',u) must be among all stable ones.
+    let out = solve_roommates(&inst);
+    let found = out.matching().expect("stable").clone();
+    assert!(is_roommates_stable(&inst, &found));
+    let paper = RoommatesMatching::new(vec![5, 2, 1, 4, 3, 0]);
+    let all = all_stable_roommates_matchings(&inst);
+    assert!(all.contains(&paper), "paper matching is stable");
+    assert!(all.contains(&found), "solver output among stable matchings");
+}
+
+#[test]
+fn section3b_right_no_stable_matching() {
+    let inst = kmatch::gen::paper::section3b_right();
+    assert!(!solve_roommates(&inst).is_stable());
+    assert!(
+        all_stable_roommates_matchings(&inst).is_empty(),
+        "brute force agrees"
+    );
+}
+
+#[test]
+fn theorem4_cycle_preferences() {
+    let inst = kmatch::gen::paper::theorem4_cycle_tripartite();
+    assert!(kmatch::core::theorems::overbinding_collapses(&inst));
+    // Any spanning tree (2 of the 3 edges) still works and is stable.
+    for edges in [
+        vec![(0u16, 1u16), (1, 2)],
+        vec![(0, 1), (0, 2)],
+        vec![(1, 2), (0, 2)],
+    ] {
+        let t = BindingTree::new(3, edges).unwrap();
+        let m = bind(&inst, &t);
+        assert!(is_kary_stable(&inst, &m));
+    }
+}
+
+#[test]
+fn figure5_and_6_weakened_condition() {
+    let pr = GenderPriorities::by_id(4);
+    // Fig. 5(a) tree is not bitonic; Fig. 6's growth procedure yields
+    // (k-1)! bitonic trees.
+    let fig5a = BindingTree::new(4, vec![(3, 0), (0, 1), (1, 2)]).unwrap();
+    assert!(!pr.is_bitonic_under(&fig5a));
+    let trees = kmatch::core::all_priority_trees(&pr);
+    assert_eq!(trees.len(), 6);
+    assert!(trees.iter().all(|t| pr.is_bitonic_under(t)));
+}

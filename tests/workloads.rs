@@ -1,0 +1,110 @@
+//! Workload-model integration tests: the generators' statistical
+//! signatures as seen through the solvers.
+
+use kmatch::gs::{gale_shapley, is_stable};
+use kmatch::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn mallows_dispersion_orders_gs_cost() {
+    // Lower phi → more agreement → more GS contention → more proposals.
+    // Averaged over seeds the ordering must be monotone-ish; we assert the
+    // two extremes.
+    let n = 64;
+    let trials = 15;
+    let mut low_phi = 0u64; // phi = 0.1: near-identical lists
+    let mut high_phi = 0u64; // phi = 1.0: uniform
+    for seed in 0..trials {
+        let a = kmatch::gen::mallows_bipartite(n, 0.1, &mut rng(900 + seed));
+        low_phi += gale_shapley(&a).stats.proposals;
+        let b = kmatch::gen::mallows_bipartite(n, 1.0, &mut rng(900 + seed));
+        high_phi += gale_shapley(&b).stats.proposals;
+    }
+    assert!(
+        low_phi > 2 * high_phi,
+        "agreement must drive contention: {low_phi} vs {high_phi}"
+    );
+}
+
+#[test]
+fn euclidean_is_benign_identical_is_adversarial() {
+    let n = 128;
+    let (inst, _, _) = kmatch::gen::euclidean_bipartite(n, &mut rng(901));
+    let euclid = gale_shapley(&inst).stats.proposals;
+    let ident = gale_shapley(&kmatch::gen::identical_bipartite(n))
+        .stats
+        .proposals;
+    assert!(
+        euclid * 4 < ident,
+        "geometric preferences must be far below the serial-dictatorship cost: \
+         {euclid} vs {ident}"
+    );
+}
+
+#[test]
+fn all_workloads_produce_stable_matchings() {
+    let n = 32;
+    let mut r = rng(902);
+    let instances: Vec<(&str, BipartiteInstance)> = vec![
+        ("uniform", kmatch::gen::uniform_bipartite(n, &mut r)),
+        (
+            "correlated",
+            kmatch::gen::correlated_bipartite(n, 8.0, &mut r),
+        ),
+        ("mallows", kmatch::gen::mallows_bipartite(n, 0.3, &mut r)),
+        ("euclidean", kmatch::gen::euclidean_bipartite(n, &mut r).0),
+        ("identical", kmatch::gen::identical_bipartite(n)),
+        ("cyclic", kmatch::gen::cyclic_bipartite(n)),
+    ];
+    for (name, inst) in instances {
+        let out = gale_shapley(&inst);
+        assert!(is_stable(&inst, &out.matching), "{name}");
+        let fair = fair_stable_marriage(&inst);
+        assert!(is_stable(&inst, &fair.matching), "{name} (fair)");
+    }
+}
+
+#[test]
+fn kpartite_workloads_bind_stably() {
+    let (k, n) = (4, 8);
+    let mut r = rng(903);
+    let instances = vec![
+        ("uniform", kmatch::gen::uniform_kpartite(k, n, &mut r)),
+        (
+            "correlated",
+            kmatch::gen::correlated_kpartite(k, n, 8.0, &mut r),
+        ),
+        ("mallows", kmatch::gen::mallows_kpartite(k, n, 0.3, &mut r)),
+        ("euclidean", kmatch::gen::euclidean_kpartite(k, n, &mut r)),
+        ("master", kmatch::gen::master_list_kpartite(k, n, true)),
+    ];
+    for (name, inst) in instances {
+        for tree in [BindingTree::path(k), BindingTree::star(k, 0)] {
+            let out = bind_with_stats(&inst, &tree);
+            assert!(is_kary_stable(&inst, &out.matching), "{name} / {tree}");
+            assert!(out.total_proposals() <= ((k - 1) * n * n) as u64, "{name}");
+        }
+    }
+}
+
+#[test]
+fn distributed_handles_every_workload() {
+    let n = 24;
+    let mut r = rng(904);
+    for (name, inst) in [
+        ("mallows", kmatch::gen::mallows_bipartite(n, 0.2, &mut r)),
+        ("euclidean", kmatch::gen::euclidean_bipartite(n, &mut r).0),
+        ("identical", kmatch::gen::identical_bipartite(n)),
+    ] {
+        let central = gale_shapley(&inst);
+        let dist = kmatch::distsim::distributed_gale_shapley(&inst);
+        assert_eq!(dist.matching, central.matching, "{name}");
+        assert_eq!(dist.proposals, central.stats.proposals, "{name}");
+        assert!(dist.net.messages <= 3 * dist.proposals, "{name}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Machine-readable GS hot-path measurements → `results/BENCH_gs.json`.
+//!
+//! Records the two acceptance numbers of the zero-alloc hot-path work —
+//! fast-path speedup over the reference engine on a random `n = 2000`
+//! bipartite instance, and `solve_batch` throughput on 1000 instances
+//! relative to a serial loop — plus the smaller sizes for context. Run
+//! with `cargo run --release --bin bench_gs_json`.
+
+use std::time::Instant;
+
+use kmatch_bench::rng;
+use kmatch_gs::{gale_shapley_reference, GsWorkspace};
+use kmatch_parallel::solve_batch;
+use kmatch_prefs::gen::uniform::uniform_bipartite;
+use kmatch_prefs::{BipartiteInstance, CsrPrefs};
+use serde::impl_json_struct;
+
+/// Per-variant minimum over `passes` contiguous timing blocks of `reps`
+/// runs each.
+///
+/// Variants get *separate* blocks rather than run-by-run interleaving: on
+/// a host whose last-level cache is shared with noisy neighbors, an
+/// interleaved rotation makes every variant evict the others' working set
+/// between its runs, which distorts exactly the locality effects this
+/// benchmark exists to show (measured here: it hid a 2× CSR-arena win
+/// entirely). Rotating the block order across passes still spreads slow
+/// host drift over all variants, and the minimum is the robust statistic —
+/// noise on a shared machine only ever adds time.
+fn measure_blocks<const K: usize>(
+    passes: usize,
+    reps: usize,
+    variants: [&mut dyn FnMut() -> u64; K],
+) -> [f64; K] {
+    let mut sink = 0u64;
+    let mut best = [f64::INFINITY; K];
+    for pass in 0..passes {
+        for i in 0..K {
+            let v = (i + pass) % K;
+            for _ in 0..reps {
+                let t = Instant::now();
+                sink = sink.wrapping_add(variants[v]());
+                best[v] = best[v].min(t.elapsed().as_nanos() as f64);
+            }
+        }
+    }
+    assert!(sink > 0, "benchmark workload produced no proposals");
+    best
+}
+
+/// One single-instance comparison row.
+#[derive(Debug, Clone)]
+struct SingleRow {
+    n: usize,
+    proposals: u64,
+    reference_ns: f64,
+    fastpath_ns: f64,
+    fastpath_csr_ns: f64,
+    /// `reference_ns / fastpath_ns`.
+    speedup: f64,
+    /// `reference_ns / fastpath_csr_ns`.
+    speedup_csr: f64,
+}
+
+impl_json_struct!(SingleRow {
+    n,
+    proposals,
+    reference_ns,
+    fastpath_ns,
+    fastpath_csr_ns,
+    speedup,
+    speedup_csr,
+});
+
+/// The batch-throughput comparison.
+#[derive(Debug, Clone)]
+struct BatchRow {
+    instances: usize,
+    n: usize,
+    threads: usize,
+    serial_ns: f64,
+    solve_batch_ns: f64,
+    /// `serial_ns / solve_batch_ns` — expected ≈ `threads` for balanced
+    /// batches on a multicore host, ≈ 1 on a single core.
+    speedup: f64,
+    /// Speedup per thread.
+    efficiency: f64,
+}
+
+impl_json_struct!(BatchRow {
+    instances,
+    n,
+    threads,
+    serial_ns,
+    solve_batch_ns,
+    speedup,
+    efficiency,
+});
+
+#[derive(Debug, Clone)]
+struct Report {
+    threads: usize,
+    single: Vec<SingleRow>,
+    batch: BatchRow,
+}
+
+impl_json_struct!(Report { threads, single, batch });
+
+fn single_row(n: usize, reps: usize) -> SingleRow {
+    let inst = uniform_bipartite(n, &mut rng(301));
+    let proposals = gale_shapley_reference(&inst).stats.proposals;
+    let mut ws = GsWorkspace::with_capacity(n);
+    let mut ws_csr = GsWorkspace::with_capacity(n);
+    let csr = CsrPrefs::from_prefs(&inst);
+    let [reference_ns, fastpath_ns, fastpath_csr_ns] = measure_blocks(
+        4,
+        reps,
+        [
+            &mut || gale_shapley_reference(&inst).stats.proposals,
+            &mut || ws.solve(&inst).stats.proposals,
+            &mut || ws_csr.solve(&csr).stats.proposals,
+        ],
+    );
+    SingleRow {
+        n,
+        proposals,
+        reference_ns,
+        fastpath_ns,
+        fastpath_csr_ns,
+        speedup: reference_ns / fastpath_ns,
+        speedup_csr: reference_ns / fastpath_csr_ns,
+    }
+}
+
+fn batch_row() -> BatchRow {
+    let (instances, n, reps) = (1000usize, 64usize, 25);
+    let mut r = rng(302);
+    let batch: Vec<BipartiteInstance> =
+        (0..instances).map(|_| uniform_bipartite(n, &mut r)).collect();
+    let mut ws = GsWorkspace::with_capacity(n);
+    let [serial_ns, solve_batch_ns] = measure_blocks(
+        4,
+        reps,
+        [
+            &mut || {
+                batch
+                    .iter()
+                    .map(|inst| ws.solve(inst).stats.proposals)
+                    .sum()
+            },
+            &mut || {
+                solve_batch(&batch)
+                    .iter()
+                    .map(|o| o.stats.proposals)
+                    .sum()
+            },
+        ],
+    );
+    let threads = rayon_threads();
+    let speedup = serial_ns / solve_batch_ns;
+    BatchRow {
+        instances,
+        n,
+        threads,
+        serial_ns,
+        solve_batch_ns,
+        speedup,
+        efficiency: speedup / threads as f64,
+    }
+}
+
+fn rayon_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn main() {
+    // The host is a shared VM whose effective speed drifts by integer
+    // factors over seconds; see `measure_blocks` for how the comparison
+    // defends against both drift and cross-variant cache pollution.
+    let single: Vec<SingleRow> = [(256usize, 1000), (1024, 250), (2000, 150)]
+        .into_iter()
+        .map(|(n, reps)| single_row(n, reps))
+        .collect();
+    let report = Report {
+        threads: rayon_threads(),
+        single,
+        batch: batch_row(),
+    };
+
+    for row in &report.single {
+        println!(
+            "n = {:>5}: reference {:>10.0} ns  fastpath {:>10.0} ns  csr {:>10.0} ns  \
+             speedup {:.2}x / {:.2}x (csr)",
+            row.n, row.reference_ns, row.fastpath_ns, row.fastpath_csr_ns, row.speedup,
+            row.speedup_csr,
+        );
+    }
+    let b = &report.batch;
+    println!(
+        "batch {} x n={}: serial {:>10.0} ns  solve_batch {:>10.0} ns  \
+         speedup {:.2}x on {} thread(s)",
+        b.instances, b.n, b.serial_ns, b.solve_batch_ns, b.speedup, b.threads,
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_gs.json", json + "\n").expect("write results/BENCH_gs.json");
+    println!("wrote results/BENCH_gs.json");
+}

@@ -37,6 +37,7 @@ USAGE:
   kmatch solve kary    --input FILE [--tree path|star|random|priority] [--seed S]
   kmatch solve binary  --input FILE
   kmatch solve smp     --n N [--seed S] [--mode gs|fair|man|woman]
+  kmatch batch         --n N [--count C] [--seed S]   (parallel batch GS throughput)
   kmatch verify kary   --input FILE --matching FILE [--weak]
   kmatch lattice       --n N [--seed S] [--limit L]
   kmatch trace         --input FILE            (roommates JSON, paper-style trace)
@@ -62,6 +63,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         (Some("solve"), Some("kary")) => solve_kary(&args),
         (Some("solve"), Some("binary")) => solve_binary(&args),
         (Some("solve"), Some("smp")) => solve_smp(&args),
+        (Some("batch"), _) => batch_cmd(&args),
         (Some("verify"), Some("kary")) => verify_kary(&args),
         (Some("lattice"), _) => lattice(&args),
         (Some("trace"), _) => trace_cmd(&args),
@@ -288,6 +290,33 @@ fn solve_smp(args: &Args) -> Result<(), String> {
     for (m, w) in matching.pairs() {
         println!("  ({m}, {w})");
     }
+    Ok(())
+}
+
+/// Solve a stream of random SMP instances through the parallel batch
+/// front-end — the CLI face of `kmatch_parallel::solve_batch`, with
+/// per-thread reusable workspaces and zero steady-state allocation.
+fn batch_cmd(args: &Args) -> Result<(), String> {
+    args.check_known(&["n", "count", "seed"])?;
+    let n: usize = args.require("n")?;
+    let count: usize = args.flag_or("count", 1000)?;
+    let seed: u64 = args.flag_or("seed", 0)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let batch: Vec<kmatch_prefs::BipartiteInstance> = (0..count)
+        .map(|_| kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut rng))
+        .collect();
+    let start = std::time::Instant::now();
+    let outcomes = kmatch_parallel::solve_batch(&batch);
+    let elapsed = start.elapsed();
+    let stats = kmatch_parallel::batch_stats(&outcomes);
+    println!("instances      : {count} x n={n}");
+    println!("total proposals: {}", stats.proposals);
+    println!("max rounds     : {}", stats.rounds);
+    println!(
+        "wall time      : {:.3} ms ({:.1} instances/s)",
+        elapsed.as_secs_f64() * 1e3,
+        count as f64 / elapsed.as_secs_f64()
+    );
     Ok(())
 }
 

@@ -17,8 +17,19 @@
 //! whole subtree is pruned. Worst case `O(n^k)` (the problem is a complete
 //! `k`-partite constraint search) but heavily pruned in practice — stable
 //! matchings reject most pairs immediately.
+//!
+//! Three verifiers share the same semantics and are cross-validated against
+//! each other:
+//!
+//! * [`find_blocking_family`] — the pairwise-pruned DFS (reference).
+//! * [`find_blocking_family_bitset`] — the production verifier: the
+//!   acceptance relation is precomputed into per-member bitsets
+//!   ("strictly better than my current partner, or same family"), so the
+//!   DFS maintains one candidate bitset per remaining gender and prunes a
+//!   whole subtree with a single word test. Used by [`is_kary_stable`].
+//! * [`find_blocking_family_naive`] — exhaustive `n^k` ground truth.
 
-use kmatch_prefs::{KPartiteInstance, Member};
+use kmatch_prefs::{GenderId, KPartiteInstance, Member};
 
 use crate::kary::KAryMatching;
 
@@ -113,7 +124,171 @@ fn dfs(inst: &KPartiteInstance, matching: &KAryMatching, chosen: &mut Vec<u32>) 
 
 /// Is the k-ary matching stable (free of blocking families)?
 pub fn is_kary_stable(inst: &KPartiteInstance, matching: &KAryMatching) -> bool {
-    find_blocking_family(inst, matching).is_none()
+    find_blocking_family_bitset(inst, matching).is_none()
+}
+
+/// Bitset-accelerated blocking-family search. Returns exactly the result
+/// of [`find_blocking_family`] (the same lexicographically-least tuple).
+///
+/// Two precomputed tables drive the search:
+///
+/// 1. **Acceptance bitsets** — for every member `a` and foreign gender
+///    `h`, bit `j` records `accepts(a, (h, j))`: one pass over the rank
+///    tables, after which no rank is ever read again.
+/// 2. **Mutual bitsets** — the intersection of each acceptance bit with
+///    its reverse (`accepts((h, j), a)`), so pairwise feasibility of a
+///    candidate against a chosen member is a single AND of words.
+///
+/// The DFS keeps, per remaining gender, the bitset of candidates
+/// compatible with everything chosen so far; extending the tuple is
+/// `words` ANDs per gender, candidates come out of `trailing_zeros` in
+/// ascending order (preserving the lexicographic-least guarantee), and an
+/// emptied gender kills the subtree on the spot — the word test that
+/// replaces the reference verifier's per-pair rank comparisons.
+pub fn find_blocking_family_bitset(
+    inst: &KPartiteInstance,
+    matching: &KAryMatching,
+) -> Option<BlockingFamily> {
+    let k = inst.k();
+    let n = inst.n();
+    assert_eq!(
+        matching.k(),
+        k,
+        "matching arity must equal instance genders"
+    );
+    assert_eq!(matching.n(), n, "matching size must equal instance size");
+    let words = n.div_ceil(64);
+    // Row of member (g, i)'s bitset over gender h (self rows unused).
+    let row = |g: usize, i: u32, h: usize| ((g * n + i as usize) * k + h) * words;
+
+    // Pass 1: forward acceptance.
+    let mut accept = vec![0u64; k * n * k * words];
+    for g in 0..k {
+        for i in 0..n as u32 {
+            let a = Member::new(g, i);
+            let fam_a = matching.family_of(a);
+            for h in (0..k).filter(|&h| h != g) {
+                let hg = GenderId::from(h);
+                let cur = matching.current_partner(a, hg);
+                let cur_rank = inst.rank_of(a, hg, cur.index);
+                let r = row(g, i, h);
+                for j in 0..n as u32 {
+                    let ok = inst.rank_of(a, hg, j) < cur_rank
+                        || matching.family_of(Member::new(h, j)) == fam_a;
+                    if ok {
+                        accept[r + j as usize / 64] |= 1u64 << (j % 64);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: intersect with the reverse direction.
+    let mut mutual = accept.clone();
+    for g in 0..k {
+        for i in 0..n as u32 {
+            for h in (0..k).filter(|&h| h != g) {
+                let r = row(g, i, h);
+                for j in 0..n as u32 {
+                    let back = row(h, j, g) + i as usize / 64;
+                    if accept[back] >> (i % 64) & 1 == 0 {
+                        mutual[r + j as usize / 64] &= !(1u64 << (j % 64));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut search = BitsetSearch {
+        k,
+        n,
+        words,
+        mutual: &mutual,
+        matching,
+        // feasible[(d * k + h) * words ..]: candidates of gender h
+        // compatible with the first d chosen members.
+        feasible: vec![0u64; (k + 1) * k * words],
+        chosen: vec![0u32; k],
+    };
+    let tail = if n.is_multiple_of(64) {
+        !0u64
+    } else {
+        (1u64 << (n % 64)) - 1
+    };
+    for h in 0..k {
+        for w in 0..words {
+            search.feasible[h * words + w] = if w + 1 == words { tail } else { !0 };
+        }
+    }
+    if !search.dfs(0) {
+        return None;
+    }
+    let members = search.chosen;
+    let mut source_families: Vec<u32> = members
+        .iter()
+        .enumerate()
+        .map(|(g, &i)| matching.family_of(Member::new(g, i)))
+        .collect();
+    source_families.sort_unstable();
+    source_families.dedup();
+    Some(BlockingFamily {
+        members,
+        source_families,
+    })
+}
+
+struct BitsetSearch<'a> {
+    k: usize,
+    n: usize,
+    words: usize,
+    mutual: &'a [u64],
+    matching: &'a KAryMatching,
+    feasible: Vec<u64>,
+    chosen: Vec<u32>,
+}
+
+impl BitsetSearch<'_> {
+    fn dfs(&mut self, d: usize) -> bool {
+        if d == self.k {
+            // Complete tuple: blocking iff it spans ≥ 2 families.
+            let first = self.matching.family_of(Member::new(0usize, self.chosen[0]));
+            return self
+                .chosen
+                .iter()
+                .enumerate()
+                .any(|(h, &i)| self.matching.family_of(Member::new(h, i)) != first);
+        }
+        for w in 0..self.words {
+            let mut bits = self.feasible[(d * self.k + d) * self.words + w];
+            while bits != 0 {
+                let i = (w * 64) as u32 + bits.trailing_zeros();
+                bits &= bits - 1;
+                self.chosen[d] = i;
+                // Narrow every remaining gender by this candidate's mutual
+                // bitset; an emptied gender prunes the subtree outright.
+                let mut alive = true;
+                for h in (d + 1)..self.k {
+                    let src = (d * self.k + h) * self.words;
+                    let dst = ((d + 1) * self.k + h) * self.words;
+                    let m = ((d * self.n + i as usize) * self.k + h) * self.words;
+                    let mut any = 0u64;
+                    for t in 0..self.words {
+                        let v = self.feasible[src + t] & self.mutual[m + t];
+                        self.feasible[dst + t] = v;
+                        any |= v;
+                    }
+                    if any == 0 {
+                        alive = false;
+                        break;
+                    }
+                }
+                if alive && self.dfs(d + 1) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 /// Ground-truth verifier: enumerate every one of the `n^k` candidate
@@ -260,6 +435,69 @@ mod tests {
                 assert_eq!(dfs.is_some(), naive.is_some(), "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn bitset_agrees_with_dfs_and_naive() {
+        use kmatch_graph::prufer::random_tree;
+        use kmatch_prefs::gen::uniform::uniform_kpartite;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+        for seed in 0..30u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(1000 + seed);
+            let inst = uniform_kpartite(3, 4, &mut rng);
+            let stable = crate::binding::bind(&inst, &random_tree(3, &mut rng));
+            let arbitrary = KAryMatching::from_tuples(
+                3,
+                4,
+                &[
+                    vec![0, 1, 2],
+                    vec![1, 2, 3],
+                    vec![2, 3, 0],
+                    vec![3, 0, 1],
+                ],
+            );
+            for m in [&stable, &arbitrary] {
+                let dfs = find_blocking_family(&inst, m);
+                let bitset = find_blocking_family_bitset(&inst, m);
+                // Exact equality: both searches are lexicographic.
+                assert_eq!(bitset, dfs, "seed {seed}");
+                let naive = find_blocking_family_naive(&inst, m);
+                assert_eq!(bitset.is_some(), naive.is_some(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_handles_multiword_instances() {
+        // n > 64 exercises the multi-word bitset rows.
+        use kmatch_graph::prufer::random_tree;
+        use kmatch_prefs::gen::uniform::uniform_kpartite;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let inst = uniform_kpartite(3, 70, &mut rng);
+        let stable = crate::binding::bind(&inst, &random_tree(3, &mut rng));
+        assert_eq!(
+            find_blocking_family_bitset(&inst, &stable),
+            find_blocking_family(&inst, &stable)
+        );
+        // A deliberately shuffled matching on the same instance.
+        let tuples: Vec<Vec<u32>> = (0..70u32)
+            .map(|f| vec![f, (f + 1) % 70, (f + 2) % 70])
+            .collect();
+        let shuffled = KAryMatching::from_tuples(3, 70, &tuples);
+        assert_eq!(
+            find_blocking_family_bitset(&inst, &shuffled),
+            find_blocking_family(&inst, &shuffled)
+        );
+    }
+
+    #[test]
+    fn bitset_respects_same_family_exemption_and_k_prime() {
+        let inst = fig3_tripartite();
+        let m = matching(&[vec![0, 0, 0], vec![1, 1, 1]]);
+        assert!(find_blocking_family_bitset(&inst, &m).is_none());
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub mod weak;
 
 pub use binding::{bind, bind_with_stats, BindingOutcome};
 pub use blocking::{
-    find_blocking_family, find_blocking_family_naive, is_kary_stable, BlockingFamily,
+    find_blocking_family, find_blocking_family_bitset, find_blocking_family_naive, is_kary_stable,
+    BlockingFamily,
 };
 pub use kary::KAryMatching;
 pub use metrics::{family_cost, FamilyCost};

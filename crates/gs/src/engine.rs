@@ -12,6 +12,40 @@
 //! the total number of proposals is at most `n²` (and at least `n`); both
 //! bounds are exercised by the structured workloads in
 //! `kmatch_prefs::gen::structured`.
+//!
+//! ## Engine structure
+//!
+//! The loop is compiled twice via the private `Tracer` parameter: the
+//! untraced instantiation ([`gale_shapley`], [`GsWorkspace::solve`]) has
+//! every trace hook inlined away — no `Option` checks anywhere in the
+//! proposal loop — while the traced instantiation
+//! ([`gale_shapley_traced`]) pushes [`GsEvent`]s. Both run the identical
+//! round schedule, so matchings, proposal counts, and round counts agree
+//! exactly; `gale_shapley_reference` preserves the original
+//! runtime-checked implementation as a differential baseline.
+//!
+//! Three further fast-path properties matter at scale:
+//!
+//! * **Packed holder state.** Each responder's provisional engagement is
+//!   one word, `rank << 32 | fiancé`, where `rank` is the fiancé's rank in
+//!   the responder's list. The acceptance test is a single integer compare
+//!   against the packed candidate (ranks are distinct within a list, so
+//!   packed order is exactly rank order), and a free slot is the all-ones
+//!   word, so any candidate wins the same compare — no vacancy branch.
+//! * **Fused proposal entries.** Each proposal reads one packed word
+//!   `rank << 32 | responder` via
+//!   [`kmatch_prefs::BipartitePrefs::proposal_entry`]. Arena-backed
+//!   preferences ([`kmatch_prefs::CsrPrefs`]) serve it with a single
+//!   *sequential* load — proposers walk their entry rows left to right —
+//!   so the inner loop's only random access is the `n`-word `best` array,
+//!   which stays cache-resident long after the instance's `n²` tables do
+//!   not. The reference engine instead performs one random list load plus
+//!   up to two random rank-table loads per proposal.
+//! * **Workspace reuse.** All four scratch arrays live in a
+//!   [`GsWorkspace`]; [`GsWorkspace::solve`] only grows them, so a batch
+//!   loop over same-sized instances performs no scratch allocation after
+//!   the first solve. The only per-solve allocations are the two partner
+//!   arrays owned by the returned matching.
 
 use kmatch_prefs::BipartitePrefs;
 
@@ -43,7 +77,245 @@ pub struct GsOutcome {
 
 const FREE: u32 = u32::MAX;
 
-fn run<P: BipartitePrefs>(prefs: &P, mut trace: Option<&mut Vec<GsEvent>>) -> GsOutcome {
+/// Compile-time trace hook set; the `NoTrace` instantiation erases every
+/// call site.
+trait Tracer {
+    fn round_start(&mut self, round: u32);
+    fn propose(&mut self, proposer: u32, responder: u32);
+    fn engage(&mut self, proposer: u32, responder: u32);
+    fn reject(&mut self, proposer: u32, responder: u32);
+}
+
+/// Zero-sized tracer for the fast path.
+struct NoTrace;
+
+impl Tracer for NoTrace {
+    #[inline(always)]
+    fn round_start(&mut self, _round: u32) {}
+    #[inline(always)]
+    fn propose(&mut self, _proposer: u32, _responder: u32) {}
+    #[inline(always)]
+    fn engage(&mut self, _proposer: u32, _responder: u32) {}
+    #[inline(always)]
+    fn reject(&mut self, _proposer: u32, _responder: u32) {}
+}
+
+/// Tracer that appends to an event vector.
+struct VecTrace<'a> {
+    events: &'a mut Vec<GsEvent>,
+}
+
+impl Tracer for VecTrace<'_> {
+    fn round_start(&mut self, round: u32) {
+        self.events.push(GsEvent::RoundStart { round });
+    }
+    fn propose(&mut self, proposer: u32, responder: u32) {
+        self.events.push(GsEvent::Propose {
+            proposer,
+            responder,
+        });
+    }
+    fn engage(&mut self, proposer: u32, responder: u32) {
+        self.events.push(GsEvent::Engage {
+            proposer,
+            responder,
+        });
+    }
+    fn reject(&mut self, proposer: u32, responder: u32) {
+        self.events.push(GsEvent::Reject {
+            proposer,
+            responder,
+        });
+    }
+}
+
+/// Reusable scratch buffers for the Gale–Shapley engine.
+///
+/// A workspace grows to the largest instance it has seen and never
+/// shrinks; solving through one repeatedly is allocation-free in the
+/// steady state. Workspaces are cheap to create and freely reusable
+/// across unrelated instances of any size.
+///
+/// ```
+/// use kmatch_gs::{gale_shapley, GsWorkspace};
+/// use kmatch_prefs::gen::paper::example1_first;
+///
+/// let inst = example1_first();
+/// let mut ws = GsWorkspace::new();
+/// let fast = ws.solve(&inst);
+/// assert_eq!(fast.matching, gale_shapley(&inst).matching);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GsWorkspace {
+    /// `next[m]`: position in `m`'s list of the next responder to try.
+    next: Vec<u32>,
+    /// `best[w]`: `rank << 32 | fiancé` for `w`'s provisional engagement
+    /// (`rank` = the fiancé's rank in `w`'s list), or [`VACANT`] while
+    /// free. Lower is better, and every real candidate beats [`VACANT`].
+    best: Vec<u64>,
+    /// Free proposers of the current round.
+    free: Vec<u32>,
+    /// Proposers rejected this round, i.e. next round's `free`.
+    next_free: Vec<u32>,
+}
+
+/// Packed `best` entry of a responder with no provisional fiancé.
+const VACANT: u64 = u64::MAX;
+
+/// High-word mask: isolates the rank half of a packed entry.
+const RANK_HI: u64 = 0xFFFF_FFFF_0000_0000;
+
+impl GsWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        GsWorkspace::default()
+    }
+
+    /// A workspace pre-sized for instances of up to `n` members per side.
+    pub fn with_capacity(n: usize) -> Self {
+        GsWorkspace {
+            next: Vec::with_capacity(n),
+            best: Vec::with_capacity(n),
+            free: Vec::with_capacity(n),
+            next_free: Vec::with_capacity(n),
+        }
+    }
+
+    /// Prepare all buffers for an instance of size `n`.
+    fn reset(&mut self, n: usize) {
+        self.next.clear();
+        self.next.resize(n, 0);
+        self.best.clear();
+        self.best.resize(n, VACANT);
+        self.free.clear();
+        self.free.extend(0..n as u32);
+        self.next_free.clear();
+    }
+
+    /// Run proposer-proposing Gale–Shapley through this workspace's
+    /// buffers (the zero-allocation fast path). Produces exactly the
+    /// matching, proposal count, and round count of [`gale_shapley`].
+    pub fn solve<P: BipartitePrefs>(&mut self, prefs: &P) -> GsOutcome {
+        run_core(prefs, self, &mut NoTrace)
+    }
+}
+
+/// The engine core, monomorphized per tracer.
+fn run_core<P: BipartitePrefs, T: Tracer>(
+    prefs: &P,
+    ws: &mut GsWorkspace,
+    tracer: &mut T,
+) -> GsOutcome {
+    let n = prefs.n();
+    assert!(n > 0, "empty instance");
+    ws.reset(n);
+    let mut stats = GsStats::default();
+
+    run_rounds(prefs, ws, tracer, &mut stats);
+
+    let mut partner = vec![0u32; n];
+    for (w, &best) in ws.best.iter().enumerate() {
+        let m = best as u32;
+        debug_assert_ne!(m, FREE, "GS always terminates with a perfect matching");
+        partner[m as usize] = w as u32;
+    }
+    GsOutcome {
+        matching: BipartiteMatching::from_proposer_partners(partner),
+        stats,
+        trace: None,
+    }
+}
+
+/// Event-ordered rounds: one pass per proposal, tracer hooks at the exact
+/// points the reference engine emits them. With `NoTrace` every hook
+/// vanishes, leaving a tight single-pass loop whose only work per
+/// proposal is the fused entry load, the packed compare, and the free-list
+/// bookkeeping for the loser.
+fn run_rounds<P: BipartitePrefs, T: Tracer>(
+    prefs: &P,
+    ws: &mut GsWorkspace,
+    tracer: &mut T,
+    stats: &mut GsStats,
+) {
+    while !ws.free.is_empty() {
+        stats.rounds += 1;
+        tracer.round_start(stats.rounds);
+        for &m in &ws.free {
+            // One fused load: `rank << 32 | responder` (see
+            // `BipartitePrefs::proposal_entry`); swap the low word to get
+            // the packed candidate from the responder's point of view.
+            let entry = prefs.proposal_entry(m, ws.next[m as usize]);
+            let w = entry as u32;
+            ws.next[m as usize] += 1;
+            stats.proposals += 1;
+            tracer.propose(m, w);
+            // Packed compare: rank order decides (ranks within a list
+            // are distinct), and any candidate beats VACANT.
+            let cand = (entry & RANK_HI) | m as u64;
+            let cur = ws.best[w as usize];
+            if cand < cur {
+                ws.best[w as usize] = cand;
+                let holder = cur as u32;
+                if holder == FREE {
+                    tracer.engage(m, w);
+                } else {
+                    ws.next_free.push(holder);
+                    tracer.reject(holder, w);
+                    tracer.engage(m, w);
+                }
+            } else {
+                ws.next_free.push(m);
+                tracer.reject(m, w);
+            }
+        }
+        ws.free.clear();
+        std::mem::swap(&mut ws.free, &mut ws.next_free);
+    }
+}
+
+
+/// Run proposer-proposing Gale–Shapley; returns the proposer-optimal stable
+/// matching with proposal/round counts.
+///
+/// Allocates a transient [`GsWorkspace`]; batch callers should hold one
+/// workspace and call [`GsWorkspace::solve`] directly.
+///
+/// ```
+/// use kmatch_gs::{gale_shapley, is_stable};
+/// use kmatch_prefs::gen::paper::example1_first;
+///
+/// let inst = example1_first();
+/// let out = gale_shapley(&inst);
+/// assert!(is_stable(&inst, &out.matching));
+/// assert_eq!(out.matching.partner_of_proposer(1), 0); // (m', w)
+/// assert!(out.stats.proposals <= 4);                  // n² bound
+/// ```
+pub fn gale_shapley<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
+    GsWorkspace::new().solve(prefs)
+}
+
+/// [`gale_shapley`] with a full event trace attached to the outcome.
+pub fn gale_shapley_traced<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
+    let mut events = Vec::new();
+    let mut ws = GsWorkspace::new();
+    let mut out = run_core(prefs, &mut ws, &mut VecTrace {
+        events: &mut events,
+    });
+    out.trace = Some(events);
+    out
+}
+
+/// The original runtime-checked implementation, kept verbatim as a
+/// differential baseline for the fast path (see `tests/prop_fastpath.rs`
+/// and the `bench_throughput` benchmark).
+pub fn gale_shapley_reference<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
+    run_reference(prefs, None)
+}
+
+fn run_reference<P: BipartitePrefs>(
+    prefs: &P,
+    mut trace: Option<&mut Vec<GsEvent>>,
+) -> GsOutcome {
     let n = prefs.n();
     assert!(n > 0, "empty instance");
     // next[m]: position in m's list of the next responder to propose to.
@@ -52,8 +324,6 @@ fn run<P: BipartitePrefs>(prefs: &P, mut trace: Option<&mut Vec<GsEvent>>) -> Gs
     let mut fiance = vec![FREE; n];
     let mut stats = GsStats::default();
 
-    // Free proposers processed in synchronized rounds to count rounds the
-    // way §II-A describes; the matching itself is order-independent.
     let mut free: Vec<u32> = (0..n as u32).collect();
     let mut next_free: Vec<u32> = Vec::new();
     while !free.is_empty() {
@@ -122,31 +392,6 @@ fn run<P: BipartitePrefs>(prefs: &P, mut trace: Option<&mut Vec<GsEvent>>) -> Gs
     }
 }
 
-/// Run proposer-proposing Gale–Shapley; returns the proposer-optimal stable
-/// matching with proposal/round counts.
-///
-/// ```
-/// use kmatch_gs::{gale_shapley, is_stable};
-/// use kmatch_prefs::gen::paper::example1_first;
-///
-/// let inst = example1_first();
-/// let out = gale_shapley(&inst);
-/// assert!(is_stable(&inst, &out.matching));
-/// assert_eq!(out.matching.partner_of_proposer(1), 0); // (m', w)
-/// assert!(out.stats.proposals <= 4);                  // n² bound
-/// ```
-pub fn gale_shapley<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
-    run(prefs, None)
-}
-
-/// [`gale_shapley`] with a full event trace attached to the outcome.
-pub fn gale_shapley_traced<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
-    let mut events = Vec::new();
-    let mut out = run(prefs, Some(&mut events));
-    out.trace = Some(events);
-    out
-}
-
 /// The **responder-optimal** stable matching: run GS with the roles
 /// swapped via a zero-copy [`kmatch_prefs::ReverseView`], then swap the
 /// result back into the original orientation.
@@ -155,7 +400,7 @@ where
     P: BipartitePrefs + kmatch_prefs::ResponderListSlice,
 {
     let rev = kmatch_prefs::ReverseView::new(prefs);
-    let mut out = run(&rev, None);
+    let mut out = gale_shapley(&rev);
     out.matching = out.matching.swapped();
     out
 }
@@ -273,6 +518,34 @@ mod tests {
         let b = gale_shapley_traced(&inst);
         assert_eq!(a.matching, b.matching);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn fast_path_matches_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ws = GsWorkspace::new();
+        for n in [1usize, 2, 13, 40, 77] {
+            let inst = uniform_bipartite(n, &mut rng);
+            let fast = ws.solve(&inst);
+            let reference = gale_shapley_reference(&inst);
+            assert_eq!(fast.matching, reference.matching, "n = {n}");
+            assert_eq!(fast.stats, reference.stats, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_sizes() {
+        // Shrinking and regrowing must not leak state between solves.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut ws = GsWorkspace::with_capacity(64);
+        let sizes = [50usize, 3, 64, 1, 17, 64];
+        for n in sizes {
+            let inst = uniform_bipartite(n, &mut rng);
+            let fast = ws.solve(&inst);
+            let reference = gale_shapley_reference(&inst);
+            assert_eq!(fast.matching, reference.matching, "n = {n}");
+            assert_eq!(fast.stats, reference.stats, "n = {n}");
+        }
     }
 
     #[test]

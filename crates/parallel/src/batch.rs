@@ -1,0 +1,124 @@
+//! Batch throughput front-end: solve many independent bipartite instances
+//! across the rayon pool.
+//!
+//! Throughput-oriented callers (parameter sweeps, Monte-Carlo experiments,
+//! the `bench_throughput` benchmark) solve thousands of instances whose
+//! only relationship is that they arrive together. Each solve is
+//! independent, so the batch is embarrassingly parallel; the interesting
+//! part is keeping the per-solve constant factor down. [`solve_batch`]
+//! does that by giving every worker thread one [`GsWorkspace`] via
+//! `map_init`, so scratch buffers are allocated once per thread and reused
+//! for every instance the thread processes — the per-instance allocations
+//! are exactly the two partner arrays owned by each returned matching.
+//!
+//! Results are returned in input order and are identical to calling
+//! [`kmatch_gs::gale_shapley`] on each instance serially (GS is
+//! deterministic and instances share no state).
+
+use kmatch_gs::{GsOutcome, GsStats, GsWorkspace};
+use kmatch_prefs::BipartitePrefs;
+use rayon::prelude::*;
+
+/// Solve every instance with proposer-proposing Gale–Shapley, fanning the
+/// batch across the rayon pool with one reusable [`GsWorkspace`] per
+/// worker thread.
+///
+/// Output order matches input order, and each outcome equals the one
+/// `gale_shapley` would produce for that instance.
+///
+/// ```
+/// use kmatch_parallel::solve_batch;
+/// use kmatch_prefs::gen::uniform::uniform_bipartite;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let batch: Vec<_> = (0..32).map(|_| uniform_bipartite(16, &mut rng)).collect();
+/// let outcomes = solve_batch(&batch);
+/// assert_eq!(outcomes.len(), 32);
+/// ```
+pub fn solve_batch<P>(instances: &[P]) -> Vec<GsOutcome>
+where
+    P: BipartitePrefs + Sync,
+{
+    instances
+        .par_iter()
+        .map_init(GsWorkspace::new, |ws, inst| ws.solve(inst))
+        .collect()
+}
+
+/// Sum the instrumentation counters of a batch: total proposals and the
+/// maximum round count (the batch's PRAM-style critical path).
+pub fn batch_stats(outcomes: &[GsOutcome]) -> GsStats {
+    GsStats {
+        proposals: outcomes.iter().map(|o| o.stats.proposals).sum(),
+        rounds: outcomes.iter().map(|o| o.stats.rounds).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_gs::gale_shapley;
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use kmatch_prefs::BipartiteInstance;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn batch_equals_serial() {
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let batch: Vec<BipartiteInstance> =
+            (0..200).map(|_| uniform_bipartite(30, &mut rng)).collect();
+        let par = solve_batch(&batch);
+        assert_eq!(par.len(), batch.len());
+        for (inst, out) in batch.iter().zip(&par) {
+            let seq = gale_shapley(inst);
+            assert_eq!(out.matching, seq.matching);
+            assert_eq!(out.stats, seq.stats);
+        }
+    }
+
+    #[test]
+    fn mixed_sizes_do_not_leak_workspace_state() {
+        let mut rng = ChaCha8Rng::seed_from_u64(52);
+        let sizes = [40usize, 1, 17, 64, 3, 64, 2, 33];
+        let batch: Vec<BipartiteInstance> = sizes
+            .iter()
+            .cycle()
+            .take(64)
+            .map(|&n| uniform_bipartite(n, &mut rng))
+            .collect();
+        let par = solve_batch(&batch);
+        for (inst, out) in batch.iter().zip(&par) {
+            assert_eq!(out.matching, gale_shapley(inst).matching);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let empty: Vec<BipartiteInstance> = Vec::new();
+        assert!(solve_batch(&empty).is_empty());
+
+        let mut rng = ChaCha8Rng::seed_from_u64(53);
+        let one = vec![uniform_bipartite(10, &mut rng)];
+        let out = solve_batch(&one);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].matching, gale_shapley(&one[0]).matching);
+    }
+
+    #[test]
+    fn batch_stats_aggregates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(54);
+        let batch: Vec<BipartiteInstance> =
+            (0..10).map(|_| uniform_bipartite(12, &mut rng)).collect();
+        let out = solve_batch(&batch);
+        let agg = batch_stats(&out);
+        assert_eq!(
+            agg.proposals,
+            out.iter().map(|o| o.stats.proposals).sum::<u64>()
+        );
+        assert!(agg.rounds >= out[0].stats.rounds);
+        assert_eq!(batch_stats(&[]).rounds, 0);
+    }
+}

@@ -12,8 +12,8 @@
 use kmatch_core::binding::BindingOutcome;
 use kmatch_core::KAryMatching;
 use kmatch_graph::{BindingTree, Schedule, UnionFind};
-use kmatch_gs::{gale_shapley, GsStats};
-use kmatch_prefs::{GenderId, KPartiteInstance, KPartitePairView, Member};
+use kmatch_gs::{GsStats, GsWorkspace};
+use kmatch_prefs::{CsrPrefs, GenderId, KPartiteInstance, KPartitePairView, Member};
 use rayon::prelude::*;
 
 /// Outcome of a parallel binding run.
@@ -39,11 +39,30 @@ impl From<ParallelBindingOutcome> for BindingOutcome {
 
 type EdgeResult = (usize, Vec<(u32, u32)>, GsStats);
 
+/// Per-worker scratch shared by every edge a thread processes: the GS
+/// solver workspace plus a CSR arena that snapshots the strided
+/// [`KPartitePairView`] tables into contiguous rows before solving.
+/// Both only grow, so a thread allocates scratch once per job.
+#[derive(Default)]
+struct EdgeScratch {
+    ws: GsWorkspace,
+    csr: CsrPrefs,
+}
+
 /// Run one binding edge, returning (edge index, global-id pairs, stats).
-fn run_edge(inst: &KPartiteInstance, edge_idx: usize, i: u16, j: u16) -> EdgeResult {
+fn run_edge(
+    inst: &KPartiteInstance,
+    scratch: &mut EdgeScratch,
+    edge_idx: usize,
+    i: u16,
+    j: u16,
+) -> EdgeResult {
     let n = inst.n() as u32;
     let view = KPartitePairView::new(inst, GenderId(i), GenderId(j));
-    let out = gale_shapley(&view);
+    // The CSR snapshot preserves lists and ranks exactly, so the outcome
+    // (matching and stats) is identical to solving the view directly.
+    scratch.csr.load(&view);
+    let out = scratch.ws.solve(&scratch.csr);
     let pairs: Vec<(u32, u32)> = out
         .matching
         .pairs()
@@ -102,7 +121,9 @@ pub fn parallel_bind(inst: &KPartiteInstance, tree: &BindingTree) -> ParallelBin
         .edges()
         .par_iter()
         .enumerate()
-        .map(|(idx, &(i, j))| run_edge(inst, idx, i, j))
+        .map_init(EdgeScratch::default, |scratch, (idx, &(i, j))| {
+            run_edge(inst, scratch, idx, i, j)
+        })
         .collect();
     merge(inst, tree.edges().len(), results, 1)
 }
@@ -124,9 +145,9 @@ pub fn parallel_bind_scheduled(
     for round in schedule.rounds() {
         let mut batch: Vec<EdgeResult> = round
             .par_iter()
-            .map(|&e| {
+            .map_init(EdgeScratch::default, |scratch, &e| {
                 let (i, j) = tree.edges()[e];
-                run_edge(inst, e, i, j)
+                run_edge(inst, scratch, e, i, j)
             })
             .collect();
         results.append(&mut batch);

@@ -13,6 +13,10 @@
 //!   concurrently. Its output is bit-identical to the sequential
 //!   Algorithm 1 (GS is deterministic per edge and edges touch disjoint
 //!   data), which the tests enforce.
+//! * [`batch`] — a throughput front-end: [`solve_batch`] fans many
+//!   independent bipartite instances across the pool, giving each worker
+//!   thread one reusable `GsWorkspace` so the per-instance allocation cost
+//!   is just the returned matchings.
 //! * [`pram`] — the paper's own cost model, implemented as an explicit
 //!   simulator: EREW round accounting reproducing Corollary 1
 //!   (`≤ Δ·n²` iterations with `k − 1` processors), the 2-round even–odd
@@ -27,8 +31,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod executor;
 pub mod pram;
 
+pub use batch::{batch_stats, solve_batch};
 pub use executor::{parallel_bind, parallel_bind_scheduled, ParallelBindingOutcome};
 pub use pram::{crew_cost, erew_cost, replication_rounds, PramCost, PramModel};

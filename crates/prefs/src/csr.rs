@@ -1,0 +1,224 @@
+//! Reusable CSR preference arenas for the zero-allocation solver hot path.
+//!
+//! [`CsrPrefs`] snapshots any [`BipartitePrefs`] view into five contiguous
+//! arrays — proposer lists, responder lists, two *half-width* (`u16`)
+//! inverse rank tables, and a row of **fused proposal entries** per
+//! proposer (`responder_rank << 32 | responder`, the one word Gale–Shapley
+//! needs per proposal). Compared to solving through the source view
+//! directly this buys two things:
+//!
+//! * **Locality.** A [`crate::KPartitePairView`] resolves every rank probe
+//!   against the k-partite instance's dense `k·n × k·n` table (row stride
+//!   `k·n`); the snapshot packs the two genders into `n × n` tables with
+//!   `u16` entries. More importantly, the entry rows turn the solver's
+//!   per-proposal accesses — one random list load plus one random rank
+//!   load through a generic view — into a single sequential load, so the
+//!   hot loop's only remaining random access is its own `n`-word holder
+//!   array.
+//! * **Reuse.** [`CsrPrefs::load`] only grows its buffers; in a batch loop
+//!   (many instances of similar size through one arena) the steady state
+//!   performs no heap allocation at all.
+//!
+//! Ranks are stored as `u16`, so `n` is capped at 65 536 members per side —
+//! far above anything the workspace benchmarks — and checked at load time.
+
+use crate::ids::Rank;
+use crate::views::{BipartitePrefs, ResponderListSlice};
+
+/// Maximum side size a [`CsrPrefs`] arena can hold (`u16` rank range).
+pub const CSR_MAX_N: usize = 1 << 16;
+
+/// A contiguous, rank-table-backed snapshot of a bipartite preference view.
+///
+/// Construct once with [`CsrPrefs::new`] (or [`CsrPrefs::from_prefs`]) and
+/// refill with [`CsrPrefs::load`]; the arena implements [`BipartitePrefs`]
+/// and [`ResponderListSlice`], so it can be handed to the Gale–Shapley
+/// engine in place of the source view.
+#[derive(Debug, Clone, Default)]
+pub struct CsrPrefs {
+    n: usize,
+    /// `proposer_lists[m * n + r]` = responder ranked `r` by proposer `m`.
+    proposer_lists: Vec<u32>,
+    /// `responder_lists[w * n + r]` = proposer ranked `r` by responder `w`.
+    responder_lists: Vec<u32>,
+    /// `proposer_ranks[m * n + w]` = rank of responder `w` for proposer `m`.
+    proposer_ranks: Vec<u16>,
+    /// `responder_ranks[w * n + m]` = rank of proposer `m` for responder `w`.
+    responder_ranks: Vec<u16>,
+    /// `entries[m * n + pos]` = packed proposal entry
+    /// `responder_rank(w, m) << 32 | w` for the responder `w` that proposer
+    /// `m` ranks at `pos` — the fused datum behind
+    /// [`BipartitePrefs::proposal_entry`]. Proposers walk their rows left
+    /// to right, so the solver's per-proposal access here is sequential.
+    entries: Vec<u64>,
+}
+
+impl CsrPrefs {
+    /// An empty arena holding no instance yet.
+    pub fn new() -> Self {
+        CsrPrefs::default()
+    }
+
+    /// Snapshot `prefs` into a fresh arena.
+    pub fn from_prefs<P: BipartitePrefs + ResponderListSlice>(prefs: &P) -> Self {
+        let mut arena = CsrPrefs::new();
+        arena.load(prefs);
+        arena
+    }
+
+    /// Fill the arena from `prefs`, reusing existing capacity.
+    ///
+    /// # Panics
+    /// If `prefs.n()` exceeds [`CSR_MAX_N`].
+    pub fn load<P: BipartitePrefs + ResponderListSlice>(&mut self, prefs: &P) {
+        let n = prefs.n();
+        assert!(
+            n <= CSR_MAX_N,
+            "CsrPrefs supports up to {CSR_MAX_N} members per side, got {n}"
+        );
+        self.n = n;
+        let square = n * n;
+        self.proposer_lists.clear();
+        self.responder_lists.clear();
+        self.proposer_lists.reserve(square);
+        self.responder_lists.reserve(square);
+        for m in 0..n as u32 {
+            self.proposer_lists.extend_from_slice(prefs.proposer_list(m));
+        }
+        for w in 0..n as u32 {
+            self.responder_lists
+                .extend_from_slice(prefs.responder_list_slice(w));
+        }
+        self.proposer_ranks.clear();
+        self.responder_ranks.clear();
+        self.proposer_ranks.resize(square, 0);
+        self.responder_ranks.resize(square, 0);
+        invert_into(&self.proposer_lists, n, &mut self.proposer_ranks);
+        invert_into(&self.responder_lists, n, &mut self.responder_ranks);
+        self.entries.clear();
+        self.entries.reserve(square);
+        for m in 0..n {
+            let list = &self.proposer_lists[m * n..m * n + n];
+            self.entries.extend(list.iter().map(|&w| {
+                (self.responder_ranks[w as usize * n + m] as u64) << 32 | w as u64
+            }));
+        }
+    }
+
+    /// Responder `w`'s preference list, best first.
+    #[inline]
+    pub fn responder_list(&self, w: u32) -> &[u32] {
+        let base = w as usize * self.n;
+        &self.responder_lists[base..base + self.n]
+    }
+}
+
+/// Invert `n` packed preference lists into a half-width rank table.
+fn invert_into(lists: &[u32], n: usize, ranks: &mut [u16]) {
+    for row in 0..n {
+        let base = row * n;
+        for (r, &member) in lists[base..base + n].iter().enumerate() {
+            ranks[base + member as usize] = r as u16;
+        }
+    }
+}
+
+impl BipartitePrefs for CsrPrefs {
+    const HAS_RANK_TABLE: bool = true;
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn proposer_list(&self, m: u32) -> &[u32] {
+        let base = m as usize * self.n;
+        &self.proposer_lists[base..base + self.n]
+    }
+
+    #[inline]
+    fn responder_rank(&self, w: u32, m: u32) -> Rank {
+        self.responder_ranks[w as usize * self.n + m as usize] as Rank
+    }
+
+    #[inline]
+    fn proposer_rank(&self, m: u32, w: u32) -> Rank {
+        self.proposer_ranks[m as usize * self.n + w as usize] as Rank
+    }
+
+    #[inline]
+    fn proposal_entry(&self, m: u32, pos: u32) -> u64 {
+        self.entries[m as usize * self.n + pos as usize]
+    }
+}
+
+impl ResponderListSlice for CsrPrefs {
+    #[inline]
+    fn responder_list_slice(&self, w: u32) -> &[u32] {
+        self.responder_list(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::paper::fig3_tripartite;
+    use crate::gen::uniform::uniform_bipartite;
+    use crate::ids::GenderId;
+    use crate::KPartitePairView;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn assert_matches_view<P: BipartitePrefs + ResponderListSlice>(csr: &CsrPrefs, view: &P) {
+        let n = view.n();
+        assert_eq!(csr.n(), n);
+        for m in 0..n as u32 {
+            assert_eq!(csr.proposer_list(m), view.proposer_list(m));
+            assert_eq!(csr.responder_list(m), view.responder_list_slice(m));
+            for w in 0..n as u32 {
+                assert_eq!(csr.proposer_rank(m, w), view.proposer_rank(m, w));
+                assert_eq!(csr.responder_rank(w, m), view.responder_rank(w, m));
+            }
+            for pos in 0..n as u32 {
+                // The packed arena must agree with the trait's default.
+                assert_eq!(csr.proposal_entry(m, pos), view.proposal_entry(m, pos));
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_bipartite_matches() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = uniform_bipartite(12, &mut rng);
+        let csr = CsrPrefs::from_prefs(&inst);
+        assert_matches_view(&csr, &inst);
+    }
+
+    #[test]
+    fn snapshot_of_pair_view_matches() {
+        let inst = fig3_tripartite();
+        let view = KPartitePairView::new(&inst, GenderId(0), GenderId(2));
+        let csr = CsrPrefs::from_prefs(&view);
+        assert_matches_view(&csr, &view);
+    }
+
+    #[test]
+    fn reload_reuses_capacity_and_shrinks_logical_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let big = uniform_bipartite(32, &mut rng);
+        let small = uniform_bipartite(5, &mut rng);
+        let mut arena = CsrPrefs::from_prefs(&big);
+        let cap_before = arena.proposer_lists.capacity();
+        arena.load(&small);
+        assert_matches_view(&arena, &small);
+        assert_eq!(arena.proposer_lists.capacity(), cap_before);
+        arena.load(&big);
+        assert_matches_view(&arena, &big);
+        assert_eq!(arena.proposer_lists.capacity(), cap_before);
+    }
+
+    // Compile-time: the arena must advertise its rank tables so the
+    // debug guard in the default `proposer_rank` stays meaningful.
+    const _: () = assert!(CsrPrefs::HAS_RANK_TABLE);
+}

@@ -13,9 +13,22 @@ use core::fmt;
 /// In the paper's notation this is an element of the gender set
 /// `I = {1, 2, …, k}`; we index from zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct GenderId(pub u16);
+
+// Serializes transparently as its inner index.
+#[cfg(feature = "serde")]
+impl serde::Serialize for GenderId {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.0)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for GenderId {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        <u16 as serde::Deserialize>::from_value(v).map(GenderId)
+    }
+}
 
 impl GenderId {
     /// The gender's dense index as a `usize`.
@@ -39,13 +52,15 @@ impl From<usize> for GenderId {
 
 /// A member of a k-partite instance: gender plus index within the gender.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Member {
     /// The disjoint set this member belongs to.
     pub gender: GenderId,
     /// Position within the gender, in `0..n`.
     pub index: u32,
 }
+
+#[cfg(feature = "serde")]
+serde::impl_json_struct!(Member { gender, index });
 
 impl Member {
     /// Convenience constructor from raw indices.

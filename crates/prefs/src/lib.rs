@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod bipartite;
+pub mod csr;
 pub mod error;
 pub mod gen;
 pub mod ids;
@@ -42,6 +43,7 @@ pub mod views;
 pub mod serde_support;
 
 pub use bipartite::BipartiteInstance;
+pub use csr::{CsrPrefs, CSR_MAX_N};
 pub use error::PrefsError;
 pub use ids::{GenderId, Member, Rank, UNRANKED};
 pub use kpartite::KPartiteInstance;

@@ -33,11 +33,19 @@ pub enum MergeStrategy {
 
 /// A stable-roommates instance: one set of participants, each with an
 /// ordered list of *acceptable* partners. Acceptability is mutual.
+///
+/// Lists are ragged (incomplete lists are the point of the §III-B
+/// reduction), so they are stored in CSR form: one flat entry array plus
+/// per-participant offsets. [`RoommatesInstance::list`] is a slice of the
+/// shared buffer and the solvers never chase a per-participant `Vec`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoommatesInstance {
     n: usize,
-    /// `lists[p]` = participant `p`'s acceptable partners, best first.
-    lists: Vec<Vec<u32>>,
+    /// CSR row starts: participant `p`'s list occupies
+    /// `entries[offsets[p] as usize..offsets[p + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// All preference lists concatenated, best first within each row.
+    entries: Vec<u32>,
     /// `ranks[p * n + q]` = rank of `q` in `p`'s list, or [`UNRANKED`].
     ranks: Vec<Rank>,
 }
@@ -89,7 +97,19 @@ impl RoommatesInstance {
                 }
             }
         }
-        Ok(RoommatesInstance { n, lists, ranks })
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        offsets.push(0);
+        for list in &lists {
+            entries.extend_from_slice(list);
+            offsets.push(entries.len() as u32);
+        }
+        Ok(RoommatesInstance {
+            n,
+            offsets,
+            entries,
+            ranks,
+        })
     }
 
     /// Reduce a k-partite instance to roommates: participant `g·n + i` is
@@ -159,7 +179,9 @@ impl RoommatesInstance {
     /// Participant `p`'s acceptable partners, best first.
     #[inline]
     pub fn list(&self, p: u32) -> &[u32] {
-        &self.lists[p as usize]
+        let lo = self.offsets[p as usize] as usize;
+        let hi = self.offsets[p as usize + 1] as usize;
+        &self.entries[lo..hi]
     }
 
     /// Rank of `q` in `p`'s list, or [`UNRANKED`] if unacceptable.
@@ -181,9 +203,10 @@ impl RoommatesInstance {
         self.rank_of(p, a) < self.rank_of(p, b)
     }
 
-    /// Borrow the underlying lists.
-    pub fn lists(&self) -> &[Vec<u32>] {
-        &self.lists
+    /// Reconstruct the per-participant nested lists (for serialization and
+    /// other cold paths; hot paths should slice via [`RoommatesInstance::list`]).
+    pub fn to_lists(&self) -> Vec<Vec<u32>> {
+        (0..self.n as u32).map(|p| self.list(p).to_vec()).collect()
     }
 }
 

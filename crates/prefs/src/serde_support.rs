@@ -4,13 +4,13 @@
 //! their dense internal tables, so JSON files written by the CLI remain
 //! readable and stable across internal representation changes.
 
-use serde::{Deserialize, Serialize};
+use serde::impl_json_struct;
 
 use crate::{BipartiteInstance, KPartiteInstance, PrefsError, RoommatesInstance};
 
 /// Serializable form of a [`KPartiteInstance`]: nested best-to-worst lists,
 /// `lists[g][i][h]` with an empty self block.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KPartiteDto {
     /// Number of genders.
     pub k: usize,
@@ -19,6 +19,8 @@ pub struct KPartiteDto {
     /// `lists[g][i][h]` — member `(g, i)`'s ordering of gender `h`.
     pub lists: Vec<Vec<Vec<Vec<u32>>>>,
 }
+
+impl_json_struct!(KPartiteDto { k, n, lists });
 
 impl From<&KPartiteInstance> for KPartiteDto {
     fn from(inst: &KPartiteInstance) -> Self {
@@ -54,7 +56,7 @@ impl TryFrom<KPartiteDto> for KPartiteInstance {
 }
 
 /// Serializable form of a [`BipartiteInstance`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BipartiteDto {
     /// Members per side.
     pub n: usize,
@@ -63,6 +65,8 @@ pub struct BipartiteDto {
     /// Responder lists, best first.
     pub responders: Vec<Vec<u32>>,
 }
+
+impl_json_struct!(BipartiteDto { n, proposers, responders });
 
 impl From<&BipartiteInstance> for BipartiteDto {
     fn from(inst: &BipartiteInstance) -> Self {
@@ -88,7 +92,7 @@ impl TryFrom<BipartiteDto> for BipartiteInstance {
 }
 
 /// Serializable form of a [`RoommatesInstance`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RoommatesDto {
     /// Number of participants.
     pub n: usize,
@@ -96,11 +100,13 @@ pub struct RoommatesDto {
     pub lists: Vec<Vec<u32>>,
 }
 
+impl_json_struct!(RoommatesDto { n, lists });
+
 impl From<&RoommatesInstance> for RoommatesDto {
     fn from(inst: &RoommatesInstance) -> Self {
         RoommatesDto {
             n: inst.n(),
-            lists: inst.lists().to_vec(),
+            lists: inst.to_lists(),
         }
     }
 }

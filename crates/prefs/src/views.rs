@@ -19,6 +19,14 @@ use crate::{BipartiteInstance, KPartiteInstance};
 /// given by [`BipartitePrefs::proposer_list`]; *responders* accept or reject
 /// based on [`BipartitePrefs::responder_rank`].
 pub trait BipartitePrefs {
+    /// Whether `proposer_rank` is backed by an O(1) inverse rank table.
+    ///
+    /// Implementors that override [`BipartitePrefs::proposer_rank`] with a
+    /// table lookup must set this to `true`; the default `proposer_rank`
+    /// then guards (in debug builds) against the O(n) scan silently
+    /// reappearing on a hot path if an override is ever removed.
+    const HAS_RANK_TABLE: bool = false;
+
     /// Members per side.
     fn n(&self) -> usize;
 
@@ -31,12 +39,36 @@ pub trait BipartitePrefs {
     /// Rank of responder `w` in proposer `m`'s list (0 = best).
     ///
     /// Default implementation scans the proposer list; implementors with a
-    /// rank table should override.
+    /// rank table should override (and advertise it via
+    /// [`BipartitePrefs::HAS_RANK_TABLE`]).
     fn proposer_rank(&self, m: u32, w: u32) -> Rank {
+        debug_assert!(
+            !Self::HAS_RANK_TABLE,
+            "type advertises a rank table but fell back to the O(n) list scan; \
+             restore its proposer_rank override"
+        );
         self.proposer_list(m)
             .iter()
             .position(|&x| x == w)
             .expect("responder must appear in complete list") as Rank
+    }
+
+    /// Packed proposal entry for proposer `m`'s list position `pos`:
+    /// `responder_rank(w, m) << 32 | w`, where `w` is the responder at
+    /// that position.
+    ///
+    /// This is the one datum Gale–Shapley needs per proposal — who to
+    /// propose to and how that responder ranks the proposer — fused into
+    /// one word so arena-backed implementors (see `CsrPrefs` in this
+    /// crate) can serve it with a single sequential load instead of a
+    /// list load plus a random rank-table load. The default computes it
+    /// from [`BipartitePrefs::proposer_list`] and
+    /// [`BipartitePrefs::responder_rank`]; overrides must return exactly
+    /// that value.
+    #[inline]
+    fn proposal_entry(&self, m: u32, pos: u32) -> u64 {
+        let w = self.proposer_list(m)[pos as usize];
+        (self.responder_rank(w, m) as u64) << 32 | w as u64
     }
 
     /// Does responder `w` strictly prefer proposer `a` over proposer `b`?
@@ -53,6 +85,8 @@ pub trait BipartitePrefs {
 }
 
 impl BipartitePrefs for BipartiteInstance {
+    const HAS_RANK_TABLE: bool = true;
+
     #[inline]
     fn n(&self) -> usize {
         BipartiteInstance::n(self)
@@ -115,6 +149,8 @@ impl<'a> KPartitePairView<'a> {
 }
 
 impl BipartitePrefs for KPartitePairView<'_> {
+    const HAS_RANK_TABLE: bool = true;
+
     #[inline]
     fn n(&self) -> usize {
         self.instance.n()
@@ -173,6 +209,9 @@ impl<'a, P: BipartitePrefs> ReverseView<'a, P> {
 }
 
 impl<P: BipartitePrefs + ResponderListSlice> BipartitePrefs for ReverseView<'_, P> {
+    // The reversed ranks come from the inner type's responder table.
+    const HAS_RANK_TABLE: bool = P::HAS_RANK_TABLE;
+
     #[inline]
     fn n(&self) -> usize {
         self.inner.n()

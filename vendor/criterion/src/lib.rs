@@ -1,0 +1,327 @@
+//! Offline benchmark harness with a criterion-shaped surface.
+//!
+//! Implements the subset the workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `throughput`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each sample times a batch of iterations sized from
+//! a calibration pass so one batch lasts roughly measurement_time /
+//! sample_count; the reported figure is the median per-iteration time.
+//! No plotting, no statistics beyond median/min/max — results print to
+//! stdout in a `group/function/param time` table.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else if self.parameter.is_empty() {
+            write!(f, "{}", self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements/sec).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures under timing; handed to bench bodies.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Filled by `iter`: (median, min, max) per-iteration nanos.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & calibration: count iterations that fit the warm-up
+        // window to size measurement batches.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let samples = self.sample_size.max(2);
+        let target_batch =
+            self.measurement_time.as_secs_f64() / samples as f64 / per_iter.max(1e-9);
+        let batch = (target_batch as u64).clamp(1, 1_000_000);
+
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            times.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        self.result = Some((median, times[0], times[times.len() - 1]));
+    }
+
+    /// Like `iter`, but the routine receives the batch size and returns
+    /// its own duration (criterion's `iter_custom`).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let samples = self.sample_size.max(2);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let d = routine(1);
+            times.push(d.as_secs_f64() * 1e9);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        self.result = Some((median, times[0], times[times.len() - 1]));
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up/calibration window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the total measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.result);
+        self
+    }
+
+    /// Run a benchmark identified by name alone.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.result);
+        self
+    }
+
+    fn report(&mut self, id: &str, result: Option<(f64, f64, f64)>) {
+        let Some((median, min, max)) = result else {
+            println!("{}/{}: no measurement", self.name, id);
+            return;
+        };
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 * 1e9 / median)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<40} time: [{} {} {}]{}",
+            format!("{}/{}", self.name, id),
+            fmt_nanos(min),
+            fmt_nanos(median),
+            fmt_nanos(max),
+            throughput
+        );
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id), median));
+    }
+
+    /// End the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The harness entry object (one per process run).
+#[derive(Default)]
+pub struct Criterion {
+    /// (benchmark id, median ns) pairs collected so far.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; skip actual
+            // measurement there so test runs stay fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("id", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_records() {
+        let mut c = Criterion::default();
+        tiny(&mut c);
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|(_, ns)| *ns > 0.0));
+        assert!(c.results[0].0.contains("shim/sum/100"));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline data-parallelism shim with a rayon-compatible surface.
+//!
+//! Implements the slice/range parallel-iterator subset this workspace uses
+//! (`par_iter`, `into_par_iter`, `map`, `map_init`, `enumerate`, `collect`,
+//! `for_each`) on top of `std::thread::scope`. Work is split into one
+//! contiguous chunk per available core; each chunk is processed on its own
+//! OS thread and results are concatenated in order, so `collect` preserves
+//! input order exactly like rayon's indexed iterators.
+//!
+//! This is not a work-stealing runtime — chunking is static — but the
+//! executor contract the workspace relies on (deterministic results,
+//! order-preserving collect, near-linear scaling for balanced workloads)
+//! holds.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for a job of `len` items.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// An indexed source of items that can be evaluated at any position by any
+/// thread. `&self` evaluation keeps adapters trivially shareable.
+pub trait ParSource: Sync {
+    /// Produced item type.
+    type Item: Send;
+    /// Total item count.
+    fn len(&self) -> usize;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Compute the item at `index`.
+    fn get(&self, index: usize) -> Self::Item;
+}
+
+/// Run `source` across threads, concatenating per-chunk outputs in order.
+fn execute<S: ParSource>(source: &S) -> Vec<S::Item> {
+    let n = source.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(|i| source.get(i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(|i| source.get(i)).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+/// The user-facing parallel iterator trait (adapter + drive methods).
+pub trait ParallelIterator: ParSource + Sized {
+    /// Apply `f` to every item in parallel.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Like `map`, with a per-worker mutable state built by `init` — the
+    /// rayon idiom for thread-local scratch (workspaces, buffers).
+    ///
+    /// `init` runs once per worker chunk; `f` receives `&mut` state plus
+    /// the item. Results keep input order.
+    fn map_init<INIT, T, F, R>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        INIT: Fn() -> T + Sync,
+        T: 'static,
+        F: Fn(&mut T, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+            job: NEXT_JOB.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Evaluate everything and collect in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Evaluate `f` on every item for its side effect.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let mapped = self.map(f);
+        let _ = execute(&mapped);
+    }
+}
+
+impl<S: ParSource> ParallelIterator for S {}
+
+/// Collection types a parallel iterator can drain into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection.
+    fn from_par_iter<S: ParSource<Item = T>>(source: S) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<S: ParSource<Item = T>>(source: S) -> Self {
+        execute(&source)
+    }
+}
+
+/// Borrowing entry point: `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send + 'a;
+    /// Parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Owning entry point: `.into_par_iter()`.
+pub trait IntoParallelIterator {
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSource for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn get(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    range: std::ops::Range<usize>,
+}
+
+impl ParSource for RangeIter {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+    fn get(&self, index: usize) -> usize {
+        self.range.start + index
+    }
+}
+
+/// `map` adapter.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, R> ParSource for Map<S, F>
+where
+    S: ParSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn get(&self, index: usize) -> R {
+        (self.f)(self.base.get(index))
+    }
+}
+
+/// `map_init` adapter. Evaluated per item; the per-worker state lives in a
+/// thread-local slot keyed by a unique job id, so each OS thread builds it
+/// exactly once per job and distinct jobs never share state.
+pub struct MapInit<S, INIT, F> {
+    base: S,
+    init: INIT,
+    f: F,
+    job: u64,
+}
+
+static NEXT_JOB: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl<S, INIT, T, F, R> ParSource for MapInit<S, INIT, F>
+where
+    S: ParSource,
+    INIT: Fn() -> T + Sync,
+    T: 'static,
+    F: Fn(&mut T, S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn get(&self, index: usize) -> R {
+        thread_local! {
+            static SLOT: std::cell::RefCell<Option<(u64, Box<dyn std::any::Any>)>> =
+                const { std::cell::RefCell::new(None) };
+        }
+        SLOT.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let stale = match &*slot {
+                Some((job, _)) => *job != self.job,
+                None => true,
+            };
+            if stale {
+                *slot = Some((self.job, Box::new((self.init)())));
+            }
+            let state = slot
+                .as_mut()
+                .and_then(|(_, b)| b.downcast_mut::<T>())
+                .expect("map_init state type is fixed per job");
+            (self.f)(state, self.base.get(index))
+        })
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<S> {
+    base: S,
+}
+
+impl<S: ParSource> ParSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn get(&self, index: usize) -> (usize, S::Item) {
+        (index, self.base.get(index))
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
+}
+
+/// Prelude mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_matches_serial() {
+        let v = vec!["a", "b", "c", "d"];
+        let out: Vec<(usize, String)> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.to_string()))
+            .collect();
+        assert_eq!(out[2], (2, "c".to_string()));
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (5..25usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.first(), Some(&6));
+        assert_eq!(out.last(), Some(&25));
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_thread() {
+        // The counter increments within a worker; every item sees state.
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |calls, i| {
+                    *calls += 1;
+                    assert!(*calls >= 1);
+                    i
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

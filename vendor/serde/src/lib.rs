@@ -1,0 +1,306 @@
+//! Offline serialization shim with a serde-shaped surface.
+//!
+//! The hermetic build container cannot fetch serde (and its proc-macro
+//! derive), so this crate provides a small value-model replacement: types
+//! implement [`Serialize`]/[`Deserialize`] against the JSON-like [`Value`]
+//! tree, either by hand or through the [`impl_json_struct!`] macro (the
+//! moral equivalent of `#[derive(Serialize, Deserialize)]` for plain
+//! named-field structs). The sibling `serde_json` shim renders and parses
+//! the text form.
+
+use std::fmt;
+
+/// A JSON-like value tree: the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (JSON does not distinguish int from float).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build from anything printable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert `self` into a [`Value`].
+pub trait Serialize {
+    /// Produce the value-tree form.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parse the value-tree form.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => {
+                        let cast = *n as $t;
+                        if (cast as f64 - *n).abs() < 1e-9 {
+                            Ok(cast)
+                        } else {
+                            Err(Error::msg(format!(
+                                "number {} out of range for {}", n, stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(Error::msg(format!(
+                        "expected number for {}, got {:?}", stringify!($t), other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(*n),
+            other => Err(Error::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::msg(format!("expected 2-array, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Implement [`Serialize`] + [`Deserialize`] for a named-field struct,
+/// mapping it to a JSON object — the shim's stand-in for
+/// `#[derive(Serialize, Deserialize)]`.
+///
+/// ```
+/// struct Point { x: u32, y: u32 }
+/// serde::impl_json_struct!(Point { x, y });
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(), $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+
+        impl $crate::Deserialize for $name {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                $(
+                    let $field = match v.get(stringify!($field)) {
+                        Some(fv) => $crate::Deserialize::from_value(fv).map_err(|e| {
+                            $crate::Error::msg(format!(
+                                "field `{}` of {}: {}",
+                                stringify!($field),
+                                stringify!($name),
+                                e
+                            ))
+                        })?,
+                        None => {
+                            return Err($crate::Error::msg(format!(
+                                "missing field `{}` in {}",
+                                stringify!($field),
+                                stringify!($name)
+                            )))
+                        }
+                    };
+                )+
+                Ok($name { $($field),+ })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Demo {
+        a: u32,
+        b: Vec<u64>,
+    }
+    impl_json_struct!(Demo { a, b });
+
+    #[test]
+    fn struct_roundtrip() {
+        let d = Demo {
+            a: 7,
+            b: vec![1, 2, 3],
+        };
+        let v = d.to_value();
+        let back = Demo::from_value(&v).unwrap();
+        assert_eq!(back.a, 7);
+        assert_eq!(back.b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let v = Value::Object(vec![("a".into(), Value::Number(1.0))]);
+        let err = Demo::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+
+    #[test]
+    fn number_range_checked() {
+        let v = Value::Number(1.5);
+        assert!(u32::from_value(&v).is_err());
+        assert_eq!(f64::from_value(&v).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Value::Number(3.0)).unwrap(),
+            Some(3)
+        );
+    }
+}

@@ -6,7 +6,7 @@ use kmatch_bench::rng;
 use kmatch_gs::gale_shapley;
 use kmatch_prefs::gen::adversarial::theorem1_roommates;
 use kmatch_prefs::gen::uniform::{uniform_bipartite, uniform_roommates};
-use kmatch_roommates::{fair_stable_marriage, solve};
+use kmatch_roommates::{fair_stable_marriage, solve, solve_reference, RoommatesWorkspace};
 use std::time::Duration;
 
 fn bench_roommates(c: &mut Criterion) {
@@ -16,8 +16,15 @@ fn bench_roommates(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for n in [64usize, 256, 1024] {
         let inst = uniform_roommates(n, &mut rng(301));
+        group.bench_with_input(BenchmarkId::new("reference", n), &inst, |b, inst| {
+            b.iter(|| solve_reference(inst).is_stable())
+        });
         group.bench_with_input(BenchmarkId::new("uniform", n), &inst, |b, inst| {
             b.iter(|| solve(inst).is_stable())
+        });
+        let mut ws = RoommatesWorkspace::new();
+        group.bench_with_input(BenchmarkId::new("workspace_reuse", n), &inst, |b, inst| {
+            b.iter(|| ws.solve(inst).is_stable())
         });
     }
     for (k, n) in [(3usize, 32usize), (6, 32), (3, 256)] {
@@ -28,6 +35,33 @@ fn bench_roommates(c: &mut Criterion) {
             |b, inst| b.iter(|| solve(inst).is_stable()),
         );
     }
+    group.finish();
+}
+
+fn bench_roommates_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roommates_batch");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let mut r = rng(303);
+    let batch: Vec<_> = (0..256).map(|_| uniform_roommates(64, &mut r)).collect();
+    let mut ws = RoommatesWorkspace::new();
+    group.bench_function("serial_reuse_256x64", |b| {
+        b.iter(|| {
+            batch
+                .iter()
+                .filter(|inst| ws.solve(inst).is_stable())
+                .count()
+        })
+    });
+    group.bench_function("solve_batch_256x64", |b| {
+        b.iter(|| {
+            kmatch_parallel::roommates::solve_batch(&batch)
+                .iter()
+                .filter(|o| o.is_stable())
+                .count()
+        })
+    });
     group.finish();
 }
 
@@ -48,5 +82,5 @@ fn bench_fair_smp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_roommates, bench_fair_smp);
+criterion_group!(benches, bench_roommates, bench_roommates_batch, bench_fair_smp);
 criterion_main!(benches);

@@ -9,7 +9,9 @@
 //! 1. GS == McVitie–Wilson == distributed GS (matching + proposal count);
 //! 2. Algorithm 1 output stable (pruned DFS) == naive exhaustive verdict,
 //!    and rayon/scheduled/distributed executors equal sequential;
-//! 3. Irving == brute force existence on small roommates instances;
+//! 3. Irving == brute force existence on small roommates instances, and
+//!    the zero-alloc fast path (reused workspace) == `solve_reference`
+//!    on larger ones (matching, certificate, proposal/rotation counts);
 //! 4. weak-blocking DFS == naive weak enumeration;
 //! 5. blossom maximum matching == greedy lower bound sanity + symmetry.
 
@@ -26,7 +28,7 @@ use kmatch_gs::{gale_shapley, mcvitie_wilson};
 use kmatch_parallel::parallel_bind;
 use kmatch_prefs::gen::uniform::{uniform_bipartite, uniform_kpartite, uniform_roommates};
 use kmatch_roommates::brute::stable_matching_exists_brute;
-use kmatch_roommates::solve;
+use kmatch_roommates::{solve, solve_reference, RoommatesWorkspace};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -49,6 +51,9 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut iterations = 0u64;
     let mut checks = 0u64;
+    // Shared across iterations so the differential check also exercises
+    // workspace reuse over mixed instance sizes.
+    let mut roommates_ws = RoommatesWorkspace::new();
 
     while Instant::now() < deadline {
         iterations += 1;
@@ -93,7 +98,9 @@ fn main() {
         );
         checks += 5;
 
-        // 3. Irving vs brute force on small roommates.
+        // 3. Irving vs brute force on small roommates, and the linked-list
+        //    fast path (through the reused workspace) vs the reference
+        //    implementation on larger ones.
         let rn = rng.gen_range(1..=4) * 2;
         let rm = uniform_roommates(rn, &mut rng);
         assert_eq!(
@@ -101,7 +108,21 @@ fn main() {
             stable_matching_exists_brute(&rm),
             "Irving vs brute (n={rn})"
         );
-        checks += 1;
+        let dn = rng.gen_range(2..=48);
+        let diff = uniform_roommates(dn, &mut rng);
+        let fast = roommates_ws.solve(&diff);
+        let reference = solve_reference(&diff);
+        assert_eq!(
+            fast.matching(),
+            reference.matching(),
+            "Irving fast path vs reference matching (n={dn})"
+        );
+        assert_eq!(
+            fast.stats(),
+            reference.stats(),
+            "Irving fast path vs reference stats (n={dn})"
+        );
+        checks += 3;
 
         // 4. Blossom sanity on the roommates acceptability graph.
         let g = acceptability_graph(&rm);

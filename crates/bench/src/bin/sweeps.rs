@@ -25,7 +25,6 @@ use kmatch_prefs::gen::mallows::mallows_bipartite;
 use kmatch_prefs::gen::structured::{cyclic_bipartite, identical_bipartite};
 use kmatch_prefs::gen::uniform::{uniform_bipartite, uniform_kpartite, uniform_roommates};
 use kmatch_prefs::BipartiteInstance;
-use kmatch_roommates::solve;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -133,27 +132,34 @@ fn binding_topology(quick: bool, out_dir: &str) {
 
 fn roommates_solvability(quick: bool, out_dir: &str) {
     // Classic empirical curve: solvability of uniform roommates declines
-    // slowly with n.
-    let mut csv = Csv::new(&["n", "trials", "solvable", "rate"]);
+    // slowly with n. Solves run through one reused workspace (the
+    // zero-alloc fast path); per-point wall time is recorded so future
+    // changes to this path leave a perf trail in the CSV.
+    let mut csv = Csv::new(&["n", "trials", "solvable", "rate", "solve_ms", "us_per_solve"]);
     let sizes: &[usize] = if quick {
         &[4, 8]
     } else {
         &[4, 8, 16, 32, 64, 128]
     };
     let trials: u64 = if quick { 20 } else { 200 };
+    let mut ws = kmatch_roommates::RoommatesWorkspace::new();
     for &n in sizes {
-        let mut solvable = 0u64;
-        for seed in 0..trials {
-            let inst = uniform_roommates(n, &mut rng(23_000 + seed * 131 + n as u64));
-            if solve(&inst).is_stable() {
-                solvable += 1;
-            }
-        }
+        let instances: Vec<_> = (0..trials)
+            .map(|seed| uniform_roommates(n, &mut rng(23_000 + seed * 131 + n as u64)))
+            .collect();
+        let start = std::time::Instant::now();
+        let solvable = instances
+            .iter()
+            .filter(|inst| ws.solve(inst).is_stable())
+            .count() as u64;
+        let elapsed = start.elapsed();
         csv.row(vec![
             n.to_string(),
             trials.to_string(),
             solvable.to_string(),
             format!("{:.3}", solvable as f64 / trials as f64),
+            format!("{:.3}", elapsed.as_secs_f64() * 1e3),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e6 / trials as f64),
         ]);
     }
     csv.write(format!("{out_dir}/roommates_solvability.csv"))

@@ -37,7 +37,7 @@ USAGE:
   kmatch solve kary    --input FILE [--tree path|star|random|priority] [--seed S]
   kmatch solve binary  --input FILE
   kmatch solve smp     --n N [--seed S] [--mode gs|fair|man|woman]
-  kmatch batch         --n N [--count C] [--seed S]   (parallel batch GS throughput)
+  kmatch batch         --n N [--count C] [--seed S] [--kind gs|roommates]
   kmatch verify kary   --input FILE --matching FILE [--weak]
   kmatch lattice       --n N [--seed S] [--limit L]
   kmatch trace         --input FILE            (roommates JSON, paper-style trace)
@@ -293,30 +293,59 @@ fn solve_smp(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Solve a stream of random SMP instances through the parallel batch
-/// front-end — the CLI face of `kmatch_parallel::solve_batch`, with
-/// per-thread reusable workspaces and zero steady-state allocation.
+/// Solve a stream of random instances through the parallel batch
+/// front-ends — the CLI face of `kmatch_parallel::solve_batch`
+/// (`--kind gs`) and `kmatch_parallel::roommates::solve_batch`
+/// (`--kind roommates`), both with per-thread reusable workspaces and
+/// zero steady-state allocation.
 fn batch_cmd(args: &Args) -> Result<(), String> {
-    args.check_known(&["n", "count", "seed"])?;
+    args.check_known(&["n", "count", "seed", "kind"])?;
     let n: usize = args.require("n")?;
     let count: usize = args.flag_or("count", 1000)?;
     let seed: u64 = args.flag_or("seed", 0)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let batch: Vec<kmatch_prefs::BipartiteInstance> = (0..count)
-        .map(|_| kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut rng))
-        .collect();
-    let start = std::time::Instant::now();
-    let outcomes = kmatch_parallel::solve_batch(&batch);
-    let elapsed = start.elapsed();
-    let stats = kmatch_parallel::batch_stats(&outcomes);
-    println!("instances      : {count} x n={n}");
-    println!("total proposals: {}", stats.proposals);
-    println!("max rounds     : {}", stats.rounds);
-    println!(
-        "wall time      : {:.3} ms ({:.1} instances/s)",
-        elapsed.as_secs_f64() * 1e3,
-        count as f64 / elapsed.as_secs_f64()
-    );
+    match args.flag("kind").unwrap_or("gs") {
+        "gs" => {
+            let batch: Vec<kmatch_prefs::BipartiteInstance> = (0..count)
+                .map(|_| kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut rng))
+                .collect();
+            let start = std::time::Instant::now();
+            let outcomes = kmatch_parallel::solve_batch(&batch);
+            let elapsed = start.elapsed();
+            let stats = kmatch_parallel::batch_stats(&outcomes);
+            println!("instances      : {count} x n={n} (gs)");
+            println!("total proposals: {}", stats.proposals);
+            println!("max rounds     : {}", stats.rounds);
+            println!(
+                "wall time      : {:.3} ms ({:.1} instances/s)",
+                elapsed.as_secs_f64() * 1e3,
+                count as f64 / elapsed.as_secs_f64()
+            );
+        }
+        "roommates" => {
+            let batch: Vec<RoommatesInstance> = (0..count)
+                .map(|_| kmatch_prefs::gen::uniform::uniform_roommates(n, &mut rng))
+                .collect();
+            let start = std::time::Instant::now();
+            let outcomes = kmatch_parallel::roommates::solve_batch(&batch);
+            let elapsed = start.elapsed();
+            let stats = kmatch_parallel::roommates::batch_stats(&outcomes);
+            println!("instances      : {count} x n={n} (roommates)");
+            println!(
+                "solvable       : {} ({:.1}%)",
+                stats.solvable,
+                100.0 * stats.solvable as f64 / count.max(1) as f64
+            );
+            println!("total proposals: {}", stats.proposals);
+            println!("total rotations: {}", stats.rotations);
+            println!(
+                "wall time      : {:.3} ms ({:.1} instances/s)",
+                elapsed.as_secs_f64() * 1e3,
+                count as f64 / elapsed.as_secs_f64()
+            );
+        }
+        other => return Err(format!("unknown batch kind: {other}")),
+    }
     Ok(())
 }
 
@@ -413,6 +442,24 @@ mod tests {
         call(&["render-tree", "--k", "6", "--tree", "balanced"]).unwrap();
         call(&["render-tree", "--k", "5", "--tree", "random", "--seed", "4"]).unwrap();
         assert!(call(&["render-tree", "--k", "1"]).is_err());
+    }
+
+    #[test]
+    fn batch_kinds_run() {
+        call(&["batch", "--n", "8", "--count", "16", "--seed", "2"]).unwrap();
+        call(&[
+            "batch",
+            "--n",
+            "8",
+            "--count",
+            "16",
+            "--seed",
+            "2",
+            "--kind",
+            "roommates",
+        ])
+        .unwrap();
+        assert!(call(&["batch", "--n", "8", "--kind", "nope"]).is_err());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   independent bipartite instances across the pool, giving each worker
 //!   thread one reusable `GsWorkspace` so the per-instance allocation cost
 //!   is just the returned matchings.
+//! * [`roommates`] — the same front-end for Irving's stable-roommates
+//!   solver (one reusable `RoommatesWorkspace` per worker), feeding the
+//!   solvability sweeps.
 //! * [`pram`] — the paper's own cost model, implemented as an explicit
 //!   simulator: EREW round accounting reproducing Corollary 1
 //!   (`≤ Δ·n²` iterations with `k − 1` processors), the 2-round even–odd
@@ -34,6 +37,7 @@
 pub mod batch;
 pub mod executor;
 pub mod pram;
+pub mod roommates;
 
 pub use batch::{batch_stats, solve_batch};
 pub use executor::{parallel_bind, parallel_bind_scheduled, ParallelBindingOutcome};

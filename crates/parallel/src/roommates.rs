@@ -1,0 +1,126 @@
+//! Batch throughput front-end for the stable-roommates solver.
+//!
+//! The solvability experiments behind `roommates_solvability.csv` (and the
+//! Mertens-style scaling studies the ROADMAP aims at) need thousands of
+//! independent Irving solves per data point. Like [`crate::batch`] for
+//! Gale–Shapley, [`solve_batch`] fans the instances across the rayon pool
+//! with one reusable [`RoommatesWorkspace`] per worker thread, so the
+//! steady-state cost per instance is the solve itself — the only
+//! per-instance allocation is the partner array owned by each stable
+//! matching (unsolvable instances allocate nothing at all).
+//!
+//! Results are returned in input order and are identical to calling
+//! [`kmatch_roommates::solve`] on each instance serially (Irving's
+//! algorithm with a fixed seed policy is deterministic and instances share
+//! no state).
+
+use kmatch_roommates::{RoommatesOutcome, RoommatesWorkspace};
+use kmatch_prefs::RoommatesInstance;
+use rayon::prelude::*;
+
+/// Solve every roommates instance with the zero-allocation Irving fast
+/// path, fanning the batch across the rayon pool with one reusable
+/// [`RoommatesWorkspace`] per worker thread.
+///
+/// Output order matches input order, and each outcome equals the one
+/// [`kmatch_roommates::solve`] would produce for that instance.
+///
+/// ```
+/// use kmatch_parallel::roommates::solve_batch;
+/// use kmatch_prefs::gen::uniform::uniform_roommates;
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let batch: Vec<_> = (0..32).map(|_| uniform_roommates(16, &mut rng)).collect();
+/// let outcomes = solve_batch(&batch);
+/// assert_eq!(outcomes.len(), 32);
+/// ```
+pub fn solve_batch(instances: &[RoommatesInstance]) -> Vec<RoommatesOutcome> {
+    instances
+        .par_iter()
+        .map_init(RoommatesWorkspace::new, |ws, inst| ws.solve(inst))
+        .collect()
+}
+
+/// Aggregate statistics of a solved roommates batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoommatesBatchStats {
+    /// Number of instances that have a stable matching.
+    pub solvable: usize,
+    /// Total phase-1 proposals across the batch.
+    pub proposals: u64,
+    /// Total phase-2 rotations eliminated across the batch.
+    pub rotations: u64,
+}
+
+/// Sum the instrumentation counters of a batch and count the solvable
+/// instances (`solvable / outcomes.len()` is the solvability estimate the
+/// sweeps report).
+pub fn batch_stats(outcomes: &[RoommatesOutcome]) -> RoommatesBatchStats {
+    let mut agg = RoommatesBatchStats::default();
+    for out in outcomes {
+        let stats = out.stats();
+        agg.solvable += usize::from(out.is_stable());
+        agg.proposals += stats.proposals;
+        agg.rotations += u64::from(stats.rotations);
+    }
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_prefs::gen::uniform::uniform_roommates;
+    use kmatch_roommates::solve;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn batch_equals_serial() {
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let batch: Vec<RoommatesInstance> =
+            (0..200).map(|_| uniform_roommates(20, &mut rng)).collect();
+        let par = solve_batch(&batch);
+        assert_eq!(par.len(), batch.len());
+        for (inst, out) in batch.iter().zip(&par) {
+            let seq = solve(inst);
+            assert_eq!(out.matching(), seq.matching());
+            assert_eq!(out.stats(), seq.stats());
+        }
+    }
+
+    #[test]
+    fn mixed_sizes_do_not_leak_workspace_state() {
+        let mut rng = ChaCha8Rng::seed_from_u64(62);
+        let sizes = [30usize, 2, 15, 48, 3, 48, 2, 25];
+        let batch: Vec<RoommatesInstance> = sizes
+            .iter()
+            .cycle()
+            .take(64)
+            .map(|&n| uniform_roommates(n, &mut rng))
+            .collect();
+        let par = solve_batch(&batch);
+        for (inst, out) in batch.iter().zip(&par) {
+            let seq = solve(inst);
+            assert_eq!(out.matching(), seq.matching());
+            assert_eq!(out.stats(), seq.stats());
+        }
+    }
+
+    #[test]
+    fn stats_count_solvable_and_counters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(63);
+        let batch: Vec<RoommatesInstance> =
+            (0..40).map(|_| uniform_roommates(10, &mut rng)).collect();
+        let out = solve_batch(&batch);
+        let agg = batch_stats(&out);
+        assert_eq!(agg.solvable, out.iter().filter(|o| o.is_stable()).count());
+        assert_eq!(
+            agg.proposals,
+            out.iter().map(|o| o.stats().proposals).sum::<u64>()
+        );
+        assert!(agg.solvable > 0, "most even instances are solvable");
+        assert_eq!(batch_stats(&[]), RoommatesBatchStats::default());
+    }
+}

@@ -184,6 +184,30 @@ impl RoommatesInstance {
         &self.entries[lo..hi]
     }
 
+    /// Start of `p`'s row in the flat entry arena: entry `r` of `p`'s list
+    /// lives at flat index `row_start(p) + r`. Because rows are stored
+    /// best-first, the flat index of partner `q` is
+    /// `row_start(p) + rank_of(p, q)` — an O(1) address solvers can key
+    /// per-entry scratch state by.
+    #[inline]
+    pub fn row_start(&self, p: u32) -> u32 {
+        self.offsets[p as usize]
+    }
+
+    /// The partner stored at flat entry index `idx` (see
+    /// [`RoommatesInstance::row_start`]).
+    #[inline]
+    pub fn entry(&self, idx: u32) -> u32 {
+        self.entries[idx as usize]
+    }
+
+    /// Total number of preference entries across all participants — the
+    /// size of the flat arena indexed by [`RoommatesInstance::row_start`].
+    #[inline]
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Rank of `q` in `p`'s list, or [`UNRANKED`] if unacceptable.
     #[inline]
     pub fn rank_of(&self, p: u32, q: u32) -> Rank {

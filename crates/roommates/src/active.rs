@@ -98,14 +98,21 @@ impl<'a> ActiveTable<'a> {
         list.get(h).copied()
     }
 
-    /// Second active entry of `p`'s list.
+    /// Second active entry of `p`'s list: one forward pass that advances
+    /// the head hint to the first active entry and keeps scanning from
+    /// there (rather than re-running [`ActiveTable::first`] and then
+    /// rescanning from the hint a second time).
     pub fn second(&mut self, p: u32) -> Option<u32> {
-        let first_pos = {
-            self.first(p)?;
-            self.head[p as usize] as usize
-        };
         let list = self.inst.list(p);
-        list[first_pos + 1..]
+        let mut h = self.head[p as usize] as usize;
+        while h < list.len() && !self.is_active(p, list[h]) {
+            h += 1;
+        }
+        self.head[p as usize] = h as u32;
+        if h >= list.len() {
+            return None;
+        }
+        list[h + 1..]
             .iter()
             .copied()
             .find(|&q| self.is_active(p, q))
@@ -209,6 +216,35 @@ mod tests {
         assert_eq!(t.first(0), None);
         assert_eq!(t.last(0), None);
         assert_eq!(t.second(0), None);
+    }
+
+    #[test]
+    fn second_agrees_with_reduced_list_under_interleaved_deletions() {
+        // Regression for the old double-scan implementation: `second` must
+        // track `reduced_list()[1]` exactly while deletions interleave
+        // with lookups (which move the head hint around).
+        let inst = section3b_left();
+        let mut t = ActiveTable::new(&inst);
+        let deletions = [(0, 5), (2, 0), (3, 1), (0, 3), (4, 2), (5, 2)];
+        for (i, &(p, q)) in deletions.iter().enumerate() {
+            for probe in 0..inst.n() as u32 {
+                // Interleave first/last lookups so the hints advance.
+                if i % 2 == 0 {
+                    t.first(probe);
+                } else {
+                    t.last(probe);
+                }
+                assert_eq!(
+                    t.second(probe),
+                    t.reduced_list(probe).get(1).copied(),
+                    "participant {probe} after {i} deletions"
+                );
+            }
+            t.delete(p, q);
+        }
+        for probe in 0..inst.n() as u32 {
+            assert_eq!(t.second(probe), t.reduced_list(probe).get(1).copied());
+        }
     }
 
     #[test]

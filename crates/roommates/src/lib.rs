@@ -22,6 +22,13 @@
 //! bipartite reduction implements the paper's *procedurally fair* stable
 //! marriage (§III-B end, Fig. 2), provided by [`fair_smp`].
 //!
+//! Two implementations of the full algorithm live side by side: the
+//! zero-allocation fast path ([`solve`], [`RoommatesWorkspace::solve`])
+//! built on [`engine`]/[`workspace`] — implicit phase-1 deletion
+//! thresholds plus a compact doubly-linked arena for phase 2 — and the
+//! reference solver ([`solve_reference`]) over the [`active`] mask table,
+//! kept verbatim as the differential-testing oracle.
+//!
 //! [`brute`] supplies exhaustive ground truth (all stable matchings of
 //! small instances) used heavily by the Theorem-1 experiments.
 
@@ -30,6 +37,7 @@
 
 pub mod active;
 pub mod brute;
+pub mod engine;
 pub mod fair_smp;
 pub mod kpartite;
 pub mod matching;
@@ -38,10 +46,15 @@ pub mod phase2;
 pub mod policy;
 pub mod solver;
 pub mod trace;
+pub mod workspace;
 
 pub use fair_smp::{fair_stable_marriage, oriented_stable_marriage, SmpOrientation};
 pub use kpartite::{solve_kpartite_binary, KPartiteBinaryOutcome};
 pub use matching::{find_roommates_blocking_pair, is_roommates_stable, RoommatesMatching};
 pub use policy::RotationPolicy;
-pub use solver::{solve, solve_traced, solve_with, RoommatesOutcome, SolveStats};
+pub use solver::{
+    solve, solve_reference, solve_traced, solve_with, solve_with_logged,
+    solve_with_logged_reference, solve_with_reference, RoommatesOutcome, SolveStats,
+};
 pub use trace::RoommatesEvent;
+pub use workspace::RoommatesWorkspace;

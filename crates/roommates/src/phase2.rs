@@ -62,6 +62,14 @@ pub fn find_rotation(table: &mut ActiveTable<'_>, start: u32) -> Rotation {
 /// Eliminate the rotation: each `y_{i+1} = second(x_i)` deletes everything
 /// it ranks strictly below `x_i`. Returns the participant whose list
 /// emptied, if any (no stable matching).
+///
+/// The certificate is the **first participant actually emptied by the
+/// eliminating deletions**, in deletion order — not (as an earlier version
+/// reported) the lowest-numbered empty participant found by an O(n)
+/// post-hoc scan. Each receiver `y` keeps `x` on its list, so only the
+/// removed partners can empty; checking them as they are deleted is the
+/// bool-matrix analogue of the linked engine's O(1) delete-time signal,
+/// and keeps both paths' certificates identical.
 pub fn eliminate_rotation(table: &mut ActiveTable<'_>, rot: &Rotation) -> Option<u32> {
     let r = rot.xs.len();
     // Gather (receiver, new-last) pairs first: all second() lookups must
@@ -73,10 +81,21 @@ pub fn eliminate_rotation(table: &mut ActiveTable<'_>, rot: &Rotation) -> Option
             (y_next, x)
         })
         .collect();
+    let mut culprit = None;
     for &(y, x) in &targets {
-        table.truncate_below(y, x);
+        for z in table.truncate_below(y, x) {
+            if culprit.is_none() && table.is_empty(z) {
+                culprit = Some(z);
+            }
+        }
+        // An earlier truncation of this round may already have deleted
+        // (y, x); then y's whole surviving list can be worse than x and y
+        // itself empties (at its final deletion, after that delete's z).
+        if culprit.is_none() && table.is_empty(y) {
+            culprit = Some(y);
+        }
     }
-    (0..table.n() as u32).find(|&p| table.is_empty(p))
+    culprit
 }
 
 #[cfg(test)]
@@ -125,6 +144,53 @@ mod tests {
         assert_eq!(eliminate_rotation(&mut table, &rot), None);
         assert_eq!(table.reduced_list(0), vec![2]); // m  -> w
         assert_eq!(table.reduced_list(1), vec![3]); // m' -> w'
+    }
+
+    #[test]
+    fn culprit_certificate_is_genuinely_empty() {
+        // The no-stable-matching certificate must name a participant whose
+        // reduced list is actually empty (the paper's "u's reduced list is
+        // empty"), not merely the lowest-numbered participant.
+        use crate::policy::{RotationPolicy, SeedState};
+        use kmatch_prefs::gen::uniform::uniform_roommates;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut checked = 0;
+        for _ in 0..500 {
+            if checked >= 10 {
+                break;
+            }
+            let inst = uniform_roommates(8, &mut rng);
+            let mut table = ActiveTable::new(&inst);
+            let mut proposals = 0;
+            if !matches!(
+                phase1(&mut table, &mut proposals),
+                Phase1Result::Reduced { .. }
+            ) {
+                continue;
+            }
+            loop {
+                let mut seeds = SeedState::new(RotationPolicy::FirstAvailable);
+                let candidates: Vec<u32> = (0..inst.n() as u32)
+                    .filter(|&p| table.len(p) >= 2)
+                    .collect();
+                let Some(start) = seeds.pick(&candidates) else {
+                    break; // solvable — all lists singletons
+                };
+                let rot = find_rotation(&mut table, start);
+                if let Some(culprit) = eliminate_rotation(&mut table, &rot) {
+                    assert!(
+                        table.is_empty(culprit),
+                        "certificate names a participant with a non-empty list"
+                    );
+                    checked += 1;
+                    break;
+                }
+            }
+        }
+        assert!(checked >= 10, "too few phase-2 unsolvable instances seen");
     }
 
     #[test]

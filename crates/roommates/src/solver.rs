@@ -1,13 +1,30 @@
 //! The complete Irving solver: phase 1 + repeated rotation elimination.
+//!
+//! Two implementations live side by side:
+//!
+//! * The **fast path** ([`solve`], [`solve_with`]) runs the two-tier
+//!   engine in [`crate::engine`] (implicit phase-1 thresholds + compact
+//!   linked arena for phase 2) through a transient
+//!   [`crate::workspace::RoommatesWorkspace`]. Callers doing many solves
+//!   should hold a workspace and call
+//!   [`RoommatesWorkspace::solve`](crate::workspace::RoommatesWorkspace::solve)
+//!   directly to amortize the scratch allocations away entirely.
+//! * The **reference** ([`solve_reference`], [`solve_with_reference`])
+//!   keeps the original [`ActiveTable`] implementation verbatim as the
+//!   differential-testing oracle: both paths must produce identical
+//!   matchings, certificates, proposal counts, and rotation counts
+//!   (pinned by `tests/prop_fastpath.rs`).
 
 use kmatch_prefs::RoommatesInstance;
 
 use crate::active::ActiveTable;
+use crate::engine::{run_core, LogTrace};
 use crate::matching::RoommatesMatching;
 use crate::phase1::{phase1_logged, Phase1Result};
 use crate::phase2::{eliminate_rotation, find_rotation};
 use crate::policy::{RotationPolicy, SeedState};
 use crate::trace::RoommatesEvent;
+use crate::workspace::RoommatesWorkspace;
 
 /// Instrumentation from a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,7 +98,7 @@ pub fn solve(inst: &RoommatesInstance) -> RoommatesOutcome {
 /// Solve with an explicit rotation-seeding policy (see
 /// [`crate::fair_smp`] for why the seed matters).
 pub fn solve_with(inst: &RoommatesInstance, policy: RotationPolicy) -> RoommatesOutcome {
-    solve_with_logged(inst, policy, &mut |_| {})
+    RoommatesWorkspace::new().solve_with(inst, &policy)
 }
 
 /// Solve with [`RotationPolicy::FirstAvailable`], also returning the full
@@ -94,8 +111,32 @@ pub fn solve_traced(inst: &RoommatesInstance) -> (RoommatesOutcome, Vec<Roommate
     (out, events)
 }
 
-/// [`solve_with`] plus an event callback.
+/// [`solve_with`] plus an event callback, running the traced instantiation
+/// of the linked-list engine (event-for-event identical to
+/// [`solve_with_logged_reference`]).
 pub fn solve_with_logged(
+    inst: &RoommatesInstance,
+    policy: RotationPolicy,
+    log: &mut dyn FnMut(RoommatesEvent),
+) -> RoommatesOutcome {
+    let mut ws = RoommatesWorkspace::new();
+    run_core(inst, &mut ws, &policy, &mut LogTrace { log })
+}
+
+/// Reference solver with the default seeding — the original
+/// [`ActiveTable`] implementation, kept as the oracle for differential
+/// tests and benchmarks.
+pub fn solve_reference(inst: &RoommatesInstance) -> RoommatesOutcome {
+    solve_with_reference(inst, RotationPolicy::FirstAvailable)
+}
+
+/// Reference solver with an explicit rotation-seeding policy.
+pub fn solve_with_reference(inst: &RoommatesInstance, policy: RotationPolicy) -> RoommatesOutcome {
+    solve_with_logged_reference(inst, policy, &mut |_| {})
+}
+
+/// [`solve_with_reference`] plus an event callback.
+pub fn solve_with_logged_reference(
     inst: &RoommatesInstance,
     policy: RotationPolicy,
     log: &mut dyn FnMut(RoommatesEvent),

@@ -1,0 +1,527 @@
+//! Reusable scratch state for the zero-allocation Irving engine: implicit
+//! phase-1 deletion thresholds plus a compact doubly-linked arena holding
+//! the phase-1 survivors for phase 2, all grown once and reused across
+//! solves.
+//!
+//! ## Two-tier reduced tables
+//!
+//! The reference [`crate::active::ActiveTable`] masks an `n × n` bool
+//! matrix and pays for every deletion individually — on large uniform
+//! instances phase 1 deletes *millions* of pairs (each a scattered write),
+//! plus an O(n) rescan per truncation. The workspace exploits the
+//! structure of phase-1 deletions instead:
+//!
+//! **Phase 1 — implicit deletions.** Every phase-1 removal comes from one
+//! rule: when `y` holds a proposal from `x`, everything ranked below `x`
+//! on `y`'s list dies. So the reduced table is fully described by one
+//! monotone threshold per participant — `thresh[p]` = rank of the
+//! proposal `p` currently holds ([`NONE`] = untruncated) — and the pair
+//! `(p, q)` is alive iff
+//!
+//! ```text
+//! rank_p(q) <= thresh[p]  &&  rank_q(p) <= thresh[q]
+//! ```
+//!
+//! A truncation is a single store into `thresh`; the O(list) deletions it
+//! implies are never performed. `first(x)` walks `x`'s CSR row from a
+//! monotone per-participant cursor (`scan`), paying one rank probe per
+//! permanently-dead entry passed — amortized O(1) per proposal.
+//!
+//! **Phase 2 — compact linked arena.** When phase 1 completes,
+//! [`RoommatesWorkspace::materialize`] evaluates the predicate once per
+//! still-plausible entry and packs the survivors (typically a tiny
+//! fraction of the instance) into a dense arena threaded with
+//! `succ`/`pred` links: `first`/`second`/`last` are O(1) pointer hops,
+//! the bidirectional delete of a pair is two O(1) unlinks, and
+//! `truncate_below` severs a tail in O(1) plus O(1) per actually-deleted
+//! entry. Emptiness is signalled by the delete that empties a list
+//! (`len` hitting zero in [`RoommatesWorkspace::unlink`]), replacing the
+//! reference's O(n) post-rotation scan.
+//!
+//! Entries are only ever deleted, never restored, which is what makes the
+//! `scan` cursors here and the monotone seed cursors in [`crate::engine`]
+//! sound.
+
+use kmatch_prefs::RoommatesInstance;
+
+/// Niche marker for "no node / no participant / untruncated" in the
+/// workspace tables.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Reusable scratch buffers for the fast Irving engine.
+///
+/// A workspace grows to the largest instance it has seen and never
+/// shrinks; solving through one repeatedly is allocation-free in the
+/// steady state (the only per-solve allocation is the partner array owned
+/// by a returned stable matching — unsolvable instances allocate nothing).
+/// Workspaces are cheap to create and freely reusable across unrelated
+/// instances of any size.
+///
+/// ```
+/// use kmatch_roommates::{solve_reference, RoommatesWorkspace};
+/// use kmatch_prefs::gen::paper::section3b_left;
+///
+/// let inst = section3b_left();
+/// let mut ws = RoommatesWorkspace::new();
+/// let fast = ws.solve(&inst);
+/// let reference = solve_reference(&inst);
+/// assert_eq!(fast.matching(), reference.matching());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoommatesWorkspace {
+    // ---- phase 1: implicit deletions via rank thresholds ----
+    /// `thresh[p]`: highest rank still alive on `p`'s own side — the rank
+    /// of the proposal `p` currently holds — or [`NONE`] (= `u32::MAX`,
+    /// so `rank <= thresh[p]` is trivially true) before `p` receives one.
+    pub(crate) thresh: Vec<u32>,
+    /// `scan[p]`: first possibly-alive rank position of `p`'s CSR row.
+    /// Monotone: every position left of it is permanently dead.
+    pub(crate) scan: Vec<u32>,
+    /// `holds[p]`: proposer whose proposal `p` currently holds, or [`NONE`].
+    pub(crate) holds: Vec<u32>,
+    /// Stack of participants with an outstanding proposal to make.
+    pub(crate) free: Vec<u32>,
+    // ---- phase 2: doubly-linked arena over the phase-1 survivors ----
+    /// Survivor partner ids, best-first per row (the arena node space).
+    pub(crate) entries: Vec<u32>,
+    /// Arena row offsets: `p`'s survivors are nodes `off[p]..off[p + 1]`.
+    pub(crate) off: Vec<u32>,
+    /// `succ[e]`: next surviving node in the same row, or [`NONE`].
+    pub(crate) succ: Vec<u32>,
+    /// `pred[e]`: previous surviving node in the same row, or [`NONE`].
+    pub(crate) pred: Vec<u32>,
+    /// `alive[e]`: is arena node `e` still in its reduced list?
+    pub(crate) alive: Vec<bool>,
+    /// `head[p]`: node of `p`'s most preferred surviving entry, or [`NONE`].
+    pub(crate) head: Vec<u32>,
+    /// `tail[p]`: node of `p`'s least preferred surviving entry, or [`NONE`].
+    pub(crate) tail: Vec<u32>,
+    /// Surviving entries per participant (arena only — phase 2).
+    pub(crate) len: Vec<u32>,
+    // ---- phase-2 rotation scratch ----
+    /// `pos[p]`: index of `p` in the current rotation walk, or [`NONE`]
+    /// (cleared back to [`NONE`] for walked entries after each rotation).
+    pub(crate) pos: Vec<u32>,
+    /// The rotation walk (tail prefix + cycle).
+    pub(crate) seq: Vec<u32>,
+    /// The rotation cycle `x_i`.
+    pub(crate) xs: Vec<u32>,
+    /// `ys[i] = first(xs[i])` at discovery time.
+    pub(crate) ys: Vec<u32>,
+    /// Elimination targets `(y_{i+1}, x_i)`, gathered before any deletion.
+    pub(crate) targets: Vec<(u32, u32)>,
+    /// Partners removed by the current truncation (traced runs only).
+    pub(crate) removed: Vec<u32>,
+}
+
+impl RoommatesWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        RoommatesWorkspace::default()
+    }
+
+    /// A workspace pre-sized for instances of up to `n` participants with
+    /// up to `entries` total preference entries (complete lists have
+    /// `n·(n−1)`).
+    pub fn with_capacity(n: usize, entries: usize) -> Self {
+        RoommatesWorkspace {
+            thresh: Vec::with_capacity(n),
+            scan: Vec::with_capacity(n),
+            holds: Vec::with_capacity(n),
+            free: Vec::with_capacity(n),
+            entries: Vec::with_capacity(entries),
+            off: Vec::with_capacity(n + 1),
+            succ: Vec::with_capacity(entries),
+            pred: Vec::with_capacity(entries),
+            alive: Vec::with_capacity(entries),
+            head: Vec::with_capacity(n),
+            tail: Vec::with_capacity(n),
+            len: Vec::with_capacity(n),
+            pos: Vec::with_capacity(n),
+            seq: Vec::with_capacity(n),
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+            targets: Vec::with_capacity(n),
+            removed: Vec::new(),
+        }
+    }
+
+    /// Reset the phase-1 state (and all scratch) for `inst` — O(n), no
+    /// per-entry work. The phase-2 arena is rebuilt later by
+    /// [`RoommatesWorkspace::materialize`].
+    pub(crate) fn reset(&mut self, inst: &RoommatesInstance) {
+        let n = inst.n();
+        self.thresh.clear();
+        self.thresh.resize(n, NONE);
+        self.scan.clear();
+        self.scan.resize(n, 0);
+        self.holds.clear();
+        self.holds.resize(n, NONE);
+        self.free.clear();
+        self.free.extend((0..n as u32).rev());
+        self.pos.clear();
+        self.pos.resize(n, NONE);
+        self.seq.clear();
+        self.xs.clear();
+        self.ys.clear();
+        self.targets.clear();
+        self.removed.clear();
+    }
+
+    /// Most preferred partner still alive on `x`'s *phase-1* list, or
+    /// `None` if the list is empty (the no-stable-matching signal).
+    ///
+    /// Walks `x`'s CSR row from the monotone `scan` cursor, probing the
+    /// partner-side threshold for each candidate. Every position passed is
+    /// permanently dead (thresholds only tighten), so the cursor never
+    /// revisits it: total walk length over a whole solve is bounded by the
+    /// entries phase 1 deletes, amortized O(1) per proposal.
+    pub(crate) fn p1_first(&mut self, inst: &RoommatesInstance, x: u32) -> Option<u32> {
+        let row = inst.list(x);
+        // Own-side truncation bound: positions above thresh[x] are dead.
+        // `thresh` is the rank of the pair x currently holds — that pair
+        // is alive, so the cursor can never sit beyond the bound.
+        let end = (row.len() as u32).min(self.thresh[x as usize].saturating_add(1));
+        let mut h = self.scan[x as usize];
+        debug_assert!(h <= end, "scan cursor past the live bound");
+        while h < end {
+            let q = row[h as usize];
+            if inst.rank_of(q, x) <= self.thresh[q as usize] {
+                self.scan[x as usize] = h;
+                return Some(q);
+            }
+            h += 1;
+        }
+        self.scan[x as usize] = h;
+        None
+    }
+
+    /// Append to `self.removed` the partners the phase-1 truncation
+    /// `thresh[y] := new_rank` is about to delete, in removal (rank)
+    /// order — the entries of `y`'s row in `(new_rank, old bound]` whose
+    /// partner side is still alive. Traced runs only; must be called
+    /// *before* the threshold is updated.
+    pub(crate) fn collect_p1_removed(&mut self, inst: &RoommatesInstance, y: u32, new_rank: u32) {
+        let row = inst.list(y);
+        let old_end = (row.len() as u32).min(self.thresh[y as usize].saturating_add(1));
+        for pos in (new_rank + 1)..old_end {
+            let z = row[pos as usize];
+            if inst.rank_of(z, y) <= self.thresh[z as usize] {
+                self.removed.push(z);
+            }
+        }
+    }
+
+    /// Evaluate the phase-1 liveness predicate once per still-plausible
+    /// entry and pack the survivors into the doubly-linked arena phase 2
+    /// runs on. Rows scan `scan[p]..=thresh[p]` only, so the cost is
+    /// O(Σ thresh) ≤ O(total entries) with one partner-side rank probe
+    /// per candidate — and the arena itself is as small as the reduced
+    /// tables actually are.
+    pub(crate) fn materialize(&mut self, inst: &RoommatesInstance) {
+        let n = inst.n();
+        self.entries.clear();
+        self.off.clear();
+        self.succ.clear();
+        self.pred.clear();
+        self.alive.clear();
+        self.head.clear();
+        self.tail.clear();
+        self.len.clear();
+        self.off.push(0);
+        for p in 0..n as u32 {
+            let row = inst.list(p);
+            let base = self.entries.len() as u32;
+            let end = (row.len() as u32).min(self.thresh[p as usize].saturating_add(1));
+            for pos in self.scan[p as usize]..end {
+                let q = row[pos as usize];
+                if inst.rank_of(q, p) <= self.thresh[q as usize] {
+                    self.entries.push(q);
+                }
+            }
+            let e = self.entries.len() as u32;
+            for i in base..e {
+                self.pred.push(if i == base { NONE } else { i - 1 });
+                self.succ.push(if i + 1 == e { NONE } else { i + 1 });
+            }
+            self.alive.resize(e as usize, true);
+            self.head.push(if base == e { NONE } else { base });
+            self.tail.push(if base == e { NONE } else { e - 1 });
+            self.len.push(e - base);
+            self.off.push(e);
+        }
+    }
+
+    /// Most preferred surviving partner of `p` in the arena, or `None` if
+    /// the reduced list is empty.
+    #[inline]
+    pub(crate) fn first(&self, p: u32) -> Option<u32> {
+        let h = self.head[p as usize];
+        (h != NONE).then(|| self.entries[h as usize])
+    }
+
+    /// Second surviving partner of `p` — a single `succ` hop off the head.
+    #[inline]
+    pub(crate) fn second(&self, p: u32) -> Option<u32> {
+        let h = self.head[p as usize];
+        if h == NONE {
+            return None;
+        }
+        let s = self.succ[h as usize];
+        (s != NONE).then(|| self.entries[s as usize])
+    }
+
+    /// Least preferred surviving partner of `p`.
+    #[inline]
+    pub(crate) fn last(&self, p: u32) -> Option<u32> {
+        let t = self.tail[p as usize];
+        (t != NONE).then(|| self.entries[t as usize])
+    }
+
+    /// Arena node holding `q` in `p`'s row (alive or deleted). Reduced
+    /// rows are short, so the linear probe is O(reduced row); every
+    /// phase-2 caller already touches that row.
+    #[inline]
+    pub(crate) fn node_of(&self, p: u32, q: u32) -> u32 {
+        let lo = self.off[p as usize];
+        let hi = self.off[p as usize + 1];
+        for e in lo..hi {
+            if self.entries[e as usize] == q {
+                return e;
+            }
+        }
+        debug_assert!(false, "{q} not in {p}'s materialized row");
+        NONE
+    }
+
+    /// Unlink node `e` from `owner`'s row. Returns `true` iff this emptied
+    /// `owner`'s reduced list — the O(1) delete-time no-stable-matching
+    /// signal.
+    #[inline]
+    pub(crate) fn unlink(&mut self, owner: u32, e: u32) -> bool {
+        debug_assert!(self.alive[e as usize], "unlink of a deleted node");
+        self.alive[e as usize] = false;
+        let (s, p) = (self.succ[e as usize], self.pred[e as usize]);
+        if p == NONE {
+            self.head[owner as usize] = s;
+        } else {
+            self.succ[p as usize] = s;
+        }
+        if s == NONE {
+            self.tail[owner as usize] = p;
+        } else {
+            self.pred[s as usize] = p;
+        }
+        self.len[owner as usize] -= 1;
+        self.len[owner as usize] == 0
+    }
+
+    /// Bidirectionally delete every surviving entry of `p`'s arena row
+    /// strictly worse than `q` (which must be in the row, though a
+    /// rotation elimination may already have deleted the pair). The first
+    /// participant whose list empties is written to `culprit` (if still
+    /// [`NONE`]); deletions run best-to-worst, matching the reference
+    /// table's removal order, and a delete that empties both sides reports
+    /// the removed partner before `p` itself.
+    ///
+    /// `p`'s own tail is severed in O(1) when the kept entry survives;
+    /// otherwise the boundary is recovered by walking back over the doomed
+    /// suffix, which is paid for by the deletions themselves. Either way
+    /// the cost is O(deleted) unlinks. When `collect_removed` is set the
+    /// removed partners are appended to `self.removed` in removal order.
+    pub(crate) fn truncate_below(
+        &mut self,
+        p: u32,
+        q: u32,
+        culprit: &mut u32,
+        collect_removed: bool,
+    ) {
+        let keep = self.node_of(p, q);
+        // Locate the first surviving node strictly worse than `keep` and
+        // the surviving node preceding it (the new tail). Rows stay sorted
+        // by rank, so when `keep` itself is gone the boundary is found by
+        // walking back from the tail over nodes about to be deleted.
+        let (boundary, first_doomed) = if self.alive[keep as usize] {
+            (keep, self.succ[keep as usize])
+        } else {
+            let t = self.tail[p as usize];
+            if t == NONE || t < keep {
+                return; // nothing worse than q survives
+            }
+            let mut s = t;
+            loop {
+                let pr = self.pred[s as usize];
+                if pr == NONE || pr < keep {
+                    break (pr, s);
+                }
+                s = pr;
+            }
+        };
+        if first_doomed == NONE {
+            return;
+        }
+        // Sever p's tail in one step; the loop below only pays for the
+        // partner-side unlinks of entries that actually existed.
+        if boundary == NONE {
+            self.head[p as usize] = NONE;
+            self.tail[p as usize] = NONE;
+        } else {
+            self.succ[boundary as usize] = NONE;
+            self.tail[p as usize] = boundary;
+        }
+        let mut cur = first_doomed;
+        while cur != NONE {
+            let z = self.entries[cur as usize];
+            self.alive[cur as usize] = false;
+            self.len[p as usize] -= 1;
+            let zn = self.node_of(z, p);
+            if self.unlink(z, zn) && *culprit == NONE {
+                *culprit = z;
+            }
+            if collect_removed {
+                self.removed.push(z);
+            }
+            cur = self.succ[cur as usize];
+        }
+        // p itself empties only when its whole surviving list was worse
+        // than q (possible once rotation eliminations delete (p, q)).
+        if self.len[p as usize] == 0 && *culprit == NONE {
+            *culprit = p;
+        }
+    }
+
+    /// Current reduced list of `p` in preference order (test/debug only —
+    /// allocates). Valid after [`RoommatesWorkspace::materialize`].
+    pub fn reduced_list(&self, p: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut e = self.head[p as usize];
+        while e != NONE {
+            out.push(self.entries[e as usize]);
+            e = self.succ[e as usize];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_prefs::gen::paper::section3b_left;
+
+    fn fresh(inst: &RoommatesInstance) -> RoommatesWorkspace {
+        let mut ws = RoommatesWorkspace::new();
+        ws.reset(inst);
+        // With untouched thresholds every pair is alive, so the arena
+        // holds the full preference lists.
+        ws.materialize(inst);
+        ws
+    }
+
+    fn delete_pair(ws: &mut RoommatesWorkspace, p: u32, q: u32) {
+        let pn = ws.node_of(p, q);
+        let qn = ws.node_of(q, p);
+        ws.unlink(p, pn);
+        ws.unlink(q, qn);
+    }
+
+    #[test]
+    fn linked_first_second_last_track_deletions() {
+        let inst = section3b_left();
+        let mut ws = fresh(&inst);
+        // m: u' w w' u = [5, 2, 3, 4]
+        assert_eq!(ws.first(0), Some(5));
+        assert_eq!(ws.second(0), Some(2));
+        assert_eq!(ws.last(0), Some(4));
+        delete_pair(&mut ws, 0, 5);
+        assert_eq!(ws.first(0), Some(2));
+        assert_eq!(ws.second(0), Some(3));
+        delete_pair(&mut ws, 0, 4);
+        assert_eq!(ws.last(0), Some(3));
+        assert_eq!(ws.len[0], 2);
+        // Bidirectional: 5 (u') lost m from its list [0, 2, 3, 1].
+        assert_eq!(ws.first(5), Some(2));
+    }
+
+    #[test]
+    fn truncate_severs_tail_and_partners() {
+        let inst = section3b_left();
+        let mut ws = fresh(&inst);
+        // m holds a proposal from w (=2): remove everyone worse than w on
+        // m's list [5, 2, 3, 4] -> [5, 2].
+        let mut culprit = NONE;
+        ws.truncate_below(0, 2, &mut culprit, true);
+        assert_eq!(ws.reduced_list(0), vec![5, 2]);
+        assert_eq!(ws.removed, vec![3, 4], "removal order is best-to-worst");
+        assert_eq!(culprit, NONE);
+        // Bidirectional: w' (=3) and u (=4) lost m.
+        assert!(!ws.reduced_list(3).contains(&0));
+        assert!(!ws.reduced_list(4).contains(&0));
+        assert_eq!(ws.len[0], 2);
+    }
+
+    #[test]
+    fn emptiness_signalled_at_delete_time() {
+        let inst = section3b_left();
+        let mut ws = fresh(&inst);
+        let mut emptied = false;
+        for q in [5, 2, 3, 4] {
+            let pn = ws.node_of(0, q);
+            let qn = ws.node_of(q, 0);
+            emptied |= ws.unlink(0, pn);
+            ws.unlink(q, qn);
+        }
+        assert!(emptied, "final unlink must report the empty list");
+        assert_eq!(ws.len[0], 0);
+        assert_eq!(ws.first(0), None);
+        assert_eq!(ws.second(0), None);
+        assert_eq!(ws.last(0), None);
+    }
+
+    #[test]
+    fn thresholds_drive_the_materialized_arena() {
+        let inst = section3b_left();
+        let mut ws = RoommatesWorkspace::new();
+        ws.reset(&inst);
+        // m (=0) holds a proposal from w (=2), rank 1 on m's list
+        // [5, 2, 3, 4]: the implicit truncation kills (0,3) and (0,4)
+        // on both sides.
+        ws.thresh[0] = inst.rank_of(0, 2);
+        ws.materialize(&inst);
+        assert_eq!(ws.reduced_list(0), vec![5, 2]);
+        assert!(!ws.reduced_list(3).contains(&0));
+        assert!(!ws.reduced_list(4).contains(&0));
+        // Untouched rows keep their full lists.
+        assert_eq!(ws.reduced_list(5), inst.list(5).to_vec());
+    }
+
+    #[test]
+    fn scan_cursor_skips_only_dead_prefixes() {
+        let inst = section3b_left();
+        let mut ws = RoommatesWorkspace::new();
+        ws.reset(&inst);
+        // u' (=5, list [0, 2, 3, 1]) truncates below w (=2, rank 1):
+        // every pair (z, 5) with rank_5(z) > 1 dies, including (1, 5) —
+        // m''s head.
+        ws.thresh[5] = 1;
+        assert_eq!(ws.p1_first(&inst, 1), Some(2), "m''s head pair died");
+        assert_eq!(ws.scan[1], 1, "cursor advanced past the dead prefix");
+        // The cursor result matches the materialized arena head.
+        ws.materialize(&inst);
+        assert_eq!(ws.first(1), Some(2));
+    }
+
+    #[test]
+    fn reset_restores_a_reused_workspace() {
+        let inst = section3b_left();
+        let mut ws = RoommatesWorkspace::with_capacity(6, 24);
+        ws.reset(&inst);
+        ws.materialize(&inst);
+        let mut culprit = NONE;
+        ws.truncate_below(0, 2, &mut culprit, false);
+        ws.reset(&inst);
+        ws.materialize(&inst);
+        assert_eq!(ws.reduced_list(0), vec![5, 2, 3, 4]);
+        assert!(ws.alive.iter().all(|&a| a));
+        assert_eq!(ws.free.len(), 6);
+    }
+}

@@ -1,0 +1,152 @@
+//! Zero-steady-state-allocation guarantee for the workspace fast path.
+//!
+//! After a warm-up solve grows the workspace buffers, repeat solves of
+//! same-shaped instances must not touch the allocator at all for
+//! unsolvable instances, and must allocate exactly once per solve (the
+//! partner array owned by the returned matching) for solvable ones.
+//!
+//! Measured with a counting `GlobalAlloc` wrapper; the counters are
+//! thread-local so the test harness's other threads cannot pollute them.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use kmatch_prefs::gen::paper::no_stable_roommates_4;
+use kmatch_prefs::gen::uniform::uniform_roommates;
+use kmatch_prefs::RoommatesInstance;
+use kmatch_roommates::RoommatesWorkspace;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// thread-local increment with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `f` on this thread.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(Cell::get);
+    f();
+    ALLOCS.with(Cell::get) - before
+}
+
+#[test]
+fn unsolvable_steady_state_allocates_nothing() {
+    let inst = no_stable_roommates_4();
+    let mut ws = RoommatesWorkspace::new();
+    // Warm-up: grows every scratch buffer to this shape.
+    assert!(!ws.solve(&inst).is_stable());
+    let allocs = allocations_in(|| {
+        for _ in 0..100 {
+            assert!(!ws.solve(&inst).is_stable());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "workspace-reuse solves of an unsolvable instance must not allocate"
+    );
+}
+
+#[test]
+fn solvable_steady_state_allocates_only_the_matching() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    // A solvable instance (retry until one is found — most even n are).
+    let inst = loop {
+        let cand = uniform_roommates(64, &mut rng);
+        if RoommatesWorkspace::new().solve(&cand).is_stable() {
+            break cand;
+        }
+    };
+    let mut ws = RoommatesWorkspace::new();
+    ws.solve(&inst);
+    let reps = 50;
+    let allocs = allocations_in(|| {
+        for _ in 0..reps {
+            let out = ws.solve(&inst);
+            assert!(out.is_stable());
+            std::hint::black_box(&out);
+        }
+    });
+    assert!(
+        allocs <= reps,
+        "expected at most one allocation per solve (the returned partner \
+         array), saw {allocs} over {reps} solves"
+    );
+}
+
+#[test]
+fn growing_then_shrinking_instances_reuse_buffers() {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let big = uniform_roommates(48, &mut rng);
+    let small = uniform_roommates(8, &mut rng);
+    let mut ws = RoommatesWorkspace::new();
+    ws.solve(&big);
+    // Smaller instances fit in the grown buffers: only the per-solve
+    // matching may allocate.
+    let reps = 40;
+    let allocs = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve(&small));
+        }
+    });
+    assert!(allocs <= reps, "saw {allocs} allocations over {reps} solves");
+}
+
+#[test]
+fn pre_sized_workspace_first_solve_is_quiet() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let inst = uniform_roommates(32, &mut rng);
+    let mut ws = RoommatesWorkspace::with_capacity(32, inst.total_entries());
+    let allocs = allocations_in(|| {
+        std::hint::black_box(ws.solve(&inst));
+    });
+    assert!(
+        allocs <= 1,
+        "pre-sized workspace should only allocate the matching, saw {allocs}"
+    );
+}
+
+#[test]
+fn counting_allocator_is_live() {
+    // Sanity: the harness actually observes allocations.
+    let allocs = allocations_in(|| {
+        std::hint::black_box(vec![1u8; 512]);
+    });
+    assert!(allocs >= 1);
+}
+
+#[test]
+fn reused_outcomes_stay_correct_under_pressure() {
+    // Belt and braces: buffer reuse must not trade correctness for speed.
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let mut ws = RoommatesWorkspace::new();
+    for n in [16usize, 4, 32, 6, 32, 16] {
+        let inst: RoommatesInstance = uniform_roommates(n, &mut rng);
+        let fast = ws.solve(&inst);
+        let reference = kmatch_roommates::solve_reference(&inst);
+        assert_eq!(fast.matching(), reference.matching());
+        assert_eq!(fast.stats(), reference.stats());
+    }
+}

@@ -15,4 +15,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> metrics smoke"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/kmatch batch --kind gs --n 16 --count 50 --seed 1 \
+    --metrics-out "$SMOKE_DIR/report.json"
+./target/release/kmatch report validate --input "$SMOKE_DIR/report.json"
+for key in '"schema": "kmatch.run_report/v1"' '"solves"' '"proposals"' \
+    '"histograms"' '"p99_ns"'; do
+  grep -qF "$key" "$SMOKE_DIR/report.json" \
+    || { echo "metrics smoke: missing $key in report.json"; exit 1; }
+done
+
 echo "CI OK"

@@ -1,51 +1,24 @@
-//! Machine-readable GS hot-path measurements → `results/BENCH_gs.json`.
+//! Machine-readable GS hot-path measurements → `results/BENCH_gs.json`
+//! plus a structured run report → `results/REPORT_gs.json`.
 //!
 //! Records the two acceptance numbers of the zero-alloc hot-path work —
 //! fast-path speedup over the reference engine on a random `n = 2000`
 //! bipartite instance, and `solve_batch` throughput on 1000 instances
-//! relative to a serial loop — plus the smaller sizes for context. Run
-//! with `cargo run --release --bin bench_gs_json`.
+//! relative to a serial loop — plus the smaller sizes for context, and
+//! the `SolverMetrics` overhead of the metered batch path relative to
+//! `NoMetrics` on an n = 2000 batch (acceptance target < 5%). Run with
+//! `cargo run --release --bin bench_gs_json`.
 
-use std::time::Instant;
-
+use kmatch_bench::harness::{
+    bipartite_batch, measure_blocks, rayon_threads, write_results, OverheadRow,
+};
 use kmatch_bench::rng;
 use kmatch_gs::{gale_shapley_reference, GsWorkspace};
-use kmatch_parallel::solve_batch;
+use kmatch_obs::{BatchRegistry, RunReport, StdClock};
+use kmatch_parallel::{solve_batch, solve_batch_metered};
 use kmatch_prefs::gen::uniform::uniform_bipartite;
-use kmatch_prefs::{BipartiteInstance, CsrPrefs};
+use kmatch_prefs::CsrPrefs;
 use serde::impl_json_struct;
-
-/// Per-variant minimum over `passes` contiguous timing blocks of `reps`
-/// runs each.
-///
-/// Variants get *separate* blocks rather than run-by-run interleaving: on
-/// a host whose last-level cache is shared with noisy neighbors, an
-/// interleaved rotation makes every variant evict the others' working set
-/// between its runs, which distorts exactly the locality effects this
-/// benchmark exists to show (measured here: it hid a 2× CSR-arena win
-/// entirely). Rotating the block order across passes still spreads slow
-/// host drift over all variants, and the minimum is the robust statistic —
-/// noise on a shared machine only ever adds time.
-fn measure_blocks<const K: usize>(
-    passes: usize,
-    reps: usize,
-    variants: [&mut dyn FnMut() -> u64; K],
-) -> [f64; K] {
-    let mut sink = 0u64;
-    let mut best = [f64::INFINITY; K];
-    for pass in 0..passes {
-        for i in 0..K {
-            let v = (i + pass) % K;
-            for _ in 0..reps {
-                let t = Instant::now();
-                sink = sink.wrapping_add(variants[v]());
-                best[v] = best[v].min(t.elapsed().as_nanos() as f64);
-            }
-        }
-    }
-    assert!(sink > 0, "benchmark workload produced no proposals");
-    best
-}
 
 /// One single-instance comparison row.
 #[derive(Debug, Clone)]
@@ -101,9 +74,15 @@ struct Report {
     threads: usize,
     single: Vec<SingleRow>,
     batch: BatchRow,
+    metrics_overhead: OverheadRow,
 }
 
-impl_json_struct!(Report { threads, single, batch });
+impl_json_struct!(Report {
+    threads,
+    single,
+    batch,
+    metrics_overhead
+});
 
 fn single_row(n: usize, reps: usize) -> SingleRow {
     let inst = uniform_bipartite(n, &mut rng(301));
@@ -133,9 +112,7 @@ fn single_row(n: usize, reps: usize) -> SingleRow {
 
 fn batch_row() -> BatchRow {
     let (instances, n, reps) = (1000usize, 64usize, 25);
-    let mut r = rng(302);
-    let batch: Vec<BipartiteInstance> =
-        (0..instances).map(|_| uniform_bipartite(n, &mut r)).collect();
+    let batch = bipartite_batch(instances, n, 302);
     let mut ws = GsWorkspace::with_capacity(n);
     let [serial_ns, solve_batch_ns] = measure_blocks(
         4,
@@ -168,10 +145,44 @@ fn batch_row() -> BatchRow {
     }
 }
 
-fn rayon_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+/// Measure `solve_batch_metered` against `solve_batch` on an n = 2000
+/// batch, and emit the metered run's merged metrics as a RunReport.
+fn overhead_row() -> (OverheadRow, RunReport) {
+    let (instances, n, reps) = (32usize, 2000usize, 4);
+    let batch = bipartite_batch(instances, n, 303);
+    let registry = BatchRegistry::new();
+    let clock = StdClock::new();
+    let [plain_ns, metered_ns] = measure_blocks(
+        3,
+        reps,
+        [
+            &mut || {
+                solve_batch(&batch)
+                    .iter()
+                    .map(|o| o.stats.proposals)
+                    .sum()
+            },
+            &mut || {
+                solve_batch_metered(&batch, &registry, &clock)
+                    .iter()
+                    .map(|o| o.stats.proposals)
+                    .sum()
+            },
+        ],
+    );
+    // The registry accumulated every metered rep; report the merged view.
+    let merged = registry.take();
+    let report = RunReport::new(
+        "gs",
+        n,
+        instances,
+        0x5EED_0000 + 303,
+        rayon_threads(),
+        metered_ns as u64,
+        merged,
+        None,
+    );
+    (OverheadRow::new(instances, n, plain_ns, metered_ns), report)
 }
 
 fn main() {
@@ -182,10 +193,12 @@ fn main() {
         .into_iter()
         .map(|(n, reps)| single_row(n, reps))
         .collect();
+    let (metrics_overhead, run_report) = overhead_row();
     let report = Report {
         threads: rayon_threads(),
         single,
         batch: batch_row(),
+        metrics_overhead,
     };
 
     for row in &report.single {
@@ -202,9 +215,12 @@ fn main() {
          speedup {:.2}x on {} thread(s)",
         b.instances, b.n, b.serial_ns, b.solve_batch_ns, b.speedup, b.threads,
     );
+    let o = &report.metrics_overhead;
+    println!(
+        "metrics overhead {} x n={}: plain {:>10.0} ns  metered {:>10.0} ns  ({:+.2}%)",
+        o.instances, o.n, o.plain_ns, o.metered_ns, o.overhead_pct,
+    );
 
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_gs.json", json + "\n").expect("write results/BENCH_gs.json");
-    println!("wrote results/BENCH_gs.json");
+    write_results("BENCH_gs.json", &report);
+    write_results("REPORT_gs.json", &run_report);
 }

@@ -1,46 +1,25 @@
-//! Machine-readable Irving hot-path measurements → `results/BENCH_roommates.json`.
+//! Machine-readable Irving hot-path measurements →
+//! `results/BENCH_roommates.json` plus a structured run report →
+//! `results/REPORT_roommates.json`.
 //!
 //! Records the acceptance numbers of the zero-alloc Irving engine work —
 //! fast-path speedup over `solve_reference` on random roommates instances
 //! at n ∈ {256, 1024, 2000} (fresh-workspace and workspace-reuse
-//! variants), and `kmatch_parallel::roommates::solve_batch` throughput on
-//! 1000 instances relative to a serial workspace-reuse loop. Run with
+//! variants), `kmatch_parallel::roommates::solve_batch` throughput on
+//! 1000 instances relative to a serial workspace-reuse loop, and the
+//! `SolverMetrics` overhead of the metered batch path on an n = 2000
+//! batch (acceptance target < 5%). Run with
 //! `cargo run --release --bin bench_roommates_json`.
 
-use std::time::Instant;
-
+use kmatch_bench::harness::{
+    measure_blocks, rayon_threads, roommates_batch, write_results, OverheadRow,
+};
 use kmatch_bench::rng;
-use kmatch_parallel::roommates::solve_batch;
+use kmatch_obs::{BatchRegistry, RunReport, StdClock};
+use kmatch_parallel::roommates::{solve_batch, solve_batch_metered};
 use kmatch_prefs::gen::uniform::uniform_roommates;
-use kmatch_prefs::RoommatesInstance;
 use kmatch_roommates::{solve_reference, RoommatesWorkspace};
 use serde::impl_json_struct;
-
-/// Per-variant minimum over `passes` contiguous timing blocks of `reps`
-/// runs each — same methodology as `bench_gs_json`: contiguous blocks
-/// avoid cross-variant cache pollution, rotating block order across
-/// passes spreads host drift, and the minimum is the robust statistic on
-/// a shared machine (noise only ever adds time).
-fn measure_blocks<const K: usize>(
-    passes: usize,
-    reps: usize,
-    variants: [&mut dyn FnMut() -> u64; K],
-) -> [f64; K] {
-    let mut sink = 0u64;
-    let mut best = [f64::INFINITY; K];
-    for pass in 0..passes {
-        for i in 0..K {
-            let v = (i + pass) % K;
-            for _ in 0..reps {
-                let t = Instant::now();
-                sink = sink.wrapping_add(variants[v]());
-                best[v] = best[v].min(t.elapsed().as_nanos() as f64);
-            }
-        }
-    }
-    assert!(sink > 0, "benchmark workload produced no proposals");
-    best
-}
 
 /// One single-instance comparison row.
 #[derive(Debug, Clone)]
@@ -104,9 +83,15 @@ struct Report {
     threads: usize,
     single: Vec<SingleRow>,
     batch: BatchRow,
+    metrics_overhead: OverheadRow,
 }
 
-impl_json_struct!(Report { threads, single, batch });
+impl_json_struct!(Report {
+    threads,
+    single,
+    batch,
+    metrics_overhead
+});
 
 fn single_row(n: usize, reps: usize) -> SingleRow {
     let inst = uniform_roommates(n, &mut rng(401));
@@ -137,9 +122,7 @@ fn single_row(n: usize, reps: usize) -> SingleRow {
 
 fn batch_row() -> BatchRow {
     let (instances, n, reps) = (1000usize, 64usize, 25);
-    let mut r = rng(402);
-    let batch: Vec<RoommatesInstance> =
-        (0..instances).map(|_| uniform_roommates(n, &mut r)).collect();
+    let batch = roommates_batch(instances, n, 402);
     let solvable = solve_batch(&batch).iter().filter(|o| o.is_stable()).count();
     let mut ws = RoommatesWorkspace::new();
     let [serial_ns, solve_batch_ns] = measure_blocks(
@@ -174,10 +157,43 @@ fn batch_row() -> BatchRow {
     }
 }
 
-fn rayon_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+/// Measure `solve_batch_metered` against `solve_batch` on an n = 2000
+/// batch, and emit the metered run's merged metrics as a RunReport.
+fn overhead_row() -> (OverheadRow, RunReport) {
+    let (instances, n, reps) = (32usize, 2000usize, 4);
+    let batch = roommates_batch(instances, n, 403);
+    let registry = BatchRegistry::new();
+    let clock = StdClock::new();
+    let [plain_ns, metered_ns] = measure_blocks(
+        3,
+        reps,
+        [
+            &mut || {
+                solve_batch(&batch)
+                    .iter()
+                    .map(|o| o.stats().proposals)
+                    .sum()
+            },
+            &mut || {
+                solve_batch_metered(&batch, &registry, &clock)
+                    .iter()
+                    .map(|o| o.stats().proposals)
+                    .sum()
+            },
+        ],
+    );
+    let merged = registry.take();
+    let report = RunReport::new(
+        "roommates",
+        n,
+        instances,
+        0x5EED_0000 + 403,
+        rayon_threads(),
+        metered_ns as u64,
+        merged,
+        None,
+    );
+    (OverheadRow::new(instances, n, plain_ns, metered_ns), report)
 }
 
 fn main() {
@@ -186,10 +202,12 @@ fn main() {
         .into_iter()
         .map(|(n, reps)| single_row(n, reps))
         .collect();
+    let (metrics_overhead, run_report) = overhead_row();
     let report = Report {
         threads: rayon_threads(),
         single,
         batch: batch_row(),
+        metrics_overhead,
     };
 
     for row in &report.single {
@@ -210,10 +228,12 @@ fn main() {
          speedup {:.2}x on {} thread(s), {} solvable",
         b.instances, b.n, b.serial_ns, b.solve_batch_ns, b.speedup, b.threads, b.solvable,
     );
+    let o = &report.metrics_overhead;
+    println!(
+        "metrics overhead {} x n={}: plain {:>10.0} ns  metered {:>10.0} ns  ({:+.2}%)",
+        o.instances, o.n, o.plain_ns, o.metered_ns, o.overhead_pct,
+    );
 
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_roommates.json", json + "\n")
-        .expect("write results/BENCH_roommates.json");
-    println!("wrote results/BENCH_roommates.json");
+    write_results("BENCH_roommates.json", &report);
+    write_results("REPORT_roommates.json", &run_report);
 }

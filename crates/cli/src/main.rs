@@ -37,11 +37,21 @@ USAGE:
   kmatch solve kary    --input FILE [--tree path|star|random|priority] [--seed S]
   kmatch solve binary  --input FILE
   kmatch solve smp     --n N [--seed S] [--mode gs|fair|man|woman]
-  kmatch batch         --n N [--count C] [--seed S] [--kind gs|roommates]
+  kmatch batch         [--n N] [--count C] [--seed S] [--kind gs|roommates]
+                       [--input FILE] [--errors-out FILE]
+                       [--metrics-out FILE] [--metrics-format json|prom]
+  kmatch report validate --input FILE          (check an emitted RunReport)
   kmatch verify kary   --input FILE --matching FILE [--weak]
   kmatch lattice       --n N [--seed S] [--limit L]
   kmatch trace         --input FILE            (roommates JSON, paper-style trace)
   kmatch render-tree   --k K [--tree path|star|balanced|random] [--seed S]
+
+  batch --input takes a JSON array of instances (bipartite DTOs for
+  --kind gs, roommates DTOs for --kind roommates). If any element fails
+  to parse, the command exits nonzero; --errors-out writes a
+  machine-readable per-index error summary either way. --metrics-out
+  solves through the metered engines and writes a structured RunReport
+  (counters, log2 histograms, timing percentiles).
 ";
 
 fn main() -> ExitCode {
@@ -64,6 +74,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         (Some("solve"), Some("binary")) => solve_binary(&args),
         (Some("solve"), Some("smp")) => solve_smp(&args),
         (Some("batch"), _) => batch_cmd(&args),
+        (Some("report"), Some("validate")) => report_validate(&args),
         (Some("verify"), Some("kary")) => verify_kary(&args),
         (Some("lattice"), _) => lattice(&args),
         (Some("trace"), _) => trace_cmd(&args),
@@ -293,24 +304,180 @@ fn solve_smp(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Solve a stream of random instances through the parallel batch
-/// front-ends — the CLI face of `kmatch_parallel::solve_batch`
-/// (`--kind gs`) and `kmatch_parallel::roommates::solve_batch`
-/// (`--kind roommates`), both with per-thread reusable workspaces and
-/// zero steady-state allocation.
+/// Per-index failures from a `batch --input` file, reported as a
+/// machine-readable summary (and a nonzero exit) so pipelines can react.
+struct BatchErrors {
+    total: usize,
+    errors: Vec<(usize, String)>,
+}
+
+impl BatchErrors {
+    /// JSON summary: `{"schema", "total", "failed", "errors": [{index, error}]}`.
+    fn to_json(&self) -> serde::Value {
+        use serde::Value;
+        let errors: Vec<Value> = self
+            .errors
+            .iter()
+            .map(|(i, e)| {
+                Value::Object(vec![
+                    ("index".into(), Value::Number(*i as f64)),
+                    ("error".into(), Value::String(e.clone())),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "schema".into(),
+                Value::String("kmatch.batch_errors/v1".into()),
+            ),
+            ("total".into(), Value::Number(self.total as f64)),
+            ("failed".into(), Value::Number(self.errors.len() as f64)),
+            ("errors".into(), Value::Array(errors)),
+        ])
+    }
+
+    /// Write the summary if `--errors-out` was given, then fail the
+    /// command if anything failed.
+    fn finish(self, args: &Args) -> Result<(), String> {
+        if let Some(path) = args.flag("errors-out") {
+            let json = serde_json::to_string_pretty(&self.to_json()).map_err(|e| e.to_string())?;
+            fs::write(path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        if self.errors.is_empty() {
+            return Ok(());
+        }
+        let (idx, first) = &self.errors[0];
+        Err(format!(
+            "{} of {} batch instances failed to parse (first: index {idx}: {first})",
+            self.errors.len(),
+            self.total
+        ))
+    }
+}
+
+/// Parse `--input` (a JSON array) element-by-element so one malformed
+/// instance reports its index instead of poisoning the whole file.
+fn load_batch_elements(path: &str) -> Result<Vec<serde::Value>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    match serde_json::from_str::<serde::Value>(&text) {
+        Ok(serde::Value::Array(items)) => Ok(items),
+        Ok(_) => Err(format!("{path}: expected a JSON array of instances")),
+        Err(e) => Err(format!("{path}: {e}")),
+    }
+}
+
+fn parse_elements<D, T>(items: &[serde::Value]) -> (Vec<T>, Vec<(usize, String)>)
+where
+    D: serde::Deserialize,
+    T: TryFrom<D>,
+    <T as TryFrom<D>>::Error: std::fmt::Display,
+{
+    let mut out = Vec::with_capacity(items.len());
+    let mut errors = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        match D::from_value(item).map_err(|e| e.to_string()).and_then(|d| {
+            T::try_from(d).map_err(|e| e.to_string())
+        }) {
+            Ok(inst) => out.push(inst),
+            Err(e) => errors.push((i, e)),
+        }
+    }
+    (out, errors)
+}
+
+/// Emit the RunReport when `--metrics-out` was given.
+fn write_metrics(
+    args: &Args,
+    kind: &str,
+    n: usize,
+    instances: usize,
+    seed: u64,
+    wall_ns: u64,
+    merged: kmatch_obs::SolverMetrics,
+) -> Result<(), String> {
+    let Some(path) = args.flag("metrics-out") else {
+        return Ok(());
+    };
+    let format = args.flag("metrics-format").unwrap_or("json");
+    let report = kmatch_obs::RunReport::new(
+        kind,
+        n,
+        instances,
+        seed,
+        rayon::current_num_threads(),
+        wall_ns,
+        merged,
+        None,
+    );
+    report
+        .write(std::path::Path::new(path), format)
+        .map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("wrote {path} ({format})");
+    Ok(())
+}
+
+/// Solve a stream of instances through the parallel batch front-ends —
+/// the CLI face of `kmatch_parallel::solve_batch` (`--kind gs`) and
+/// `kmatch_parallel::roommates::solve_batch` (`--kind roommates`), both
+/// with per-thread reusable workspaces and zero steady-state allocation.
+/// Instances are generated from `--n/--count/--seed` or read from
+/// `--input` (a JSON array of DTOs); `--metrics-out` switches to the
+/// metered engines and writes a structured RunReport.
 fn batch_cmd(args: &Args) -> Result<(), String> {
-    args.check_known(&["n", "count", "seed", "kind"])?;
-    let n: usize = args.require("n")?;
-    let count: usize = args.flag_or("count", 1000)?;
+    args.check_known(&[
+        "n",
+        "count",
+        "seed",
+        "kind",
+        "input",
+        "errors-out",
+        "metrics-out",
+        "metrics-format",
+    ])?;
     let seed: u64 = args.flag_or("seed", 0)?;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    match args.flag("kind").unwrap_or("gs") {
+    let kind = args.flag("kind").unwrap_or("gs");
+    if let Some(fmt) = args.flag("metrics-format") {
+        if !matches!(fmt, "json" | "prom") {
+            return Err(format!("unknown metrics format: {fmt} (expected json|prom)"));
+        }
+    }
+    let metered = args.flag("metrics-out").is_some();
+    let registry = kmatch_obs::BatchRegistry::new();
+    let clock = kmatch_obs::StdClock::new();
+    let input = args.flag("input");
+    match kind {
         "gs" => {
-            let batch: Vec<kmatch_prefs::BipartiteInstance> = (0..count)
-                .map(|_| kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut rng))
-                .collect();
+            let batch: Vec<kmatch_prefs::BipartiteInstance> = match input {
+                Some(path) => {
+                    let items = load_batch_elements(path)?;
+                    let (batch, errors) = parse_elements::<
+                        kmatch_prefs::serde_support::BipartiteDto,
+                        _,
+                    >(&items);
+                    BatchErrors {
+                        total: items.len(),
+                        errors,
+                    }
+                    .finish(args)?;
+                    batch
+                }
+                None => {
+                    let n: usize = args.require("n")?;
+                    let count: usize = args.flag_or("count", 1000)?;
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                    (0..count)
+                        .map(|_| kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut rng))
+                        .collect()
+                }
+            };
+            let count = batch.len();
+            let n = batch.iter().map(|i| i.n()).max().unwrap_or(0);
             let start = std::time::Instant::now();
-            let outcomes = kmatch_parallel::solve_batch(&batch);
+            let outcomes = if metered {
+                kmatch_parallel::solve_batch_metered(&batch, &registry, &clock)
+            } else {
+                kmatch_parallel::solve_batch(&batch)
+            };
             let elapsed = start.elapsed();
             let stats = kmatch_parallel::batch_stats(&outcomes);
             println!("instances      : {count} x n={n} (gs)");
@@ -319,15 +486,47 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             println!(
                 "wall time      : {:.3} ms ({:.1} instances/s)",
                 elapsed.as_secs_f64() * 1e3,
-                count as f64 / elapsed.as_secs_f64()
+                count as f64 / elapsed.as_secs_f64().max(1e-12)
             );
+            write_metrics(
+                args,
+                "gs",
+                n,
+                count,
+                seed,
+                elapsed.as_nanos() as u64,
+                registry.take(),
+            )?;
         }
         "roommates" => {
-            let batch: Vec<RoommatesInstance> = (0..count)
-                .map(|_| kmatch_prefs::gen::uniform::uniform_roommates(n, &mut rng))
-                .collect();
+            let batch: Vec<RoommatesInstance> = match input {
+                Some(path) => {
+                    let items = load_batch_elements(path)?;
+                    let (batch, errors) = parse_elements::<RoommatesDto, _>(&items);
+                    BatchErrors {
+                        total: items.len(),
+                        errors,
+                    }
+                    .finish(args)?;
+                    batch
+                }
+                None => {
+                    let n: usize = args.require("n")?;
+                    let count: usize = args.flag_or("count", 1000)?;
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                    (0..count)
+                        .map(|_| kmatch_prefs::gen::uniform::uniform_roommates(n, &mut rng))
+                        .collect()
+                }
+            };
+            let count = batch.len();
+            let n = batch.iter().map(|i| i.n()).max().unwrap_or(0);
             let start = std::time::Instant::now();
-            let outcomes = kmatch_parallel::roommates::solve_batch(&batch);
+            let outcomes = if metered {
+                kmatch_parallel::roommates::solve_batch_metered(&batch, &registry, &clock)
+            } else {
+                kmatch_parallel::roommates::solve_batch(&batch)
+            };
             let elapsed = start.elapsed();
             let stats = kmatch_parallel::roommates::batch_stats(&outcomes);
             println!("instances      : {count} x n={n} (roommates)");
@@ -341,11 +540,39 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             println!(
                 "wall time      : {:.3} ms ({:.1} instances/s)",
                 elapsed.as_secs_f64() * 1e3,
-                count as f64 / elapsed.as_secs_f64()
+                count as f64 / elapsed.as_secs_f64().max(1e-12)
             );
+            write_metrics(
+                args,
+                "roommates",
+                n,
+                count,
+                seed,
+                elapsed.as_nanos() as u64,
+                registry.take(),
+            )?;
         }
         other => return Err(format!("unknown batch kind: {other}")),
     }
+    Ok(())
+}
+
+/// Validate a RunReport JSON file emitted by `batch --metrics-out` (the
+/// CI smoke contract): parses, checks the schema tag and required keys.
+fn report_validate(args: &Args) -> Result<(), String> {
+    args.check_known(&["input"])?;
+    let input: String = args.require("input")?;
+    let text = fs::read_to_string(&input).map_err(|e| format!("reading {input}: {e}"))?;
+    let v = kmatch_obs::RunReport::validate_json_str(&text).map_err(|e| format!("{input}: {e}"))?;
+    let kind = match v.get("kind") {
+        Some(serde::Value::String(s)) => s.clone(),
+        _ => "?".to_string(),
+    };
+    let instances = match v.get("instances") {
+        Some(serde::Value::Number(x)) => *x as u64,
+        _ => 0,
+    };
+    println!("OK {input}: kind={kind}, instances={instances}");
     Ok(())
 }
 
@@ -460,6 +687,140 @@ mod tests {
         ])
         .unwrap();
         assert!(call(&["batch", "--n", "8", "--kind", "nope"]).is_err());
+    }
+
+    #[test]
+    fn batch_input_reports_per_index_errors_and_fails() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("mixed.json");
+        let errors_out = dir.join("errors.json");
+        // Element 0 is a valid 2x2 bipartite DTO; element 1 is malformed
+        // (proposer list references responder 7 in a 2-person instance).
+        std::fs::write(
+            &input,
+            r#"[
+  {"n": 2, "proposers": [[0, 1], [1, 0]], "responders": [[0, 1], [1, 0]]},
+  {"n": 2, "proposers": [[0, 7], [1, 0]], "responders": [[0, 1], [1, 0]]}
+]"#,
+        )
+        .unwrap();
+        let err = call(&[
+            "batch",
+            "--input",
+            input.to_str().unwrap(),
+            "--errors-out",
+            errors_out.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("1 of 2"), "got: {err}");
+        assert!(err.contains("index 1"), "got: {err}");
+        let summary: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&errors_out).unwrap()).unwrap();
+        assert_eq!(
+            summary.get("schema"),
+            Some(&serde::Value::String("kmatch.batch_errors/v1".into()))
+        );
+        assert_eq!(summary.get("failed"), Some(&serde::Value::Number(1.0)));
+        assert_eq!(summary.get("total"), Some(&serde::Value::Number(2.0)));
+        let Some(serde::Value::Array(errors)) = summary.get("errors") else {
+            panic!("errors array missing");
+        };
+        assert_eq!(errors[0].get("index"), Some(&serde::Value::Number(1.0)));
+    }
+
+    #[test]
+    fn batch_input_happy_path_writes_empty_error_summary() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("good.json");
+        let errors_out = dir.join("errors.json");
+        std::fs::write(
+            &input,
+            r#"[{"n": 2, "proposers": [[0, 1], [1, 0]], "responders": [[0, 1], [1, 0]]}]"#,
+        )
+        .unwrap();
+        call(&[
+            "batch",
+            "--input",
+            input.to_str().unwrap(),
+            "--errors-out",
+            errors_out.to_str().unwrap(),
+        ])
+        .unwrap();
+        let summary: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&errors_out).unwrap()).unwrap();
+        assert_eq!(summary.get("failed"), Some(&serde::Value::Number(0.0)));
+        // Non-array and missing-file inputs are rejected up front.
+        let scalar = dir.join("scalar.json");
+        std::fs::write(&scalar, "42").unwrap();
+        assert!(call(&["batch", "--input", scalar.to_str().unwrap()]).is_err());
+        assert!(call(&["batch", "--input", dir.join("absent.json").to_str().unwrap()]).is_err());
+    }
+
+    #[test]
+    fn batch_metrics_out_emits_validatable_report() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test6");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("report.json");
+        let r = report.to_str().unwrap();
+        call(&[
+            "batch",
+            "--n",
+            "12",
+            "--count",
+            "40",
+            "--seed",
+            "5",
+            "--metrics-out",
+            r,
+        ])
+        .unwrap();
+        call(&["report", "validate", "--input", r]).unwrap();
+        let v: serde::Value = serde_json::from_str(&std::fs::read_to_string(&report).unwrap())
+            .unwrap();
+        assert_eq!(v.get("kind"), Some(&serde::Value::String("gs".into())));
+        assert_eq!(v.get("instances"), Some(&serde::Value::Number(40.0)));
+
+        // Roommates + prometheus format.
+        let prom = dir.join("report.prom");
+        call(&[
+            "batch",
+            "--n",
+            "10",
+            "--count",
+            "20",
+            "--kind",
+            "roommates",
+            "--metrics-out",
+            prom.to_str().unwrap(),
+            "--metrics-format",
+            "prom",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("kmatch_run_instances"), "got:\n{text}");
+        assert!(text.contains("kmatch_proposals_total"), "got:\n{text}");
+        assert!(call(&[
+            "batch",
+            "--n",
+            "4",
+            "--metrics-out",
+            r,
+            "--metrics-format",
+            "xml"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn report_validate_rejects_junk() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test7");
+        std::fs::create_dir_all(&dir).unwrap();
+        let junk = dir.join("junk.json");
+        std::fs::write(&junk, r#"{"schema": "something-else"}"#).unwrap();
+        assert!(call(&["report", "validate", "--input", junk.to_str().unwrap()]).is_err());
+        assert!(call(&["report", "validate"]).is_err(), "--input required");
     }
 
     #[test]

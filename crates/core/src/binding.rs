@@ -12,7 +12,8 @@
 //!   matchings (there are `k^{k−2}` trees by Cayley's formula).
 
 use kmatch_graph::{BindingTree, UnionFind};
-use kmatch_gs::{gale_shapley, GsStats};
+use kmatch_gs::{gale_shapley, GsStats, GsWorkspace};
+use kmatch_obs::Metrics;
 use kmatch_prefs::{GenderId, KPartiteInstance, KPartitePairView, Member};
 
 use crate::kary::KAryMatching;
@@ -103,6 +104,57 @@ pub fn bind(inst: &KPartiteInstance, tree: &BindingTree) -> KAryMatching {
     bind_with_stats(inst, tree).matching
 }
 
+/// [`bind_with_stats`] with metric hooks: per-binding-edge proposal counts
+/// feed [`Metrics::binding_edge`] (the `proposals_per_edge` histogram), and
+/// the run ends with one [`Metrics::theorem3_check`] of the total against
+/// the paper's `(k−1)·n²` bound — so every metered k-ary run validates
+/// Theorem 3 empirically. All bindings solve through one reused
+/// [`GsWorkspace`], so the engine-level workspace fresh/reuse counters see
+/// `k − 2` reuses per call after the first edge.
+///
+/// # Panics
+/// If the tree's gender count differs from the instance's.
+pub fn bind_metered<M: Metrics>(
+    inst: &KPartiteInstance,
+    tree: &BindingTree,
+    metrics: &mut M,
+) -> BindingOutcome {
+    let (k, n) = (inst.k(), inst.n());
+    assert_eq!(tree.k(), k, "binding tree must span the instance's genders");
+    let mut uf = UnionFind::new(k * n);
+    let mut ws = GsWorkspace::new();
+    let per_edge: Vec<GsStats> = tree
+        .edges()
+        .iter()
+        .map(|&(i, j)| {
+            let view = KPartitePairView::new(inst, GenderId(i), GenderId(j));
+            let out = ws.solve_metered(&view, metrics);
+            for (m, w) in out.matching.pairs() {
+                let a = Member {
+                    gender: GenderId(i),
+                    index: m,
+                }
+                .global(n as u32);
+                let b = Member {
+                    gender: GenderId(j),
+                    index: w,
+                }
+                .global(n as u32);
+                uf.union(a, b);
+            }
+            metrics.binding_edge(out.stats.proposals);
+            out.stats
+        })
+        .collect();
+    let outcome = BindingOutcome {
+        matching: KAryMatching::from_classes(k, n, &uf.classes()),
+        per_edge,
+    };
+    let bound = ((k - 1) * n * n) as u64;
+    metrics.theorem3_check(outcome.total_proposals(), bound);
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +223,32 @@ mod tests {
                 "at least n per binding"
             );
         }
+    }
+
+    #[test]
+    fn metered_binding_matches_plain_and_checks_theorem3() {
+        use kmatch_obs::SolverMetrics;
+        let mut rng = ChaCha8Rng::seed_from_u64(27);
+        let mut m = SolverMetrics::new();
+        for (k, n) in [(3usize, 8usize), (5, 12)] {
+            let inst = uniform_kpartite(k, n, &mut rng);
+            let tree = random_tree(k, &mut rng);
+            let plain = bind_with_stats(&inst, &tree);
+            let before = m.theorem3_checks;
+            let metered = bind_metered(&inst, &tree, &mut m);
+            assert_eq!(plain.matching.to_tuples(), metered.matching.to_tuples());
+            assert_eq!(plain.per_edge, metered.per_edge);
+            assert_eq!(m.theorem3_checks, before + 1);
+            assert_eq!(m.theorem3_violations, 0, "Theorem 3 must hold");
+        }
+        // One histogram sample per binding edge: (3−1) + (5−1).
+        assert_eq!(m.binding_edges, 6);
+        assert_eq!(m.proposals_per_edge.count(), 6);
+        assert_eq!(
+            m.proposals,
+            m.proposals_per_edge.sum(),
+            "k-ary proposals all flow through binding edges"
+        );
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Property suite for Theorem 3's proposal bound: iterative binding over
+//! any binding tree performs at most `(k−1)·n²` proposals in total, and
+//! no single binding edge exceeds the bipartite GS worst case of `n²`.
+//! The metered driver re-checks the aggregate bound at run time
+//! (`theorem3_check`), so this suite also pins that the empirical
+//! validator never fires on uniform instances. All randomness is seeded
+//! `rand_chacha` driven by the deterministic proptest case stream.
+
+use kmatch_core::bind_metered;
+use kmatch_graph::{random_tree, BindingTree};
+use kmatch_obs::SolverMetrics;
+use kmatch_prefs::gen::uniform::uniform_kpartite;
+use proptest::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn per_edge_and_total_proposals_respect_theorem3(
+        k in 2usize..6,
+        n in 1usize..10,
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inst = uniform_kpartite(k, n, &mut rng);
+        let tree = random_tree(k, &mut rng);
+
+        let mut m = SolverMetrics::new();
+        let outcome = bind_metered(&inst, &tree, &mut m);
+
+        let per_edge_cap = (n * n) as u64;
+        for stats in &outcome.per_edge {
+            prop_assert!(
+                stats.proposals <= per_edge_cap,
+                "edge ran {} proposals, above the bipartite cap {}",
+                stats.proposals,
+                per_edge_cap
+            );
+        }
+        let total: u64 = outcome.per_edge.iter().map(|s| s.proposals).sum();
+        let bound = ((k - 1) * n * n) as u64;
+        prop_assert!(total <= bound, "total {} exceeds (k-1)n² = {}", total, bound);
+
+        // The metered driver's own empirical validator must agree.
+        prop_assert_eq!(m.theorem3_checks, 1);
+        prop_assert_eq!(m.theorem3_violations, 0);
+        prop_assert_eq!(m.binding_edges, (k - 1) as u64);
+        prop_assert_eq!(m.proposals, total);
+        prop_assert_eq!(m.proposals_per_edge.sum(), total);
+        prop_assert!(m.proposals_per_edge.max() <= per_edge_cap);
+    }
+
+    fn star_and_path_trees_also_respect_the_bound(
+        k in 3usize..7,
+        n in 1usize..8,
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inst = uniform_kpartite(k, n, &mut rng);
+        let bound = ((k - 1) * n * n) as u64;
+        for tree in [BindingTree::path(k), BindingTree::star(k, 0)] {
+            let mut m = SolverMetrics::new();
+            bind_metered(&inst, &tree, &mut m);
+            prop_assert!(m.proposals <= bound);
+            prop_assert_eq!(m.theorem3_violations, 0);
+        }
+    }
+}

@@ -47,6 +47,7 @@
 //!   the first solve. The only per-solve allocations are the two partner
 //!   arrays owned by the returned matching.
 
+use kmatch_obs::{Metrics, NoMetrics};
 use kmatch_prefs::BipartitePrefs;
 
 use crate::matching::BipartiteMatching;
@@ -181,8 +182,12 @@ impl GsWorkspace {
         }
     }
 
-    /// Prepare all buffers for an instance of size `n`.
-    fn reset(&mut self, n: usize) {
+    /// Prepare all buffers for an instance of size `n`. Returns whether
+    /// any scratch buffer had to grow (the metrics fresh/reuse signal).
+    fn reset(&mut self, n: usize) -> bool {
+        let fresh = self.next.capacity() < n
+            || self.best.capacity() < n
+            || self.free.capacity() < n;
         self.next.clear();
         self.next.resize(n, 0);
         self.best.clear();
@@ -190,28 +195,46 @@ impl GsWorkspace {
         self.free.clear();
         self.free.extend(0..n as u32);
         self.next_free.clear();
+        fresh
     }
 
     /// Run proposer-proposing Gale–Shapley through this workspace's
     /// buffers (the zero-allocation fast path). Produces exactly the
     /// matching, proposal count, and round count of [`gale_shapley`].
     pub fn solve<P: BipartitePrefs>(&mut self, prefs: &P) -> GsOutcome {
-        run_core(prefs, self, &mut NoTrace)
+        run_core(prefs, self, &mut NoTrace, &mut NoMetrics)
+    }
+
+    /// [`GsWorkspace::solve`] with metric hooks. The engine records
+    /// proposals, rejections, holder swaps, rounds, workspace
+    /// fresh/reuse, and the per-solve summary; wall time is the
+    /// front-end's job (engines stay clock-free). With
+    /// [`kmatch_obs::NoMetrics`] this monomorphizes to exactly
+    /// [`GsWorkspace::solve`].
+    pub fn solve_metered<P: BipartitePrefs, M: Metrics>(
+        &mut self,
+        prefs: &P,
+        metrics: &mut M,
+    ) -> GsOutcome {
+        run_core(prefs, self, &mut NoTrace, metrics)
     }
 }
 
-/// The engine core, monomorphized per tracer.
-fn run_core<P: BipartitePrefs, T: Tracer>(
+/// The engine core, monomorphized per tracer and metrics sink.
+fn run_core<P: BipartitePrefs, T: Tracer, M: Metrics>(
     prefs: &P,
     ws: &mut GsWorkspace,
     tracer: &mut T,
+    metrics: &mut M,
 ) -> GsOutcome {
     let n = prefs.n();
     assert!(n > 0, "empty instance");
-    ws.reset(n);
+    let fresh = ws.reset(n);
+    metrics.workspace(fresh);
     let mut stats = GsStats::default();
 
-    run_rounds(prefs, ws, tracer, &mut stats);
+    run_rounds(prefs, ws, tracer, metrics, &mut stats);
+    metrics.solve_done(true, stats.proposals);
 
     let mut partner = vec![0u32; n];
     for (w, &best) in ws.best.iter().enumerate() {
@@ -231,15 +254,17 @@ fn run_core<P: BipartitePrefs, T: Tracer>(
 /// vanishes, leaving a tight single-pass loop whose only work per
 /// proposal is the fused entry load, the packed compare, and the free-list
 /// bookkeeping for the loser.
-fn run_rounds<P: BipartitePrefs, T: Tracer>(
+fn run_rounds<P: BipartitePrefs, T: Tracer, M: Metrics>(
     prefs: &P,
     ws: &mut GsWorkspace,
     tracer: &mut T,
+    metrics: &mut M,
     stats: &mut GsStats,
 ) {
     while !ws.free.is_empty() {
         stats.rounds += 1;
         tracer.round_start(stats.rounds);
+        metrics.round();
         for &m in &ws.free {
             // One fused load: `rank << 32 | responder` (see
             // `BipartitePrefs::proposal_entry`); swap the low word to get
@@ -249,6 +274,7 @@ fn run_rounds<P: BipartitePrefs, T: Tracer>(
             ws.next[m as usize] += 1;
             stats.proposals += 1;
             tracer.propose(m, w);
+            metrics.proposal();
             // Packed compare: rank order decides (ranks within a list
             // are distinct), and any candidate beats VACANT.
             let cand = (entry & RANK_HI) | m as u64;
@@ -262,10 +288,13 @@ fn run_rounds<P: BipartitePrefs, T: Tracer>(
                     ws.next_free.push(holder);
                     tracer.reject(holder, w);
                     tracer.engage(m, w);
+                    metrics.holder_swap();
+                    metrics.rejection();
                 }
             } else {
                 ws.next_free.push(m);
                 tracer.reject(m, w);
+                metrics.rejection();
             }
         }
         ws.free.clear();
@@ -294,13 +323,27 @@ pub fn gale_shapley<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
     GsWorkspace::new().solve(prefs)
 }
 
+/// [`gale_shapley`] recording counters into `metrics`; batch callers
+/// should hold a workspace and call [`GsWorkspace::solve_metered`].
+pub fn gale_shapley_metered<P: BipartitePrefs, M: Metrics>(
+    prefs: &P,
+    metrics: &mut M,
+) -> GsOutcome {
+    GsWorkspace::new().solve_metered(prefs, metrics)
+}
+
 /// [`gale_shapley`] with a full event trace attached to the outcome.
 pub fn gale_shapley_traced<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
     let mut events = Vec::new();
     let mut ws = GsWorkspace::new();
-    let mut out = run_core(prefs, &mut ws, &mut VecTrace {
-        events: &mut events,
-    });
+    let mut out = run_core(
+        prefs,
+        &mut ws,
+        &mut VecTrace {
+            events: &mut events,
+        },
+        &mut NoMetrics,
+    );
     out.trace = Some(events);
     out
 }
@@ -564,6 +607,32 @@ mod tests {
         let out = super::responder_optimal(&example1_second());
         assert_eq!(out.matching.partner_of_proposer(0), 1);
         assert_eq!(out.matching.partner_of_proposer(1), 0);
+    }
+
+    #[test]
+    fn metered_matches_untraced_and_counts_hold() {
+        use kmatch_obs::SolverMetrics;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut ws = GsWorkspace::new();
+        let mut m = SolverMetrics::new();
+        let mut expect_proposals = 0u64;
+        for n in [1usize, 2, 17, 40] {
+            let inst = uniform_bipartite(n, &mut rng);
+            let plain = gale_shapley(&inst);
+            let metered = ws.solve_metered(&inst, &mut m);
+            assert_eq!(plain.matching, metered.matching, "n = {n}");
+            assert_eq!(plain.stats, metered.stats, "n = {n}");
+            expect_proposals += plain.stats.proposals;
+        }
+        assert_eq!(m.solves, 4);
+        assert_eq!(m.solvable, 4);
+        assert_eq!(m.proposals, expect_proposals);
+        // Every proposal either ends rejected or holds the final slot:
+        // rejections = proposals − n per instance, summed.
+        assert_eq!(m.rejections, expect_proposals - (1 + 2 + 17 + 40));
+        assert_eq!(m.workspace_fresh + m.workspace_reused, 4);
+        assert!(m.workspace_fresh >= 1);
+        assert_eq!(m.proposals_per_solve.count(), 4);
     }
 
     #[test]

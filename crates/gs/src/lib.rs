@@ -38,8 +38,8 @@ pub mod trace;
 
 pub use egalitarian::{all_rotations, egalitarian_stable_matching};
 pub use engine::{
-    gale_shapley, gale_shapley_reference, gale_shapley_traced, responder_optimal, GsOutcome,
-    GsStats, GsWorkspace,
+    gale_shapley, gale_shapley_metered, gale_shapley_reference, gale_shapley_traced,
+    responder_optimal, GsOutcome, GsStats, GsWorkspace,
 };
 pub use hospitals::{
     find_hr_blocking_pair, hospitals_residents, is_hr_stable, Assignment, HospitalsInstance,

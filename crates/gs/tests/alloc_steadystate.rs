@@ -1,0 +1,115 @@
+//! Zero-steady-state-allocation guarantee for the GS workspace fast path,
+//! with and without metrics.
+//!
+//! After a warm-up solve grows the workspace buffers, repeat solves of
+//! same-shaped instances allocate only the two partner arrays owned by
+//! each returned matching — and the metered path with a reused
+//! `SolverMetrics` must allocate *exactly as much* as the `NoMetrics`
+//! path: counters are plain `u64` fields and the histograms are
+//! fixed-size inline arrays, so observing a solve touches no heap.
+//!
+//! Measured with a counting `GlobalAlloc` wrapper; the counters are
+//! thread-local so the test harness's other threads cannot pollute them.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use kmatch_gs::GsWorkspace;
+use kmatch_obs::SolverMetrics;
+use kmatch_prefs::gen::uniform::uniform_bipartite;
+use kmatch_prefs::CsrPrefs;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// thread-local increment with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `f` on this thread.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(Cell::get);
+    f();
+    ALLOCS.with(Cell::get) - before
+}
+
+/// The matching returned by a GS solve owns exactly two partner arrays.
+const ALLOCS_PER_SOLVE: u64 = 2;
+
+#[test]
+fn steady_state_allocates_only_the_matching() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let inst = uniform_bipartite(64, &mut rng);
+    let mut ws = GsWorkspace::new();
+    ws.solve(&inst);
+    let reps = 50u64;
+    let allocs = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve(&inst));
+        }
+    });
+    assert!(
+        allocs <= reps * ALLOCS_PER_SOLVE,
+        "expected at most the matching's two partner arrays per solve, \
+         saw {allocs} allocations over {reps} solves"
+    );
+}
+
+#[test]
+fn metered_steady_state_allocates_like_plain() {
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let inst = uniform_bipartite(64, &mut rng);
+    let csr = CsrPrefs::from_prefs(&inst);
+    let mut ws = GsWorkspace::new();
+    ws.solve(&csr);
+    let reps = 50u64;
+    let plain = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve(&csr));
+        }
+    });
+    let mut metrics = SolverMetrics::new();
+    let metered = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve_metered(&csr, &mut metrics));
+        }
+    });
+    assert_eq!(
+        metered, plain,
+        "SolverMetrics must add zero allocations over the NoMetrics path"
+    );
+    assert_eq!(metrics.solves, reps);
+    assert_eq!(metrics.workspace_reused, reps);
+    assert_eq!(metrics.workspace_fresh, 0);
+}
+
+#[test]
+fn counting_allocator_is_live() {
+    // Sanity: the harness actually observes allocations.
+    let allocs = allocations_in(|| {
+        std::hint::black_box(vec![1u8; 512]);
+    });
+    assert!(allocs >= 1);
+}

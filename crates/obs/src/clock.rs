@@ -1,0 +1,98 @@
+//! Monotonic clocks, injected at the front-end.
+//!
+//! Engines never read time: the batch drivers, CLI, and benches sample a
+//! [`Clock`] around each solve and feed the delta to
+//! [`crate::Metrics::solve_ns`]. Production uses [`StdClock`]
+//! (`std::time::Instant`); tests use [`ManualClock`] to make timing
+//! histograms deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+pub trait Clock {
+    /// Nanoseconds since an arbitrary fixed origin; never decreases.
+    fn now_ns(&self) -> u64;
+}
+
+/// Production clock: `Instant`-backed, origin at construction.
+#[derive(Debug)]
+pub struct StdClock {
+    origin: Instant,
+}
+
+impl StdClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        StdClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for StdClock {
+    fn default() -> Self {
+        StdClock::new()
+    }
+}
+
+impl Clock for StdClock {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic test clock advanced by hand. `Sync` so it can drive the
+/// parallel batch front-ends.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advance the clock by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Set the absolute time.
+    pub fn set(&self, ns: u64) {
+        self.now.store(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_clock_is_monotonic() {
+        let c = StdClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now_ns(), 15);
+        c.set(3);
+        assert_eq!(c.now_ns(), 3);
+    }
+}

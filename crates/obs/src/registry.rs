@@ -1,0 +1,130 @@
+//! Sharded metric aggregation for batch front-ends.
+//!
+//! The parallel batch drivers give every worker a thread-private
+//! [`SolverMetrics`] shard; the hot path therefore performs plain `u64`
+//! increments with **no atomics and no locks**. When a worker finishes its
+//! chunk, the shard is absorbed into the registry under one short mutex —
+//! synchronization cost is O(threads) per batch, not O(solves).
+
+use std::sync::Mutex;
+
+use crate::metrics::SolverMetrics;
+
+/// Aggregation point for per-thread metric shards.
+///
+/// A registry is reusable across batches: counters keep accumulating until
+/// [`BatchRegistry::take`] resets them. It is `Sync`, so batch drivers can
+/// share one by reference across workers.
+///
+/// ```
+/// use kmatch_obs::{BatchRegistry, Metrics, SolverMetrics};
+///
+/// let registry = BatchRegistry::new();
+/// let mut shard = SolverMetrics::new();   // thread-private in a driver
+/// shard.proposal();
+/// registry.absorb(shard);                 // once, at batch completion
+/// assert_eq!(registry.snapshot().proposals, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchRegistry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    merged: SolverMetrics,
+    shards_absorbed: u64,
+}
+
+impl BatchRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        BatchRegistry::default()
+    }
+
+    /// Merge a completed worker shard into the registry. Called once per
+    /// worker per batch, after the worker's chunk is done — never from the
+    /// solve hot path.
+    pub fn absorb(&self, shard: SolverMetrics) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.merged.merge(&shard);
+        inner.shards_absorbed += 1;
+    }
+
+    /// A copy of the merged metrics so far.
+    pub fn snapshot(&self) -> SolverMetrics {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .merged
+            .clone()
+    }
+
+    /// Drain the registry: returns the merged metrics and resets it to
+    /// zero (for reuse across measurement windows).
+    pub fn take(&self) -> SolverMetrics {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.shards_absorbed = 0;
+        std::mem::take(&mut inner.merged)
+    }
+
+    /// Number of worker shards absorbed since creation or the last
+    /// [`BatchRegistry::take`].
+    pub fn shards_absorbed(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .shards_absorbed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn absorb_merges_shards() {
+        let reg = BatchRegistry::new();
+        for _ in 0..3 {
+            let mut shard = SolverMetrics::new();
+            shard.proposal();
+            shard.solve_done(true, 1);
+            reg.absorb(shard);
+        }
+        let merged = reg.snapshot();
+        assert_eq!(merged.proposals, 3);
+        assert_eq!(merged.solves, 3);
+        assert_eq!(reg.shards_absorbed(), 3);
+    }
+
+    #[test]
+    fn take_drains_and_resets() {
+        let reg = BatchRegistry::new();
+        let mut shard = SolverMetrics::new();
+        shard.proposal();
+        reg.absorb(shard);
+        let drained = reg.take();
+        assert_eq!(drained.proposals, 1);
+        assert_eq!(reg.snapshot(), SolverMetrics::default());
+        assert_eq!(reg.shards_absorbed(), 0);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = BatchRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut shard = SolverMetrics::new();
+                    for _ in 0..100 {
+                        shard.proposal();
+                    }
+                    reg.absorb(shard);
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().proposals, 400);
+        assert_eq!(reg.shards_absorbed(), 4);
+    }
+}

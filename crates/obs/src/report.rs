@@ -1,0 +1,319 @@
+//! Structured run reports.
+//!
+//! A [`RunReport`] is the per-run artifact the CLI (`--metrics-out`) and
+//! the bench emitters write next to the BENCH files: instance shape, seed,
+//! outcome summary, the full counter/histogram set, and timing
+//! percentiles. JSON is the primary form; the Prometheus text exposition
+//! form is for scrape endpoints and CI smoke checks.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Serialize, Value};
+
+use crate::metrics::SolverMetrics;
+
+/// Schema tag carried by every report, bumped on breaking layout changes.
+pub const RUN_REPORT_SCHEMA: &str = "kmatch.run_report/v1";
+
+/// Timing percentiles of one run, in nanoseconds, derived from the
+/// `solve_wall_ns` histogram (percentiles are log₂-bucket upper bounds
+/// clamped by the exact max; count/sum/min/max are exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingSummary {
+    /// Timed solves.
+    pub count: u64,
+    /// Total solve wall time.
+    pub sum_ns: u64,
+    /// Fastest solve.
+    pub min_ns: u64,
+    /// Slowest solve.
+    pub max_ns: u64,
+    /// Median (bucket upper bound).
+    pub p50_ns: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90_ns: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99_ns: u64,
+}
+
+serde::impl_json_struct!(TimingSummary {
+    count,
+    sum_ns,
+    min_ns,
+    max_ns,
+    p50_ns,
+    p90_ns,
+    p99_ns,
+});
+
+impl TimingSummary {
+    /// Summarize a wall-time histogram.
+    pub fn from_metrics(m: &SolverMetrics) -> Self {
+        let h = &m.solve_wall_ns;
+        TimingSummary {
+            count: h.count(),
+            sum_ns: h.sum(),
+            min_ns: h.min(),
+            max_ns: h.max(),
+            p50_ns: h.value_at_quantile(0.50),
+            p90_ns: h.value_at_quantile(0.90),
+            p99_ns: h.value_at_quantile(0.99),
+        }
+    }
+}
+
+/// Structured description of one observed run (a batch, a single solve
+/// loop, or a k-ary binding).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Always [`RUN_REPORT_SCHEMA`].
+    pub schema: String,
+    /// Workload kind: `"gs"`, `"roommates"`, or `"kary"`.
+    pub kind: String,
+    /// Members per side (bipartite/roommates) or per gender (k-ary).
+    pub n: u64,
+    /// Instances solved in this run.
+    pub instances: u64,
+    /// RNG seed that generated the workload (0 when not applicable).
+    pub seed: u64,
+    /// Worker threads available to the run.
+    pub threads: u64,
+    /// Wall time of the whole run (front-end clock).
+    pub wall_ns: u64,
+    /// Theorem-3 proposal bound `(k−1)·n²` for k-ary runs, absent
+    /// otherwise.
+    pub theorem3_bound: Option<u64>,
+    /// Timing percentiles over the per-solve wall times.
+    pub timing: TimingSummary,
+    /// The full merged counter/histogram set.
+    pub metrics: SolverMetrics,
+}
+
+impl RunReport {
+    /// Assemble a report from merged metrics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: &str,
+        n: usize,
+        instances: usize,
+        seed: u64,
+        threads: usize,
+        wall_ns: u64,
+        metrics: SolverMetrics,
+        theorem3_bound: Option<u64>,
+    ) -> Self {
+        RunReport {
+            schema: RUN_REPORT_SCHEMA.to_string(),
+            kind: kind.to_string(),
+            n: n as u64,
+            instances: instances as u64,
+            seed,
+            threads: threads as u64,
+            wall_ns,
+            theorem3_bound,
+            timing: TimingSummary::from_metrics(&metrics),
+            metrics,
+        }
+    }
+
+    /// Pretty-printed JSON text (trailing newline included).
+    pub fn to_json_string(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serialization is infallible");
+        s.push('\n');
+        s
+    }
+
+    /// Prometheus text exposition form: run-level gauges plus the full
+    /// counter/histogram set, all labelled `kind="…"`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let labels = format!("kind=\"{}\"", self.kind);
+        let mut out = String::new();
+        for (name, v) in [
+            ("kmatch_run_n", self.n),
+            ("kmatch_run_instances", self.instances),
+            ("kmatch_run_seed", self.seed),
+            ("kmatch_run_threads", self.threads),
+            ("kmatch_run_wall_ns", self.wall_ns),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{{{labels}}} {v}");
+        }
+        if let Some(bound) = self.theorem3_bound {
+            let _ = writeln!(out, "# TYPE kmatch_run_theorem3_bound gauge");
+            let _ = writeln!(out, "kmatch_run_theorem3_bound{{{labels}}} {bound}");
+        }
+        out.push_str(&self.metrics.to_prometheus(&labels));
+        out
+    }
+
+    /// Write the report to `path` in the requested format (`"json"` or
+    /// `"prom"`).
+    pub fn write(&self, path: &Path, format: &str) -> io::Result<()> {
+        let text = match format {
+            "json" => self.to_json_string(),
+            "prom" => self.to_prometheus(),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown metrics format: {other} (expected json|prom)"),
+                ))
+            }
+        };
+        std::fs::write(path, text)
+    }
+
+    /// Validate that `text` parses as JSON and carries the required
+    /// [`RunReport`] keys (the CI smoke contract). Returns the parsed
+    /// value tree on success.
+    pub fn validate_json_str(text: &str) -> Result<Value, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let schema = match v.get("schema") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return Err("missing `schema` key".to_string()),
+        };
+        if schema != RUN_REPORT_SCHEMA {
+            return Err(format!(
+                "schema mismatch: got {schema:?}, expected {RUN_REPORT_SCHEMA:?}"
+            ));
+        }
+        for key in ["kind", "n", "instances", "seed", "threads", "wall_ns", "timing", "metrics"] {
+            if v.get(key).is_none() {
+                return Err(format!("missing `{key}` key"));
+            }
+        }
+        let metrics = v.get("metrics").expect("checked above");
+        let counters = metrics
+            .get("counters")
+            .ok_or("missing `metrics.counters` object")?;
+        for key in ["solves", "proposals", "rejections"] {
+            if counters.get(key).is_none() {
+                return Err(format!("missing `metrics.counters.{key}` key"));
+            }
+        }
+        if metrics.get("histograms").is_none() {
+            return Err("missing `metrics.histograms` object".to_string());
+        }
+        for key in ["count", "p50_ns", "p99_ns"] {
+            if v.get("timing").and_then(|t| t.get(key)).is_none() {
+                return Err(format!("missing `timing.{key}` key"));
+            }
+        }
+        Ok(v)
+    }
+}
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schema".into(), Value::String(self.schema.clone())),
+            ("kind".into(), Value::String(self.kind.clone())),
+            ("n".into(), Value::Number(self.n as f64)),
+            ("instances".into(), Value::Number(self.instances as f64)),
+            ("seed".into(), Value::Number(self.seed as f64)),
+            ("threads".into(), Value::Number(self.threads as f64)),
+            ("wall_ns".into(), Value::Number(self.wall_ns as f64)),
+            (
+                "theorem3_bound".into(),
+                match self.theorem3_bound {
+                    Some(b) => Value::Number(b as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("timing".into(), self.timing.to_value()),
+            ("metrics".into(), self.metrics.to_json()),
+        ])
+    }
+}
+
+/// Write any serializable value as pretty JSON (plus trailing newline) to
+/// `path` — the single JSON-writing funnel shared by the bench emitters.
+pub fn write_json_file<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, json + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn sample_report() -> RunReport {
+        let mut m = SolverMetrics::new();
+        for i in 0..10u64 {
+            m.proposal();
+            m.rejection();
+            m.solve_done(i % 2 == 0, i);
+            m.solve_ns(100 * (i + 1));
+        }
+        RunReport::new("gs", 64, 10, 42, 1, 12345, m, None)
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let text = sample_report().to_json_string();
+        let v = RunReport::validate_json_str(&text).expect("valid report");
+        assert_eq!(v.get("kind"), Some(&Value::String("gs".into())));
+    }
+
+    #[test]
+    fn validation_rejects_garbage_and_missing_keys() {
+        assert!(RunReport::validate_json_str("not json").is_err());
+        assert!(RunReport::validate_json_str("{}").is_err());
+        let wrong_schema = r#"{"schema": "other/v9"}"#;
+        let err = RunReport::validate_json_str(wrong_schema).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        // Drop a required key and the validator names it.
+        let text = sample_report().to_json_string();
+        let broken = text.replace("\"timing\"", "\"ximing\"");
+        let err = RunReport::validate_json_str(&broken).unwrap_err();
+        assert!(err.contains("timing"), "{err}");
+    }
+
+    #[test]
+    fn timing_summary_tracks_histogram() {
+        let r = sample_report();
+        assert_eq!(r.timing.count, 10);
+        assert_eq!(r.timing.min_ns, 100);
+        assert_eq!(r.timing.max_ns, 1000);
+        assert!(r.timing.p50_ns >= 500 && r.timing.p50_ns <= 1000);
+    }
+
+    #[test]
+    fn prometheus_form_carries_run_gauges() {
+        let text = sample_report().to_prometheus();
+        assert!(text.contains("kmatch_run_instances{kind=\"gs\"} 10"));
+        assert!(text.contains("kmatch_proposals_total{kind=\"gs\"} 10"));
+        assert!(!text.contains("theorem3_bound{"), "absent for non-kary runs");
+        let mut m = SolverMetrics::new();
+        m.theorem3_check(5, 32);
+        let kary = RunReport::new("kary", 4, 1, 0, 1, 10, m, Some(32));
+        assert!(kary
+            .to_prometheus()
+            .contains("kmatch_run_theorem3_bound{kind=\"kary\"} 32"));
+    }
+
+    #[test]
+    fn write_and_validate_files() {
+        let dir = std::env::temp_dir().join("kmatch-obs-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("report.json");
+        let prom_path = dir.join("report.prom");
+        let r = sample_report();
+        r.write(&json_path, "json").unwrap();
+        r.write(&prom_path, "prom").unwrap();
+        assert!(r.write(&dir.join("x"), "yaml").is_err());
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        RunReport::validate_json_str(&text).expect("written file validates");
+        assert!(std::fs::read_to_string(&prom_path)
+            .unwrap()
+            .contains("kmatch_run_wall_ns"));
+    }
+}

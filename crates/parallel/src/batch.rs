@@ -16,6 +16,7 @@
 //! deterministic and instances share no state).
 
 use kmatch_gs::{GsOutcome, GsStats, GsWorkspace};
+use kmatch_obs::{BatchRegistry, Clock, Metrics, SolverMetrics};
 use kmatch_prefs::BipartitePrefs;
 use rayon::prelude::*;
 
@@ -45,6 +46,57 @@ where
         .par_iter()
         .map_init(GsWorkspace::new, |ws, inst| ws.solve(inst))
         .collect()
+}
+
+/// [`solve_batch`] with sharded metrics and per-solve wall timing.
+///
+/// Every worker solves a contiguous chunk of the batch through its own
+/// [`GsWorkspace`] **and** its own thread-private [`SolverMetrics`] shard —
+/// the hot path performs plain `u64` increments, no atomics, no locks.
+/// Each shard is absorbed into `registry` exactly once, when its chunk
+/// completes. Per-solve wall time is sampled from the injected `clock`
+/// here at the front-end, keeping the engine clock-free.
+///
+/// Output order matches input order and each outcome equals
+/// [`solve_batch`]'s (the metered engine instantiation runs the identical
+/// round schedule).
+pub fn solve_batch_metered<P, C>(
+    instances: &[P],
+    registry: &BatchRegistry,
+    clock: &C,
+) -> Vec<GsOutcome>
+where
+    P: BipartitePrefs + Sync,
+    C: Clock + Sync,
+{
+    let len = instances.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = rayon::current_num_threads().clamp(1, len);
+    let chunk = len.div_ceil(threads);
+    let chunks = len.div_ceil(chunk);
+    let per_chunk: Vec<Vec<GsOutcome>> = (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(len);
+            let mut ws = GsWorkspace::new();
+            let mut shard = SolverMetrics::new();
+            let outs: Vec<GsOutcome> = instances[lo..hi]
+                .iter()
+                .map(|inst| {
+                    let t0 = clock.now_ns();
+                    let out = ws.solve_metered(inst, &mut shard);
+                    shard.solve_ns(clock.now_ns().saturating_sub(t0));
+                    out
+                })
+                .collect();
+            registry.absorb(shard);
+            outs
+        })
+        .collect();
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// Sum the instrumentation counters of a batch: total proposals and the
@@ -105,6 +157,43 @@ mod tests {
         let out = solve_batch(&one);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].matching, gale_shapley(&one[0]).matching);
+    }
+
+    #[test]
+    fn metered_batch_equals_plain_and_shards_merge() {
+        use kmatch_obs::{BatchRegistry, ManualClock};
+        let mut rng = ChaCha8Rng::seed_from_u64(55);
+        let batch: Vec<BipartiteInstance> =
+            (0..120).map(|_| uniform_bipartite(24, &mut rng)).collect();
+        let registry = BatchRegistry::new();
+        let clock = ManualClock::new();
+        let metered = solve_batch_metered(&batch, &registry, &clock);
+        let plain = solve_batch(&batch);
+        assert_eq!(metered.len(), plain.len());
+        for (a, b) in metered.iter().zip(&plain) {
+            assert_eq!(a.matching, b.matching);
+            assert_eq!(a.stats, b.stats);
+        }
+        // One shard per worker chunk, not per solve.
+        let shards = registry.shards_absorbed();
+        assert!(shards >= 1 && shards <= rayon::current_num_threads() as u64);
+        let merged = registry.take();
+        assert_eq!(merged.solves, 120);
+        assert_eq!(
+            merged.proposals,
+            plain.iter().map(|o| o.stats.proposals).sum::<u64>()
+        );
+        assert_eq!(merged.solve_wall_ns.count(), 120);
+        assert_eq!(registry.shards_absorbed(), 0, "take() resets the count");
+    }
+
+    #[test]
+    fn metered_empty_batch_absorbs_nothing() {
+        use kmatch_obs::{BatchRegistry, ManualClock};
+        let empty: Vec<BipartiteInstance> = Vec::new();
+        let registry = BatchRegistry::new();
+        assert!(solve_batch_metered(&empty, &registry, &ManualClock::new()).is_empty());
+        assert_eq!(registry.shards_absorbed(), 0);
     }
 
     #[test]

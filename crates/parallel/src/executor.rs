@@ -13,6 +13,7 @@ use kmatch_core::binding::BindingOutcome;
 use kmatch_core::KAryMatching;
 use kmatch_graph::{BindingTree, Schedule, UnionFind};
 use kmatch_gs::{GsStats, GsWorkspace};
+use kmatch_obs::{BatchRegistry, Metrics, NoMetrics, SolverMetrics};
 use kmatch_prefs::{CsrPrefs, GenderId, KPartiteInstance, KPartitePairView, Member};
 use rayon::prelude::*;
 
@@ -50,19 +51,21 @@ struct EdgeScratch {
 }
 
 /// Run one binding edge, returning (edge index, global-id pairs, stats).
-fn run_edge(
+fn run_edge<M: Metrics>(
     inst: &KPartiteInstance,
     scratch: &mut EdgeScratch,
     edge_idx: usize,
     i: u16,
     j: u16,
+    metrics: &mut M,
 ) -> EdgeResult {
     let n = inst.n() as u32;
     let view = KPartitePairView::new(inst, GenderId(i), GenderId(j));
     // The CSR snapshot preserves lists and ranks exactly, so the outcome
     // (matching and stats) is identical to solving the view directly.
     scratch.csr.load(&view);
-    let out = scratch.ws.solve(&scratch.csr);
+    let out = scratch.ws.solve_metered(&scratch.csr, metrics);
+    metrics.binding_edge(out.stats.proposals);
     let pairs: Vec<(u32, u32)> = out
         .matching
         .pairs()
@@ -122,10 +125,47 @@ pub fn parallel_bind(inst: &KPartiteInstance, tree: &BindingTree) -> ParallelBin
         .par_iter()
         .enumerate()
         .map_init(EdgeScratch::default, |scratch, (idx, &(i, j))| {
-            run_edge(inst, scratch, idx, i, j)
+            run_edge(inst, scratch, idx, i, j, &mut NoMetrics)
         })
         .collect();
     merge(inst, tree.edges().len(), results, 1)
+}
+
+/// [`parallel_bind`] with sharded metrics: each binding edge runs with its
+/// own thread-private [`SolverMetrics`] shard (absorbed into `registry`
+/// when the edge completes), recording per-edge proposal counts via
+/// [`Metrics::binding_edge`]; after the merge one final shard carries the
+/// [`Metrics::theorem3_check`] of the total against `(k−1)·n²`, so every
+/// metered parallel binding validates Theorem 3 empirically.
+pub fn parallel_bind_metered(
+    inst: &KPartiteInstance,
+    tree: &BindingTree,
+    registry: &BatchRegistry,
+) -> ParallelBindingOutcome {
+    assert_eq!(
+        tree.k(),
+        inst.k(),
+        "binding tree must span the instance's genders"
+    );
+    let results: Vec<EdgeResult> = tree
+        .edges()
+        .par_iter()
+        .enumerate()
+        .map(|(idx, &(i, j))| {
+            let mut scratch = EdgeScratch::default();
+            let mut shard = SolverMetrics::new();
+            let r = run_edge(inst, &mut scratch, idx, i, j, &mut shard);
+            registry.absorb(shard);
+            r
+        })
+        .collect();
+    let outcome = merge(inst, tree.edges().len(), results, 1);
+    let total: u64 = outcome.per_edge.iter().map(|s| s.proposals).sum();
+    let bound = ((inst.k() - 1) * inst.n() * inst.n()) as u64;
+    let mut tail = SolverMetrics::new();
+    tail.theorem3_check(total, bound);
+    registry.absorb(tail);
+    outcome
 }
 
 /// Bind round-by-round following `schedule`: edges within a round run
@@ -147,7 +187,7 @@ pub fn parallel_bind_scheduled(
             .par_iter()
             .map_init(EdgeScratch::default, |scratch, &e| {
                 let (i, j) = tree.edges()[e];
-                run_edge(inst, scratch, e, i, j)
+                run_edge(inst, scratch, e, i, j, &mut NoMetrics)
             })
             .collect();
         results.append(&mut batch);
@@ -202,6 +242,27 @@ mod tests {
         let par = parallel_bind_scheduled(&inst, &tree, &schedule);
         assert_eq!(par.rounds_executed, 2, "Corollary 2");
         assert_eq!(par.matching, bind_with_stats(&inst, &tree).matching);
+    }
+
+    #[test]
+    fn metered_bind_equals_plain_and_checks_theorem3() {
+        let mut rng = ChaCha8Rng::seed_from_u64(46);
+        let registry = BatchRegistry::new();
+        for (k, n) in [(3usize, 8usize), (6, 5)] {
+            let inst = uniform_kpartite(k, n, &mut rng);
+            let tree = random_tree(k, &mut rng);
+            let plain = parallel_bind(&inst, &tree);
+            let metered = parallel_bind_metered(&inst, &tree, &registry);
+            assert_eq!(plain.matching, metered.matching);
+            assert_eq!(plain.per_edge, metered.per_edge);
+        }
+        let merged = registry.take();
+        // (3−1) + (6−1) binding edges, one theorem-3 check per bind call.
+        assert_eq!(merged.binding_edges, 7);
+        assert_eq!(merged.proposals_per_edge.count(), 7);
+        assert_eq!(merged.theorem3_checks, 2);
+        assert_eq!(merged.theorem3_violations, 0, "Theorem 3 must hold");
+        assert_eq!(merged.proposals, merged.proposals_per_edge.sum());
     }
 
     #[test]

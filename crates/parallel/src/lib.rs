@@ -39,6 +39,8 @@ pub mod executor;
 pub mod pram;
 pub mod roommates;
 
-pub use batch::{batch_stats, solve_batch};
-pub use executor::{parallel_bind, parallel_bind_scheduled, ParallelBindingOutcome};
+pub use batch::{batch_stats, solve_batch, solve_batch_metered};
+pub use executor::{
+    parallel_bind, parallel_bind_metered, parallel_bind_scheduled, ParallelBindingOutcome,
+};
 pub use pram::{crew_cost, erew_cost, replication_rounds, PramCost, PramModel};

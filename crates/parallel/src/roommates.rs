@@ -14,8 +14,9 @@
 //! algorithm with a fixed seed policy is deterministic and instances share
 //! no state).
 
-use kmatch_roommates::{RoommatesOutcome, RoommatesWorkspace};
+use kmatch_obs::{BatchRegistry, Clock, Metrics, SolverMetrics};
 use kmatch_prefs::RoommatesInstance;
+use kmatch_roommates::{RoommatesOutcome, RoommatesWorkspace};
 use rayon::prelude::*;
 
 /// Solve every roommates instance with the zero-allocation Irving fast
@@ -41,6 +42,49 @@ pub fn solve_batch(instances: &[RoommatesInstance]) -> Vec<RoommatesOutcome> {
         .par_iter()
         .map_init(RoommatesWorkspace::new, |ws, inst| ws.solve(inst))
         .collect()
+}
+
+/// [`solve_batch`] with sharded metrics and per-solve wall timing.
+///
+/// Mirrors [`crate::batch::solve_batch_metered`]: each worker solves a
+/// contiguous chunk through its own [`RoommatesWorkspace`] and
+/// thread-private [`SolverMetrics`] shard (no atomics or locks on the hot
+/// path), absorbing the shard into `registry` once when the chunk
+/// completes; per-solve wall time is sampled from the injected `clock` at
+/// this front-end so the engine stays clock-free.
+pub fn solve_batch_metered<C: Clock + Sync>(
+    instances: &[RoommatesInstance],
+    registry: &BatchRegistry,
+    clock: &C,
+) -> Vec<RoommatesOutcome> {
+    let len = instances.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = rayon::current_num_threads().clamp(1, len);
+    let chunk = len.div_ceil(threads);
+    let chunks = len.div_ceil(chunk);
+    let per_chunk: Vec<Vec<RoommatesOutcome>> = (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(len);
+            let mut ws = RoommatesWorkspace::new();
+            let mut shard = SolverMetrics::new();
+            let outs: Vec<RoommatesOutcome> = instances[lo..hi]
+                .iter()
+                .map(|inst| {
+                    let t0 = clock.now_ns();
+                    let out = ws.solve_metered(inst, &mut shard);
+                    shard.solve_ns(clock.now_ns().saturating_sub(t0));
+                    out
+                })
+                .collect();
+            registry.absorb(shard);
+            outs
+        })
+        .collect();
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// Aggregate statistics of a solved roommates batch.
@@ -106,6 +150,29 @@ mod tests {
             assert_eq!(out.matching(), seq.matching());
             assert_eq!(out.stats(), seq.stats());
         }
+    }
+
+    #[test]
+    fn metered_batch_equals_plain_and_counts_solvability() {
+        use kmatch_obs::{BatchRegistry, ManualClock};
+        let mut rng = ChaCha8Rng::seed_from_u64(64);
+        let batch: Vec<RoommatesInstance> =
+            (0..100).map(|_| uniform_roommates(12, &mut rng)).collect();
+        let registry = BatchRegistry::new();
+        let metered = solve_batch_metered(&batch, &registry, &ManualClock::new());
+        let plain = solve_batch(&batch);
+        for (a, b) in metered.iter().zip(&plain) {
+            assert_eq!(a.matching(), b.matching());
+            assert_eq!(a.stats(), b.stats());
+        }
+        let agg = batch_stats(&plain);
+        let merged = registry.take();
+        assert_eq!(merged.solves, 100);
+        assert_eq!(merged.solvable, agg.solvable as u64);
+        assert_eq!(merged.unsolvable, 100 - agg.solvable as u64);
+        assert_eq!(merged.proposals, agg.proposals);
+        assert_eq!(merged.phase2_rotations, agg.rotations);
+        assert_eq!(merged.solve_wall_ns.count(), 100);
     }
 
     #[test]

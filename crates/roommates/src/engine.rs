@@ -33,6 +33,7 @@
 //!   partner array of a returned stable matching is the only per-solve
 //!   allocation).
 
+use kmatch_obs::{Metrics, NoMetrics};
 use kmatch_prefs::RoommatesInstance;
 
 use crate::matching::RoommatesMatching;
@@ -171,11 +172,12 @@ impl SeedCursors {
 /// Phase 1 over the implicit threshold tables: the exact proposal
 /// schedule of [`crate::phase1::phase1_logged`] (same free-stack order,
 /// same truncations). Returns the culprit whose list emptied, if any.
-fn phase1<T: Tracer>(
+fn phase1<T: Tracer, M: Metrics>(
     inst: &RoommatesInstance,
     ws: &mut RoommatesWorkspace,
     proposals: &mut u64,
     tracer: &mut T,
+    metrics: &mut M,
 ) -> Option<u32> {
     while let Some(x) = ws.free.pop() {
         // Like the reference, an emptied participant surfaces when it
@@ -185,6 +187,7 @@ fn phase1<T: Tracer>(
             return Some(x);
         };
         *proposals += 1;
+        metrics.proposal();
         // x is on y's reduced list, hence at least as good as y's current
         // holder — y trades up unconditionally.
         let z = ws.holds[y as usize];
@@ -194,6 +197,8 @@ fn phase1<T: Tracer>(
                 "truncation keeps only better suitors"
             );
             ws.free.push(z);
+            metrics.holder_swap();
+            metrics.rejection();
         }
         ws.holds[y as usize] = x;
         tracer.proposal(x, y, (z != NONE).then_some(z));
@@ -206,6 +211,10 @@ fn phase1<T: Tracer>(
             ws.collect_p1_removed(inst, y, new_rank);
         }
         ws.thresh[y as usize] = new_rank;
+        // Metric semantics: one "truncation" per threshold store (a
+        // tightening of y's live bound), not per implied pair deletion —
+        // the fast path never enumerates those.
+        metrics.phase1_truncation();
         if T::ENABLED && !ws.removed.is_empty() {
             tracer.truncation(y, x, &ws.removed);
         }
@@ -277,17 +286,20 @@ fn eliminate_rotation(ws: &mut RoommatesWorkspace) -> Option<u32> {
     (culprit != NONE).then_some(culprit)
 }
 
-/// The engine core, monomorphized per tracer.
-pub(crate) fn run_core<T: Tracer>(
+/// The engine core, monomorphized per tracer and metrics sink.
+pub(crate) fn run_core<T: Tracer, M: Metrics>(
     inst: &RoommatesInstance,
     ws: &mut RoommatesWorkspace,
     policy: &RotationPolicy,
     tracer: &mut T,
+    metrics: &mut M,
 ) -> RoommatesOutcome {
     let mut stats = SolveStats::default();
-    ws.reset(inst);
+    let fresh = ws.reset(inst);
+    metrics.workspace(fresh);
 
-    if let Some(culprit) = phase1(inst, ws, &mut stats.proposals, tracer) {
+    if let Some(culprit) = phase1(inst, ws, &mut stats.proposals, tracer, metrics) {
+        metrics.solve_done(false, stats.proposals);
         return RoommatesOutcome::NoStableMatching { culprit, stats };
     }
 
@@ -300,11 +312,14 @@ pub(crate) fn run_core<T: Tracer>(
         find_rotation(ws, start);
         tracer.rotation(&ws.xs, &ws.ys);
         stats.rotations += 1;
+        metrics.phase2_rotation();
         if let Some(culprit) = eliminate_rotation(ws) {
             tracer.list_emptied(culprit);
+            metrics.solve_done(false, stats.proposals);
             return RoommatesOutcome::NoStableMatching { culprit, stats };
         }
     }
+    metrics.solve_done(true, stats.proposals);
 
     // Every reduced list is a singleton: read off the matching.
     let n = inst.n();
@@ -334,7 +349,31 @@ impl RoommatesWorkspace {
         inst: &RoommatesInstance,
         policy: &RotationPolicy,
     ) -> RoommatesOutcome {
-        run_core(inst, self, policy, &mut NoTrace)
+        run_core(inst, self, policy, &mut NoTrace, &mut NoMetrics)
+    }
+
+    /// [`RoommatesWorkspace::solve`] with metric hooks: proposals, holder
+    /// swaps, phase-1 threshold tightenings, phase-2 rotations, workspace
+    /// fresh/reuse, and the per-solve summary. Wall time is the front-end's
+    /// job (engines stay clock-free). With [`kmatch_obs::NoMetrics`] this
+    /// monomorphizes to exactly [`RoommatesWorkspace::solve`].
+    pub fn solve_metered<M: Metrics>(
+        &mut self,
+        inst: &RoommatesInstance,
+        metrics: &mut M,
+    ) -> RoommatesOutcome {
+        self.solve_metered_with(inst, &RotationPolicy::FirstAvailable, metrics)
+    }
+
+    /// [`RoommatesWorkspace::solve_metered`] with an explicit
+    /// rotation-seeding policy.
+    pub fn solve_metered_with<M: Metrics>(
+        &mut self,
+        inst: &RoommatesInstance,
+        policy: &RotationPolicy,
+        metrics: &mut M,
+    ) -> RoommatesOutcome {
+        run_core(inst, self, policy, &mut NoTrace, metrics)
     }
 }
 
@@ -474,6 +513,37 @@ mod tests {
         let m = woman_seeded.matching().unwrap();
         assert_eq!(m.partner(0), 2);
         assert_eq!(m.partner(1), 3);
+    }
+
+    #[test]
+    fn metered_matches_plain_and_counts_hold() {
+        use kmatch_obs::SolverMetrics;
+        let mut rng = ChaCha8Rng::seed_from_u64(37);
+        let mut ws = RoommatesWorkspace::new();
+        let mut m = SolverMetrics::new();
+        let (mut solves, mut solvable) = (0u64, 0u64);
+        let (mut proposals, mut rotations) = (0u64, 0u64);
+        for _ in 0..20 {
+            for n in [6usize, 9, 12] {
+                let inst = uniform_roommates(n, &mut rng);
+                let plain = ws.solve(&inst);
+                let metered = ws.solve_metered(&inst, &mut m);
+                assert_eq!(plain.matching(), metered.matching());
+                assert_eq!(plain.stats(), metered.stats());
+                solves += 1;
+                solvable += u64::from(plain.matching().is_some());
+                proposals += plain.stats().proposals;
+                rotations += u64::from(plain.stats().rotations);
+            }
+        }
+        assert_eq!(m.solves, solves);
+        assert_eq!(m.solvable, solvable);
+        assert_eq!(m.unsolvable, solves - solvable);
+        assert_eq!(m.proposals, proposals);
+        assert_eq!(m.phase2_rotations, rotations);
+        // Every phase-1 proposal stores a threshold.
+        assert_eq!(m.phase1_truncations, proposals);
+        assert_eq!(m.proposals_per_solve.count(), solves);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use kpartite::{solve_kpartite_binary, KPartiteBinaryOutcome};
 pub use matching::{find_roommates_blocking_pair, is_roommates_stable, RoommatesMatching};
 pub use policy::RotationPolicy;
 pub use solver::{
-    solve, solve_reference, solve_traced, solve_with, solve_with_logged,
+    solve, solve_metered, solve_reference, solve_traced, solve_with, solve_with_logged,
     solve_with_logged_reference, solve_with_reference, RoommatesOutcome, SolveStats,
 };
 pub use trace::RoommatesEvent;

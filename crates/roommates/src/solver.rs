@@ -101,6 +101,15 @@ pub fn solve_with(inst: &RoommatesInstance, policy: RotationPolicy) -> Roommates
     RoommatesWorkspace::new().solve_with(inst, &policy)
 }
 
+/// [`solve`] with metric hooks — the transient-workspace face of
+/// [`RoommatesWorkspace::solve_metered`].
+pub fn solve_metered<M: kmatch_obs::Metrics>(
+    inst: &RoommatesInstance,
+    metrics: &mut M,
+) -> RoommatesOutcome {
+    RoommatesWorkspace::new().solve_metered(inst, metrics)
+}
+
 /// Solve with [`RotationPolicy::FirstAvailable`], also returning the full
 /// event trace in the paper's §III-B style.
 pub fn solve_traced(inst: &RoommatesInstance) -> (RoommatesOutcome, Vec<RoommatesEvent>) {
@@ -120,7 +129,13 @@ pub fn solve_with_logged(
     log: &mut dyn FnMut(RoommatesEvent),
 ) -> RoommatesOutcome {
     let mut ws = RoommatesWorkspace::new();
-    run_core(inst, &mut ws, &policy, &mut LogTrace { log })
+    run_core(
+        inst,
+        &mut ws,
+        &policy,
+        &mut LogTrace { log },
+        &mut kmatch_obs::NoMetrics,
+    )
 }
 
 /// Reference solver with the default seeding — the original

@@ -148,9 +148,14 @@ impl RoommatesWorkspace {
 
     /// Reset the phase-1 state (and all scratch) for `inst` — O(n), no
     /// per-entry work. The phase-2 arena is rebuilt later by
-    /// [`RoommatesWorkspace::materialize`].
-    pub(crate) fn reset(&mut self, inst: &RoommatesInstance) {
+    /// [`RoommatesWorkspace::materialize`]. Returns whether the phase-1
+    /// buffers had to grow (the metrics fresh/reuse signal; the arena
+    /// grows lazily in `materialize` and tracks the same high-water mark).
+    pub(crate) fn reset(&mut self, inst: &RoommatesInstance) -> bool {
         let n = inst.n();
+        let fresh = self.thresh.capacity() < n
+            || self.holds.capacity() < n
+            || self.free.capacity() < n;
         self.thresh.clear();
         self.thresh.resize(n, NONE);
         self.scan.clear();
@@ -166,6 +171,7 @@ impl RoommatesWorkspace {
         self.ys.clear();
         self.targets.clear();
         self.removed.clear();
+        fresh
     }
 
     /// Most preferred partner still alive on `x`'s *phase-1* list, or

@@ -129,6 +129,58 @@ fn pre_sized_workspace_first_solve_is_quiet() {
 }
 
 #[test]
+fn metered_unsolvable_steady_state_allocates_nothing() {
+    // The metered path with a reused SolverMetrics must be as quiet as the
+    // NoMetrics path: counters are plain u64 fields and the histograms are
+    // fixed-size inline arrays, so observing a solve touches no heap.
+    let inst = no_stable_roommates_4();
+    let mut ws = RoommatesWorkspace::new();
+    let mut metrics = kmatch_obs::SolverMetrics::new();
+    ws.solve_metered(&inst, &mut metrics);
+    let allocs = allocations_in(|| {
+        for _ in 0..100 {
+            assert!(!ws.solve_metered(&inst, &mut metrics).is_stable());
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "metered workspace-reuse solves of an unsolvable instance must not allocate"
+    );
+    assert_eq!(metrics.solves, 101);
+}
+
+#[test]
+fn metered_solvable_steady_state_allocates_like_plain() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let inst = loop {
+        let cand = uniform_roommates(48, &mut rng);
+        if RoommatesWorkspace::new().solve(&cand).is_stable() {
+            break cand;
+        }
+    };
+    let mut ws = RoommatesWorkspace::new();
+    ws.solve(&inst);
+    let reps = 50u64;
+    let plain = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve(&inst));
+        }
+    });
+    let mut metrics = kmatch_obs::SolverMetrics::new();
+    let metered = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve_metered(&inst, &mut metrics));
+        }
+    });
+    assert_eq!(
+        metered, plain,
+        "SolverMetrics must add zero allocations over the NoMetrics path"
+    );
+    assert_eq!(metrics.solves, reps);
+    assert_eq!(metrics.workspace_reused, reps);
+}
+
+#[test]
 fn counting_allocator_is_live() {
     // Sanity: the harness actually observes allocations.
     let allocs = allocations_in(|| {

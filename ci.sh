@@ -27,4 +27,29 @@ for key in '"schema": "kmatch.run_report/v1"' '"solves"' '"proposals"' \
     || { echo "metrics smoke: missing $key in report.json"; exit 1; }
 done
 
+echo "==> incremental smoke"
+cat > "$SMOKE_DIR/inst.json" <<'EOF'
+{"n": 4,
+ "proposers": [[0, 1, 2, 3], [1, 2, 3, 0], [2, 3, 0, 1], [3, 0, 1, 2]],
+ "responders": [[1, 0, 3, 2], [2, 1, 0, 3], [3, 2, 1, 0], [0, 3, 2, 1]]}
+EOF
+cat > "$SMOKE_DIR/deltas.json" <<'EOF'
+[{"op": "swap", "side": "proposer", "row": 0, "prefs": [],
+  "a": 0, "b": 3, "from": 0, "to": 0},
+ {"op": "set_row", "side": "responder", "row": 2, "prefs": [0, 1, 2, 3],
+  "a": 0, "b": 0, "from": 0, "to": 0}]
+EOF
+./target/release/kmatch delta --input "$SMOKE_DIR/inst.json" \
+    --deltas "$SMOKE_DIR/deltas.json" --metrics-out "$SMOKE_DIR/delta_report.json"
+./target/release/kmatch report validate --input "$SMOKE_DIR/delta_report.json"
+for key in '"cache_hits"' '"cache_misses"' '"edges_dirty"' '"warm_solves"'; do
+  grep -qF "$key" "$SMOKE_DIR/delta_report.json" \
+    || { echo "incremental smoke: missing $key in delta_report.json"; exit 1; }
+done
+printf '[%s]' "$(cat "$SMOKE_DIR/inst.json")" > "$SMOKE_DIR/batch.json"
+./target/release/kmatch batch --input "$SMOKE_DIR/batch.json" \
+    --input "$SMOKE_DIR/batch.json" --cache on \
+  | grep -qF '1 hits / 1 misses' \
+    || { echo "incremental smoke: cached batch hit rate wrong"; exit 1; }
+
 echo "CI OK"

@@ -50,6 +50,10 @@ struct BatchRow {
     instances: usize,
     n: usize,
     threads: usize,
+    /// Which dispatch `solve_batch` took (`kmatch_parallel::batch_path`):
+    /// `"serial"` on a one-thread pool (no rayon round-trip), else
+    /// `"parallel"`.
+    path: String,
     serial_ns: f64,
     solve_batch_ns: f64,
     /// `serial_ns / solve_batch_ns` — expected ≈ `threads` for balanced
@@ -63,6 +67,7 @@ impl_json_struct!(BatchRow {
     instances,
     n,
     threads,
+    path,
     serial_ns,
     solve_batch_ns,
     speedup,
@@ -138,6 +143,7 @@ fn batch_row() -> BatchRow {
         instances,
         n,
         threads,
+        path: kmatch_parallel::batch_path().to_string(),
         serial_ns,
         solve_batch_ns,
         speedup,
@@ -212,8 +218,8 @@ fn main() {
     let b = &report.batch;
     println!(
         "batch {} x n={}: serial {:>10.0} ns  solve_batch {:>10.0} ns  \
-         speedup {:.2}x on {} thread(s)",
-        b.instances, b.n, b.serial_ns, b.solve_batch_ns, b.speedup, b.threads,
+         speedup {:.2}x on {} thread(s) via the {} path",
+        b.instances, b.n, b.serial_ns, b.solve_batch_ns, b.speedup, b.threads, b.path,
     );
     let o = &report.metrics_overhead;
     println!(

@@ -6,10 +6,12 @@
 use std::collections::BTreeMap;
 
 /// Parsed command line: positional words followed by `--key value` flags.
+/// A flag may repeat (`--input a.json --input b.json`); [`Args::flag`]
+/// returns the last occurrence and [`Args::flag_values`] all of them.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     positional: Vec<String>,
-    flags: BTreeMap<String, String>,
+    flags: BTreeMap<String, Vec<String>>,
 }
 
 impl Args {
@@ -20,12 +22,15 @@ impl Args {
         while let Some(arg) = iter.next() {
             if let Some(stripped) = arg.strip_prefix("--") {
                 if let Some((key, value)) = stripped.split_once('=') {
-                    out.flags.insert(key.to_string(), value.to_string());
+                    out.flags
+                        .entry(key.to_string())
+                        .or_default()
+                        .push(value.to_string());
                 } else {
                     let value = iter
                         .next()
                         .ok_or_else(|| format!("flag --{stripped} expects a value"))?;
-                    out.flags.insert(stripped.to_string(), value);
+                    out.flags.entry(stripped.to_string()).or_default().push(value);
                 }
             } else {
                 out.positional.push(arg);
@@ -39,9 +44,20 @@ impl Args {
         self.positional.get(idx).map(String::as_str)
     }
 
-    /// Raw flag value.
+    /// Raw flag value (the last occurrence when repeated).
     pub fn flag(&self, key: &str) -> Option<&str> {
-        self.flags.get(key).map(String::as_str)
+        self.flags
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable flag, in command-line order.
+    pub fn flag_values(&self, key: &str) -> impl Iterator<Item = &str> {
+        self.flags
+            .get(key)
+            .into_iter()
+            .flat_map(|v| v.iter().map(String::as_str))
     }
 
     /// Parse a flag into any `FromStr` type, with a default.
@@ -111,5 +127,14 @@ mod tests {
     fn require_reports_missing() {
         let a = parse(&["x"]);
         assert!(a.require::<usize>("k").is_err());
+    }
+
+    #[test]
+    fn repeated_flag_keeps_every_occurrence() {
+        let a = parse(&["batch", "--input", "a.json", "--input=b.json"]);
+        assert_eq!(a.flag("input"), Some("b.json"), "flag() is the last one");
+        let all: Vec<&str> = a.flag_values("input").collect();
+        assert_eq!(all, ["a.json", "b.json"]);
+        assert!(a.flag_values("absent").next().is_none());
     }
 }

@@ -20,9 +20,13 @@ use kmatch_core::{
     priority_binding_tree, AttachChoice, GenderPriorities, KAryMatching,
 };
 use kmatch_graph::{random_tree, BindingTree};
-use kmatch_gs::{gale_shapley, mean_proposer_rank, mean_responder_rank};
-use kmatch_prefs::serde_support::{KPartiteDto, RoommatesDto};
-use kmatch_prefs::{KPartiteInstance, RoommatesInstance};
+use kmatch_gs::{gale_shapley, mean_proposer_rank, mean_responder_rank, GsWorkspace};
+use kmatch_incremental::{IncrementalBinder, IncrementalGs, SolveCache};
+use kmatch_obs::Metrics;
+use kmatch_prefs::serde_support::{KPartiteDto, PrefDeltaDto, RoommatesDto};
+use kmatch_prefs::{
+    BipartiteInstance, CsrPrefs, GenderId, KPartiteInstance, Member, PrefDelta, RoommatesInstance,
+};
 use kmatch_roommates::kpartite::{solve_global_binary, KPartiteBinaryOutcome};
 use kmatch_roommates::{fair_stable_marriage, oriented_stable_marriage, SmpOrientation};
 use rand::SeedableRng;
@@ -38,8 +42,11 @@ USAGE:
   kmatch solve binary  --input FILE
   kmatch solve smp     --n N [--seed S] [--mode gs|fair|man|woman]
   kmatch batch         [--n N] [--count C] [--seed S] [--kind gs|roommates]
-                       [--input FILE] [--errors-out FILE]
+                       [--input FILE]... [--cache on|off] [--errors-out FILE]
                        [--metrics-out FILE] [--metrics-format json|prom]
+  kmatch delta         --input FILE --deltas FILE [--metrics-out FILE]
+  kmatch bind          --input FILE [--tree path|star|random|priority] [--seed S]
+                       [--incremental true] [--updates FILE] [--metrics-out FILE]
   kmatch report validate --input FILE          (check an emitted RunReport)
   kmatch verify kary   --input FILE --matching FILE [--weak]
   kmatch lattice       --n N [--seed S] [--limit L]
@@ -47,11 +54,22 @@ USAGE:
   kmatch render-tree   --k K [--tree path|star|balanced|random] [--seed S]
 
   batch --input takes a JSON array of instances (bipartite DTOs for
-  --kind gs, roommates DTOs for --kind roommates). If any element fails
-  to parse, the command exits nonzero; --errors-out writes a
-  machine-readable per-index error summary either way. --metrics-out
-  solves through the metered engines and writes a structured RunReport
-  (counters, log2 histograms, timing percentiles).
+  --kind gs, roommates DTOs for --kind roommates) and may repeat; the
+  arrays are concatenated in order. If any element fails to parse, the
+  command exits nonzero; --errors-out writes a machine-readable
+  per-index error summary either way. --metrics-out solves through the
+  metered engines and writes a structured RunReport (counters, log2
+  histograms, timing percentiles). --cache on (gs only) solves through
+  the content-addressed cache and prints the hit rate.
+
+  delta reads a bipartite instance plus a JSON array of preference
+  deltas ({\"op\": \"set_row\"|\"swap\"|\"splice\", \"side\", \"row\", ...}) and
+  replays them through the warm-start incremental session against a
+  cold re-solve, reporting per-delta timings and proposal counts.
+
+  bind --incremental true binds through the dirty-edge session;
+  --updates FILE applies preference-row rewrites ({\"gender\", \"index\",
+  \"target\", \"prefs\"}) and rebinds, reporting dirty vs clean edges.
 ";
 
 fn main() -> ExitCode {
@@ -74,6 +92,8 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         (Some("solve"), Some("binary")) => solve_binary(&args),
         (Some("solve"), Some("smp")) => solve_smp(&args),
         (Some("batch"), _) => batch_cmd(&args),
+        (Some("delta"), _) => delta_cmd(&args),
+        (Some("bind"), _) => bind_cmd(&args),
         (Some("report"), Some("validate")) => report_validate(&args),
         (Some("verify"), Some("kary")) => verify_kary(&args),
         (Some("lattice"), _) => lattice(&args),
@@ -366,6 +386,15 @@ fn load_batch_elements(path: &str) -> Result<Vec<serde::Value>, String> {
     }
 }
 
+/// Concatenate the elements of every `--input` file, in flag order.
+fn load_batch_inputs(paths: &[&str]) -> Result<Vec<serde::Value>, String> {
+    let mut items = Vec::new();
+    for path in paths {
+        items.extend(load_batch_elements(path)?);
+    }
+    Ok(items)
+}
+
 fn parse_elements<D, T>(items: &[serde::Value]) -> (Vec<T>, Vec<(usize, String)>)
 where
     D: serde::Deserialize,
@@ -430,6 +459,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
         "seed",
         "kind",
         "input",
+        "cache",
         "errors-out",
         "metrics-out",
         "metrics-format",
@@ -441,48 +471,65 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             return Err(format!("unknown metrics format: {fmt} (expected json|prom)"));
         }
     }
+    let cache_on = match args.flag("cache").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --cache value: {other} (expected on|off)")),
+    };
     let metered = args.flag("metrics-out").is_some();
     let registry = kmatch_obs::BatchRegistry::new();
     let clock = kmatch_obs::StdClock::new();
-    let input = args.flag("input");
+    let inputs: Vec<&str> = args.flag_values("input").collect();
     match kind {
         "gs" => {
-            let batch: Vec<kmatch_prefs::BipartiteInstance> = match input {
-                Some(path) => {
-                    let items = load_batch_elements(path)?;
-                    let (batch, errors) = parse_elements::<
-                        kmatch_prefs::serde_support::BipartiteDto,
-                        _,
-                    >(&items);
-                    BatchErrors {
-                        total: items.len(),
-                        errors,
-                    }
-                    .finish(args)?;
-                    batch
+            let batch: Vec<BipartiteInstance> = if inputs.is_empty() {
+                let n: usize = args.require("n")?;
+                let count: usize = args.flag_or("count", 1000)?;
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                (0..count)
+                    .map(|_| kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut rng))
+                    .collect()
+            } else {
+                let items = load_batch_inputs(&inputs)?;
+                let (batch, errors) =
+                    parse_elements::<kmatch_prefs::serde_support::BipartiteDto, _>(&items);
+                BatchErrors {
+                    total: items.len(),
+                    errors,
                 }
-                None => {
-                    let n: usize = args.require("n")?;
-                    let count: usize = args.flag_or("count", 1000)?;
-                    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                    (0..count)
-                        .map(|_| kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut rng))
-                        .collect()
-                }
+                .finish(args)?;
+                batch
             };
             let count = batch.len();
             let n = batch.iter().map(|i| i.n()).max().unwrap_or(0);
             let start = std::time::Instant::now();
-            let outcomes = if metered {
-                kmatch_parallel::solve_batch_metered(&batch, &registry, &clock)
+            let (outcomes, cache_line) = if cache_on {
+                let mut cache = SolveCache::default();
+                let cached =
+                    kmatch_parallel::solve_batch_cached(&batch, &mut cache, &registry, &clock);
+                let line = format!(
+                    "{} hits / {} misses ({:.1}% hit rate)",
+                    cached.hits,
+                    cached.misses,
+                    100.0 * cached.hit_rate()
+                );
+                (cached.outcomes, Some(line))
+            } else if metered {
+                (
+                    kmatch_parallel::solve_batch_metered(&batch, &registry, &clock),
+                    None,
+                )
             } else {
-                kmatch_parallel::solve_batch(&batch)
+                (kmatch_parallel::solve_batch(&batch), None)
             };
             let elapsed = start.elapsed();
             let stats = kmatch_parallel::batch_stats(&outcomes);
             println!("instances      : {count} x n={n} (gs)");
             println!("total proposals: {}", stats.proposals);
             println!("max rounds     : {}", stats.rounds);
+            if let Some(line) = cache_line {
+                println!("cache          : {line}");
+            }
             println!(
                 "wall time      : {:.3} ms ({:.1} instances/s)",
                 elapsed.as_secs_f64() * 1e3,
@@ -499,9 +546,12 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             )?;
         }
         "roommates" => {
-            let batch: Vec<RoommatesInstance> = match input {
-                Some(path) => {
-                    let items = load_batch_elements(path)?;
+            if cache_on {
+                return Err("--cache is only supported for --kind gs".to_string());
+            }
+            let batch: Vec<RoommatesInstance> = if !inputs.is_empty() {
+                {
+                    let items = load_batch_inputs(&inputs)?;
                     let (batch, errors) = parse_elements::<RoommatesDto, _>(&items);
                     BatchErrors {
                         total: items.len(),
@@ -510,7 +560,8 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                     .finish(args)?;
                     batch
                 }
-                None => {
+            } else {
+                {
                     let n: usize = args.require("n")?;
                     let count: usize = args.flag_or("count", 1000)?;
                     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -555,6 +606,195 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown batch kind: {other}")),
     }
     Ok(())
+}
+
+/// Replay a JSON delta stream through the warm-start incremental GS
+/// session against a cold re-solve of the mutated instance, reporting
+/// per-delta wall time and executed proposals for both. The two must
+/// produce byte-identical matchings; a divergence aborts the command.
+fn delta_cmd(args: &Args) -> Result<(), String> {
+    args.check_known(&["input", "deltas", "metrics-out", "metrics-format"])?;
+    let input: String = args.require("input")?;
+    let deltas_path: String = args.require("deltas")?;
+    let text = fs::read_to_string(&input).map_err(|e| format!("reading {input}: {e}"))?;
+    let dto: kmatch_prefs::serde_support::BipartiteDto =
+        serde_json::from_str(&text).map_err(|e| format!("{input}: {e}"))?;
+    let inst = BipartiteInstance::try_from(dto).map_err(|e| format!("{input}: {e}"))?;
+    let items = load_batch_elements(&deltas_path)?;
+    let mut deltas: Vec<PrefDelta> = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let delta = <PrefDeltaDto as serde::Deserialize>::from_value(item)
+            .map_err(|e| e.to_string())
+            .and_then(|d| PrefDelta::try_from(&d))
+            .map_err(|e| format!("{deltas_path}: delta {i}: {e}"))?;
+        deltas.push(delta);
+    }
+    let n = inst.n();
+    let mut shadow = inst.clone();
+    let mut session = IncrementalGs::new(inst);
+    let mut metrics = kmatch_obs::SolverMetrics::new();
+    // Prime both solvers so every reported pair is a steady-state re-solve.
+    let mut cold_ws = GsWorkspace::with_capacity(n);
+    let mut cold_csr = CsrPrefs::new();
+    cold_csr.load(&shadow);
+    let base = session.solve_metered(&mut metrics);
+    let cold_base = cold_ws.solve(&cold_csr);
+    debug_assert_eq!(base.matching, cold_base.matching);
+    println!(
+        "baseline     : n={n}, {} proposals, {} deltas queued",
+        cold_base.stats.proposals,
+        deltas.len()
+    );
+    let start = std::time::Instant::now();
+    let (mut warm_ns, mut cold_ns) = (0u64, 0u64);
+    let (mut warm_props, mut cold_props) = (0u64, 0u64);
+    for (i, delta) in deltas.iter().enumerate() {
+        session
+            .apply(delta)
+            .map_err(|e| format!("delta {i}: {e}"))?;
+        let t0 = std::time::Instant::now();
+        let warm = session.solve_metered(&mut metrics);
+        let w_ns = t0.elapsed().as_nanos() as u64;
+        metrics.solve_ns(w_ns);
+        shadow
+            .apply_delta(delta)
+            .map_err(|e| format!("delta {i}: {e}"))?;
+        let t1 = std::time::Instant::now();
+        cold_csr.load(&shadow);
+        let cold = cold_ws.solve(&cold_csr);
+        let c_ns = t1.elapsed().as_nanos() as u64;
+        if warm.matching != cold.matching {
+            return Err(format!("delta {i}: warm and cold matchings diverge (bug)"));
+        }
+        let d = PrefDeltaDto::from(delta);
+        println!(
+            "delta {i:>4} ({} {} row {}): warm {:>9.1} us / {:>6} proposals   \
+             cold {:>9.1} us / {:>6} proposals",
+            d.op,
+            d.side,
+            d.row,
+            w_ns as f64 / 1e3,
+            warm.stats.proposals,
+            c_ns as f64 / 1e3,
+            cold.stats.proposals,
+        );
+        warm_ns += w_ns;
+        cold_ns += c_ns;
+        warm_props += warm.stats.proposals;
+        cold_props += cold.stats.proposals;
+    }
+    if !deltas.is_empty() {
+        println!(
+            "totals       : warm {:.1} us / {warm_props} proposals, \
+             cold {:.1} us / {cold_props} proposals ({:.1}x)",
+            warm_ns as f64 / 1e3,
+            cold_ns as f64 / 1e3,
+            cold_ns as f64 / (warm_ns as f64).max(1.0),
+        );
+    }
+    write_metrics(
+        args,
+        "delta",
+        n,
+        deltas.len(),
+        0,
+        start.elapsed().as_nanos() as u64,
+        metrics,
+    )
+}
+
+/// One preference-row rewrite for `bind --incremental --updates`: member
+/// `(gender, index)` replaces its ordering of gender `target`.
+#[derive(Debug, Clone)]
+struct UpdateDto {
+    gender: u32,
+    index: u32,
+    target: u32,
+    prefs: Vec<u32>,
+}
+
+serde::impl_json_struct!(UpdateDto { gender, index, target, prefs });
+
+/// Bind a k-partite instance along a tree. With `--incremental true` the
+/// bind runs through the dirty-edge session, and `--updates FILE` applies
+/// preference-row rewrites then rebinds — only edges whose fingerprints
+/// changed are re-solved, and the dirty/clean split is printed.
+fn bind_cmd(args: &Args) -> Result<(), String> {
+    args.check_known(&[
+        "input",
+        "tree",
+        "seed",
+        "incremental",
+        "updates",
+        "metrics-out",
+        "metrics-format",
+    ])?;
+    let input: String = args.require("input")?;
+    let inst = load_kpartite(&input)?;
+    let (k, n) = (inst.k(), inst.n());
+    let tree = match args.flag("tree").unwrap_or("path") {
+        "path" => BindingTree::path(k),
+        "star" => BindingTree::star(k, (k - 1) as u16),
+        "random" => {
+            let seed: u64 = args.flag_or("seed", 0)?;
+            random_tree(k, &mut ChaCha8Rng::seed_from_u64(seed))
+        }
+        "priority" => priority_binding_tree(&GenderPriorities::by_id(k), AttachChoice::Chain),
+        other => return Err(format!("unknown tree kind: {other}")),
+    };
+    let incremental: bool = args.flag_or("incremental", false)?;
+    if !incremental {
+        let out = bind_with_stats(&inst, &tree);
+        let stable = find_blocking_family(&inst, &out.matching).is_none();
+        println!("binding tree : {tree}");
+        println!("proposals    : {}", out.total_proposals());
+        println!("stable       : {stable}");
+        return Ok(());
+    }
+    let mut metrics = kmatch_obs::SolverMetrics::new();
+    let start = std::time::Instant::now();
+    let mut binder = IncrementalBinder::new(inst, tree);
+    let first = binder.bind_metered(&mut metrics);
+    println!("binding tree : {}", binder.tree());
+    println!(
+        "initial bind : {} proposals over {} edges",
+        first.total_proposals(),
+        first.per_edge.len()
+    );
+    if let Some(path) = args.flag("updates") {
+        let items = load_batch_elements(path)?;
+        for (i, item) in items.iter().enumerate() {
+            let dto = <UpdateDto as serde::Deserialize>::from_value(item)
+                .map_err(|e| format!("{path}: update {i}: {e}"))?;
+            binder
+                .set_pref_row(
+                    Member::new(GenderId(dto.gender as u16), dto.index),
+                    GenderId(dto.target as u16),
+                    &dto.prefs,
+                )
+                .map_err(|e| format!("{path}: update {i}: {e}"))?;
+        }
+        let (dirty0, clean0) = (metrics.edges_dirty, metrics.edges_clean);
+        let rebound = binder.bind_metered(&mut metrics);
+        let stable = find_blocking_family(binder.instance(), &rebound.matching).is_none();
+        println!(
+            "rebind       : {} proposals, {} dirty / {} clean edges after {} updates",
+            rebound.total_proposals(),
+            metrics.edges_dirty - dirty0,
+            metrics.edges_clean - clean0,
+            items.len()
+        );
+        println!("stable       : {stable}");
+    }
+    write_metrics(
+        args,
+        "bind",
+        n,
+        1,
+        0,
+        start.elapsed().as_nanos() as u64,
+        metrics,
+    )
 }
 
 /// Validate a RunReport JSON file emitted by `batch --metrics-out` (the
@@ -821,6 +1061,117 @@ mod tests {
         std::fs::write(&junk, r#"{"schema": "something-else"}"#).unwrap();
         assert!(call(&["report", "validate", "--input", junk.to_str().unwrap()]).is_err());
         assert!(call(&["report", "validate"]).is_err(), "--input required");
+    }
+
+    #[test]
+    fn batch_cache_reports_hits_for_repeated_inputs() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test8");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("batch.json");
+        std::fs::write(
+            &input,
+            r#"[{"n": 2, "proposers": [[0, 1], [1, 0]], "responders": [[0, 1], [1, 0]]}]"#,
+        )
+        .unwrap();
+        let p = input.to_str().unwrap();
+        // The same file three times: 1 miss, 2 cache hits.
+        call(&[
+            "batch", "--input", p, "--input", p, "--input", p, "--cache", "on",
+        ])
+        .unwrap();
+        call(&["batch", "--input", p, "--cache", "off"]).unwrap();
+        assert!(call(&["batch", "--input", p, "--cache", "maybe"]).is_err());
+        assert!(call(&[
+            "batch", "--n", "4", "--count", "2", "--kind", "roommates", "--cache", "on",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn delta_command_replays_and_reports() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test9");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        let deltas = dir.join("deltas.json");
+        let report = dir.join("report.json");
+        std::fs::write(
+            &inst,
+            r#"{"n": 3,
+ "proposers": [[0, 1, 2], [1, 2, 0], [2, 0, 1]],
+ "responders": [[1, 0, 2], [2, 1, 0], [0, 2, 1]]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &deltas,
+            r#"[
+  {"op": "swap", "side": "proposer", "row": 0, "prefs": [], "a": 0, "b": 2, "from": 0, "to": 0},
+  {"op": "set_row", "side": "responder", "row": 1, "prefs": [0, 1, 2], "a": 0, "b": 0, "from": 0, "to": 0},
+  {"op": "splice", "side": "proposer", "row": 2, "prefs": [], "a": 0, "b": 0, "from": 2, "to": 0}
+]"#,
+        )
+        .unwrap();
+        call(&[
+            "delta",
+            "--input",
+            inst.to_str().unwrap(),
+            "--deltas",
+            deltas.to_str().unwrap(),
+            "--metrics-out",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        call(&["report", "validate", "--input", report.to_str().unwrap()]).unwrap();
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"cache_hits\""), "got:\n{text}");
+        assert!(text.contains("\"warm_solves\""), "got:\n{text}");
+        // A malformed delta is rejected with its index.
+        std::fs::write(&deltas, r#"[{"op": "reverse"}]"#).unwrap();
+        let err = call(&[
+            "delta",
+            "--input",
+            inst.to_str().unwrap(),
+            "--deltas",
+            deltas.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("delta 0"), "got: {err}");
+    }
+
+    #[test]
+    fn bind_incremental_reports_dirty_and_clean_edges() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test10");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        let updates = dir.join("updates.json");
+        let report = dir.join("report.json");
+        let p = inst.to_str().unwrap();
+        call(&[
+            "gen", "kpartite", "--k", "4", "--n", "4", "--seed", "11", "--out", p,
+        ])
+        .unwrap();
+        call(&["bind", "--input", p, "--tree", "path"]).unwrap();
+        std::fs::write(
+            &updates,
+            r#"[{"gender": 1, "index": 0, "target": 2, "prefs": [3, 2, 1, 0]}]"#,
+        )
+        .unwrap();
+        call(&[
+            "bind",
+            "--input",
+            p,
+            "--tree",
+            "path",
+            "--incremental",
+            "true",
+            "--updates",
+            updates.to_str().unwrap(),
+            "--metrics-out",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&report).unwrap();
+        assert!(text.contains("\"edges_dirty\""), "got:\n{text}");
+        assert!(text.contains("\"edges_clean\""), "got:\n{text}");
     }
 
     #[test]

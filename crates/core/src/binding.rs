@@ -40,6 +40,22 @@ impl BindingOutcome {
     }
 }
 
+/// Merge binding-edge pair lists — global member ids, as produced by
+/// [`Member::global`] — into the k-ary matching they induce: the
+/// reflexive–symmetric–transitive closure of "bound into the same tuple",
+/// read off a union–find over the `k·n` members. This is the shared
+/// epilogue of every binding front-end (serial, parallel, incremental).
+pub fn merge_edge_pairs<I>(k: usize, n: usize, pairs: I) -> KAryMatching
+where
+    I: IntoIterator<Item = (u32, u32)>,
+{
+    let mut uf = UnionFind::new(k * n);
+    for (a, b) in pairs {
+        uf.union(a, b);
+    }
+    KAryMatching::from_classes(k, n, &uf.classes())
+}
+
 /// Run `GS(i, j)` for one binding edge and merge its pairs into the
 /// union–find over global member ids.
 pub(crate) fn bind_edge(

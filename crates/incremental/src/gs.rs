@@ -1,0 +1,318 @@
+//! Incremental Gale–Shapley session.
+//!
+//! [`IncrementalGs`] owns a bipartite instance together with everything a
+//! re-solve wants warm: the [`CsrPrefs`] arena (patched row-locally per
+//! delta instead of reloaded), the [`GsWorkspace`] holding the previous
+//! execution (so [`GsWorkspace::resolve_delta`] re-frees only the
+//! proposers a delta can affect), per-row content fingerprints (XOR-
+//! combined, patched in O(n) per delta), and a content-addressed
+//! [`SolveCache`] of previously seen instance states.
+//!
+//! A [`IncrementalGs::solve`] therefore resolves in one of three tiers:
+//!
+//! 1. **cached** — the combined fingerprint has been solved before: the
+//!    stored matching is cloned back, no engine work at all;
+//! 2. **warm** — the workspace replays the delta cascade and re-runs
+//!    deferred acceptance for the few re-freed proposers;
+//! 3. **cold** — no previous execution (first solve, or a size change):
+//!    the engine solves from scratch.
+//!
+//! All three produce the same proposer-optimal matching — tier 2 by the
+//! McVitie–Wilson order-independence argument (see `kmatch-gs`), tier 1
+//! because the fingerprint is a content address of the full instance.
+
+use kmatch_gs::{BipartiteMatching, GsOutcome, GsStats, GsWorkspace};
+use kmatch_obs::{Metrics, NoMetrics};
+use kmatch_prefs::{BipartiteInstance, CsrPrefs, DeltaSide, PrefDelta, PrefsError};
+
+use crate::cache::SolveCache;
+use crate::fingerprint::{hash_row_fp, patch, side_tag, Fp};
+
+/// Per-row fingerprints of a bipartite instance, XOR-combined into one
+/// 128-bit content key.
+#[derive(Debug, Clone)]
+struct BipartiteFp {
+    /// `2n` row hashes: proposer rows `0..n`, responder rows `n..2n`.
+    rows: Vec<Fp>,
+    combined: Fp,
+}
+
+impl BipartiteFp {
+    fn new(inst: &BipartiteInstance) -> Self {
+        let n = inst.n();
+        let mut rows = Vec::with_capacity(2 * n);
+        let mut combined = (0u64, 0u64);
+        for m in 0..n as u32 {
+            let h = hash_row_fp(side_tag(DeltaSide::Proposer, m), inst.proposer_list(m));
+            combined = (combined.0 ^ h.0, combined.1 ^ h.1);
+            rows.push(h);
+        }
+        for w in 0..n as u32 {
+            let h = hash_row_fp(side_tag(DeltaSide::Responder, w), inst.responder_list(w));
+            combined = (combined.0 ^ h.0, combined.1 ^ h.1);
+            rows.push(h);
+        }
+        BipartiteFp { rows, combined }
+    }
+
+    fn update_row(&mut self, side: DeltaSide, row: u32, list: &[u32]) {
+        let idx = match side {
+            DeltaSide::Proposer => row as usize,
+            DeltaSide::Responder => self.rows.len() / 2 + row as usize,
+        };
+        let new = hash_row_fp(side_tag(side, row), list);
+        self.combined = patch(self.combined, self.rows[idx], new);
+        self.rows[idx] = new;
+    }
+}
+
+/// A long-lived bipartite solving session accepting preference deltas.
+pub struct IncrementalGs {
+    inst: BipartiteInstance,
+    csr: CsrPrefs,
+    ws: GsWorkspace,
+    fp: BipartiteFp,
+    cache: SolveCache<BipartiteMatching>,
+    /// Deltas applied since the engine last actually ran (cache hits do
+    /// not drain this — the workspace still reflects the older state).
+    pending: Vec<PrefDelta>,
+}
+
+impl IncrementalGs {
+    /// Start a session over `inst` with the default cache capacity.
+    pub fn new(inst: BipartiteInstance) -> Self {
+        Self::with_cache_capacity(inst, crate::cache::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Start a session with an explicit solve-cache capacity.
+    pub fn with_cache_capacity(inst: BipartiteInstance, capacity: usize) -> Self {
+        let csr = CsrPrefs::from_prefs(&inst);
+        let fp = BipartiteFp::new(&inst);
+        IncrementalGs {
+            inst,
+            csr,
+            ws: GsWorkspace::new(),
+            fp,
+            cache: SolveCache::new(capacity),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The instance in its current (post-delta) state.
+    pub fn instance(&self) -> &BipartiteInstance {
+        &self.inst
+    }
+
+    /// Members per side.
+    pub fn n(&self) -> usize {
+        self.inst.n()
+    }
+
+    /// The current 128-bit content fingerprint of the instance.
+    pub fn fingerprint(&self) -> Fp {
+        self.fp.combined
+    }
+
+    /// Number of matchings currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Apply one preference delta: the instance mutates in place, the CSR
+    /// arena refreshes only the dirty rows, and the content fingerprint is
+    /// patched — all O(n). A rejected delta leaves the session unchanged.
+    pub fn apply(&mut self, delta: &PrefDelta) -> Result<(), PrefsError> {
+        self.inst.apply_delta(delta)?;
+        self.csr.apply_delta(delta, &self.inst);
+        let list = match delta.side() {
+            DeltaSide::Proposer => self.inst.proposer_list(delta.row()),
+            DeltaSide::Responder => self.inst.responder_list(delta.row()),
+        };
+        self.fp.update_row(delta.side(), delta.row(), list);
+        self.pending.push(delta.clone());
+        Ok(())
+    }
+
+    /// Solve the current state — cached, warm, or cold, whichever is
+    /// cheapest (see the module docs).
+    pub fn solve(&mut self) -> GsOutcome {
+        self.solve_metered(&mut NoMetrics)
+    }
+
+    /// [`IncrementalGs::solve`] with metric hooks: every call records one
+    /// [`Metrics::cache_lookup`]; engine runs add the warm/cold counters
+    /// of `GsWorkspace::resolve_delta_metered`; insertions that push an
+    /// older entry out record [`Metrics::cache_eviction`].
+    pub fn solve_metered<M: Metrics>(&mut self, metrics: &mut M) -> GsOutcome {
+        let key = self.fp.combined;
+        if let Some(matching) = self.cache.get(key) {
+            metrics.cache_lookup(true);
+            return GsOutcome {
+                matching: matching.clone(),
+                stats: GsStats::default(),
+                trace: None,
+            };
+        }
+        metrics.cache_lookup(false);
+        let out = self.ws.resolve_delta_metered(&self.csr, &self.pending, metrics);
+        self.pending.clear();
+        if self.cache.insert(key, out.matching.clone()) {
+            metrics.cache_eviction();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_gs::gale_shapley;
+    use kmatch_obs::SolverMetrics;
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_delta(n: usize, rng: &mut ChaCha8Rng) -> PrefDelta {
+        let side = if rng.gen_bool(0.5) {
+            DeltaSide::Proposer
+        } else {
+            DeltaSide::Responder
+        };
+        let row = rng.gen_range(0..n as u32);
+        match rng.gen_range(0..3u32) {
+            0 => {
+                let mut prefs: Vec<u32> = (0..n as u32).collect();
+                for i in (1..n).rev() {
+                    prefs.swap(i, rng.gen_range(0..i + 1));
+                }
+                PrefDelta::SetRow { side, row, prefs }
+            }
+            1 => PrefDelta::Swap {
+                side,
+                row,
+                a: rng.gen_range(0..n as u32),
+                b: rng.gen_range(0..n as u32),
+            },
+            _ => PrefDelta::Splice {
+                side,
+                row,
+                from: rng.gen_range(0..n as u32),
+                to: rng.gen_range(0..n as u32),
+            },
+        }
+    }
+
+    #[test]
+    fn session_tracks_cold_solver_across_delta_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let inst = uniform_bipartite(24, &mut rng);
+        let mut session = IncrementalGs::new(inst.clone());
+        let mut shadow = inst;
+        for _ in 0..40 {
+            let delta = random_delta(24, &mut rng);
+            session.apply(&delta).unwrap();
+            shadow.apply_delta(&delta).unwrap();
+            let out = session.solve();
+            assert_eq!(out.matching, gale_shapley(&shadow).matching);
+        }
+    }
+
+    #[test]
+    fn undo_delta_hits_the_cache() {
+        let mut rng = ChaCha8Rng::seed_from_u64(72);
+        let inst = uniform_bipartite(16, &mut rng);
+        let mut session = IncrementalGs::new(inst);
+        let mut m = SolverMetrics::new();
+        let first = session.solve_metered(&mut m);
+        // Swap two entries and solve, then swap them back: the original
+        // fingerprint recurs and the stored matching comes straight back.
+        let swap = PrefDelta::Swap {
+            side: DeltaSide::Proposer,
+            row: 3,
+            a: 0,
+            b: 5,
+        };
+        session.apply(&swap).unwrap();
+        session.solve_metered(&mut m);
+        session.apply(&swap).unwrap();
+        let again = session.solve_metered(&mut m);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(again.matching, first.matching);
+        assert_eq!(again.stats, GsStats::default(), "no engine work on a hit");
+    }
+
+    #[test]
+    fn solve_after_cache_hit_still_matches_cold() {
+        // A cache hit leaves the workspace one revision behind; the next
+        // miss must still warm-start correctly from the accumulated
+        // pending deltas.
+        let mut rng = ChaCha8Rng::seed_from_u64(73);
+        let inst = uniform_bipartite(20, &mut rng);
+        let mut session = IncrementalGs::new(inst.clone());
+        session.solve();
+        let swap = PrefDelta::Swap {
+            side: DeltaSide::Responder,
+            row: 7,
+            a: 1,
+            b: 9,
+        };
+        session.apply(&swap).unwrap();
+        session.solve();
+        session.apply(&swap).unwrap();
+        session.solve(); // cache hit — engine state is now stale
+        let fresh = random_delta(20, &mut rng);
+        session.apply(&fresh).unwrap();
+        let mut shadow = inst;
+        shadow.apply_delta(&fresh).unwrap();
+        assert_eq!(session.solve().matching, gale_shapley(&shadow).matching);
+    }
+
+    #[test]
+    fn eviction_fires_metric_and_bounds_cache() {
+        let mut rng = ChaCha8Rng::seed_from_u64(74);
+        let inst = uniform_bipartite(12, &mut rng);
+        let mut session = IncrementalGs::with_cache_capacity(inst, 2);
+        let mut m = SolverMetrics::new();
+        for _ in 0..5 {
+            let delta = random_delta(12, &mut rng);
+            session.apply(&delta).unwrap();
+            session.solve_metered(&mut m);
+        }
+        assert!(session.cache_len() <= 2);
+        assert!(m.cache_evictions >= m.cache_misses.saturating_sub(2 + m.cache_hits));
+    }
+
+    #[test]
+    fn incremental_fingerprint_matches_from_scratch() {
+        let mut rng = ChaCha8Rng::seed_from_u64(76);
+        let inst = uniform_bipartite(14, &mut rng);
+        let mut session = IncrementalGs::new(inst);
+        for _ in 0..20 {
+            let delta = random_delta(14, &mut rng);
+            session.apply(&delta).unwrap();
+            assert_eq!(
+                session.fingerprint(),
+                crate::fingerprint::bipartite_fingerprint(session.instance()),
+                "patched fingerprint must equal a full rehash"
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_delta_leaves_session_consistent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(75);
+        let inst = uniform_bipartite(10, &mut rng);
+        let mut session = IncrementalGs::new(inst.clone());
+        let fp = session.fingerprint();
+        let bad = PrefDelta::Swap {
+            side: DeltaSide::Proposer,
+            row: 99,
+            a: 0,
+            b: 1,
+        };
+        assert!(session.apply(&bad).is_err());
+        assert_eq!(session.fingerprint(), fp);
+        assert_eq!(session.solve().matching, gale_shapley(&inst).matching);
+    }
+}

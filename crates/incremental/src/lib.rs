@@ -1,0 +1,46 @@
+//! # kmatch-incremental — incremental re-solving
+//!
+//! The solvers in `kmatch-gs`, `kmatch-roommates`, and `kmatch-core` are
+//! built for one-shot throughput. Real workloads mutate: a member
+//! re-ranks one list and asks for the new matching. Solving from scratch
+//! discards everything the previous execution learned; this crate keeps
+//! it, at three layers:
+//!
+//! * [`IncrementalGs`] — a bipartite session whose solves warm-start from
+//!   the previous deferred-acceptance execution
+//!   (`GsWorkspace::resolve_delta` re-frees only affected proposers) and
+//!   short-circuit entirely through a content-addressed [`SolveCache`]
+//!   when an instance state recurs.
+//! * [`IncrementalRoommates`] — the Irving analogue: dead-zone rewrites
+//!   replay the previous outcome in O(n) (see `kmatch_roommates::warm`),
+//!   anything that could loosen a phase-1 threshold falls back to a cold
+//!   solve, and recurring states (solvable or not) come from the cache.
+//! * [`IncrementalBinder`] — dirty-edge k-ary rebinding: each binding-tree
+//!   edge is fingerprinted over the preference rows it reads, a rebind
+//!   re-solves only dirty edges and reuses cached pair lists elsewhere
+//!   (clean edges execute zero proposals), and only the union–find merge
+//!   re-runs in full — ~`1/(k−1)` of the work for a one-gender-pair
+//!   update.
+//!
+//! Content addressing is per-row FxHash-style fingerprinting, XOR-combined
+//! so a row edit patches the combined key in O(n) ([`fingerprint`]); the
+//! cache ([`cache`]) is a bounded FIFO keyed by 128-bit fingerprints.
+//! Every layer is differentially tested byte-equal against its cold
+//! counterpart, and every tier records `SolverMetrics` counters
+//! (`cache_hits`/`cache_misses`/`cache_evictions`,
+//! `edges_dirty`/`edges_clean`, `warm_solves`/`warm_fallbacks`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binder;
+pub mod cache;
+pub mod fingerprint;
+pub mod gs;
+pub mod roommates;
+
+pub use binder::IncrementalBinder;
+pub use cache::{SolveCache, DEFAULT_CACHE_CAPACITY};
+pub use fingerprint::{bipartite_fingerprint, hash_row_fp, Fp};
+pub use gs::IncrementalGs;
+pub use roommates::IncrementalRoommates;

@@ -55,6 +55,29 @@ pub trait Metrics {
     /// A full binding run finished with `total` proposals against the
     /// Theorem-3 bound `(k−1)·n²`.
     fn theorem3_check(&mut self, total: u64, bound: u64);
+
+    // ---- incremental-solving hooks ----
+    /// The solve cache was consulted; `hit` means a stored matching was
+    /// returned without solving.
+    fn cache_lookup(&mut self, hit: bool) {
+        let _ = hit;
+    }
+    /// A cached matching was evicted to make room.
+    fn cache_eviction(&mut self) {}
+    /// An incremental rebind classified one binding edge; `dirty` means
+    /// its preference rows changed and it was re-solved (clean edges reuse
+    /// the previous pairs and execute zero proposals).
+    fn binding_edge_reuse(&mut self, dirty: bool) {
+        let _ = dirty;
+    }
+    /// A warm-start re-solve ran, re-freeing `refreed` proposers instead
+    /// of all n.
+    fn warm_resolve(&mut self, refreed: u64) {
+        let _ = refreed;
+    }
+    /// A warm-start request could not reuse prior state and fell back to a
+    /// cold solve.
+    fn warm_fallback(&mut self) {}
 }
 
 /// Zero-sized metrics sink: every hook is erased at compile time. The
@@ -129,6 +152,23 @@ pub struct SolverMetrics {
     /// Theorem-3 bound violations observed (must stay 0; a nonzero value
     /// falsifies the paper's bound or flags an engine bug).
     pub theorem3_violations: u64,
+    /// Solve-cache lookups that returned a stored matching.
+    pub cache_hits: u64,
+    /// Solve-cache lookups that had to solve.
+    pub cache_misses: u64,
+    /// Cached matchings evicted to respect the capacity bound.
+    pub cache_evictions: u64,
+    /// Incremental-rebind edges whose preference rows changed (re-solved).
+    pub edges_dirty: u64,
+    /// Incremental-rebind edges reused verbatim (zero proposals).
+    pub edges_clean: u64,
+    /// Warm-start re-solves that reused prior engine state.
+    pub warm_solves: u64,
+    /// Warm-start requests that fell back to a cold solve.
+    pub warm_fallbacks: u64,
+    /// Proposers re-freed by warm-start re-solves (cold solves re-free
+    /// all n; the warm path's advantage is keeping this small).
+    pub refreed_proposers: u64,
     /// Proposals per solve.
     pub proposals_per_solve: Log2Histogram,
     /// Proposals per binding edge (the per-edge `n²` component of
@@ -198,11 +238,40 @@ impl Metrics for SolverMetrics {
             self.theorem3_violations += 1;
         }
     }
+    #[inline]
+    fn cache_lookup(&mut self, hit: bool) {
+        if hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
+    }
+    #[inline(always)]
+    fn cache_eviction(&mut self) {
+        self.cache_evictions += 1;
+    }
+    #[inline]
+    fn binding_edge_reuse(&mut self, dirty: bool) {
+        if dirty {
+            self.edges_dirty += 1;
+        } else {
+            self.edges_clean += 1;
+        }
+    }
+    #[inline]
+    fn warm_resolve(&mut self, refreed: u64) {
+        self.warm_solves += 1;
+        self.refreed_proposers += refreed;
+    }
+    #[inline(always)]
+    fn warm_fallback(&mut self) {
+        self.warm_fallbacks += 1;
+    }
 }
 
 /// The scalar counters in serialization order, shared by the JSON and
 /// Prometheus renderers (name, value, Prometheus metric name).
-fn counter_rows(m: &SolverMetrics) -> [(&'static str, u64); 14] {
+fn counter_rows(m: &SolverMetrics) -> [(&'static str, u64); 22] {
     [
         ("solves", m.solves),
         ("solvable", m.solvable),
@@ -218,6 +287,14 @@ fn counter_rows(m: &SolverMetrics) -> [(&'static str, u64); 14] {
         ("binding_edges", m.binding_edges),
         ("theorem3_checks", m.theorem3_checks),
         ("theorem3_violations", m.theorem3_violations),
+        ("cache_hits", m.cache_hits),
+        ("cache_misses", m.cache_misses),
+        ("cache_evictions", m.cache_evictions),
+        ("edges_dirty", m.edges_dirty),
+        ("edges_clean", m.edges_clean),
+        ("warm_solves", m.warm_solves),
+        ("warm_fallbacks", m.warm_fallbacks),
+        ("refreed_proposers", m.refreed_proposers),
     ]
 }
 
@@ -244,6 +321,14 @@ impl SolverMetrics {
         self.binding_edges += other.binding_edges;
         self.theorem3_checks += other.theorem3_checks;
         self.theorem3_violations += other.theorem3_violations;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.edges_dirty += other.edges_dirty;
+        self.edges_clean += other.edges_clean;
+        self.warm_solves += other.warm_solves;
+        self.warm_fallbacks += other.warm_fallbacks;
+        self.refreed_proposers += other.refreed_proposers;
         self.proposals_per_solve.merge(&other.proposals_per_solve);
         self.proposals_per_edge.merge(&other.proposals_per_edge);
         self.solve_wall_ns.merge(&other.solve_wall_ns);
@@ -319,6 +404,13 @@ mod tests {
         m.solve_ns(1500);
         m.binding_edge(2);
         m.theorem3_check(2, 16);
+        m.cache_lookup(true);
+        m.cache_lookup(false);
+        m.cache_eviction();
+        m.binding_edge_reuse(true);
+        m.binding_edge_reuse(false);
+        m.warm_resolve(3);
+        m.warm_fallback();
         m
     }
 
@@ -339,6 +431,14 @@ mod tests {
         assert_eq!(m.binding_edges, 1);
         assert_eq!(m.theorem3_checks, 1);
         assert_eq!(m.theorem3_violations, 0);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_evictions, 1);
+        assert_eq!(m.edges_dirty, 1);
+        assert_eq!(m.edges_clean, 1);
+        assert_eq!(m.warm_solves, 1);
+        assert_eq!(m.warm_fallbacks, 1);
+        assert_eq!(m.refreed_proposers, 3);
         assert_eq!(m.proposals_per_solve.count(), 1);
         assert_eq!(m.solve_wall_ns.sum(), 1500);
     }
@@ -357,6 +457,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.proposals, 4);
         assert_eq!(a.solves, 2);
+        assert_eq!(a.cache_hits, 2);
+        assert_eq!(a.edges_clean, 2);
+        assert_eq!(a.warm_solves, 2);
+        assert_eq!(a.refreed_proposers, 6);
         assert_eq!(a.solve_wall_ns.count(), 2);
         assert_eq!(a.proposals_per_edge.count(), 2);
     }

@@ -20,6 +20,20 @@ use kmatch_obs::{BatchRegistry, Clock, Metrics, SolverMetrics};
 use kmatch_prefs::BipartitePrefs;
 use rayon::prelude::*;
 
+/// Which execution path the batch front-ends take on the current rayon
+/// pool: `"serial"` when the pool has a single thread — the fan-out
+/// machinery (chunking, per-chunk workspaces, registry shards) would only
+/// add overhead with no concurrency to buy — and `"parallel"` otherwise.
+/// Benchmarks record this so throughput numbers name the path they
+/// measured.
+pub fn batch_path() -> &'static str {
+    if rayon::current_num_threads() <= 1 {
+        "serial"
+    } else {
+        "parallel"
+    }
+}
+
 /// Solve every instance with proposer-proposing Gale–Shapley, fanning the
 /// batch across the rayon pool with one reusable [`GsWorkspace`] per
 /// worker thread.
@@ -42,6 +56,10 @@ pub fn solve_batch<P>(instances: &[P]) -> Vec<GsOutcome>
 where
     P: BipartitePrefs + Sync,
 {
+    if batch_path() == "serial" {
+        let mut ws = GsWorkspace::new();
+        return instances.iter().map(|inst| ws.solve(inst)).collect();
+    }
     instances
         .par_iter()
         .map_init(GsWorkspace::new, |ws, inst| ws.solve(inst))
@@ -72,6 +90,21 @@ where
     let len = instances.len();
     if len == 0 {
         return Vec::new();
+    }
+    if batch_path() == "serial" {
+        let mut ws = GsWorkspace::new();
+        let mut shard = SolverMetrics::new();
+        let outs: Vec<GsOutcome> = instances
+            .iter()
+            .map(|inst| {
+                let t0 = clock.now_ns();
+                let out = ws.solve_metered(inst, &mut shard);
+                shard.solve_ns(clock.now_ns().saturating_sub(t0));
+                out
+            })
+            .collect();
+        registry.absorb(shard);
+        return outs;
     }
     let threads = rayon::current_num_threads().clamp(1, len);
     let chunk = len.div_ceil(threads);

@@ -10,12 +10,14 @@
 //! by one binding per round).
 
 use kmatch_core::binding::BindingOutcome;
-use kmatch_core::KAryMatching;
-use kmatch_graph::{BindingTree, Schedule, UnionFind};
-use kmatch_gs::{GsStats, GsWorkspace};
+use kmatch_core::{merge_edge_pairs, KAryMatching};
+use kmatch_graph::{BindingTree, Schedule};
+use kmatch_gs::GsStats;
 use kmatch_obs::{BatchRegistry, Metrics, NoMetrics, SolverMetrics};
-use kmatch_prefs::{CsrPrefs, GenderId, KPartiteInstance, KPartitePairView, Member};
+use kmatch_prefs::{GenderId, KPartiteInstance, KPartitePairView, Member};
 use rayon::prelude::*;
+
+use crate::scratch::WorkerScratch;
 
 /// Outcome of a parallel binding run.
 #[derive(Debug, Clone)]
@@ -40,20 +42,10 @@ impl From<ParallelBindingOutcome> for BindingOutcome {
 
 type EdgeResult = (usize, Vec<(u32, u32)>, GsStats);
 
-/// Per-worker scratch shared by every edge a thread processes: the GS
-/// solver workspace plus a CSR arena that snapshots the strided
-/// [`KPartitePairView`] tables into contiguous rows before solving.
-/// Both only grow, so a thread allocates scratch once per job.
-#[derive(Default)]
-struct EdgeScratch {
-    ws: GsWorkspace,
-    csr: CsrPrefs,
-}
-
 /// Run one binding edge, returning (edge index, global-id pairs, stats).
 fn run_edge<M: Metrics>(
     inst: &KPartiteInstance,
-    scratch: &mut EdgeScratch,
+    scratch: &mut WorkerScratch,
     edge_idx: usize,
     i: u16,
     j: u16,
@@ -94,15 +86,13 @@ fn merge(
     rounds_executed: usize,
 ) -> ParallelBindingOutcome {
     let (k, n) = (inst.k(), inst.n());
-    let mut uf = UnionFind::new(k * n);
     let mut per_edge = vec![GsStats::default(); edge_count];
+    let mut all_pairs = Vec::with_capacity(edge_count * n);
     for (idx, pairs, stats) in results {
         per_edge[idx] = stats;
-        for (a, b) in pairs {
-            uf.union(a, b);
-        }
+        all_pairs.extend(pairs);
     }
-    let matching = KAryMatching::from_classes(k, n, &uf.classes());
+    let matching = merge_edge_pairs(k, n, all_pairs);
     ParallelBindingOutcome {
         matching,
         per_edge,
@@ -124,7 +114,7 @@ pub fn parallel_bind(inst: &KPartiteInstance, tree: &BindingTree) -> ParallelBin
         .edges()
         .par_iter()
         .enumerate()
-        .map_init(EdgeScratch::default, |scratch, (idx, &(i, j))| {
+        .map_init(WorkerScratch::default, |scratch, (idx, &(i, j))| {
             run_edge(inst, scratch, idx, i, j, &mut NoMetrics)
         })
         .collect();
@@ -152,7 +142,7 @@ pub fn parallel_bind_metered(
         .par_iter()
         .enumerate()
         .map(|(idx, &(i, j))| {
-            let mut scratch = EdgeScratch::default();
+            let mut scratch = WorkerScratch::default();
             let mut shard = SolverMetrics::new();
             let r = run_edge(inst, &mut scratch, idx, i, j, &mut shard);
             registry.absorb(shard);
@@ -185,7 +175,7 @@ pub fn parallel_bind_scheduled(
     for round in schedule.rounds() {
         let mut batch: Vec<EdgeResult> = round
             .par_iter()
-            .map_init(EdgeScratch::default, |scratch, &e| {
+            .map_init(WorkerScratch::default, |scratch, &e| {
                 let (i, j) = tree.edges()[e];
                 run_edge(inst, scratch, e, i, j, &mut NoMetrics)
             })

@@ -35,12 +35,16 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cached;
 pub mod executor;
 pub mod pram;
 pub mod roommates;
+pub mod scratch;
 
-pub use batch::{batch_stats, solve_batch, solve_batch_metered};
+pub use batch::{batch_path, batch_stats, solve_batch, solve_batch_metered};
+pub use cached::{solve_batch_cached, CachedBatchOutcome};
 pub use executor::{
     parallel_bind, parallel_bind_metered, parallel_bind_scheduled, ParallelBindingOutcome,
 };
 pub use pram::{crew_cost, erew_cost, replication_rounds, PramCost, PramModel};
+pub use scratch::WorkerScratch;

@@ -38,6 +38,10 @@ use rayon::prelude::*;
 /// assert_eq!(outcomes.len(), 32);
 /// ```
 pub fn solve_batch(instances: &[RoommatesInstance]) -> Vec<RoommatesOutcome> {
+    if crate::batch::batch_path() == "serial" {
+        let mut ws = RoommatesWorkspace::new();
+        return instances.iter().map(|inst| ws.solve(inst)).collect();
+    }
     instances
         .par_iter()
         .map_init(RoommatesWorkspace::new, |ws, inst| ws.solve(inst))
@@ -60,6 +64,21 @@ pub fn solve_batch_metered<C: Clock + Sync>(
     let len = instances.len();
     if len == 0 {
         return Vec::new();
+    }
+    if crate::batch::batch_path() == "serial" {
+        let mut ws = RoommatesWorkspace::new();
+        let mut shard = SolverMetrics::new();
+        let outs: Vec<RoommatesOutcome> = instances
+            .iter()
+            .map(|inst| {
+                let t0 = clock.now_ns();
+                let out = ws.solve_metered(inst, &mut shard);
+                shard.solve_ns(clock.now_ns().saturating_sub(t0));
+                out
+            })
+            .collect();
+        registry.absorb(shard);
+        return outs;
     }
     let threads = rayon::current_num_threads().clamp(1, len);
     let chunk = len.div_ceil(threads);

@@ -1,0 +1,29 @@
+//! Per-worker scratch buffers shared by every parallel front-end.
+//!
+//! Each worker thread owns one [`WorkerScratch`] for the duration of a
+//! job: the GS solver workspace plus a CSR arena that snapshots strided
+//! preference views (e.g. [`kmatch_prefs::KPartitePairView`]) into
+//! contiguous rows before solving. Both only grow, so a thread allocates
+//! scratch once and reuses it for every edge or instance it processes.
+//! The binding executor, the batch front-ends, and the incremental batch
+//! path all share this one type instead of growing private copies.
+
+use kmatch_gs::GsWorkspace;
+use kmatch_prefs::CsrPrefs;
+
+/// Reusable per-worker solver state: a [`GsWorkspace`] and a [`CsrPrefs`]
+/// snapshot arena.
+#[derive(Default)]
+pub struct WorkerScratch {
+    /// The zero-allocation GS engine workspace.
+    pub ws: GsWorkspace,
+    /// CSR arena for snapshotting strided views into contiguous rows.
+    pub csr: CsrPrefs,
+}
+
+impl WorkerScratch {
+    /// Fresh scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -10,6 +10,7 @@
 //! description of the GS algorithm) and side `1` the *responder* side
 //! ("women"); [`crate::views::ReverseView`] swaps the roles without copying.
 
+use crate::delta::{DeltaSide, PrefDelta};
 use crate::error::PrefsError;
 use crate::ids::Rank;
 
@@ -153,6 +154,32 @@ impl BipartiteInstance {
     #[inline]
     pub fn responder_prefers(&self, w: u32, a: u32, b: u32) -> bool {
         self.responder_rank(w, a) < self.responder_rank(w, b)
+    }
+
+    /// Apply a single-row [`PrefDelta`] in place: rewrite the named
+    /// preference list and re-invert its rank row, in O(n).
+    ///
+    /// On error the instance is unchanged (validation happens before any
+    /// mutation for [`PrefDelta::SetRow`]; position checks for swap and
+    /// splice happen before the row is touched).
+    pub fn apply_delta(&mut self, delta: &PrefDelta) -> Result<(), PrefsError> {
+        let n = self.n;
+        let row = delta.row() as usize;
+        if row >= n {
+            return Err(PrefsError::ShapeMismatch {
+                what: "delta row index",
+                expected: n,
+                actual: row,
+            });
+        }
+        let (lists, ranks, side_idx) = match delta.side() {
+            DeltaSide::Proposer => (&mut self.side0_lists, &mut self.side0_ranks, 0usize),
+            DeltaSide::Responder => (&mut self.side1_lists, &mut self.side1_ranks, 1usize),
+        };
+        let base = row * n;
+        delta.apply_to_row(&mut lists[base..base + n], (side_idx, row), 1 - side_idx)?;
+        crate::delta::reinvert_row(&lists[base..base + n], &mut ranks[base..base + n]);
+        Ok(())
     }
 
     /// The same instance with proposer/responder roles swapped (deep copy).

@@ -22,6 +22,7 @@
 //! Ranks are stored as `u16`, so `n` is capped at 65 536 members per side —
 //! far above anything the workspace benchmarks — and checked at load time.
 
+use crate::delta::{DeltaSide, PrefDelta};
 use crate::ids::Rank;
 use crate::views::{BipartitePrefs, ResponderListSlice};
 
@@ -110,6 +111,61 @@ impl CsrPrefs {
     pub fn responder_list(&self, w: u32) -> &[u32] {
         let base = w as usize * self.n;
         &self.responder_lists[base..base + self.n]
+    }
+
+    /// Re-derive the arena rows a single-row [`PrefDelta`] invalidates,
+    /// reading the (already mutated) source `prefs`, in O(n) instead of
+    /// the O(n²) full [`CsrPrefs::load`].
+    ///
+    /// The arena must currently hold a snapshot of `prefs` as it was
+    /// before the delta; every row the delta does not name is left
+    /// untouched.
+    pub fn apply_delta<P: BipartitePrefs + ResponderListSlice>(
+        &mut self,
+        delta: &PrefDelta,
+        prefs: &P,
+    ) {
+        assert_eq!(self.n, prefs.n(), "arena holds a different instance");
+        match delta.side() {
+            DeltaSide::Proposer => self.refresh_proposer_row(delta.row(), prefs),
+            DeltaSide::Responder => self.refresh_responder_row(delta.row(), prefs),
+        }
+    }
+
+    /// Recompute proposer `m`'s list, rank, and fused-entry rows from
+    /// `prefs` (already mutated at that row).
+    pub fn refresh_proposer_row<P: BipartitePrefs>(&mut self, m: u32, prefs: &P) {
+        let n = self.n;
+        let base = m as usize * n;
+        self.proposer_lists[base..base + n].copy_from_slice(prefs.proposer_list(m));
+        for (r, &w) in self.proposer_lists[base..base + n].iter().enumerate() {
+            self.proposer_ranks[base + w as usize] = r as u16;
+        }
+        for (pos, &w) in self.proposer_lists[base..base + n].iter().enumerate() {
+            self.entries[base + pos] =
+                (self.responder_ranks[w as usize * n + m as usize] as u64) << 32 | w as u64;
+        }
+    }
+
+    /// Recompute responder `w`'s list and rank rows from `prefs` (already
+    /// mutated at that row), then patch the one fused entry per proposer
+    /// that names `w` — its packed responder rank may have changed.
+    pub fn refresh_responder_row<P: BipartitePrefs + ResponderListSlice>(
+        &mut self,
+        w: u32,
+        prefs: &P,
+    ) {
+        let n = self.n;
+        let base = w as usize * n;
+        self.responder_lists[base..base + n].copy_from_slice(prefs.responder_list_slice(w));
+        for (r, &m) in self.responder_lists[base..base + n].iter().enumerate() {
+            self.responder_ranks[base + m as usize] = r as u16;
+        }
+        for m in 0..n {
+            let pos = self.proposer_ranks[m * n + w as usize] as usize;
+            self.entries[m * n + pos] =
+                (self.responder_ranks[base + m] as u64) << 32 | w as u64;
+        }
     }
 }
 
@@ -216,6 +272,46 @@ mod tests {
         arena.load(&big);
         assert_matches_view(&arena, &big);
         assert_eq!(arena.proposer_lists.capacity(), cap_before);
+    }
+
+    #[test]
+    fn reload_of_strided_view_after_kpartite_delta_matches_fresh() {
+        // The pair view strides through the k-partite tables; after a row
+        // rewrite, reloading a dirty reused arena must be indistinguishable
+        // from building a fresh one — lists, rank tables, fused entries.
+        use crate::gen::uniform::uniform_kpartite;
+        use crate::ids::Member;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut inst = uniform_kpartite(4, 6, &mut rng);
+        let mut arena = CsrPrefs::new();
+        arena.load(&KPartitePairView::new(&inst, GenderId(1), GenderId(3)));
+        inst.set_pref_row(
+            Member {
+                gender: GenderId(1),
+                index: 2,
+            },
+            GenderId(3),
+            &[5, 3, 0, 1, 4, 2],
+        )
+        .unwrap();
+        inst.set_pref_row(
+            Member {
+                gender: GenderId(3),
+                index: 0,
+            },
+            GenderId(1),
+            &[2, 0, 5, 4, 3, 1],
+        )
+        .unwrap();
+        let view = KPartitePairView::new(&inst, GenderId(1), GenderId(3));
+        arena.load(&view);
+        assert_matches_view(&arena, &view);
+        let fresh = CsrPrefs::from_prefs(&view);
+        assert_eq!(arena.proposer_lists, fresh.proposer_lists);
+        assert_eq!(arena.responder_lists, fresh.responder_lists);
+        assert_eq!(arena.proposer_ranks, fresh.proposer_ranks);
+        assert_eq!(arena.responder_ranks, fresh.responder_ranks);
+        assert_eq!(arena.entries, fresh.entries);
     }
 
     // Compile-time: the arena must advertise its rank tables so the

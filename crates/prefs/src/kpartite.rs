@@ -144,6 +144,38 @@ impl KPartiteInstance {
         self.ranks[self.base(m, h) + j as usize]
     }
 
+    /// Replace member `m`'s preference row over gender `h` with `row` (a
+    /// permutation of `0..n`), re-inverting the matching rank row — the
+    /// k-partite delta primitive behind incremental rebinding. O(n).
+    pub fn set_pref_row(&mut self, m: Member, h: GenderId, row: &[u32]) -> Result<(), PrefsError> {
+        if m.gender == h {
+            return Err(PrefsError::SelfPreference {
+                owner: (m.gender.idx(), m.index as usize),
+            });
+        }
+        if m.gender.idx() >= self.k || h.idx() >= self.k || m.index as usize >= self.n {
+            return Err(PrefsError::ShapeMismatch {
+                what: "set_pref_row member or gender index",
+                expected: self.k * self.n,
+                actual: m.gender.idx() * self.n + m.index as usize,
+            });
+        }
+        let mut seen = vec![false; self.n];
+        if !crate::bipartite::check_permutation(row, self.n, &mut seen) {
+            return Err(PrefsError::NotAPermutation {
+                owner: (m.gender.idx(), m.index as usize),
+                over: h.idx(),
+            });
+        }
+        let base = self.base(m, h);
+        let n = self.n;
+        self.lists[base..base + n].copy_from_slice(row);
+        for (r, &j) in row.iter().enumerate() {
+            self.ranks[base + j as usize] = r as Rank;
+        }
+        Ok(())
+    }
+
     /// Does `m` strictly prefer `a` over `b`? `a` and `b` must share a
     /// gender that differs from `m`'s.
     #[inline]

@@ -32,6 +32,7 @@
 
 pub mod bipartite;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod gen;
 pub mod ids;
@@ -44,6 +45,7 @@ pub mod serde_support;
 
 pub use bipartite::BipartiteInstance;
 pub use csr::{CsrPrefs, CSR_MAX_N};
+pub use delta::{DeltaSide, PrefDelta};
 pub use error::PrefsError;
 pub use ids::{GenderId, Member, Rank, UNRANKED};
 pub use kpartite::KPartiteInstance;

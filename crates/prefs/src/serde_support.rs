@@ -6,7 +6,9 @@
 
 use serde::impl_json_struct;
 
-use crate::{BipartiteInstance, KPartiteInstance, PrefsError, RoommatesInstance};
+use crate::{
+    BipartiteInstance, DeltaSide, KPartiteInstance, PrefDelta, PrefsError, RoommatesInstance,
+};
 
 /// Serializable form of a [`KPartiteInstance`]: nested best-to-worst lists,
 /// `lists[g][i][h]` with an empty self block.
@@ -119,6 +121,102 @@ impl TryFrom<RoommatesDto> for RoommatesInstance {
     }
 }
 
+/// Serializable form of a [`PrefDelta`], flattened so the JSON shim's
+/// all-fields-required object mapping applies: `op` selects the variant
+/// (`"set_row"`, `"swap"`, `"splice"`), unused operand fields are zero /
+/// empty by convention.
+#[derive(Debug, Clone)]
+pub struct PrefDeltaDto {
+    /// `"set_row"`, `"swap"`, or `"splice"`.
+    pub op: String,
+    /// `"proposer"` or `"responder"`.
+    pub side: String,
+    /// Row (member) index the delta rewrites.
+    pub row: u32,
+    /// New full ordering (`set_row` only; empty otherwise).
+    pub prefs: Vec<u32>,
+    /// First swap position (`swap` only).
+    pub a: u32,
+    /// Second swap position (`swap` only).
+    pub b: u32,
+    /// Source position (`splice` only).
+    pub from: u32,
+    /// Destination position (`splice` only).
+    pub to: u32,
+}
+
+impl_json_struct!(PrefDeltaDto { op, side, row, prefs, a, b, from, to });
+
+impl From<&PrefDelta> for PrefDeltaDto {
+    fn from(delta: &PrefDelta) -> Self {
+        let side = match delta.side() {
+            DeltaSide::Proposer => "proposer",
+            DeltaSide::Responder => "responder",
+        }
+        .to_string();
+        let mut dto = PrefDeltaDto {
+            op: String::new(),
+            side,
+            row: delta.row(),
+            prefs: Vec::new(),
+            a: 0,
+            b: 0,
+            from: 0,
+            to: 0,
+        };
+        match delta {
+            PrefDelta::SetRow { prefs, .. } => {
+                dto.op = "set_row".to_string();
+                dto.prefs = prefs.clone();
+            }
+            PrefDelta::Swap { a, b, .. } => {
+                dto.op = "swap".to_string();
+                dto.a = *a;
+                dto.b = *b;
+            }
+            PrefDelta::Splice { from, to, .. } => {
+                dto.op = "splice".to_string();
+                dto.from = *from;
+                dto.to = *to;
+            }
+        }
+        dto
+    }
+}
+
+impl TryFrom<&PrefDeltaDto> for PrefDelta {
+    type Error = String;
+
+    fn try_from(dto: &PrefDeltaDto) -> Result<Self, String> {
+        let side = match dto.side.as_str() {
+            "proposer" => DeltaSide::Proposer,
+            "responder" => DeltaSide::Responder,
+            other => return Err(format!("unknown delta side `{other}`")),
+        };
+        let row = dto.row;
+        match dto.op.as_str() {
+            "set_row" => Ok(PrefDelta::SetRow {
+                side,
+                row,
+                prefs: dto.prefs.clone(),
+            }),
+            "swap" => Ok(PrefDelta::Swap {
+                side,
+                row,
+                a: dto.a,
+                b: dto.b,
+            }),
+            "splice" => Ok(PrefDelta::Splice {
+                side,
+                row,
+                from: dto.from,
+                to: dto.to,
+            }),
+            other => Err(format!("unknown delta op `{other}`")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +247,51 @@ mod tests {
         let mut dto = KPartiteDto::from(&inst);
         dto.k = 7;
         assert!(KPartiteInstance::try_from(dto).is_err());
+    }
+
+    #[test]
+    fn delta_json_roundtrip_all_ops() {
+        let deltas = vec![
+            PrefDelta::SetRow {
+                side: DeltaSide::Proposer,
+                row: 2,
+                prefs: vec![3, 0, 1, 2],
+            },
+            PrefDelta::Swap {
+                side: DeltaSide::Responder,
+                row: 1,
+                a: 0,
+                b: 3,
+            },
+            PrefDelta::Splice {
+                side: DeltaSide::Proposer,
+                row: 0,
+                from: 3,
+                to: 1,
+            },
+        ];
+        for delta in deltas {
+            let dto = PrefDeltaDto::from(&delta);
+            let json = serde_json::to_string(&dto).unwrap();
+            let back: PrefDeltaDto = serde_json::from_str(&json).unwrap();
+            assert_eq!(PrefDelta::try_from(&back).unwrap(), delta);
+        }
+    }
+
+    #[test]
+    fn bad_delta_dto_is_rejected() {
+        let delta = PrefDelta::Swap {
+            side: DeltaSide::Proposer,
+            row: 0,
+            a: 0,
+            b: 1,
+        };
+        let mut dto = PrefDeltaDto::from(&delta);
+        dto.op = "reverse".to_string();
+        assert!(PrefDelta::try_from(&dto).is_err());
+        let mut dto = PrefDeltaDto::from(&delta);
+        dto.side = "middle".to_string();
+        assert!(PrefDelta::try_from(&dto).is_err());
     }
 
     #[test]

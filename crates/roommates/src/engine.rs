@@ -206,6 +206,9 @@ fn phase1<T: Tracer, M: Metrics>(
         // threshold store; its deletions stay implicit.
         let new_rank = inst.rank_of(y, x);
         debug_assert!(new_rank <= ws.thresh[y as usize], "thresholds only tighten");
+        if ws.first_rank[y as usize] == NONE {
+            ws.first_rank[y as usize] = new_rank;
+        }
         if T::ENABLED {
             ws.removed.clear();
             ws.collect_p1_removed(inst, y, new_rank);
@@ -300,6 +303,12 @@ pub(crate) fn run_core<T: Tracer, M: Metrics>(
 
     if let Some(culprit) = phase1(inst, ws, &mut stats.proposals, tracer, metrics) {
         metrics.solve_done(false, stats.proposals);
+        ws.footer = Some(crate::workspace::SolveFooter {
+            n: inst.n(),
+            stable: false,
+            culprit,
+            stats,
+        });
         return RoommatesOutcome::NoStableMatching { culprit, stats };
     }
 
@@ -316,6 +325,12 @@ pub(crate) fn run_core<T: Tracer, M: Metrics>(
         if let Some(culprit) = eliminate_rotation(ws) {
             tracer.list_emptied(culprit);
             metrics.solve_done(false, stats.proposals);
+            ws.footer = Some(crate::workspace::SolveFooter {
+                n: inst.n(),
+                stable: false,
+                culprit,
+                stats,
+            });
             return RoommatesOutcome::NoStableMatching { culprit, stats };
         }
     }
@@ -327,6 +342,12 @@ pub(crate) fn run_core<T: Tracer, M: Metrics>(
     for (p, slot) in partner.iter_mut().enumerate() {
         *slot = ws.first(p as u32).expect("singleton lists are non-empty");
     }
+    ws.footer = Some(crate::workspace::SolveFooter {
+        n,
+        stable: true,
+        culprit: NONE,
+        stats,
+    });
     RoommatesOutcome::Stable {
         matching: RoommatesMatching::new(partner),
         stats,

@@ -46,6 +46,7 @@ pub mod phase2;
 pub mod policy;
 pub mod solver;
 pub mod trace;
+pub mod warm;
 pub mod workspace;
 
 pub use fair_smp::{fair_stable_marriage, oriented_stable_marriage, SmpOrientation};
@@ -57,4 +58,5 @@ pub use solver::{
     solve_with_logged_reference, solve_with_reference, RoommatesOutcome, SolveStats,
 };
 pub use trace::RoommatesEvent;
+pub use warm::RoommatesRowDelta;
 pub use workspace::RoommatesWorkspace;

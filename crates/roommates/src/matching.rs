@@ -38,6 +38,11 @@ impl RoommatesMatching {
         self.partner[p as usize]
     }
 
+    /// The full partner array (`partners()[p]` is `p`'s partner).
+    pub fn partners(&self) -> &[u32] {
+        &self.partner
+    }
+
     /// The pairs `(p, q)` with `p < q`.
     pub fn pairs(&self) -> Vec<(u32, u32)> {
         self.partner

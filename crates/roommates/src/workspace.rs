@@ -44,9 +44,26 @@
 
 use kmatch_prefs::RoommatesInstance;
 
+use crate::solver::SolveStats;
+
 /// Niche marker for "no node / no participant / untruncated" in the
 /// workspace tables.
 pub(crate) const NONE: u32 = u32::MAX;
+
+/// Footer recorded by the engine at every exit of a completed solve —
+/// the state [`RoommatesWorkspace::resolve_delta`](crate::warm) needs to
+/// replay the previous outcome without re-running the engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SolveFooter {
+    /// Participant count of the solved instance.
+    pub(crate) n: usize,
+    /// Whether the solve produced a stable matching.
+    pub(crate) stable: bool,
+    /// The emptied-list certificate when `stable` is false.
+    pub(crate) culprit: u32,
+    /// Counters of the recorded solve, replayed verbatim on a warm hit.
+    pub(crate) stats: SolveStats,
+}
 
 /// Reusable scratch buffers for the fast Irving engine.
 ///
@@ -79,6 +96,11 @@ pub struct RoommatesWorkspace {
     pub(crate) scan: Vec<u32>,
     /// `holds[p]`: proposer whose proposal `p` currently holds, or [`NONE`].
     pub(crate) holds: Vec<u32>,
+    /// `first_rank[p]`: rank of the *first* proposal `p` ever held this
+    /// solve, or [`NONE`]. Thresholds only tighten, so this is the loosest
+    /// bound `p`'s row was ever probed against — the warm-start criterion
+    /// in [`crate::warm`] needs it, not the (tighter) final threshold.
+    pub(crate) first_rank: Vec<u32>,
     /// Stack of participants with an outstanding proposal to make.
     pub(crate) free: Vec<u32>,
     // ---- phase 2: doubly-linked arena over the phase-1 survivors ----
@@ -112,6 +134,10 @@ pub struct RoommatesWorkspace {
     pub(crate) targets: Vec<(u32, u32)>,
     /// Partners removed by the current truncation (traced runs only).
     pub(crate) removed: Vec<u32>,
+    // ---- warm-start footer ----
+    /// Outcome of the last completed solve, or `None` when the buffers do
+    /// not hold a finished execution (never solved, or mid-solve).
+    pub(crate) footer: Option<SolveFooter>,
 }
 
 impl RoommatesWorkspace {
@@ -128,6 +154,7 @@ impl RoommatesWorkspace {
             thresh: Vec::with_capacity(n),
             scan: Vec::with_capacity(n),
             holds: Vec::with_capacity(n),
+            first_rank: Vec::with_capacity(n),
             free: Vec::with_capacity(n),
             entries: Vec::with_capacity(entries),
             off: Vec::with_capacity(n + 1),
@@ -143,6 +170,7 @@ impl RoommatesWorkspace {
             ys: Vec::with_capacity(n),
             targets: Vec::with_capacity(n),
             removed: Vec::new(),
+            footer: None,
         }
     }
 
@@ -156,12 +184,15 @@ impl RoommatesWorkspace {
         let fresh = self.thresh.capacity() < n
             || self.holds.capacity() < n
             || self.free.capacity() < n;
+        self.footer = None;
         self.thresh.clear();
         self.thresh.resize(n, NONE);
         self.scan.clear();
         self.scan.resize(n, 0);
         self.holds.clear();
         self.holds.resize(n, NONE);
+        self.first_rank.clear();
+        self.first_rank.resize(n, NONE);
         self.free.clear();
         self.free.extend((0..n as u32).rev());
         self.pos.clear();

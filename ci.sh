@@ -52,4 +52,43 @@ printf '[%s]' "$(cat "$SMOKE_DIR/inst.json")" > "$SMOKE_DIR/batch.json"
   | grep -qF '1 hits / 1 misses' \
     || { echo "incremental smoke: cached batch hit rate wrong"; exit 1; }
 
+echo "==> trace smoke"
+# A single-solve trace keeps full fidelity: the chrome export must be
+# JSON that Perfetto would load and must carry the round-level spans.
+./target/release/kmatch solve smp --n 64 --seed 5 \
+    --trace-out "$SMOKE_DIR/solve.trace.json" --trace-format chrome
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+    "$SMOKE_DIR/solve.trace.json" \
+    || { echo "trace smoke: solve trace is not valid JSON"; exit 1; }
+for name in '"gs.solve"' '"gs.round"'; do
+  grep -qF "$name" "$SMOKE_DIR/solve.trace.json" \
+    || { echo "trace smoke: missing $name in solve trace"; exit 1; }
+done
+# Batch timelines go through per-chunk flight recorders (phase-level,
+# worker track per chunk); a tiny ring must wrap without corrupting the
+# export.
+./target/release/kmatch batch --kind roommates --n 24 --count 40 --seed 6 \
+    --trace-out "$SMOKE_DIR/batch.trace.json" --flight-recorder 128
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+    "$SMOKE_DIR/batch.trace.json" \
+    || { echo "trace smoke: batch trace is not valid JSON"; exit 1; }
+for name in '"batch.chunk"' '"irving.phase1"' '"irving.phase2"' '"worker-0"'; do
+  grep -qF "$name" "$SMOKE_DIR/batch.trace.json" \
+    || { echo "trace smoke: missing $name in batch trace"; exit 1; }
+done
+# Binding traces carry one span per tree edge.
+./target/release/kmatch gen kpartite --k 3 --n 12 --seed 7 \
+    --out "$SMOKE_DIR/k3.json"
+./target/release/kmatch bind --input "$SMOKE_DIR/k3.json" --tree path \
+    --trace-out "$SMOKE_DIR/bind.trace.json"
+grep -qF '"bind.edge"' "$SMOKE_DIR/bind.trace.json" \
+    || { echo "trace smoke: missing bind.edge in bind trace"; exit 1; }
+
+echo "==> bench regression gate"
+# Committed baselines must pass against themselves: the gate's exact
+# rules (counters, row shapes) hold trivially, and its tolerance rules
+# prove the committed files are internally consistent. Injected
+# regressions are exercised by crates/bench/tests/bench_diff_cli.rs.
+./target/release/bench_diff --baseline results --fresh results --check
+
 echo "CI OK"

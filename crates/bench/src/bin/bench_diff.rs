@@ -1,0 +1,104 @@
+//! The perf regression gate: compare fresh `results/BENCH_*.json` /
+//! `results/REPORT_*.json` files against committed baselines with the
+//! per-row tolerance rules of [`kmatch_bench::diff`], and (under
+//! `--check`) exit nonzero when any row regressed. Run as a ci.sh step:
+//!
+//! ```text
+//! bench_diff --baseline results --fresh results --check
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kmatch_bench::diff::{diff_dirs, DiffConfig};
+
+const USAGE: &str = "\
+usage: bench_diff [--baseline DIR] [--fresh DIR] [--check]
+                  [--timing-tol FRAC] [--ratio-tol FRAC] [--pct-slack POINTS]
+
+Compares every BENCH_*.json / REPORT_*.json under --fresh (default
+`results`) against its counterpart under --baseline (default `results`).
+Counters must match exactly; *_ns rows may not slow beyond the timing
+tolerance (default 0.30 relative, 10us absolute floor); speedup and
+efficiency rows may not shrink beyond the ratio tolerance (default
+0.25); *_pct rows may not grow beyond the slack (default 3.0 points).
+Without --check the gate is report-only and always exits 0.";
+
+fn main() -> ExitCode {
+    let mut baseline = PathBuf::from("results");
+    let mut fresh = PathBuf::from("results");
+    let mut check = false;
+    let mut cfg = DiffConfig::default();
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let fail = |msg: String| -> ExitCode {
+        eprintln!("bench_diff: {msg}\n\n{USAGE}");
+        ExitCode::from(2)
+    };
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = || -> Result<&str, String> {
+            i += 1;
+            argv.get(i)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parsed = match flag {
+            "--baseline" => value().map(|v| baseline = PathBuf::from(v)),
+            "--fresh" => value().map(|v| fresh = PathBuf::from(v)),
+            "--check" => {
+                check = true;
+                Ok(())
+            }
+            "--timing-tol" => parse_f64(flag, value()).map(|v| cfg.timing_tol = v),
+            "--ratio-tol" => parse_f64(flag, value()).map(|v| cfg.ratio_tol = v),
+            "--pct-slack" => parse_f64(flag, value()).map(|v| cfg.pct_slack = v),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag: {other}")),
+        };
+        if let Err(msg) = parsed {
+            return fail(msg);
+        }
+        i += 1;
+    }
+
+    let rep = match diff_dirs(&baseline, &fresh, &cfg) {
+        Ok(rep) => rep,
+        Err(msg) => return fail(msg),
+    };
+
+    for note in &rep.notes {
+        println!("note: {note}");
+    }
+    for reg in &rep.regressions {
+        println!("REGRESSION: {reg}");
+    }
+    println!(
+        "bench diff: {} rows compared, {} regression(s), {} note(s) [{} vs {}]",
+        rep.compared,
+        rep.regressions.len(),
+        rep.notes.len(),
+        fresh.display(),
+        baseline.display(),
+    );
+    if rep.ok() {
+        println!("bench diff: PASS");
+        ExitCode::SUCCESS
+    } else if check {
+        println!("bench diff: FAIL (--check)");
+        ExitCode::FAILURE
+    } else {
+        println!("bench diff: regressions found (report-only; rerun with --check to enforce)");
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_f64(flag: &str, value: Result<&str, String>) -> Result<f64, String> {
+    let v = value?;
+    v.parse()
+        .map_err(|_| format!("invalid value for {flag}: {v}"))
+}

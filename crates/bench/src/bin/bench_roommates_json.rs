@@ -16,7 +16,7 @@ use kmatch_bench::harness::{
 };
 use kmatch_bench::rng;
 use kmatch_obs::{BatchRegistry, RunReport, StdClock};
-use kmatch_parallel::roommates::{solve_batch, solve_batch_metered};
+use kmatch_parallel::roommates::{solve_batch, solve_batch_metered, solve_batch_traced};
 use kmatch_prefs::gen::uniform::uniform_roommates;
 use kmatch_roommates::{solve_reference, RoommatesWorkspace};
 use serde::impl_json_struct;
@@ -84,13 +84,17 @@ struct Report {
     single: Vec<SingleRow>,
     batch: BatchRow,
     metrics_overhead: OverheadRow,
+    /// `metered_ns` here is the *traced* batch (per-chunk flight
+    /// recorders armed): the cost of leaving the black box on.
+    trace_overhead: OverheadRow,
 }
 
 impl_json_struct!(Report {
     threads,
     single,
     batch,
-    metrics_overhead
+    metrics_overhead,
+    trace_overhead
 });
 
 fn single_row(n: usize, reps: usize) -> SingleRow {
@@ -196,6 +200,36 @@ fn overhead_row() -> (OverheadRow, RunReport) {
     (OverheadRow::new(instances, n, plain_ns, metered_ns), report)
 }
 
+/// Measure the traced batch path (per-chunk flight recorders, phase-level
+/// spans, `StdClock` timestamps) against the metered one on the same
+/// n = 2000 batch. `solve_batch_traced` is the metered path plus a ring,
+/// and `solve_spanned` with `NoSpans` *is* `solve_metered`, so this
+/// isolates exactly what arming the flight recorder costs — the
+/// acceptance target is < 5%.
+fn trace_overhead_row() -> OverheadRow {
+    let (instances, n, reps) = (32usize, 2000usize, 4);
+    let batch = roommates_batch(instances, n, 404);
+    let registry = BatchRegistry::new();
+    let clock = StdClock::new();
+    let [plain_ns, traced_ns] = measure_blocks(
+        3,
+        reps,
+        [
+            &mut || {
+                solve_batch_metered(&batch, &registry, &clock)
+                    .iter()
+                    .map(|o| o.stats().proposals)
+                    .sum()
+            },
+            &mut || {
+                let (outs, _traces) = solve_batch_traced(&batch, &registry, &clock, 1 << 12);
+                outs.iter().map(|o| o.stats().proposals).sum()
+            },
+        ],
+    );
+    OverheadRow::new(instances, n, plain_ns, traced_ns)
+}
+
 fn main() {
     // Same shared-VM caveats as bench_gs_json; see measure_blocks.
     let single: Vec<SingleRow> = [(256usize, 400), (1024, 80), (2000, 40)]
@@ -203,11 +237,20 @@ fn main() {
         .map(|(n, reps)| single_row(n, reps))
         .collect();
     let (metrics_overhead, run_report) = overhead_row();
+    let trace_overhead = trace_overhead_row();
+    let run_report = run_report.with_overhead(
+        "trace_overhead",
+        trace_overhead.instances,
+        trace_overhead.n,
+        trace_overhead.plain_ns,
+        trace_overhead.metered_ns,
+    );
     let report = Report {
         threads: rayon_threads(),
         single,
         batch: batch_row(),
         metrics_overhead,
+        trace_overhead,
     };
 
     for row in &report.single {
@@ -232,6 +275,11 @@ fn main() {
     println!(
         "metrics overhead {} x n={}: plain {:>10.0} ns  metered {:>10.0} ns  ({:+.2}%)",
         o.instances, o.n, o.plain_ns, o.metered_ns, o.overhead_pct,
+    );
+    let t = &report.trace_overhead;
+    println!(
+        "trace overhead   {} x n={}: plain {:>10.0} ns  traced  {:>10.0} ns  ({:+.2}%)",
+        t.instances, t.n, t.plain_ns, t.metered_ns, t.overhead_pct,
     );
 
     write_results("BENCH_roommates.json", &report);

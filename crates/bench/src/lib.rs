@@ -4,6 +4,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod harness;
 pub mod sweep;
 

@@ -10,11 +10,13 @@
 //! ```
 
 mod args;
+mod traceio;
 
 use std::fs;
 use std::process::ExitCode;
 
 use args::Args;
+use traceio::TraceOpts;
 use kmatch_core::{
     bind_with_stats, family_cost, find_blocking_family, find_weak_blocking_family,
     priority_binding_tree, AttachChoice, GenderPriorities, KAryMatching,
@@ -29,6 +31,7 @@ use kmatch_prefs::{
 };
 use kmatch_roommates::kpartite::{solve_global_binary, KPartiteBinaryOutcome};
 use kmatch_roommates::{fair_stable_marriage, oriented_stable_marriage, SmpOrientation};
+use kmatch_trace::TraceTrack;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -41,12 +44,20 @@ USAGE:
   kmatch solve kary    --input FILE [--tree path|star|random|priority] [--seed S]
   kmatch solve binary  --input FILE
   kmatch solve smp     --n N [--seed S] [--mode gs|fair|man|woman]
+                       [--trace-out FILE] [--trace-format chrome|json]
+                       [--flight-recorder N]
   kmatch batch         [--n N] [--count C] [--seed S] [--kind gs|roommates]
                        [--input FILE]... [--cache on|off] [--errors-out FILE]
                        [--metrics-out FILE] [--metrics-format json|prom]
+                       [--trace-out FILE] [--trace-format chrome|json]
+                       [--flight-recorder N]
   kmatch delta         --input FILE --deltas FILE [--metrics-out FILE]
+                       [--trace-out FILE] [--trace-format chrome|json]
+                       [--flight-recorder N]
   kmatch bind          --input FILE [--tree path|star|random|priority] [--seed S]
                        [--incremental true] [--updates FILE] [--metrics-out FILE]
+                       [--trace-out FILE] [--trace-format chrome|json]
+                       [--flight-recorder N]
   kmatch report validate --input FILE          (check an emitted RunReport)
   kmatch verify kary   --input FILE --matching FILE [--weak]
   kmatch lattice       --n N [--seed S] [--limit L]
@@ -70,6 +81,14 @@ USAGE:
   bind --incremental true binds through the dirty-edge session;
   --updates FILE applies preference-row rewrites ({\"gender\", \"index\",
   \"target\", \"prefs\"}) and rebinds, reporting dirty vs clean edges.
+
+  --trace-out FILE records a span timeline of the solve (engine rounds,
+  Irving phases, binding edges, cache hits) and exports it as Chrome
+  trace-event JSON (--trace-format chrome, the default — load it at
+  https://ui.perfetto.dev) or as the native kmatch.trace/v1 document
+  (--trace-format json). --flight-recorder N records into a
+  fixed-capacity ring that keeps only the newest N events (per worker
+  chunk for batch). solve smp traces --mode gs only.
 ";
 
 fn main() -> ExitCode {
@@ -296,19 +315,40 @@ fn solve_binary(args: &Args) -> Result<(), String> {
 }
 
 fn solve_smp(args: &Args) -> Result<(), String> {
-    args.check_known(&["n", "seed", "mode"])?;
+    args.check_known(&[
+        "n",
+        "seed",
+        "mode",
+        "trace-out",
+        "trace-format",
+        "flight-recorder",
+    ])?;
+    let topts = TraceOpts::from_args(args)?;
     let n: usize = args.require("n")?;
     let seed: u64 = args.flag_or("seed", 0)?;
     let inst =
         kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut ChaCha8Rng::seed_from_u64(seed));
     let mode = args.flag("mode").unwrap_or("gs");
-    let matching = match mode {
-        "gs" => gale_shapley(&inst).matching,
-        "fair" => fair_stable_marriage(&inst).matching,
-        "man" => oriented_stable_marriage(&inst, SmpOrientation::SeedFromWomen).matching,
-        "woman" => oriented_stable_marriage(&inst, SmpOrientation::SeedFromMen).matching,
-        other => return Err(format!("unknown mode: {other}")),
+    if topts.enabled() && mode != "gs" {
+        return Err("--trace-out on solve smp is only supported for --mode gs".to_string());
+    }
+    let clock = kmatch_obs::StdClock::new();
+    let mut sink = topts.enabled().then(|| topts.sink(&clock));
+    let matching = match (mode, sink.as_mut()) {
+        ("gs", Some(sink)) => {
+            let mut ws = GsWorkspace::new();
+            ws.solve_spanned(&inst, &mut kmatch_obs::NoMetrics, sink)
+                .matching
+        }
+        ("gs", None) => gale_shapley(&inst).matching,
+        ("fair", _) => fair_stable_marriage(&inst).matching,
+        ("man", _) => oriented_stable_marriage(&inst, SmpOrientation::SeedFromWomen).matching,
+        ("woman", _) => oriented_stable_marriage(&inst, SmpOrientation::SeedFromMen).matching,
+        (other, _) => return Err(format!("unknown mode: {other}")),
     };
+    if let Some(sink) = sink {
+        topts.write(&TraceTrack::main(sink.into_events().0))?;
+    }
     println!("mode          : {mode}");
     println!(
         "men mean rank : {:.3}",
@@ -445,6 +485,25 @@ fn write_metrics(
     Ok(())
 }
 
+/// Export the per-chunk timelines a traced batch returned: one
+/// `worker-<i>` thread track per chunk, plus a dropped-events note when
+/// a flight recorder wrapped.
+fn write_chunk_traces(
+    topts: &TraceOpts,
+    traces: Option<Vec<kmatch_parallel::ChunkTrace>>,
+) -> Result<(), String> {
+    let Some(traces) = traces else {
+        return Ok(());
+    };
+    let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+    if dropped > 0 {
+        eprintln!("flight recorder dropped {dropped} events (oldest overwritten)");
+    }
+    topts.write(&TraceTrack::workers(
+        traces.into_iter().map(|t| t.events).collect(),
+    ))
+}
+
 /// Solve a stream of instances through the parallel batch front-ends —
 /// the CLI face of `kmatch_parallel::solve_batch` (`--kind gs`) and
 /// `kmatch_parallel::roommates::solve_batch` (`--kind roommates`), both
@@ -463,7 +522,11 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
         "errors-out",
         "metrics-out",
         "metrics-format",
+        "trace-out",
+        "trace-format",
+        "flight-recorder",
     ])?;
+    let topts = TraceOpts::from_args(args)?;
     let seed: u64 = args.flag_or("seed", 0)?;
     let kind = args.flag("kind").unwrap_or("gs");
     if let Some(fmt) = args.flag("metrics-format") {
@@ -476,6 +539,9 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
         "off" => false,
         other => return Err(format!("unknown --cache value: {other} (expected on|off)")),
     };
+    if topts.enabled() && cache_on {
+        return Err("--trace-out is not supported with --cache on".to_string());
+    }
     let metered = args.flag("metrics-out").is_some();
     let registry = kmatch_obs::BatchRegistry::new();
     let clock = kmatch_obs::StdClock::new();
@@ -503,6 +569,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             let count = batch.len();
             let n = batch.iter().map(|i| i.n()).max().unwrap_or(0);
             let start = std::time::Instant::now();
+            let mut chunk_traces: Option<Vec<kmatch_parallel::ChunkTrace>> = None;
             let (outcomes, cache_line) = if cache_on {
                 let mut cache = SolveCache::default();
                 let cached =
@@ -514,6 +581,15 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                     100.0 * cached.hit_rate()
                 );
                 (cached.outcomes, Some(line))
+            } else if topts.enabled() {
+                let (outs, traces) = kmatch_parallel::solve_batch_traced(
+                    &batch,
+                    &registry,
+                    &clock,
+                    topts.chunk_capacity(),
+                );
+                chunk_traces = Some(traces);
+                (outs, None)
             } else if metered {
                 (
                     kmatch_parallel::solve_batch_metered(&batch, &registry, &clock),
@@ -535,6 +611,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                 elapsed.as_secs_f64() * 1e3,
                 count as f64 / elapsed.as_secs_f64().max(1e-12)
             );
+            write_chunk_traces(&topts, chunk_traces)?;
             write_metrics(
                 args,
                 "gs",
@@ -573,7 +650,17 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             let count = batch.len();
             let n = batch.iter().map(|i| i.n()).max().unwrap_or(0);
             let start = std::time::Instant::now();
-            let outcomes = if metered {
+            let mut chunk_traces: Option<Vec<kmatch_parallel::ChunkTrace>> = None;
+            let outcomes = if topts.enabled() {
+                let (outs, traces) = kmatch_parallel::roommates::solve_batch_traced(
+                    &batch,
+                    &registry,
+                    &clock,
+                    topts.chunk_capacity(),
+                );
+                chunk_traces = Some(traces);
+                outs
+            } else if metered {
                 kmatch_parallel::roommates::solve_batch_metered(&batch, &registry, &clock)
             } else {
                 kmatch_parallel::roommates::solve_batch(&batch)
@@ -593,6 +680,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                 elapsed.as_secs_f64() * 1e3,
                 count as f64 / elapsed.as_secs_f64().max(1e-12)
             );
+            write_chunk_traces(&topts, chunk_traces)?;
             write_metrics(
                 args,
                 "roommates",
@@ -613,7 +701,16 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
 /// per-delta wall time and executed proposals for both. The two must
 /// produce byte-identical matchings; a divergence aborts the command.
 fn delta_cmd(args: &Args) -> Result<(), String> {
-    args.check_known(&["input", "deltas", "metrics-out", "metrics-format"])?;
+    args.check_known(&[
+        "input",
+        "deltas",
+        "metrics-out",
+        "metrics-format",
+        "trace-out",
+        "trace-format",
+        "flight-recorder",
+    ])?;
+    let topts = TraceOpts::from_args(args)?;
     let input: String = args.require("input")?;
     let deltas_path: String = args.require("deltas")?;
     let text = fs::read_to_string(&input).map_err(|e| format!("reading {input}: {e}"))?;
@@ -633,11 +730,16 @@ fn delta_cmd(args: &Args) -> Result<(), String> {
     let mut shadow = inst.clone();
     let mut session = IncrementalGs::new(inst);
     let mut metrics = kmatch_obs::SolverMetrics::new();
+    let trace_clock = kmatch_obs::StdClock::new();
+    let mut sink = topts.enabled().then(|| topts.sink(&trace_clock));
     // Prime both solvers so every reported pair is a steady-state re-solve.
     let mut cold_ws = GsWorkspace::with_capacity(n);
     let mut cold_csr = CsrPrefs::new();
     cold_csr.load(&shadow);
-    let base = session.solve_metered(&mut metrics);
+    let base = match sink.as_mut() {
+        Some(sink) => session.solve_spanned(&mut metrics, sink),
+        None => session.solve_metered(&mut metrics),
+    };
     let cold_base = cold_ws.solve(&cold_csr);
     debug_assert_eq!(base.matching, cold_base.matching);
     println!(
@@ -653,7 +755,10 @@ fn delta_cmd(args: &Args) -> Result<(), String> {
             .apply(delta)
             .map_err(|e| format!("delta {i}: {e}"))?;
         let t0 = std::time::Instant::now();
-        let warm = session.solve_metered(&mut metrics);
+        let warm = match sink.as_mut() {
+            Some(sink) => session.solve_spanned(&mut metrics, sink),
+            None => session.solve_metered(&mut metrics),
+        };
         let w_ns = t0.elapsed().as_nanos() as u64;
         metrics.solve_ns(w_ns);
         shadow
@@ -692,6 +797,9 @@ fn delta_cmd(args: &Args) -> Result<(), String> {
             cold_ns as f64 / (warm_ns as f64).max(1.0),
         );
     }
+    if let Some(sink) = sink {
+        topts.write(&TraceTrack::main(sink.into_events().0))?;
+    }
     write_metrics(
         args,
         "delta",
@@ -728,7 +836,11 @@ fn bind_cmd(args: &Args) -> Result<(), String> {
         "updates",
         "metrics-out",
         "metrics-format",
+        "trace-out",
+        "trace-format",
+        "flight-recorder",
     ])?;
+    let topts = TraceOpts::from_args(args)?;
     let input: String = args.require("input")?;
     let inst = load_kpartite(&input)?;
     let (k, n) = (inst.k(), inst.n());
@@ -743,18 +855,31 @@ fn bind_cmd(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown tree kind: {other}")),
     };
     let incremental: bool = args.flag_or("incremental", false)?;
+    let trace_clock = kmatch_obs::StdClock::new();
+    let mut sink = topts.enabled().then(|| topts.sink(&trace_clock));
     if !incremental {
-        let out = bind_with_stats(&inst, &tree);
+        let out = match sink.as_mut() {
+            Some(sink) => {
+                kmatch_core::bind_spanned(&inst, &tree, &mut kmatch_obs::NoMetrics, sink)
+            }
+            None => bind_with_stats(&inst, &tree),
+        };
         let stable = find_blocking_family(&inst, &out.matching).is_none();
         println!("binding tree : {tree}");
         println!("proposals    : {}", out.total_proposals());
         println!("stable       : {stable}");
+        if let Some(sink) = sink {
+            topts.write(&TraceTrack::main(sink.into_events().0))?;
+        }
         return Ok(());
     }
     let mut metrics = kmatch_obs::SolverMetrics::new();
     let start = std::time::Instant::now();
     let mut binder = IncrementalBinder::new(inst, tree);
-    let first = binder.bind_metered(&mut metrics);
+    let first = match sink.as_mut() {
+        Some(sink) => binder.bind_spanned(&mut metrics, sink),
+        None => binder.bind_metered(&mut metrics),
+    };
     println!("binding tree : {}", binder.tree());
     println!(
         "initial bind : {} proposals over {} edges",
@@ -775,7 +900,10 @@ fn bind_cmd(args: &Args) -> Result<(), String> {
                 .map_err(|e| format!("{path}: update {i}: {e}"))?;
         }
         let (dirty0, clean0) = (metrics.edges_dirty, metrics.edges_clean);
-        let rebound = binder.bind_metered(&mut metrics);
+        let rebound = match sink.as_mut() {
+            Some(sink) => binder.bind_spanned(&mut metrics, sink),
+            None => binder.bind_metered(&mut metrics),
+        };
         let stable = find_blocking_family(binder.instance(), &rebound.matching).is_none();
         println!(
             "rebind       : {} proposals, {} dirty / {} clean edges after {} updates",
@@ -785,6 +913,9 @@ fn bind_cmd(args: &Args) -> Result<(), String> {
             items.len()
         );
         println!("stable       : {stable}");
+    }
+    if let Some(sink) = sink {
+        topts.write(&TraceTrack::main(sink.into_events().0))?;
     }
     write_metrics(
         args,
@@ -1172,6 +1303,175 @@ mod tests {
         let text = std::fs::read_to_string(&report).unwrap();
         assert!(text.contains("\"edges_dirty\""), "got:\n{text}");
         assert!(text.contains("\"edges_clean\""), "got:\n{text}");
+    }
+
+    #[test]
+    fn solve_smp_trace_out_emits_loadable_chrome_trace() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test11");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("smp.trace.json");
+        let t = trace.to_str().unwrap();
+        call(&[
+            "solve", "smp", "--n", "12", "--seed", "7", "--trace-out", t,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let names =
+            kmatch_trace::chrome_trace_names(&text, &["gs.solve", "gs.round"]).unwrap();
+        assert!(names.len() >= 2);
+        // Native format carries the schema tag.
+        call(&[
+            "solve", "smp", "--n", "8", "--trace-out", t, "--trace-format", "json",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        kmatch_trace::validate_trace_json(&text).unwrap();
+        // Tracing is gs-only; stray trace flags need --trace-out.
+        assert!(call(&[
+            "solve", "smp", "--n", "8", "--mode", "fair", "--trace-out", t
+        ])
+        .is_err());
+        assert!(call(&["solve", "smp", "--n", "8", "--trace-format", "chrome"]).is_err());
+        assert!(call(&[
+            "solve", "smp", "--n", "8", "--trace-out", t, "--trace-format", "xml"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn batch_trace_out_writes_worker_tracks() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test12");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("batch.trace.json");
+        let t = trace.to_str().unwrap();
+        call(&[
+            "batch", "--n", "10", "--count", "24", "--seed", "3", "--trace-out", t,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &["batch.chunk", "gs.solve"]).unwrap();
+        assert!(text.contains("worker-0"));
+        // Batch timelines go through per-chunk flight recorders, which
+        // are phase-level by design: no per-round spans on the tracks.
+        assert!(!text.contains("gs.round"), "got:\n{text}");
+        // Roommates batch traces the Irving phases, through a tiny
+        // flight recorder that must wrap without corrupting the export.
+        call(&[
+            "batch",
+            "--n",
+            "10",
+            "--count",
+            "24",
+            "--kind",
+            "roommates",
+            "--trace-out",
+            t,
+            "--flight-recorder",
+            "16",
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &["irving.phase1"]).unwrap();
+        // Tracing composes with --metrics-out but not --cache.
+        let report = dir.join("report.json");
+        call(&[
+            "batch",
+            "--n",
+            "8",
+            "--count",
+            "10",
+            "--trace-out",
+            t,
+            "--metrics-out",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        call(&["report", "validate", "--input", report.to_str().unwrap()]).unwrap();
+        let input = dir.join("one.json");
+        std::fs::write(
+            &input,
+            r#"[{"n": 2, "proposers": [[0, 1], [1, 0]], "responders": [[0, 1], [1, 0]]}]"#,
+        )
+        .unwrap();
+        assert!(call(&[
+            "batch",
+            "--input",
+            input.to_str().unwrap(),
+            "--cache",
+            "on",
+            "--trace-out",
+            t,
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn bind_and_delta_trace_out_cover_edges_and_cache() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test13");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        let trace = dir.join("bind.trace.json");
+        let p = inst.to_str().unwrap();
+        let t = trace.to_str().unwrap();
+        call(&[
+            "gen", "kpartite", "--k", "4", "--n", "4", "--seed", "13", "--out", p,
+        ])
+        .unwrap();
+        call(&["bind", "--input", p, "--tree", "path", "--trace-out", t]).unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &["bind.edge", "gs.solve"]).unwrap();
+
+        // Incremental bind with an update: dirty and clean edge spans.
+        let updates = dir.join("updates.json");
+        std::fs::write(
+            &updates,
+            r#"[{"gender": 1, "index": 0, "target": 2, "prefs": [3, 2, 1, 0]}]"#,
+        )
+        .unwrap();
+        call(&[
+            "bind",
+            "--input",
+            p,
+            "--tree",
+            "path",
+            "--incremental",
+            "true",
+            "--updates",
+            updates.to_str().unwrap(),
+            "--trace-out",
+            t,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &["bind.edge.dirty", "bind.edge.clean"]).unwrap();
+
+        // Delta replay: cache instants plus engine spans.
+        let binst = dir.join("bipartite.json");
+        let deltas = dir.join("deltas.json");
+        std::fs::write(
+            &binst,
+            r#"{"n": 3,
+ "proposers": [[0, 1, 2], [1, 2, 0], [2, 0, 1]],
+ "responders": [[1, 0, 2], [2, 1, 0], [0, 2, 1]]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &deltas,
+            r#"[{"op": "swap", "side": "proposer", "row": 0, "prefs": [], "a": 0, "b": 2, "from": 0, "to": 0}]"#,
+        )
+        .unwrap();
+        call(&[
+            "delta",
+            "--input",
+            binst.to_str().unwrap(),
+            "--deltas",
+            deltas.to_str().unwrap(),
+            "--trace-out",
+            t,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &["cache.miss", "gs.solve"]).unwrap();
     }
 
     #[test]

@@ -15,6 +15,7 @@ use kmatch_graph::{BindingTree, UnionFind};
 use kmatch_gs::{gale_shapley, GsStats, GsWorkspace};
 use kmatch_obs::Metrics;
 use kmatch_prefs::{GenderId, KPartiteInstance, KPartitePairView, Member};
+use kmatch_trace::{span, NoSpans, SpanSink};
 
 use crate::kary::KAryMatching;
 
@@ -135,6 +136,24 @@ pub fn bind_metered<M: Metrics>(
     tree: &BindingTree,
     metrics: &mut M,
 ) -> BindingOutcome {
+    bind_spanned(inst, tree, metrics, &mut NoSpans)
+}
+
+/// [`bind_metered`] that additionally emits a span timeline: one
+/// `bind.edge` span per binding edge (arg = edge index in tree order),
+/// each enclosing the edge's `gs.solve`/`gs.round` spans — the timeline
+/// form of Theorem 3's per-edge decomposition. With
+/// [`kmatch_trace::NoSpans`] this monomorphizes to exactly
+/// [`bind_metered`].
+///
+/// # Panics
+/// If the tree's gender count differs from the instance's.
+pub fn bind_spanned<M: Metrics, S: SpanSink>(
+    inst: &KPartiteInstance,
+    tree: &BindingTree,
+    metrics: &mut M,
+    spans: &mut S,
+) -> BindingOutcome {
     let (k, n) = (inst.k(), inst.n());
     assert_eq!(tree.k(), k, "binding tree must span the instance's genders");
     let mut uf = UnionFind::new(k * n);
@@ -142,9 +161,11 @@ pub fn bind_metered<M: Metrics>(
     let per_edge: Vec<GsStats> = tree
         .edges()
         .iter()
-        .map(|&(i, j)| {
+        .enumerate()
+        .map(|(e, &(i, j))| {
             let view = KPartitePairView::new(inst, GenderId(i), GenderId(j));
-            let out = ws.solve_metered(&view, metrics);
+            spans.begin(span::BIND_EDGE, e as u64);
+            let out = ws.solve_spanned(&view, metrics, spans);
             for (m, w) in out.matching.pairs() {
                 let a = Member {
                     gender: GenderId(i),
@@ -159,6 +180,7 @@ pub fn bind_metered<M: Metrics>(
                 uf.union(a, b);
             }
             metrics.binding_edge(out.stats.proposals);
+            spans.end(span::BIND_EDGE);
             out.stats
         })
         .collect();

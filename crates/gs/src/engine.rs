@@ -49,6 +49,7 @@
 
 use kmatch_obs::{Metrics, NoMetrics};
 use kmatch_prefs::{BipartitePrefs, DeltaSide, PrefDelta};
+use kmatch_trace::{reason, span, NoSpans, SpanSink};
 
 use crate::matching::BipartiteMatching;
 use crate::trace::GsEvent;
@@ -224,7 +225,7 @@ impl GsWorkspace {
     /// buffers (the zero-allocation fast path). Produces exactly the
     /// matching, proposal count, and round count of [`gale_shapley`].
     pub fn solve<P: BipartitePrefs>(&mut self, prefs: &P) -> GsOutcome {
-        run_core(prefs, self, &mut NoTrace, &mut NoMetrics)
+        run_core(prefs, self, &mut NoTrace, &mut NoMetrics, &mut NoSpans)
     }
 
     /// [`GsWorkspace::solve`] with metric hooks. The engine records
@@ -238,7 +239,23 @@ impl GsWorkspace {
         prefs: &P,
         metrics: &mut M,
     ) -> GsOutcome {
-        run_core(prefs, self, &mut NoTrace, metrics)
+        run_core(prefs, self, &mut NoTrace, metrics, &mut NoSpans)
+    }
+
+    /// [`GsWorkspace::solve_metered`] that additionally emits a span
+    /// timeline: a `gs.solve` span enclosing one `gs.round` span per
+    /// proposal round (see [`kmatch_trace::span`]). Round spans are
+    /// fine-grained and emitted only when `S::FINE` holds — the
+    /// flight recorder opts out and records the `gs.solve` phase span
+    /// alone. With [`kmatch_trace::NoSpans`] this monomorphizes to
+    /// exactly [`GsWorkspace::solve_metered`].
+    pub fn solve_spanned<P: BipartitePrefs, M: Metrics, S: SpanSink>(
+        &mut self,
+        prefs: &P,
+        metrics: &mut M,
+        spans: &mut S,
+    ) -> GsOutcome {
+        run_core(prefs, self, &mut NoTrace, metrics, spans)
     }
 
     /// Warm-start re-solve after an in-place preference edit.
@@ -266,7 +283,7 @@ impl GsWorkspace {
         prefs: &P,
         deltas: &[PrefDelta],
     ) -> GsOutcome {
-        warm_core(prefs, self, deltas, &mut NoTrace, &mut NoMetrics)
+        warm_core(prefs, self, deltas, &mut NoTrace, &mut NoMetrics, &mut NoSpans)
     }
 
     /// [`GsWorkspace::resolve_delta`] with metric hooks: records
@@ -279,16 +296,33 @@ impl GsWorkspace {
         deltas: &[PrefDelta],
         metrics: &mut M,
     ) -> GsOutcome {
-        warm_core(prefs, self, deltas, &mut NoTrace, metrics)
+        warm_core(prefs, self, deltas, &mut NoTrace, metrics, &mut NoSpans)
+    }
+
+    /// [`GsWorkspace::resolve_delta_metered`] that additionally emits a
+    /// span timeline: a `gs.warm.resolve` instant (arg = re-freed
+    /// proposers) on the warm path, or a `gs.warm.fallback` instant
+    /// carrying a [`kmatch_trace::reason`] code when it degrades to a
+    /// cold solve, followed by the usual `gs.solve`/`gs.round` spans.
+    pub fn resolve_delta_spanned<P: BipartitePrefs, M: Metrics, S: SpanSink>(
+        &mut self,
+        prefs: &P,
+        deltas: &[PrefDelta],
+        metrics: &mut M,
+        spans: &mut S,
+    ) -> GsOutcome {
+        warm_core(prefs, self, deltas, &mut NoTrace, metrics, spans)
     }
 }
 
-/// The engine core, monomorphized per tracer and metrics sink.
-fn run_core<P: BipartitePrefs, T: Tracer, M: Metrics>(
+/// The engine core, monomorphized per tracer, metrics sink, and span
+/// sink.
+fn run_core<P: BipartitePrefs, T: Tracer, M: Metrics, S: SpanSink>(
     prefs: &P,
     ws: &mut GsWorkspace,
     tracer: &mut T,
     metrics: &mut M,
+    spans: &mut S,
 ) -> GsOutcome {
     let n = prefs.n();
     assert!(n > 0, "empty instance");
@@ -296,7 +330,9 @@ fn run_core<P: BipartitePrefs, T: Tracer, M: Metrics>(
     metrics.workspace(fresh);
     let mut stats = GsStats::default();
 
-    run_rounds(prefs, ws, tracer, metrics, &mut stats);
+    spans.begin(span::GS_SOLVE, n as u64);
+    run_rounds(prefs, ws, tracer, metrics, spans, &mut stats);
+    spans.end(span::GS_SOLVE);
     metrics.solve_done(true, stats.proposals);
     ws.solved_n = n;
 
@@ -330,19 +366,29 @@ fn finish(ws: &GsWorkspace, stats: GsStats) -> GsOutcome {
 /// holder from the previous run was her best-ever suitor) or has been
 /// regressed — and regressing a responder re-frees every proposer that
 /// had already passed her, so no stale rejection survives.
-fn warm_core<P: BipartitePrefs, T: Tracer, M: Metrics>(
+fn warm_core<P: BipartitePrefs, T: Tracer, M: Metrics, S: SpanSink>(
     prefs: &P,
     ws: &mut GsWorkspace,
     deltas: &[PrefDelta],
     tracer: &mut T,
     metrics: &mut M,
+    spans: &mut S,
 ) -> GsOutcome {
     let n = prefs.n();
     assert!(n > 0, "empty instance");
     if ws.solved_n != n {
         metrics.warm_fallback();
-        return run_core(prefs, ws, tracer, metrics);
+        spans.instant(
+            span::GS_WARM_FALLBACK,
+            if ws.solved_n == 0 {
+                reason::COLD_START
+            } else {
+                reason::SIZE_MISMATCH
+            },
+        );
+        return run_core(prefs, ws, tracer, metrics, spans);
     }
+    spans.begin(span::GS_SOLVE, n as u64);
 
     // Invert `best` into the proposer-indexed engagement table.
     ws.fiance.clear();
@@ -451,8 +497,10 @@ fn warm_core<P: BipartitePrefs, T: Tracer, M: Metrics>(
     }
     metrics.workspace(false);
     metrics.warm_resolve(refreed);
+    spans.instant(span::GS_WARM_RESOLVE, refreed);
     let mut stats = GsStats::default();
-    run_rounds(prefs, ws, tracer, metrics, &mut stats);
+    run_rounds(prefs, ws, tracer, metrics, spans, &mut stats);
+    spans.end(span::GS_SOLVE);
     metrics.solve_done(true, stats.proposals);
     ws.solved_n = n;
     finish(ws, stats)
@@ -463,17 +511,24 @@ fn warm_core<P: BipartitePrefs, T: Tracer, M: Metrics>(
 /// vanishes, leaving a tight single-pass loop whose only work per
 /// proposal is the fused entry load, the packed compare, and the free-list
 /// bookkeeping for the loser.
-fn run_rounds<P: BipartitePrefs, T: Tracer, M: Metrics>(
+fn run_rounds<P: BipartitePrefs, T: Tracer, M: Metrics, S: SpanSink>(
     prefs: &P,
     ws: &mut GsWorkspace,
     tracer: &mut T,
     metrics: &mut M,
+    spans: &mut S,
     stats: &mut GsStats,
 ) {
     while !ws.free.is_empty() {
         stats.rounds += 1;
         tracer.round_start(stats.rounds);
         metrics.round();
+        // Round spans are fine-grained (thousands per large solve, a
+        // few hundred ns each): only sinks that declare `FINE` get
+        // them, so the always-armed flight recorder stays cheap.
+        if S::FINE {
+            spans.begin(span::GS_ROUND, stats.rounds as u64);
+        }
         for &m in &ws.free {
             // One fused load: `rank << 32 | responder` (see
             // `BipartitePrefs::proposal_entry`); swap the low word to get
@@ -505,6 +560,9 @@ fn run_rounds<P: BipartitePrefs, T: Tracer, M: Metrics>(
                 tracer.reject(m, w);
                 metrics.rejection();
             }
+        }
+        if S::FINE {
+            spans.end(span::GS_ROUND);
         }
         ws.free.clear();
         std::mem::swap(&mut ws.free, &mut ws.next_free);
@@ -552,6 +610,7 @@ pub fn gale_shapley_traced<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
             events: &mut events,
         },
         &mut NoMetrics,
+        &mut NoSpans,
     );
     out.trace = Some(events);
     out

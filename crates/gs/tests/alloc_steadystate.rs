@@ -106,6 +106,35 @@ fn metered_steady_state_allocates_like_plain() {
 }
 
 #[test]
+fn nospans_steady_state_allocates_like_plain() {
+    use kmatch_obs::NoMetrics;
+    use kmatch_trace::NoSpans;
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let inst = uniform_bipartite(64, &mut rng);
+    let csr = CsrPrefs::from_prefs(&inst);
+    let mut ws = GsWorkspace::new();
+    // Warm both entry points past any one-time lazy allocation.
+    ws.solve(&csr);
+    ws.solve_spanned(&csr, &mut NoMetrics, &mut NoSpans);
+    let reps = 50u64;
+    let plain = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve(&csr));
+        }
+    });
+    let spanned = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve_spanned(&csr, &mut NoMetrics, &mut NoSpans));
+        }
+    });
+    assert!(
+        spanned <= plain && spanned <= reps * ALLOCS_PER_SOLVE,
+        "the NoSpans sink must add zero allocations over the plain path \
+         (plain {plain}, spanned {spanned})"
+    );
+}
+
+#[test]
 fn counting_allocator_is_live() {
     // Sanity: the harness actually observes allocations.
     let allocs = allocations_in(|| {

@@ -24,6 +24,7 @@
 use kmatch_gs::{BipartiteMatching, GsOutcome, GsStats, GsWorkspace};
 use kmatch_obs::{Metrics, NoMetrics};
 use kmatch_prefs::{BipartiteInstance, CsrPrefs, DeltaSide, PrefDelta, PrefsError};
+use kmatch_trace::{span, NoSpans, SpanSink};
 
 use crate::cache::SolveCache;
 use crate::fingerprint::{hash_row_fp, patch, side_tag, Fp};
@@ -144,9 +145,25 @@ impl IncrementalGs {
     /// of `GsWorkspace::resolve_delta_metered`; insertions that push an
     /// older entry out record [`Metrics::cache_eviction`].
     pub fn solve_metered<M: Metrics>(&mut self, metrics: &mut M) -> GsOutcome {
+        self.solve_spanned(metrics, &mut NoSpans)
+    }
+
+    /// [`IncrementalGs::solve_metered`] that additionally emits a span
+    /// timeline: a `cache.hit` or `cache.miss` instant for the lookup,
+    /// and on a miss the warm/cold engine spans of
+    /// [`GsWorkspace::resolve_delta`] (`gs.warm.resolve` /
+    /// `gs.warm.fallback` instants plus the `gs.solve` span). With
+    /// [`kmatch_trace::NoSpans`] this monomorphizes to exactly
+    /// [`IncrementalGs::solve_metered`].
+    pub fn solve_spanned<M: Metrics, S: SpanSink>(
+        &mut self,
+        metrics: &mut M,
+        spans: &mut S,
+    ) -> GsOutcome {
         let key = self.fp.combined;
         if let Some(matching) = self.cache.get(key) {
             metrics.cache_lookup(true);
+            spans.instant(span::CACHE_HIT, 0);
             return GsOutcome {
                 matching: matching.clone(),
                 stats: GsStats::default(),
@@ -154,7 +171,10 @@ impl IncrementalGs {
             };
         }
         metrics.cache_lookup(false);
-        let out = self.ws.resolve_delta_metered(&self.csr, &self.pending, metrics);
+        spans.instant(span::CACHE_MISS, 0);
+        let out = self
+            .ws
+            .resolve_delta_spanned(&self.csr, &self.pending, metrics, spans);
         self.pending.clear();
         if self.cache.insert(key, out.matching.clone()) {
             metrics.cache_eviction();

@@ -14,6 +14,7 @@
 
 use kmatch_obs::{Metrics, NoMetrics};
 use kmatch_prefs::{PrefsError, RoommatesInstance};
+use kmatch_trace::{span, NoSpans, SpanSink};
 use kmatch_roommates::{
     RoommatesMatching, RoommatesOutcome, RoommatesRowDelta, RoommatesWorkspace, SolveStats,
 };
@@ -139,13 +140,32 @@ impl IncrementalRoommates {
     /// [`RoommatesWorkspace::resolve_delta_metered`], and
     /// [`Metrics::cache_eviction`] on overflow).
     pub fn solve_metered<M: Metrics>(&mut self, metrics: &mut M) -> RoommatesOutcome {
+        self.solve_spanned(metrics, &mut NoSpans)
+    }
+
+    /// [`IncrementalRoommates::solve_metered`] that additionally emits a
+    /// span timeline: a `cache.hit` or `cache.miss` instant for the
+    /// lookup, and on a miss the warm/cold Irving spans of
+    /// [`RoommatesWorkspace::resolve_delta`] (`irving.warm.resolve` /
+    /// `irving.warm.fallback` instants plus the phase spans). With
+    /// [`kmatch_trace::NoSpans`] this monomorphizes to exactly
+    /// [`IncrementalRoommates::solve_metered`].
+    pub fn solve_spanned<M: Metrics, S: SpanSink>(
+        &mut self,
+        metrics: &mut M,
+        spans: &mut S,
+    ) -> RoommatesOutcome {
         let key = self.combined;
         if let Some(cached) = self.cache.get(key) {
             metrics.cache_lookup(true);
+            spans.instant(span::CACHE_HIT, 0);
             return cached.replay();
         }
         metrics.cache_lookup(false);
-        let out = self.ws.resolve_delta_metered(&self.inst, &self.pending, metrics);
+        spans.instant(span::CACHE_MISS, 0);
+        let out = self
+            .ws
+            .resolve_delta_spanned(&self.inst, &self.pending, metrics, spans);
         self.pending.clear();
         if self.cache.insert(key, CachedRoommates::of(&out)) {
             metrics.cache_eviction();

@@ -186,13 +186,15 @@ impl Log2Histogram {
     }
 
     /// Append the Prometheus text-exposition form of this histogram under
-    /// `name` (with optional `labels`, e.g. `kind="gs"`): cumulative
-    /// `_bucket{le=…}` lines over the observed range, then `+Inf`, `_sum`
-    /// and `_count`.
-    pub fn render_prometheus(&self, name: &str, labels: &str, out: &mut String) {
+    /// `name` (with optional `labels`, e.g. `kind="gs"`): a `# HELP` /
+    /// `# TYPE` header, cumulative `_bucket{le=…}` lines over the
+    /// observed range, then `+Inf`, `_sum` and `_count`. `labels` is a
+    /// pre-rendered pair list — build pairs from untrusted values with
+    /// [`crate::prom::label_pair`].
+    pub fn render_prometheus(&self, name: &str, help: &str, labels: &str, out: &mut String) {
         use std::fmt::Write;
         let sep = if labels.is_empty() { "" } else { "," };
-        let _ = writeln!(out, "# TYPE {name} histogram");
+        crate::prom::write_family_header(out, name, "histogram", help);
         let mut cumulative = 0u64;
         let end = self.highest_bucket().map_or(0, |i| i + 1);
         for i in 0..end {
@@ -292,13 +294,89 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_quantiles_are_zero_for_any_q() {
+        let h = Log2Histogram::new();
+        for q in [-1.0, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(h.value_at_quantile(q), 0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile_to_it() {
+        let mut h = Log2Histogram::new();
+        h.observe(777);
+        assert_eq!(h.min(), h.max());
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            // The bucket bound (1023) is clamped by the exact max.
+            assert_eq!(h.value_at_quantile(q), 777, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates_at_u64_max() {
+        let mut h = Log2Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX - 1);
+        h.observe(1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 1);
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 2);
+        assert_eq!(h.highest_bucket(), Some(BUCKETS - 1));
+        assert_eq!(h.value_at_quantile(1.0), u64::MAX);
+        // JSON renders the top bucket with its saturated bound.
+        let v = h.to_json();
+        match v.get("buckets") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items.len(), BUCKETS);
+                match items.last() {
+                    Some(Value::Array(pair)) => {
+                        assert_eq!(pair[0], Value::Number(u64::MAX as f64));
+                        assert_eq!(pair[1], Value::Number(2.0));
+                    }
+                    other => panic!("expected [bound, count], got {other:?}"),
+                }
+            }
+            other => panic!("expected bucket array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_merge_keeps_the_exact_envelope() {
+        let mut a = Log2Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.observe(v);
+        }
+        let mut b = Log2Histogram::new();
+        b.observe(1 << 40);
+        b.observe(1 << 41);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1 << 41);
+        assert_eq!(a.sum(), 6 + (1u64 << 40) + (1u64 << 41));
+        // Bucket ranges stay disjoint: nothing lands between them.
+        assert_eq!(a.bucket_counts()[10..41].iter().sum::<u64>(), 0);
+        assert_eq!(a.value_at_quantile(0.5), 3);
+        assert_eq!(a.value_at_quantile(1.0), 1 << 41);
+        // Merging into an empty histogram reproduces the source exactly.
+        let mut fresh = Log2Histogram::new();
+        fresh.merge(&b);
+        assert_eq!(fresh, b);
+        assert_eq!(fresh.min(), 1 << 40);
+    }
+
+    #[test]
     fn prometheus_rendering_is_cumulative() {
         let mut h = Log2Histogram::new();
         h.observe(1);
         h.observe(2);
         h.observe(2);
         let mut out = String::new();
-        h.render_prometheus("test_ns", "kind=\"gs\"", &mut out);
+        h.render_prometheus("test_ns", "test timings", "kind=\"gs\"", &mut out);
+        assert!(out.contains("# HELP test_ns test timings"));
         assert!(out.contains("# TYPE test_ns histogram"));
         assert!(out.contains("test_ns_bucket{kind=\"gs\",le=\"1\"} 1"));
         assert!(out.contains("test_ns_bucket{kind=\"gs\",le=\"3\"} 3"));

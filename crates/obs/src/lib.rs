@@ -31,11 +31,13 @@
 pub mod clock;
 pub mod histogram;
 pub mod metrics;
+pub mod prom;
 pub mod registry;
 pub mod report;
 
 pub use clock::{Clock, ManualClock, StdClock};
 pub use histogram::Log2Histogram;
 pub use metrics::{Metrics, NoMetrics, SolverMetrics};
+pub use prom::{escape_label_value, label_pair, unescape_label_value};
 pub use registry::BatchRegistry;
-pub use report::{RunReport, TimingSummary, RUN_REPORT_SCHEMA};
+pub use report::{OverheadReport, RunReport, TimingSummary, RUN_REPORT_SCHEMA};

@@ -270,31 +270,31 @@ impl Metrics for SolverMetrics {
 }
 
 /// The scalar counters in serialization order, shared by the JSON and
-/// Prometheus renderers (name, value, Prometheus metric name).
-fn counter_rows(m: &SolverMetrics) -> [(&'static str, u64); 22] {
+/// Prometheus renderers (name, value, `# HELP` text).
+fn counter_rows(m: &SolverMetrics) -> [(&'static str, u64, &'static str); 22] {
     [
-        ("solves", m.solves),
-        ("solvable", m.solvable),
-        ("unsolvable", m.unsolvable),
-        ("proposals", m.proposals),
-        ("rejections", m.rejections),
-        ("holder_swaps", m.holder_swaps),
-        ("rounds", m.rounds),
-        ("phase1_truncations", m.phase1_truncations),
-        ("phase2_rotations", m.phase2_rotations),
-        ("workspace_reused", m.workspace_reused),
-        ("workspace_fresh", m.workspace_fresh),
-        ("binding_edges", m.binding_edges),
-        ("theorem3_checks", m.theorem3_checks),
-        ("theorem3_violations", m.theorem3_violations),
-        ("cache_hits", m.cache_hits),
-        ("cache_misses", m.cache_misses),
-        ("cache_evictions", m.cache_evictions),
-        ("edges_dirty", m.edges_dirty),
-        ("edges_clean", m.edges_clean),
-        ("warm_solves", m.warm_solves),
-        ("warm_fallbacks", m.warm_fallbacks),
-        ("refreed_proposers", m.refreed_proposers),
+        ("solves", m.solves, "Solves completed"),
+        ("solvable", m.solvable, "Solves that produced a matching"),
+        ("unsolvable", m.unsolvable, "Solves with no stable matching"),
+        ("proposals", m.proposals, "Proposals issued"),
+        ("rejections", m.rejections, "Proposers rejected back to the free list"),
+        ("holder_swaps", m.holder_swaps, "Provisional holders displaced"),
+        ("rounds", m.rounds, "Synchronous GS proposal rounds"),
+        ("phase1_truncations", m.phase1_truncations, "Irving phase-1 threshold tightenings"),
+        ("phase2_rotations", m.phase2_rotations, "Irving phase-2 rotations eliminated"),
+        ("workspace_reused", m.workspace_reused, "Solves reusing grown workspace buffers"),
+        ("workspace_fresh", m.workspace_fresh, "Solves that grew workspace buffers"),
+        ("binding_edges", m.binding_edges, "Binding edges executed by the k-ary driver"),
+        ("theorem3_checks", m.theorem3_checks, "Theorem-3 proposal-bound checks"),
+        ("theorem3_violations", m.theorem3_violations, "Theorem-3 bound violations (must stay 0)"),
+        ("cache_hits", m.cache_hits, "Solve-cache lookups returning a stored matching"),
+        ("cache_misses", m.cache_misses, "Solve-cache lookups that had to solve"),
+        ("cache_evictions", m.cache_evictions, "Cached matchings evicted for capacity"),
+        ("edges_dirty", m.edges_dirty, "Incremental-rebind edges re-solved"),
+        ("edges_clean", m.edges_clean, "Incremental-rebind edges reused verbatim"),
+        ("warm_solves", m.warm_solves, "Warm-start re-solves reusing prior state"),
+        ("warm_fallbacks", m.warm_fallbacks, "Warm-start requests falling back to cold"),
+        ("refreed_proposers", m.refreed_proposers, "Proposers re-freed by warm re-solves"),
     ]
 }
 
@@ -339,7 +339,7 @@ impl SolverMetrics {
     pub fn to_json(&self) -> Value {
         let counters = counter_rows(self)
             .iter()
-            .map(|&(name, v)| (name.to_string(), Value::Number(v as f64)))
+            .map(|&(name, v, _help)| (name.to_string(), Value::Number(v as f64)))
             .collect();
         Value::Object(vec![
             ("counters".into(), Value::Object(counters)),
@@ -362,7 +362,10 @@ impl SolverMetrics {
 
     /// Prometheus text exposition format, metric names prefixed
     /// `kmatch_…` and carrying `labels` verbatim (e.g. `kind="gs"`; pass
-    /// `""` for none).
+    /// `""` for none). Label *pairs* are passed through as given — build
+    /// them from untrusted values with [`crate::prom::label_pair`], which
+    /// escapes per the exposition format. Every family gets a `# HELP` /
+    /// `# TYPE` header.
     pub fn to_prometheus(&self, labels: &str) -> String {
         use std::fmt::Write;
         let braces = if labels.is_empty() {
@@ -371,16 +374,28 @@ impl SolverMetrics {
             format!("{{{labels}}}")
         };
         let mut out = String::new();
-        for (name, v) in counter_rows(self) {
-            let _ = writeln!(out, "# TYPE kmatch_{name}_total counter");
+        for (name, v, help) in counter_rows(self) {
+            crate::prom::write_family_header(&mut out, &format!("kmatch_{name}_total"), "counter", help);
             let _ = writeln!(out, "kmatch_{name}_total{braces} {v}");
         }
-        self.proposals_per_solve
-            .render_prometheus("kmatch_proposals_per_solve", labels, &mut out);
-        self.proposals_per_edge
-            .render_prometheus("kmatch_proposals_per_edge", labels, &mut out);
-        self.solve_wall_ns
-            .render_prometheus("kmatch_solve_wall_ns", labels, &mut out);
+        self.proposals_per_solve.render_prometheus(
+            "kmatch_proposals_per_solve",
+            "Proposals per solve",
+            labels,
+            &mut out,
+        );
+        self.proposals_per_edge.render_prometheus(
+            "kmatch_proposals_per_edge",
+            "Proposals per binding edge",
+            labels,
+            &mut out,
+        );
+        self.solve_wall_ns.render_prometheus(
+            "kmatch_solve_wall_ns",
+            "Per-solve wall time in nanoseconds",
+            labels,
+            &mut out,
+        );
         out
     }
 }
@@ -478,6 +493,18 @@ mod tests {
     fn prometheus_exposition_shape() {
         let text = sample().to_prometheus("kind=\"gs\"");
         assert!(text.contains("# TYPE kmatch_proposals_total counter"));
+        assert!(text.contains("# HELP kmatch_proposals_total Proposals issued"));
+        // Every # TYPE line is preceded by its # HELP line.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {name} ")),
+                    "missing HELP before {line}"
+                );
+            }
+        }
         assert!(text.contains("kmatch_proposals_total{kind=\"gs\"} 2"));
         assert!(text.contains("kmatch_solve_wall_ns_count{kind=\"gs\"} 1"));
         // Unlabelled form omits braces entirely.

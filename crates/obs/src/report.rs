@@ -63,6 +63,28 @@ impl TimingSummary {
     }
 }
 
+/// One named instrumentation-overhead measurement attached to a run
+/// report: wall time of the same workload with a piece of
+/// instrumentation off (`plain_ns`) and on (`instrumented_ns`), plus
+/// the derived percentage. The bench emitters attach
+/// `metrics_overhead`- and `trace_overhead`-style rows so the committed
+/// reports pin the cost of leaving metrics or the flight recorder armed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadReport {
+    /// Row name, e.g. `"trace_overhead"`.
+    pub name: String,
+    /// Instances in the measured workload.
+    pub instances: u64,
+    /// Members per side.
+    pub n: u64,
+    /// Wall time with the instrumentation off.
+    pub plain_ns: f64,
+    /// Wall time with the instrumentation on.
+    pub instrumented_ns: f64,
+    /// `(instrumented_ns / plain_ns - 1) * 100`.
+    pub overhead_pct: f64,
+}
+
 /// Structured description of one observed run (a batch, a single solve
 /// loop, or a k-ary binding).
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +110,9 @@ pub struct RunReport {
     pub timing: TimingSummary,
     /// The full merged counter/histogram set.
     pub metrics: SolverMetrics,
+    /// Named instrumentation-overhead rows (empty unless attached via
+    /// [`RunReport::with_overhead`]).
+    pub overheads: Vec<OverheadReport>,
 }
 
 impl RunReport {
@@ -114,7 +139,28 @@ impl RunReport {
             theorem3_bound,
             timing: TimingSummary::from_metrics(&metrics),
             metrics,
+            overheads: Vec::new(),
         }
+    }
+
+    /// Attach a named instrumentation-overhead row (builder style).
+    pub fn with_overhead(
+        mut self,
+        name: &str,
+        instances: usize,
+        n: usize,
+        plain_ns: f64,
+        instrumented_ns: f64,
+    ) -> Self {
+        self.overheads.push(OverheadReport {
+            name: name.to_string(),
+            instances: instances as u64,
+            n: n as u64,
+            plain_ns,
+            instrumented_ns,
+            overhead_pct: (instrumented_ns / plain_ns - 1.0) * 100.0,
+        });
+        self
     }
 
     /// Pretty-printed JSON text (trailing newline included).
@@ -125,23 +171,30 @@ impl RunReport {
     }
 
     /// Prometheus text exposition form: run-level gauges plus the full
-    /// counter/histogram set, all labelled `kind="…"`.
+    /// counter/histogram set, all labelled `kind="…"` with the kind
+    /// escaped per the exposition format (it arrives from CLI/bench
+    /// callers, so a hostile value must not break a sample line).
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write;
-        let labels = format!("kind=\"{}\"", self.kind);
+        let labels = crate::prom::label_pair("kind", &self.kind);
         let mut out = String::new();
-        for (name, v) in [
-            ("kmatch_run_n", self.n),
-            ("kmatch_run_instances", self.instances),
-            ("kmatch_run_seed", self.seed),
-            ("kmatch_run_threads", self.threads),
-            ("kmatch_run_wall_ns", self.wall_ns),
+        for (name, v, help) in [
+            ("kmatch_run_n", self.n, "Members per side (or per gender)"),
+            ("kmatch_run_instances", self.instances, "Instances solved in this run"),
+            ("kmatch_run_seed", self.seed, "RNG seed that generated the workload"),
+            ("kmatch_run_threads", self.threads, "Worker threads available to the run"),
+            ("kmatch_run_wall_ns", self.wall_ns, "Wall time of the whole run"),
         ] {
-            let _ = writeln!(out, "# TYPE {name} gauge");
+            crate::prom::write_family_header(&mut out, name, "gauge", help);
             let _ = writeln!(out, "{name}{{{labels}}} {v}");
         }
         if let Some(bound) = self.theorem3_bound {
-            let _ = writeln!(out, "# TYPE kmatch_run_theorem3_bound gauge");
+            crate::prom::write_family_header(
+                &mut out,
+                "kmatch_run_theorem3_bound",
+                "gauge",
+                "Theorem-3 proposal bound (k-1)*n^2",
+            );
             let _ = writeln!(out, "kmatch_run_theorem3_bound{{{labels}}} {bound}");
         }
         out.push_str(&self.metrics.to_prometheus(&labels));
@@ -223,6 +276,29 @@ impl Serialize for RunReport {
             ),
             ("timing".into(), self.timing.to_value()),
             ("metrics".into(), self.metrics.to_json()),
+            (
+                "overheads".into(),
+                Value::Object(
+                    self.overheads
+                        .iter()
+                        .map(|o| {
+                            (
+                                o.name.clone(),
+                                Value::Object(vec![
+                                    ("instances".into(), Value::Number(o.instances as f64)),
+                                    ("n".into(), Value::Number(o.n as f64)),
+                                    ("plain_ns".into(), Value::Number(o.plain_ns)),
+                                    (
+                                        "instrumented_ns".into(),
+                                        Value::Number(o.instrumented_ns),
+                                    ),
+                                    ("overhead_pct".into(), Value::Number(o.overhead_pct)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -298,6 +374,72 @@ mod tests {
         assert!(kary
             .to_prometheus()
             .contains("kmatch_run_theorem3_bound{kind=\"kary\"} 32"));
+    }
+
+    #[test]
+    fn hostile_kind_label_round_trips() {
+        // A kind value that tries all three escapes plus a fake label
+        // closer — must neither split a sample line nor forge labels.
+        let hostile = "g\"s\\evil\nkind\"}x";
+        let mut m = SolverMetrics::new();
+        m.proposal();
+        let r = RunReport::new(hostile, 4, 1, 0, 1, 10, m, None);
+        let text = r.to_prometheus();
+        // Every non-comment line still parses as `name{...} value`.
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines from a raw newline");
+            if line.starts_with('#') {
+                continue;
+            }
+            assert!(
+                line.contains("{kind=\"") || line.contains(",le=\""),
+                "sample line keeps its label block: {line}"
+            );
+        }
+        // Scan the escaped value back out of a sample line and unescape:
+        // must recover the original byte-for-byte.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("kmatch_run_n{kind=\""))
+            .expect("run gauge present");
+        let tail = &line["kmatch_run_n{kind=\"".len()..];
+        let mut escaped = String::new();
+        let mut chars = tail.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => {
+                    escaped.push(c);
+                    escaped.push(chars.next().expect("escape has a payload"));
+                }
+                '"' => break,
+                c => escaped.push(c),
+            }
+        }
+        assert_eq!(crate::prom::unescape_label_value(&escaped), hostile);
+    }
+
+    #[test]
+    fn overhead_rows_serialize_under_their_names() {
+        let r = sample_report()
+            .with_overhead("trace_overhead", 32, 2000, 1_000_000.0, 1_030_000.0);
+        assert_eq!(r.overheads.len(), 1);
+        assert!((r.overheads[0].overhead_pct - 3.0).abs() < 1e-9);
+        let text = r.to_json_string();
+        let v = RunReport::validate_json_str(&text).expect("still a valid report");
+        let row = v
+            .get("overheads")
+            .and_then(|o| o.get("trace_overhead"))
+            .expect("row keyed by name");
+        assert_eq!(row.get("instances"), Some(&Value::Number(32.0)));
+        assert!(row.get("plain_ns").is_some());
+        assert!(row.get("instrumented_ns").is_some());
+        assert!(row.get("overhead_pct").is_some());
+        // Reports without rows still carry the (empty) section.
+        let bare = sample_report().to_json_string();
+        assert!(RunReport::validate_json_str(&bare)
+            .unwrap()
+            .get("overheads")
+            .is_some());
     }
 
     #[test]

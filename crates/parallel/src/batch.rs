@@ -18,7 +18,23 @@
 use kmatch_gs::{GsOutcome, GsStats, GsWorkspace};
 use kmatch_obs::{BatchRegistry, Clock, Metrics, SolverMetrics};
 use kmatch_prefs::BipartitePrefs;
+use kmatch_trace::{span, FlightRecorder, SpanSink, TraceEvent};
 use rayon::prelude::*;
+
+/// The span timeline one batch worker recorded for its chunk: a
+/// `batch.chunk` span (arg = chunk index) enclosing the per-solve engine
+/// spans, captured through a fixed-capacity [`FlightRecorder`] so a huge
+/// chunk keeps only its most recent events.
+#[derive(Debug, Clone)]
+pub struct ChunkTrace {
+    /// Chunk index — also the worker-track id in the exported trace.
+    pub worker: usize,
+    /// Events the chunk's flight recorder overwrote (0 when the ring
+    /// never wrapped).
+    pub dropped: u64,
+    /// The surviving events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
 
 /// Which execution path the batch front-ends take on the current rayon
 /// pool: `"serial"` when the pool has a single thread — the fan-out
@@ -130,6 +146,82 @@ where
         })
         .collect();
     per_chunk.into_iter().flatten().collect()
+}
+
+/// [`solve_batch_metered`] that additionally records a span timeline per
+/// worker chunk.
+///
+/// Each chunk solves through its own [`FlightRecorder`] of
+/// `flight_capacity` events (preallocated before the chunk's first solve;
+/// recording never allocates), wrapping the whole chunk in a
+/// `batch.chunk` span whose arg is the chunk index. Flight recorders are
+/// phase-level by design (`SpanSink::FINE = false`): the tracks carry
+/// `batch.chunk` and one `gs.solve` span per instance, never the
+/// fine-grained `gs.round` spans — that is what keeps the traced batch
+/// within a few percent of the plain one (the `trace_overhead` row of
+/// `results/REPORT_gs.json` pins the measured figure). The returned
+/// [`ChunkTrace`]s are ordered by chunk index and plug straight into
+/// `kmatch_trace::TraceTrack::workers` for a thread-track-per-worker
+/// Chrome trace. Outcomes are identical to [`solve_batch`]'s.
+pub fn solve_batch_traced<P, C>(
+    instances: &[P],
+    registry: &BatchRegistry,
+    clock: &C,
+    flight_capacity: usize,
+) -> (Vec<GsOutcome>, Vec<ChunkTrace>)
+where
+    P: BipartitePrefs + Sync,
+    C: Clock + Sync,
+{
+    let len = instances.len();
+    if len == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let solve_chunk = |c: usize, chunk_insts: &[P]| {
+        let mut ws = GsWorkspace::new();
+        let mut shard = SolverMetrics::new();
+        let mut rec = FlightRecorder::new(clock, flight_capacity);
+        rec.begin(span::BATCH_CHUNK, c as u64);
+        let outs: Vec<GsOutcome> = chunk_insts
+            .iter()
+            .map(|inst| {
+                let t0 = clock.now_ns();
+                let out = ws.solve_spanned(inst, &mut shard, &mut rec);
+                shard.solve_ns(clock.now_ns().saturating_sub(t0));
+                out
+            })
+            .collect();
+        rec.end(span::BATCH_CHUNK);
+        registry.absorb(shard);
+        let trace = ChunkTrace {
+            worker: c,
+            dropped: rec.dropped(),
+            events: rec.events(),
+        };
+        (outs, trace)
+    };
+    if batch_path() == "serial" {
+        let (outs, trace) = solve_chunk(0, instances);
+        return (outs, vec![trace]);
+    }
+    let threads = rayon::current_num_threads().clamp(1, len);
+    let chunk = len.div_ceil(threads);
+    let chunks = len.div_ceil(chunk);
+    let per_chunk: Vec<(Vec<GsOutcome>, ChunkTrace)> = (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(len);
+            solve_chunk(c, &instances[lo..hi])
+        })
+        .collect();
+    let mut outs = Vec::with_capacity(len);
+    let mut traces = Vec::with_capacity(chunks);
+    for (chunk_outs, trace) in per_chunk {
+        outs.extend(chunk_outs);
+        traces.push(trace);
+    }
+    (outs, traces)
 }
 
 /// Sum the instrumentation counters of a batch: total proposals and the

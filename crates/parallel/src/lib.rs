@@ -41,7 +41,9 @@ pub mod pram;
 pub mod roommates;
 pub mod scratch;
 
-pub use batch::{batch_path, batch_stats, solve_batch, solve_batch_metered};
+pub use batch::{
+    batch_path, batch_stats, solve_batch, solve_batch_metered, solve_batch_traced, ChunkTrace,
+};
 pub use cached::{solve_batch_cached, CachedBatchOutcome};
 pub use executor::{
     parallel_bind, parallel_bind_metered, parallel_bind_scheduled, ParallelBindingOutcome,

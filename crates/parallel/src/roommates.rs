@@ -17,7 +17,10 @@
 use kmatch_obs::{BatchRegistry, Clock, Metrics, SolverMetrics};
 use kmatch_prefs::RoommatesInstance;
 use kmatch_roommates::{RoommatesOutcome, RoommatesWorkspace};
+use kmatch_trace::{span, FlightRecorder, SpanSink};
 use rayon::prelude::*;
+
+use crate::batch::ChunkTrace;
 
 /// Solve every roommates instance with the zero-allocation Irving fast
 /// path, fanning the batch across the rayon pool with one reusable
@@ -104,6 +107,70 @@ pub fn solve_batch_metered<C: Clock + Sync>(
         })
         .collect();
     per_chunk.into_iter().flatten().collect()
+}
+
+/// [`solve_batch_metered`] that additionally records a span timeline per
+/// worker chunk — the roommates mirror of
+/// [`crate::batch::solve_batch_traced`]. Each chunk's [`FlightRecorder`]
+/// (capacity `flight_capacity`, preallocated, never allocating while
+/// recording) wraps the chunk in a `batch.chunk` span around the
+/// per-solve `irving.*` spans; the returned [`ChunkTrace`]s feed
+/// `kmatch_trace::TraceTrack::workers` directly.
+pub fn solve_batch_traced<C: Clock + Sync>(
+    instances: &[RoommatesInstance],
+    registry: &BatchRegistry,
+    clock: &C,
+    flight_capacity: usize,
+) -> (Vec<RoommatesOutcome>, Vec<ChunkTrace>) {
+    let len = instances.len();
+    if len == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let solve_chunk = |c: usize, chunk_insts: &[RoommatesInstance]| {
+        let mut ws = RoommatesWorkspace::new();
+        let mut shard = SolverMetrics::new();
+        let mut rec = FlightRecorder::new(clock, flight_capacity);
+        rec.begin(span::BATCH_CHUNK, c as u64);
+        let outs: Vec<RoommatesOutcome> = chunk_insts
+            .iter()
+            .map(|inst| {
+                let t0 = clock.now_ns();
+                let out = ws.solve_spanned(inst, &mut shard, &mut rec);
+                shard.solve_ns(clock.now_ns().saturating_sub(t0));
+                out
+            })
+            .collect();
+        rec.end(span::BATCH_CHUNK);
+        registry.absorb(shard);
+        let trace = ChunkTrace {
+            worker: c,
+            dropped: rec.dropped(),
+            events: rec.events(),
+        };
+        (outs, trace)
+    };
+    if crate::batch::batch_path() == "serial" {
+        let (outs, trace) = solve_chunk(0, instances);
+        return (outs, vec![trace]);
+    }
+    let threads = rayon::current_num_threads().clamp(1, len);
+    let chunk = len.div_ceil(threads);
+    let chunks = len.div_ceil(chunk);
+    let per_chunk: Vec<(Vec<RoommatesOutcome>, ChunkTrace)> = (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(len);
+            solve_chunk(c, &instances[lo..hi])
+        })
+        .collect();
+    let mut outs = Vec::with_capacity(len);
+    let mut traces = Vec::with_capacity(chunks);
+    for (chunk_outs, trace) in per_chunk {
+        outs.extend(chunk_outs);
+        traces.push(trace);
+    }
+    (outs, traces)
 }
 
 /// Aggregate statistics of a solved roommates batch.

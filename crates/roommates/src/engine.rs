@@ -35,6 +35,7 @@
 
 use kmatch_obs::{Metrics, NoMetrics};
 use kmatch_prefs::RoommatesInstance;
+use kmatch_trace::{span, NoSpans, SpanSink};
 
 use crate::matching::RoommatesMatching;
 use crate::policy::RotationPolicy;
@@ -289,19 +290,26 @@ fn eliminate_rotation(ws: &mut RoommatesWorkspace) -> Option<u32> {
     (culprit != NONE).then_some(culprit)
 }
 
-/// The engine core, monomorphized per tracer and metrics sink.
-pub(crate) fn run_core<T: Tracer, M: Metrics>(
+/// The engine core, monomorphized per tracer, metrics sink, and span
+/// sink.
+pub(crate) fn run_core<T: Tracer, M: Metrics, S: SpanSink>(
     inst: &RoommatesInstance,
     ws: &mut RoommatesWorkspace,
     policy: &RotationPolicy,
     tracer: &mut T,
     metrics: &mut M,
+    spans: &mut S,
 ) -> RoommatesOutcome {
     let mut stats = SolveStats::default();
     let fresh = ws.reset(inst);
     metrics.workspace(fresh);
 
-    if let Some(culprit) = phase1(inst, ws, &mut stats.proposals, tracer, metrics) {
+    spans.begin(span::IRVING_SOLVE, inst.n() as u64);
+    spans.begin(span::IRVING_PHASE1, inst.n() as u64);
+    let culprit = phase1(inst, ws, &mut stats.proposals, tracer, metrics);
+    spans.end(span::IRVING_PHASE1);
+    if let Some(culprit) = culprit {
+        spans.end(span::IRVING_SOLVE);
         metrics.solve_done(false, stats.proposals);
         ws.footer = Some(crate::workspace::SolveFooter {
             n: inst.n(),
@@ -316,6 +324,7 @@ pub(crate) fn run_core<T: Tracer, M: Metrics>(
     // arena phase 2 operates on.
     ws.materialize(inst);
 
+    spans.begin(span::IRVING_PHASE2, inst.n() as u64);
     let mut cursors = SeedCursors::new();
     while let Some(start) = cursors.pick(&ws.len, policy) {
         find_rotation(ws, start);
@@ -324,6 +333,8 @@ pub(crate) fn run_core<T: Tracer, M: Metrics>(
         metrics.phase2_rotation();
         if let Some(culprit) = eliminate_rotation(ws) {
             tracer.list_emptied(culprit);
+            spans.end(span::IRVING_PHASE2);
+            spans.end(span::IRVING_SOLVE);
             metrics.solve_done(false, stats.proposals);
             ws.footer = Some(crate::workspace::SolveFooter {
                 n: inst.n(),
@@ -334,6 +345,8 @@ pub(crate) fn run_core<T: Tracer, M: Metrics>(
             return RoommatesOutcome::NoStableMatching { culprit, stats };
         }
     }
+    spans.end(span::IRVING_PHASE2);
+    spans.end(span::IRVING_SOLVE);
     metrics.solve_done(true, stats.proposals);
 
     // Every reduced list is a singleton: read off the matching.
@@ -370,7 +383,7 @@ impl RoommatesWorkspace {
         inst: &RoommatesInstance,
         policy: &RotationPolicy,
     ) -> RoommatesOutcome {
-        run_core(inst, self, policy, &mut NoTrace, &mut NoMetrics)
+        run_core(inst, self, policy, &mut NoTrace, &mut NoMetrics, &mut NoSpans)
     }
 
     /// [`RoommatesWorkspace::solve`] with metric hooks: proposals, holder
@@ -394,7 +407,33 @@ impl RoommatesWorkspace {
         policy: &RotationPolicy,
         metrics: &mut M,
     ) -> RoommatesOutcome {
-        run_core(inst, self, policy, &mut NoTrace, metrics)
+        run_core(inst, self, policy, &mut NoTrace, metrics, &mut NoSpans)
+    }
+
+    /// [`RoommatesWorkspace::solve_metered`] that additionally emits a
+    /// span timeline: an `irving.solve` span enclosing `irving.phase1`
+    /// and `irving.phase2` phase spans (see [`kmatch_trace::span`]).
+    /// With [`kmatch_trace::NoSpans`] this monomorphizes to exactly
+    /// [`RoommatesWorkspace::solve_metered`].
+    pub fn solve_spanned<M: Metrics, S: SpanSink>(
+        &mut self,
+        inst: &RoommatesInstance,
+        metrics: &mut M,
+        spans: &mut S,
+    ) -> RoommatesOutcome {
+        self.solve_spanned_with(inst, &RotationPolicy::FirstAvailable, metrics, spans)
+    }
+
+    /// [`RoommatesWorkspace::solve_spanned`] with an explicit
+    /// rotation-seeding policy.
+    pub fn solve_spanned_with<M: Metrics, S: SpanSink>(
+        &mut self,
+        inst: &RoommatesInstance,
+        policy: &RotationPolicy,
+        metrics: &mut M,
+        spans: &mut S,
+    ) -> RoommatesOutcome {
+        run_core(inst, self, policy, &mut NoTrace, metrics, spans)
     }
 }
 

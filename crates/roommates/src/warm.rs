@@ -32,6 +32,7 @@
 
 use kmatch_obs::{Metrics, NoMetrics};
 use kmatch_prefs::RoommatesInstance;
+use kmatch_trace::{reason, span, NoSpans, SpanSink};
 
 use crate::matching::RoommatesMatching;
 use crate::solver::RoommatesOutcome;
@@ -79,11 +80,28 @@ impl RoommatesWorkspace {
         deltas: &[RoommatesRowDelta],
         metrics: &mut M,
     ) -> RoommatesOutcome {
-        if !self.warm_hit(inst, deltas) {
+        self.resolve_delta_spanned(inst, deltas, metrics, &mut NoSpans)
+    }
+
+    /// [`RoommatesWorkspace::resolve_delta_metered`] that additionally
+    /// emits a span timeline: an `irving.warm.resolve` instant on a
+    /// replay, or an `irving.warm.fallback` instant carrying a
+    /// [`kmatch_trace::reason`] code followed by the cold solve's
+    /// `irving.solve`/`irving.phase1`/`irving.phase2` spans.
+    pub fn resolve_delta_spanned<M: Metrics, S: SpanSink>(
+        &mut self,
+        inst: &RoommatesInstance,
+        deltas: &[RoommatesRowDelta],
+        metrics: &mut M,
+        spans: &mut S,
+    ) -> RoommatesOutcome {
+        if let Some(why) = self.warm_miss_reason(inst, deltas) {
             metrics.warm_fallback();
-            return self.solve_metered(inst, metrics);
+            spans.instant(span::IRVING_WARM_FALLBACK, why);
+            return self.solve_spanned(inst, metrics, spans);
         }
-        let footer = self.footer.expect("warm_hit checked the footer");
+        let footer = self.footer.expect("warm_miss_reason checked the footer");
+        spans.instant(span::IRVING_WARM_RESOLVE, 0);
         metrics.workspace(false);
         metrics.warm_resolve(0);
         metrics.solve_done(footer.stable, 0);
@@ -120,15 +138,20 @@ impl RoommatesWorkspace {
     }
 
     /// The warm criterion: a usable footer, matching size, and every
-    /// delta confined to the dead zone of its row.
-    fn warm_hit(&self, inst: &RoommatesInstance, deltas: &[RoommatesRowDelta]) -> bool {
+    /// delta confined to the dead zone of its row. `None` means warm;
+    /// otherwise the [`kmatch_trace::reason`] code explaining the miss.
+    fn warm_miss_reason(
+        &self,
+        inst: &RoommatesInstance,
+        deltas: &[RoommatesRowDelta],
+    ) -> Option<u64> {
         let Some(footer) = self.footer else {
-            return false;
+            return Some(reason::NO_FOOTER);
         };
         if footer.n != inst.n() {
-            return false;
+            return Some(reason::SIZE_MISMATCH);
         }
-        deltas.iter().all(|d| {
+        let all_dead_zone = deltas.iter().all(|d| {
             let p = d.participant as usize;
             if p >= footer.n {
                 return false;
@@ -139,7 +162,8 @@ impl RoommatesWorkspace {
             }
             let live = self.live_prefix(p, new_row.len());
             new_row[..live] == d.old_row[..live]
-        })
+        });
+        (!all_dead_zone).then_some(reason::PREFIX_MISS)
     }
 }
 

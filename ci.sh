@@ -27,6 +27,29 @@ for key in '"schema": "kmatch.run_report/v1"' '"solves"' '"proposals"' \
     || { echo "metrics smoke: missing $key in report.json"; exit 1; }
 done
 
+echo "==> oracle smoke"
+# A 100k-agent SMP solve through the implicit random-permutation oracle:
+# no materialized lists, so this must run in O(n) memory and finish in
+# seconds — and its proposal count must sit within 3x of Mertens'
+# ~n ln n expectation (a broken oracle degenerates toward n^2).
+./target/release/kmatch solve smp --prefs random -n 100000 --seed 1 \
+    --metrics-out "$SMOKE_DIR/smp-oracle.json"
+./target/release/kmatch report validate --input "$SMOKE_DIR/smp-oracle.json"
+python3 - "$SMOKE_DIR/smp-oracle.json" <<'EOF'
+import json, math, sys
+report = json.load(open(sys.argv[1]))
+n = report["n"]
+proposals = report["metrics"]["counters"]["proposals"]
+limit = 3 * n * math.log(n)
+assert n == 100000, f"oracle smoke: unexpected n = {n}"
+assert proposals <= limit, \
+    f"oracle smoke: {proposals} proposals exceeds 3x n ln n ({limit:.0f})"
+assert proposals >= n, \
+    f"oracle smoke: {proposals} proposals cannot cover {n} proposers"
+print(f"oracle smoke: {proposals} proposals at n = {n} "
+      f"({proposals / (n * math.log(n)):.3f}x n ln n)")
+EOF
+
 echo "==> incremental smoke"
 cat > "$SMOKE_DIR/inst.json" <<'EOF'
 {"n": 4,

@@ -1,18 +1,28 @@
 //! Machine-readable GS hot-path measurements → `results/BENCH_gs.json`
 //! plus a structured run report → `results/REPORT_gs.json`.
 //!
-//! Records the two acceptance numbers of the zero-alloc hot-path work —
-//! fast-path speedup over the reference engine on a random `n = 2000`
-//! bipartite instance, and `solve_batch` throughput on 1000 instances
-//! relative to a serial loop — plus the smaller sizes for context, and
-//! the `SolverMetrics` overhead of the metered batch path relative to
-//! `NoMetrics` on an n = 2000 batch (acceptance target < 5%). Run with
+//! Records the acceptance numbers of the zero-alloc hot-path work —
+//! CSR fast-path speedup over the reference engine on a random
+//! `n = 2000` bipartite instance, and `solve_batch` throughput on 1000
+//! instances relative to a serial loop — plus the smaller sizes for
+//! context, the `SolverMetrics` overhead of the metered batch path
+//! relative to `NoMetrics` on an n = 2000 batch (acceptance target
+//! < 5%), and the implicit-oracle n-scaling series (n up to 10⁶ on the
+//! random-permutation backend, proposal counts pinned to Mertens'
+//! ~n ln n, allocation bytes recorded per point). The legacy non-CSR
+//! fast-path rows are gone along with the path itself: every engine
+//! entry point now walks a `PrefOracle`, so there is one fast path and
+//! it is the oracle one. Run with
 //! `cargo run --release --bin bench_gs_json`.
+
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
 
 use kmatch_bench::harness::{
     bipartite_batch, measure_blocks, rayon_threads, write_results, OverheadRow,
 };
 use kmatch_bench::rng;
+use kmatch_bench::scaling::{run_gs_point, GsBackend, GsScalingRow};
 use kmatch_gs::{gale_shapley_reference, GsWorkspace};
 use kmatch_obs::{BatchRegistry, RunReport, StdClock};
 use kmatch_parallel::{solve_batch, solve_batch_metered, solve_batch_traced};
@@ -26,10 +36,7 @@ struct SingleRow {
     n: usize,
     proposals: u64,
     reference_ns: f64,
-    fastpath_ns: f64,
     fastpath_csr_ns: f64,
-    /// `reference_ns / fastpath_ns`.
-    speedup: f64,
     /// `reference_ns / fastpath_csr_ns`.
     speedup_csr: f64,
 }
@@ -38,9 +45,7 @@ impl_json_struct!(SingleRow {
     n,
     proposals,
     reference_ns,
-    fastpath_ns,
     fastpath_csr_ns,
-    speedup,
     speedup_csr,
 });
 
@@ -78,6 +83,9 @@ impl_json_struct!(BatchRow {
 struct Report {
     threads: usize,
     single: Vec<SingleRow>,
+    /// Implicit-oracle n-scaling series (shared generator with the
+    /// `gs_scaling.csv` sweep).
+    scaling: Vec<GsScalingRow>,
     batch: BatchRow,
     metrics_overhead: OverheadRow,
     /// `metered_ns` here is the *traced* batch (per-chunk flight
@@ -88,6 +96,7 @@ struct Report {
 impl_json_struct!(Report {
     threads,
     single,
+    scaling,
     batch,
     metrics_overhead,
     trace_overhead
@@ -96,15 +105,13 @@ impl_json_struct!(Report {
 fn single_row(n: usize, reps: usize) -> SingleRow {
     let inst = uniform_bipartite(n, &mut rng(301));
     let proposals = gale_shapley_reference(&inst).stats.proposals;
-    let mut ws = GsWorkspace::with_capacity(n);
     let mut ws_csr = GsWorkspace::with_capacity(n);
     let csr = CsrPrefs::from_prefs(&inst);
-    let [reference_ns, fastpath_ns, fastpath_csr_ns] = measure_blocks(
+    let [reference_ns, fastpath_csr_ns] = measure_blocks(
         4,
         reps,
         [
             &mut || gale_shapley_reference(&inst).stats.proposals,
-            &mut || ws.solve(&inst).stats.proposals,
             &mut || ws_csr.solve(&csr).stats.proposals,
         ],
     );
@@ -112,11 +119,28 @@ fn single_row(n: usize, reps: usize) -> SingleRow {
         n,
         proposals,
         reference_ns,
-        fastpath_ns,
         fastpath_csr_ns,
-        speedup: reference_ns / fastpath_ns,
         speedup_csr: reference_ns / fastpath_csr_ns,
     }
+}
+
+/// The implicit-oracle n-scaling series: CSR as the explicit-table
+/// anchor (kept below its 2¹⁶ cap), the score oracle's
+/// serial-dictatorship corner, and the random-permutation oracle out to
+/// a million agents per side — where materialized lists would need
+/// ~8 TB and the oracle needs a few words.
+fn scaling_series() -> Vec<GsScalingRow> {
+    let mut hook = counting_alloc::bytes_allocated_in;
+    [
+        (GsBackend::Csr, 4_096, 5),
+        (GsBackend::Scores, 10_000, 5),
+        (GsBackend::Random, 10_000, 5),
+        (GsBackend::Random, 100_000, 3),
+        (GsBackend::Random, 1_000_000, 2),
+    ]
+    .into_iter()
+    .map(|(backend, n, reps)| run_gs_point(backend, n, 1, reps, &mut hook))
+    .collect()
 }
 
 fn batch_row() -> BatchRow {
@@ -245,6 +269,7 @@ fn main() {
     let report = Report {
         threads: rayon_threads(),
         single,
+        scaling: scaling_series(),
         batch: batch_row(),
         metrics_overhead,
         trace_overhead,
@@ -252,10 +277,15 @@ fn main() {
 
     for row in &report.single {
         println!(
-            "n = {:>5}: reference {:>10.0} ns  fastpath {:>10.0} ns  csr {:>10.0} ns  \
-             speedup {:.2}x / {:.2}x (csr)",
-            row.n, row.reference_ns, row.fastpath_ns, row.fastpath_csr_ns, row.speedup,
-            row.speedup_csr,
+            "n = {:>5}: reference {:>10.0} ns  csr {:>10.0} ns  speedup {:.2}x (csr)",
+            row.n, row.reference_ns, row.fastpath_csr_ns, row.speedup_csr,
+        );
+    }
+    for row in &report.scaling {
+        println!(
+            "scale n = {:>7} [{:>6}]: {:>10} proposals ({:.3}x n ln n)  \
+             {:>12.0} ns  {:>12} alloc bytes",
+            row.n, row.backend, row.proposals, row.nlogn_ratio, row.solve_ns, row.alloc_bytes,
         );
     }
     let b = &report.batch;

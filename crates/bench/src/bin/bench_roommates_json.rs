@@ -8,13 +8,20 @@
 //! variants), `kmatch_parallel::roommates::solve_batch` throughput on
 //! 1000 instances relative to a serial workspace-reuse loop, and the
 //! `SolverMetrics` overhead of the metered batch path on an n = 2000
-//! batch (acceptance target < 5%). Run with
+//! batch (acceptance target < 5%) — plus the implicit-oracle scaling
+//! series: Irving through the lazy §III-B `RoommatesOracleView` over a
+//! random-permutation oracle, doubled instance never materialized,
+//! allocation bytes recorded per point. Run with
 //! `cargo run --release --bin bench_roommates_json`.
+
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
 
 use kmatch_bench::harness::{
     measure_blocks, rayon_threads, roommates_batch, write_results, OverheadRow,
 };
 use kmatch_bench::rng;
+use kmatch_bench::scaling::{run_roommates_point, RoommatesScalingRow};
 use kmatch_obs::{BatchRegistry, RunReport, StdClock};
 use kmatch_parallel::roommates::{solve_batch, solve_batch_metered, solve_batch_traced};
 use kmatch_prefs::gen::uniform::uniform_roommates;
@@ -82,6 +89,9 @@ impl_json_struct!(BatchRow {
 struct Report {
     threads: usize,
     single: Vec<SingleRow>,
+    /// Lazy §III-B oracle-view scaling series (shared generator with
+    /// the GS scaling sweep).
+    scaling: Vec<RoommatesScalingRow>,
     batch: BatchRow,
     metrics_overhead: OverheadRow,
     /// `metered_ns` here is the *traced* batch (per-chunk flight
@@ -92,10 +102,23 @@ struct Report {
 impl_json_struct!(Report {
     threads,
     single,
+    scaling,
     batch,
     metrics_overhead,
     trace_overhead
 });
+
+/// Irving over the lazy doubled view of a [`kmatch_prefs::RandomPermOracle`]:
+/// phase 1 walks the oracle directly; only the reduced table is ever
+/// written down, so memory stays far below the 2n × 2n a materialized
+/// reduction would cost.
+fn scaling_series() -> Vec<RoommatesScalingRow> {
+    let mut hook = counting_alloc::bytes_allocated_in;
+    [(2_000usize, 4usize), (10_000, 3)]
+        .into_iter()
+        .map(|(n, reps)| run_roommates_point(n, 1, reps, &mut hook))
+        .collect()
+}
 
 fn single_row(n: usize, reps: usize) -> SingleRow {
     let inst = uniform_roommates(n, &mut rng(401));
@@ -248,6 +271,7 @@ fn main() {
     let report = Report {
         threads: rayon_threads(),
         single,
+        scaling: scaling_series(),
         batch: batch_row(),
         metrics_overhead,
         trace_overhead,
@@ -263,6 +287,13 @@ fn main() {
             row.fastpath_reuse_ns,
             row.speedup_fresh,
             row.speedup_reuse,
+        );
+    }
+    for row in &report.scaling {
+        println!(
+            "scale n = {:>6} x2 [{}]: {:>9} proposals  {:>6} rotations  \
+             {:>12.0} ns  {:>12} alloc bytes",
+            row.n, row.backend, row.proposals, row.rotations, row.solve_ns, row.alloc_bytes,
         );
     }
     let b = &report.batch;

@@ -1,0 +1,46 @@
+//! Byte-counting global allocator shared by the bench binaries through
+//! `#[path]` inclusion — the `kmatch-bench` library forbids `unsafe`,
+//! and binaries do not inherit that, so the `GlobalAlloc` lives here.
+//!
+//! Merely including this module installs the counter (it declares the
+//! `#[global_allocator]`). The counter is a thread-local *gross* byte
+//! tally: frees are never subtracted, so a measurement bounds peak and
+//! churn together, and other threads cannot pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// plain thread-local add that performs no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = BYTES.try_with(|c| c.set(c.get() + layout.size() as u64));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = BYTES.try_with(|c| c.set(c.get() + new_size as u64));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Gross bytes requested from the allocator by `f` on this thread —
+/// the [`kmatch_bench::scaling::BytesHook`] the scaling points expect.
+pub fn bytes_allocated_in(f: &mut dyn FnMut()) -> u64 {
+    let before = BYTES.with(Cell::get);
+    f();
+    BYTES.with(Cell::get) - before
+}

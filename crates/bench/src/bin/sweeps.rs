@@ -6,25 +6,26 @@
 //! ```
 //!
 //! Produces:
-//! * `gs_scaling.csv` — proposals/rounds/happiness vs n per workload;
+//! * `gs_scaling.csv` — proposals/solve time/alloc bytes vs n per
+//!   preference backend (csr | scores | random), through the same
+//!   generator as the `scaling` series in `BENCH_gs.json`;
 //! * `binding_topology.csv` — Algorithm 1 cost and EREW model vs tree;
 //! * `roommates_solvability.csv` — P(stable matching exists) vs n;
 //! * `weak_failure.csv` — weakened-condition failure rate of non-bitonic
 //!   trees vs (k, n);
 //! * `quorum_frontier.csv` — quorum-stability rate vs q.
 
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
+
+use kmatch_bench::scaling::{run_gs_point, GsBackend};
 use kmatch_bench::{rng, sweep::Csv};
 use kmatch_core::{
     bind, bind_with_stats, find_weak_blocking_family, is_quorum_stable, GenderPriorities,
 };
 use kmatch_graph::{random_tree, BindingTree};
-use kmatch_gs::{gale_shapley, mean_proposer_rank, mean_responder_rank};
 use kmatch_parallel::erew_cost;
-use kmatch_prefs::gen::euclidean::euclidean_bipartite;
-use kmatch_prefs::gen::mallows::mallows_bipartite;
-use kmatch_prefs::gen::structured::{cyclic_bipartite, identical_bipartite};
-use kmatch_prefs::gen::uniform::{uniform_bipartite, uniform_kpartite, uniform_roommates};
-use kmatch_prefs::BipartiteInstance;
+use kmatch_prefs::gen::uniform::{uniform_kpartite, uniform_roommates};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -44,45 +45,60 @@ fn main() {
     println!("sweeps written under {out_dir}/");
 }
 
+/// Backend n-scaling data series — the CSV twin of the `scaling` block
+/// in `BENCH_gs.json`, produced by the same
+/// [`kmatch_bench::scaling::run_gs_point`] generator. CSR stops at 4096
+/// (the explicit table is the thing being scaled *away from*); the
+/// implicit oracles continue to 2¹⁸ — and in the JSON series to 10⁶.
 fn gs_scaling(quick: bool, out_dir: &str) {
     let mut csv = Csv::new(&[
         "n",
-        "workload",
+        "backend",
         "seed",
         "proposals",
         "rounds",
-        "men_rank",
-        "women_rank",
+        "solve_ns",
+        "alloc_bytes",
+        "nlogn_ratio",
     ]);
+    let mut hook = counting_alloc::bytes_allocated_in;
     let sizes: &[usize] = if quick {
-        &[16, 64]
+        &[256, 1024]
     } else {
-        &[16, 32, 64, 128, 256, 512]
+        &[256, 1024, 4096, 16_384, 65_536]
     };
-    let seeds: u64 = if quick { 3 } else { 10 };
+    let seeds: u64 = if quick { 1 } else { 3 };
+    let mut points: Vec<(GsBackend, usize, u64, usize)> = Vec::new();
     for &n in sizes {
         for seed in 0..seeds {
-            let mut r = rng(21_000 + seed);
-            let workloads: Vec<(&str, BipartiteInstance)> = vec![
-                ("uniform", uniform_bipartite(n, &mut r)),
-                ("identical", identical_bipartite(n)),
-                ("cyclic", cyclic_bipartite(n)),
-                ("mallows_phi_0.5", mallows_bipartite(n, 0.5, &mut r)),
-                ("euclidean", euclidean_bipartite(n, &mut r).0),
-            ];
-            for (name, inst) in workloads {
-                let out = gale_shapley(&inst);
-                csv.row(vec![
-                    n.to_string(),
-                    name.to_string(),
-                    seed.to_string(),
-                    out.stats.proposals.to_string(),
-                    out.stats.rounds.to_string(),
-                    format!("{:.4}", mean_proposer_rank(&inst, &out.matching)),
-                    format!("{:.4}", mean_responder_rank(&inst, &out.matching)),
-                ]);
+            for backend in [GsBackend::Csr, GsBackend::Scores, GsBackend::Random] {
+                if backend == GsBackend::Csr && n > 4096 {
+                    continue; // explicit tables stop where CSR's cap looms
+                }
+                if backend == GsBackend::Scores && n > 16_384 {
+                    continue; // the dictatorship corner is Θ(n²) proposals
+                }
+                points.push((backend, n, seed, if n <= 4096 { 5 } else { 3 }));
             }
         }
+    }
+    if !quick {
+        // Implicit-only tail: sizes no materialized table could reach
+        // in this container's memory budget.
+        points.push((GsBackend::Random, 262_144, 1, 2));
+    }
+    for (backend, n, seed, reps) in points {
+        let row = run_gs_point(backend, n, seed, reps, &mut hook);
+        csv.row(vec![
+            row.n.to_string(),
+            row.backend,
+            row.seed.to_string(),
+            row.proposals.to_string(),
+            row.rounds.to_string(),
+            format!("{:.0}", row.solve_ns),
+            row.alloc_bytes.to_string(),
+            format!("{:.4}", row.nlogn_ratio),
+        ]);
     }
     csv.write(format!("{out_dir}/gs_scaling.csv"))
         .expect("write CSV");

@@ -14,7 +14,11 @@
 //!   sub-microsecond rows cannot trip the gate on scheduler jitter);
 //! - **ratios** (`speedup*`, `efficiency`, `*_speedup`) are roughly
 //!   host-independent and gate one-sided downward; `*_pct` overhead rows
-//!   gate one-sided upward with an absolute slack in percentage points.
+//!   gate one-sided upward with an absolute slack in percentage points;
+//! - **allocation counts** (`alloc_*`, `*_bytes`) are deterministic but
+//!   may grow benignly (a `Vec` doubling-point shift), so they gate
+//!   one-sided upward with relative + absolute slack — an oracle row
+//!   quietly going O(n²) is exactly what this rule exists to catch.
 //!
 //! Host-shape fields (`threads`, the batch `path`) are informational:
 //! drift is noted, never fatal. Keys present in the baseline but missing
@@ -43,6 +47,13 @@ pub struct DiffConfig {
     /// Absolute slack on `*_pct` rows, in percentage points: fresh may
     /// exceed the baseline by this much. Default 3.0.
     pub pct_slack: f64,
+    /// Relative slack on `alloc_*` / `*_bytes` rows: fresh may grow to
+    /// `baseline * (1 + bytes_tol)` before regressing. Default 0.30.
+    pub bytes_tol: f64,
+    /// Absolute floor on `alloc_*` / `*_bytes` rows: growth under this
+    /// many bytes never regresses, whatever the ratio says. Default
+    /// 4 KiB, one page of workspace rounding.
+    pub bytes_floor: f64,
 }
 
 impl Default for DiffConfig {
@@ -52,6 +63,8 @@ impl Default for DiffConfig {
             timing_floor_ns: 10_000.0,
             ratio_tol: 0.25,
             pct_slack: 3.0,
+            bytes_tol: 0.30,
+            bytes_floor: 4096.0,
         }
     }
 }
@@ -83,6 +96,9 @@ enum Rule {
     Ratio,
     /// `*_pct`: one-sided growth gate, absolute slack in points.
     Pct,
+    /// `alloc_*` / `*_bytes`: one-sided growth gate, relative +
+    /// absolute slack.
+    Bytes,
     /// Host-shape fields: drift is a note, never a regression.
     Ignore,
     /// Everything else (counters, flags, names): exact match.
@@ -99,6 +115,9 @@ fn rule_for(key: &str) -> Rule {
     }
     if key.ends_with("_pct") {
         return Rule::Pct;
+    }
+    if key.starts_with("alloc_") || key.ends_with("_bytes") {
+        return Rule::Bytes;
     }
     if key == "efficiency" || key == "speedup" || key.starts_with("speedup_") || key.ends_with("_speedup") {
         return Rule::Ratio;
@@ -145,6 +164,15 @@ fn compare_number(path: &str, key: &str, base: f64, fresh: f64, cfg: &DiffConfig
                 rep.regressions.push(format!(
                     "{path}: overhead grew {base:.2}% -> {fresh:.2}% (slack {:.1} points)",
                     cfg.pct_slack
+                ));
+            }
+        }
+        Rule::Bytes => {
+            if fresh > base * (1.0 + cfg.bytes_tol) && fresh - base > cfg.bytes_floor {
+                rep.regressions.push(format!(
+                    "{path}: allocation grew {base:.0} -> {fresh:.0} bytes ({:+.1}%, tolerance {:.0}%)",
+                    pct(base, fresh),
+                    cfg.bytes_tol * 100.0
                 ));
             }
         }
@@ -281,9 +309,13 @@ mod tests {
 
     #[test]
     fn key_classification() {
-        assert_eq!(rule_for("fastpath_ns"), Rule::Timing);
+        assert_eq!(rule_for("fastpath_csr_ns"), Rule::Timing);
         assert_eq!(rule_for("wall_ns"), Rule::Timing);
+        assert_eq!(rule_for("solve_ns"), Rule::Timing);
         assert_eq!(rule_for("overhead_pct"), Rule::Pct);
+        assert_eq!(rule_for("alloc_bytes"), Rule::Bytes);
+        assert_eq!(rule_for("peak_bytes"), Rule::Bytes);
+        assert_eq!(rule_for("alloc_count"), Rule::Bytes);
         assert_eq!(rule_for("speedup"), Rule::Ratio);
         assert_eq!(rule_for("speedup_csr"), Rule::Ratio);
         assert_eq!(rule_for("cached_speedup"), Rule::Ratio);
@@ -307,6 +339,17 @@ mod tests {
         let rep = run(r#"{"proposals": 100}"#, r#"{"proposals": 101}"#);
         assert!(!rep.ok());
         assert!(rep.regressions[0].contains("t.proposals"), "{:?}", rep.regressions);
+    }
+
+    #[test]
+    fn bytes_gate_one_sided_with_slack() {
+        // Shrinking is always fine; growth within 30% is fine; growth
+        // beyond 30% *and* beyond the 4 KiB floor regresses.
+        assert!(run(r#"{"alloc_bytes": 1000000}"#, r#"{"alloc_bytes": 500000}"#).ok());
+        assert!(run(r#"{"alloc_bytes": 1000000}"#, r#"{"alloc_bytes": 1250000}"#).ok());
+        assert!(!run(r#"{"alloc_bytes": 1000000}"#, r#"{"alloc_bytes": 2000000}"#).ok());
+        // Tiny rows sit under the absolute floor whatever the ratio.
+        assert!(run(r#"{"alloc_bytes": 100}"#, r#"{"alloc_bytes": 4000}"#).ok());
     }
 
     #[test]

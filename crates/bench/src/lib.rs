@@ -6,6 +6,7 @@
 
 pub mod diff;
 pub mod harness;
+pub mod scaling;
 pub mod sweep;
 
 use rand::SeedableRng;

@@ -1,0 +1,283 @@
+//! Shared n-scaling generator for the implicit-oracle substrate.
+//!
+//! One code path produces both the `scaling` series committed in
+//! `results/BENCH_gs.json` / `results/BENCH_roommates.json` (gated by
+//! `bench_diff`) and the `gs_scaling.csv` sweep behind the experiment
+//! tables — so the two can never drift apart.
+//!
+//! Each point prepares a preference backend (unmeasured), then times
+//! `reps` fresh-workspace solves and keeps the minimum wall time. The
+//! first solve also runs under a byte-counting hook: allocation is
+//! deterministic, so one measurement suffices, and recording it per row
+//! puts the O(n) memory claim of the oracle substrate under the
+//! regression gate. The byte-counting `GlobalAlloc` itself lives in the
+//! bench *binaries* — this library forbids `unsafe` — and is passed in
+//! as [`BytesHook`].
+
+use std::time::Instant;
+
+use kmatch_gs::{GsStats, GsWorkspace};
+use kmatch_prefs::gen::uniform::uniform_bipartite;
+use kmatch_prefs::{CsrPrefs, PrefOracle, RandomPermOracle, RoommatesOracleView, ScoreOracle};
+use kmatch_roommates::RoommatesWorkspace;
+use serde::impl_json_struct;
+
+use crate::rng;
+
+/// Runs a closure and reports the gross bytes it allocated on this
+/// thread. Supplied by the binary that owns the counting allocator.
+pub type BytesHook<'a> = &'a mut dyn FnMut(&mut dyn FnMut()) -> u64;
+
+/// Preference backend of one GS scaling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GsBackend {
+    /// Materialized uniform lists compiled to a CSR arena — Θ(n²) memory,
+    /// the explicit-table baseline the oracles are measured against.
+    Csr,
+    /// Seeded Feistel random-permutation oracle — O(1) memory.
+    Random,
+    /// Popularity score oracle (global order + seeded tie-break) — O(n)
+    /// memory. Identical lists make GS a serial dictatorship, so this
+    /// backend pins the Θ(n²)-proposal corner of the substrate.
+    Scores,
+}
+
+impl GsBackend {
+    /// Stable row label (matches the CLI's `--prefs` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            GsBackend::Csr => "csr",
+            GsBackend::Random => "random",
+            GsBackend::Scores => "scores",
+        }
+    }
+}
+
+/// One point of the GS n-scaling series.
+#[derive(Debug, Clone)]
+pub struct GsScalingRow {
+    /// Agents per side.
+    pub n: usize,
+    /// Backend label (`csr` | `random` | `scores`).
+    pub backend: String,
+    /// Construction seed.
+    pub seed: u64,
+    /// Total proposals of the solve (deterministic per backend + seed).
+    pub proposals: u64,
+    /// Rounds of the solve.
+    pub rounds: u64,
+    /// Minimum wall time over the timed reps, fresh workspace per solve.
+    pub solve_ns: f64,
+    /// Gross bytes allocated by one fresh-workspace solve.
+    pub alloc_bytes: u64,
+    /// `proposals / (n ln n)` — Mertens' asymptotic says ≈ 1 for uniform
+    /// random lists; the serial-dictatorship corner (`scores`) grows
+    /// like n / ln n instead.
+    pub nlogn_ratio: f64,
+}
+
+impl_json_struct!(GsScalingRow {
+    n,
+    backend,
+    seed,
+    proposals,
+    rounds,
+    solve_ns,
+    alloc_bytes,
+    nlogn_ratio,
+});
+
+/// One point of the roommates n-scaling series: Irving driven through
+/// the lazy §III-B [`RoommatesOracleView`] over a random-permutation
+/// oracle — the doubled instance is never materialized.
+#[derive(Debug, Clone)]
+pub struct RoommatesScalingRow {
+    /// Agents per side of the underlying bipartite oracle.
+    pub n: usize,
+    /// Participants in the doubled §III-B reduction (2n).
+    pub participants: usize,
+    /// Backend label.
+    pub backend: String,
+    /// Construction seed.
+    pub seed: u64,
+    /// Phase-1 proposals of the Irving solve.
+    pub proposals: u64,
+    /// Phase-2 rotations eliminated.
+    pub rotations: u64,
+    /// Minimum wall time over the timed reps, fresh workspace per solve.
+    pub solve_ns: f64,
+    /// Gross bytes allocated by one fresh-workspace solve.
+    pub alloc_bytes: u64,
+}
+
+impl_json_struct!(RoommatesScalingRow {
+    n,
+    participants,
+    backend,
+    seed,
+    proposals,
+    rotations,
+    solve_ns,
+    alloc_bytes,
+});
+
+/// `n · ln n`, floored so tiny n cannot divide by ≤ 0.
+pub fn nlogn(n: usize) -> f64 {
+    let x = n as f64;
+    x * x.ln().max(1.0)
+}
+
+/// Solve one GS scaling point. Backend construction is outside the
+/// measurement; for `Random` at n ≥ 1024 the proposal count is
+/// hard-checked against Mertens' ~n ln n (within [0.5×, 3×]) so a broken
+/// oracle cannot silently regenerate plausible-looking baselines.
+pub fn run_gs_point(
+    backend: GsBackend,
+    n: usize,
+    seed: u64,
+    reps: usize,
+    bytes: BytesHook,
+) -> GsScalingRow {
+    let row = match backend {
+        GsBackend::Csr => {
+            let inst = uniform_bipartite(n, &mut rng(26_000 + seed));
+            let csr = CsrPrefs::from_prefs(&inst);
+            gs_point_over(backend, n, seed, reps, bytes, &csr)
+        }
+        GsBackend::Random => {
+            gs_point_over(backend, n, seed, reps, bytes, &RandomPermOracle::new(n, seed))
+        }
+        GsBackend::Scores => {
+            gs_point_over(backend, n, seed, reps, bytes, &ScoreOracle::popularity(n, seed))
+        }
+    };
+    if backend == GsBackend::Random && n >= 1024 {
+        assert!(
+            (0.5..=3.0).contains(&row.nlogn_ratio),
+            "random-oracle proposals {} at n = {n} are not ~n ln n (ratio {:.3})",
+            row.proposals,
+            row.nlogn_ratio
+        );
+    }
+    row
+}
+
+fn gs_point_over<P: PrefOracle>(
+    backend: GsBackend,
+    n: usize,
+    seed: u64,
+    reps: usize,
+    bytes: BytesHook,
+    prefs: &P,
+) -> GsScalingRow {
+    assert!(reps >= 1, "need at least one timed rep");
+    let mut stats = GsStats::default();
+    let alloc_bytes = bytes(&mut || {
+        let mut ws = GsWorkspace::new();
+        stats = std::hint::black_box(ws.solve(prefs)).stats;
+    });
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut ws = GsWorkspace::new();
+        let t = Instant::now();
+        let out = std::hint::black_box(ws.solve(prefs));
+        best = best.min(t.elapsed().as_nanos() as f64);
+        assert_eq!(out.stats, stats, "GS solve must be deterministic");
+    }
+    GsScalingRow {
+        n,
+        backend: backend.name().to_string(),
+        seed,
+        proposals: stats.proposals,
+        rounds: u64::from(stats.rounds),
+        solve_ns: best,
+        alloc_bytes,
+        nlogn_ratio: stats.proposals as f64 / nlogn(n),
+    }
+}
+
+/// Solve one roommates scaling point through the lazy §III-B view over
+/// a [`RandomPermOracle`] — 2n participants, zero materialized lists on
+/// the way in (phase 1 walks the oracle; only the reduced table is
+/// ever written down).
+pub fn run_roommates_point(
+    n: usize,
+    seed: u64,
+    reps: usize,
+    bytes: BytesHook,
+) -> RoommatesScalingRow {
+    assert!(reps >= 1, "need at least one timed rep");
+    let oracle = RandomPermOracle::new(n, seed);
+    let view = RoommatesOracleView::new(&oracle);
+    let mut proposals = 0u64;
+    let mut rotations = 0u32;
+    let alloc_bytes = bytes(&mut || {
+        let out = std::hint::black_box(RoommatesWorkspace::new().solve(&view));
+        let stats = out.stats();
+        proposals = stats.proposals;
+        rotations = stats.rotations;
+        assert!(
+            out.is_stable(),
+            "the §III-B reduction is a marriage instance; it always solves"
+        );
+    });
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let out = std::hint::black_box(RoommatesWorkspace::new().solve(&view));
+        best = best.min(t.elapsed().as_nanos() as f64);
+        assert_eq!(out.stats().proposals, proposals, "Irving solve must be deterministic");
+    }
+    RoommatesScalingRow {
+        n,
+        participants: 2 * n,
+        backend: "random_view".to_string(),
+        seed,
+        proposals,
+        rotations: u64::from(rotations),
+        solve_ns: best,
+        alloc_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn null_hook(f: &mut dyn FnMut()) -> u64 {
+        f();
+        0
+    }
+
+    #[test]
+    fn gs_points_are_deterministic_across_backends() {
+        for backend in [GsBackend::Csr, GsBackend::Random, GsBackend::Scores] {
+            let a = run_gs_point(backend, 64, 3, 2, &mut null_hook);
+            let b = run_gs_point(backend, 64, 3, 2, &mut null_hook);
+            assert_eq!(a.proposals, b.proposals);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.backend, backend.name());
+        }
+    }
+
+    #[test]
+    fn random_backend_tracks_mertens_at_moderate_n() {
+        let row = run_gs_point(GsBackend::Random, 4096, 1, 1, &mut null_hook);
+        assert!((0.5..=3.0).contains(&row.nlogn_ratio), "ratio {}", row.nlogn_ratio);
+    }
+
+    #[test]
+    fn scores_backend_is_the_serial_dictatorship_corner() {
+        // Identical lists: proposer i (in popularity order) makes i + 1
+        // proposals, so the total is exactly n(n+1)/2.
+        let row = run_gs_point(GsBackend::Scores, 128, 0, 1, &mut null_hook);
+        assert_eq!(row.proposals, 128 * 129 / 2);
+    }
+
+    #[test]
+    fn roommates_point_solves_the_doubled_instance() {
+        let row = run_roommates_point(256, 2, 1, &mut null_hook);
+        assert_eq!(row.participants, 512);
+        assert!(row.proposals >= 256, "phase 1 proposes at least once per side");
+    }
+}

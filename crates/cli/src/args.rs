@@ -1,7 +1,8 @@
 //! Minimal flag parser (no external CLI dependency).
 //!
-//! Supports `--flag value` and `--flag=value` forms plus a positional
-//! subcommand chain; unknown flags are an error so typos fail loudly.
+//! Supports `--flag value`, `--flag=value`, and single-dash `-flag value`
+//! forms plus a positional subcommand chain; unknown flags are an error
+//! so typos fail loudly.
 
 use std::collections::BTreeMap;
 
@@ -20,7 +21,13 @@ impl Args {
         let mut out = Args::default();
         let mut iter = raw.into_iter().peekable();
         while let Some(arg) = iter.next() {
-            if let Some(stripped) = arg.strip_prefix("--") {
+            // `-n 100000` parses like `--n 100000`; a lone `-` or a
+            // leading digit (a negative number) stays positional.
+            let stripped = arg.strip_prefix("--").or_else(|| {
+                arg.strip_prefix('-')
+                    .filter(|rest| rest.chars().next().is_some_and(char::is_alphabetic))
+            });
+            if let Some(stripped) = stripped {
                 if let Some((key, value)) = stripped.split_once('=') {
                     out.flags
                         .entry(key.to_string())
@@ -114,6 +121,17 @@ mod tests {
     #[test]
     fn missing_value_is_error() {
         assert!(Args::parse(vec!["--k".to_string()]).is_err());
+    }
+
+    #[test]
+    fn single_dash_flags_parse_like_double_dash() {
+        let a = parse(&["solve", "smp", "-n", "100000", "-seed=3"]);
+        assert_eq!(a.flag_or("n", 0usize).unwrap(), 100_000);
+        assert_eq!(a.flag_or("seed", 0u64).unwrap(), 3);
+        // A bare dash or a negative number stays positional.
+        let b = parse(&["-", "-42"]);
+        assert_eq!(b.positional(0), Some("-"));
+        assert_eq!(b.positional(1), Some("-42"));
     }
 
     #[test]

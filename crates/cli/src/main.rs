@@ -22,7 +22,7 @@ use kmatch_core::{
     priority_binding_tree, AttachChoice, GenderPriorities, KAryMatching,
 };
 use kmatch_graph::{random_tree, BindingTree};
-use kmatch_gs::{gale_shapley, mean_proposer_rank, mean_responder_rank, GsWorkspace};
+use kmatch_gs::{mean_proposer_rank, mean_responder_rank, GsWorkspace};
 use kmatch_incremental::{IncrementalBinder, IncrementalGs, SolveCache};
 use kmatch_obs::Metrics;
 use kmatch_prefs::serde_support::{KPartiteDto, PrefDeltaDto, RoommatesDto};
@@ -44,6 +44,8 @@ USAGE:
   kmatch solve kary    --input FILE [--tree path|star|random|priority] [--seed S]
   kmatch solve binary  --input FILE
   kmatch solve smp     --n N [--seed S] [--mode gs|fair|man|woman]
+                       [--prefs csr|scores|random] [--list-cap K]
+                       [--metrics-out FILE] [--metrics-format json|prom]
                        [--trace-out FILE] [--trace-format chrome|json]
                        [--flight-recorder N]
   kmatch batch         [--n N] [--count C] [--seed S] [--kind gs|roommates]
@@ -81,6 +83,14 @@ USAGE:
   bind --incremental true binds through the dirty-edge session;
   --updates FILE applies preference-row rewrites ({\"gender\", \"index\",
   \"target\", \"prefs\"}) and rebinds, reporting dirty vs clean edges.
+
+  solve smp --prefs picks the preference backend: csr (default)
+  materializes the uniform instance's lists; scores and random are
+  implicit oracles that never build a list, so n can reach 10^5-10^6 in
+  O(n) memory (`kmatch solve smp --prefs random -n 1000000`). --list-cap
+  K truncates every list to its best K entries (Irving forbidden-pairs
+  semantics) and reports the matched count of the partial matching.
+  These flags, and --metrics-out, apply to --mode gs only.
 
   --trace-out FILE records a span timeline of the solve (engine rounds,
   Irving phases, binding edges, cache hits) and exports it as Chrome
@@ -314,54 +324,176 @@ fn solve_binary(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One GS solve over any preference oracle: complete backends return the
+/// perfect matching; a `--list-cap` solve truncates every list to the cap
+/// and returns the matched count of the resulting partial matching.
+fn gs_oracle_run<P: kmatch_prefs::PrefOracle, C: kmatch_obs::Clock>(
+    prefs: P,
+    list_cap: Option<u32>,
+    metrics: &mut kmatch_obs::SolverMetrics,
+    sink: &mut Option<traceio::CliSink<'_, C>>,
+) -> Result<(Option<kmatch_gs::BipartiteMatching>, usize, kmatch_gs::GsStats), String> {
+    let n = prefs.agents();
+    let mut ws = GsWorkspace::new();
+    match list_cap {
+        Some(cap) => {
+            if sink.is_some() {
+                return Err("--trace-out is not supported with --list-cap".to_string());
+            }
+            let capped = kmatch_prefs::TruncatedOracle::new(prefs, cap);
+            let (partial, stats) = ws.solve_partial_metered(&capped, metrics);
+            let matched = partial
+                .partner_of_proposer
+                .iter()
+                .filter(|&&w| w != kmatch_gs::UNMATCHED)
+                .count();
+            Ok((None, matched, stats))
+        }
+        None => {
+            let out = match sink.as_mut() {
+                Some(sink) => ws.solve_spanned(&prefs, metrics, sink),
+                None => ws.solve_metered(&prefs, metrics),
+            };
+            Ok((Some(out.matching), n, out.stats))
+        }
+    }
+}
+
+/// Mean ranks plus the pair listing (gated to small instances — a
+/// million-agent solve should not print a million lines).
+fn print_smp_matching(inst: &BipartiteInstance, matching: &kmatch_gs::BipartiteMatching) {
+    println!(
+        "men mean rank : {:.3}",
+        mean_proposer_rank(inst, matching)
+    );
+    println!(
+        "women mean rank: {:.3}",
+        mean_responder_rank(inst, matching)
+    );
+    if inst.n() <= 64 {
+        for (m, w) in matching.pairs() {
+            println!("  ({m}, {w})");
+        }
+    }
+}
+
 fn solve_smp(args: &Args) -> Result<(), String> {
     args.check_known(&[
         "n",
         "seed",
         "mode",
+        "prefs",
+        "list-cap",
+        "metrics-out",
+        "metrics-format",
         "trace-out",
         "trace-format",
         "flight-recorder",
     ])?;
     let topts = TraceOpts::from_args(args)?;
     let n: usize = args.require("n")?;
+    if n == 0 {
+        return Err("need --n >= 1".to_string());
+    }
     let seed: u64 = args.flag_or("seed", 0)?;
-    let inst =
-        kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut ChaCha8Rng::seed_from_u64(seed));
     let mode = args.flag("mode").unwrap_or("gs");
+    let backend = args.flag("prefs").unwrap_or("csr");
+    if !matches!(backend, "csr" | "scores" | "random") {
+        return Err(format!(
+            "unknown prefs backend: {backend} (expected csr|scores|random)"
+        ));
+    }
+    if let Some(fmt) = args.flag("metrics-format") {
+        if !matches!(fmt, "json" | "prom") {
+            return Err(format!("unknown metrics format: {fmt} (expected json|prom)"));
+        }
+    }
+    let list_cap = match args.flag("list-cap") {
+        None => None,
+        Some(v) => {
+            let cap: u32 = v
+                .parse()
+                .map_err(|_| format!("invalid value for --list-cap: {v}"))?;
+            if cap == 0 {
+                return Err("--list-cap must be at least 1".to_string());
+            }
+            Some(cap)
+        }
+    };
     if topts.enabled() && mode != "gs" {
         return Err("--trace-out on solve smp is only supported for --mode gs".to_string());
     }
+    if mode != "gs"
+        && (backend != "csr" || list_cap.is_some() || args.flag("metrics-out").is_some())
+    {
+        return Err(
+            "--prefs/--list-cap/--metrics-out on solve smp are only supported for --mode gs"
+                .to_string(),
+        );
+    }
+
+    if mode != "gs" {
+        let inst =
+            kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut ChaCha8Rng::seed_from_u64(seed));
+        let matching = match mode {
+            "fair" => fair_stable_marriage(&inst).matching,
+            "man" => oriented_stable_marriage(&inst, SmpOrientation::SeedFromWomen).matching,
+            "woman" => oriented_stable_marriage(&inst, SmpOrientation::SeedFromMen).matching,
+            other => return Err(format!("unknown mode: {other}")),
+        };
+        println!("mode          : {mode}");
+        print_smp_matching(&inst, &matching);
+        return Ok(());
+    }
+
+    // --mode gs runs entirely on the PrefOracle substrate: the CSR
+    // backend materializes the generated lists, the implicit backends
+    // never build any (O(n) memory at n = 10⁵–10⁶).
     let clock = kmatch_obs::StdClock::new();
     let mut sink = topts.enabled().then(|| topts.sink(&clock));
-    let matching = match (mode, sink.as_mut()) {
-        ("gs", Some(sink)) => {
-            let mut ws = GsWorkspace::new();
-            ws.solve_spanned(&inst, &mut kmatch_obs::NoMetrics, sink)
-                .matching
+    let mut metrics = kmatch_obs::SolverMetrics::new();
+    let start = std::time::Instant::now();
+    let (matching, matched, stats, inst) = match backend {
+        "csr" => {
+            if n > kmatch_prefs::CSR_MAX_N {
+                return Err(format!(
+                    "--prefs csr supports n <= {} (use --prefs random|scores beyond that)",
+                    kmatch_prefs::CSR_MAX_N
+                ));
+            }
+            let inst = kmatch_prefs::gen::uniform::uniform_bipartite(
+                n,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            );
+            let csr = CsrPrefs::from_prefs(&inst);
+            let (m, matched, stats) = gs_oracle_run(csr, list_cap, &mut metrics, &mut sink)?;
+            (m, matched, stats, Some(inst))
         }
-        ("gs", None) => gale_shapley(&inst).matching,
-        ("fair", _) => fair_stable_marriage(&inst).matching,
-        ("man", _) => oriented_stable_marriage(&inst, SmpOrientation::SeedFromWomen).matching,
-        ("woman", _) => oriented_stable_marriage(&inst, SmpOrientation::SeedFromMen).matching,
-        (other, _) => return Err(format!("unknown mode: {other}")),
+        "scores" => {
+            let oracle = kmatch_prefs::ScoreOracle::popularity(n, seed);
+            let (m, matched, stats) = gs_oracle_run(oracle, list_cap, &mut metrics, &mut sink)?;
+            (m, matched, stats, None)
+        }
+        _ => {
+            let oracle = kmatch_prefs::RandomPermOracle::new(n, seed);
+            let (m, matched, stats) = gs_oracle_run(oracle, list_cap, &mut metrics, &mut sink)?;
+            (m, matched, stats, None)
+        }
     };
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    metrics.solve_ns(wall_ns);
     if let Some(sink) = sink {
         topts.write(&TraceTrack::main(sink.into_events().0))?;
     }
-    println!("mode          : {mode}");
-    println!(
-        "men mean rank : {:.3}",
-        mean_proposer_rank(&inst, &matching)
-    );
-    println!(
-        "women mean rank: {:.3}",
-        mean_responder_rank(&inst, &matching)
-    );
-    for (m, w) in matching.pairs() {
-        println!("  ({m}, {w})");
+    println!("mode          : gs");
+    println!("prefs         : {backend}");
+    println!("proposals     : {}", stats.proposals);
+    println!("rounds        : {}", stats.rounds);
+    println!("matched       : {matched} / {n}");
+    if let (Some(inst), Some(matching)) = (&inst, &matching) {
+        print_smp_matching(inst, matching);
     }
-    Ok(())
+    write_metrics(args, "smp", n, 1, seed, wall_ns, metrics)
 }
 
 /// Per-index failures from a `batch --input` file, reported as a
@@ -1480,5 +1612,48 @@ mod tests {
             call(&["solve", "smp", "--n", "8", "--seed", "1", "--mode", mode]).unwrap();
         }
         assert!(call(&["solve", "smp", "--n", "8", "--mode", "nope"]).is_err());
+    }
+
+    #[test]
+    fn smp_oracle_backends_run() {
+        for backend in ["csr", "scores", "random"] {
+            call(&["solve", "smp", "--n", "40", "--seed", "2", "--prefs", backend]).unwrap();
+        }
+        // Truncated lists produce a partial matching on every backend.
+        call(&[
+            "solve", "smp", "--n", "40", "--seed", "2", "--prefs", "random", "--list-cap", "5",
+        ])
+        .unwrap();
+        call(&["solve", "smp", "--n", "40", "--list-cap", "3"]).unwrap();
+        // Single-dash flags parse like double-dash ones.
+        call(&["solve", "smp", "-n", "16", "-prefs", "random"]).unwrap();
+        assert!(call(&["solve", "smp", "--n", "8", "--prefs", "nope"]).is_err());
+        assert!(call(&["solve", "smp", "--n", "8", "--list-cap", "0"]).is_err());
+        assert!(call(&["solve", "smp", "--n", "8", "--mode", "fair", "--prefs", "random"]).is_err());
+        assert!(call(&["solve", "smp", "--n", "8", "--mode", "man", "--list-cap", "2"]).is_err());
+    }
+
+    #[test]
+    fn smp_metrics_out_reports_proposals() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test14");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("smp-report.json");
+        let r = report.to_str().unwrap();
+        call(&[
+            "solve", "smp", "--n", "200", "--seed", "4", "--prefs", "random", "--metrics-out", r,
+        ])
+        .unwrap();
+        call(&["report", "validate", "--input", r]).unwrap();
+        let v: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(v.get("kind"), Some(&serde::Value::String("smp".into())));
+        let proposals = v
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("proposals"));
+        let Some(serde::Value::Number(p)) = proposals else {
+            panic!("metrics.counters.proposals missing");
+        };
+        assert!(*p >= 200.0, "a complete solve proposes at least n times");
     }
 }

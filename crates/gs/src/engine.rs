@@ -48,9 +48,10 @@
 //!   arrays owned by the returned matching.
 
 use kmatch_obs::{Metrics, NoMetrics};
-use kmatch_prefs::{BipartitePrefs, DeltaSide, PrefDelta};
+use kmatch_prefs::{BipartitePrefs, DeltaSide, PrefDelta, PrefOracle, UNRANKED};
 use kmatch_trace::{reason, span, NoSpans, SpanSink};
 
+use crate::incomplete::{PartialMatching, UNMATCHED};
 use crate::matching::BipartiteMatching;
 use crate::trace::GsEvent;
 
@@ -187,6 +188,13 @@ const VACANT: u64 = u64::MAX;
 /// High-word mask: isolates the rank half of a packed entry.
 const RANK_HI: u64 = 0xFFFF_FFFF_0000_0000;
 
+/// Smallest packed candidate whose rank half is [`UNRANKED`]: any
+/// candidate at or above this line comes from a proposer the responder
+/// does not rank (truncated/incomplete oracles) and must be rejected
+/// even against a vacant slot. Complete backends never produce such
+/// entries, so the guard branch is never taken on the classic path.
+const UNACCEPT_MIN: u64 = (UNRANKED as u64) << 32;
+
 impl GsWorkspace {
     /// An empty workspace; buffers grow on first use.
     pub fn new() -> Self {
@@ -224,7 +232,14 @@ impl GsWorkspace {
     /// Run proposer-proposing Gale–Shapley through this workspace's
     /// buffers (the zero-allocation fast path). Produces exactly the
     /// matching, proposal count, and round count of [`gale_shapley`].
-    pub fn solve<P: BipartitePrefs>(&mut self, prefs: &P) -> GsOutcome {
+    ///
+    /// `prefs` may be any [`PrefOracle`] backend — a materialized
+    /// [`kmatch_prefs::CsrPrefs`] or an implicit oracle
+    /// ([`kmatch_prefs::RandomPermOracle`],
+    /// [`kmatch_prefs::ScoreOracle`]) — as long as its lists are
+    /// complete; truncated oracles go through
+    /// [`GsWorkspace::solve_partial`].
+    pub fn solve<P: PrefOracle>(&mut self, prefs: &P) -> GsOutcome {
         run_core(prefs, self, &mut NoTrace, &mut NoMetrics, &mut NoSpans)
     }
 
@@ -234,7 +249,7 @@ impl GsWorkspace {
     /// front-end's job (engines stay clock-free). With
     /// [`kmatch_obs::NoMetrics`] this monomorphizes to exactly
     /// [`GsWorkspace::solve`].
-    pub fn solve_metered<P: BipartitePrefs, M: Metrics>(
+    pub fn solve_metered<P: PrefOracle, M: Metrics>(
         &mut self,
         prefs: &P,
         metrics: &mut M,
@@ -249,7 +264,7 @@ impl GsWorkspace {
     /// flight recorder opts out and records the `gs.solve` phase span
     /// alone. With [`kmatch_trace::NoSpans`] this monomorphizes to
     /// exactly [`GsWorkspace::solve_metered`].
-    pub fn solve_spanned<P: BipartitePrefs, M: Metrics, S: SpanSink>(
+    pub fn solve_spanned<P: PrefOracle, M: Metrics, S: SpanSink>(
         &mut self,
         prefs: &P,
         metrics: &mut M,
@@ -278,7 +293,7 @@ impl GsWorkspace {
     /// the post-delta instance, i.e. the matching a cold solve returns;
     /// only the proposal/round *counters* differ (the warm run skips the
     /// proposals whose outcome is already known).
-    pub fn resolve_delta<P: BipartitePrefs>(
+    pub fn resolve_delta<P: BipartitePrefs + PrefOracle>(
         &mut self,
         prefs: &P,
         deltas: &[PrefDelta],
@@ -290,7 +305,7 @@ impl GsWorkspace {
     /// [`Metrics::warm_resolve`] (with the re-freed proposer count) on the
     /// warm path and [`Metrics::warm_fallback`] when it degrades to a
     /// cold solve.
-    pub fn resolve_delta_metered<P: BipartitePrefs, M: Metrics>(
+    pub fn resolve_delta_metered<P: BipartitePrefs + PrefOracle, M: Metrics>(
         &mut self,
         prefs: &P,
         deltas: &[PrefDelta],
@@ -304,7 +319,7 @@ impl GsWorkspace {
     /// proposers) on the warm path, or a `gs.warm.fallback` instant
     /// carrying a [`kmatch_trace::reason`] code when it degrades to a
     /// cold solve, followed by the usual `gs.solve`/`gs.round` spans.
-    pub fn resolve_delta_spanned<P: BipartitePrefs, M: Metrics, S: SpanSink>(
+    pub fn resolve_delta_spanned<P: BipartitePrefs + PrefOracle, M: Metrics, S: SpanSink>(
         &mut self,
         prefs: &P,
         deltas: &[PrefDelta],
@@ -313,18 +328,62 @@ impl GsWorkspace {
     ) -> GsOutcome {
         warm_core(prefs, self, deltas, &mut NoTrace, metrics, spans)
     }
+
+    /// Gale–Shapley over a possibly *incomplete* oracle (e.g.
+    /// [`kmatch_prefs::TruncatedOracle`]): proposers whose lists
+    /// exhaust stay unmatched, and responders reject proposers they do
+    /// not rank, so the result is the proposer-optimal stable matching
+    /// under §III-B mutual-acceptability semantics — exactly what
+    /// [`crate::incomplete::smi_gale_shapley`] computes on the
+    /// materialized mutual lists.
+    pub fn solve_partial<P: PrefOracle>(&mut self, prefs: &P) -> (PartialMatching, GsStats) {
+        self.solve_partial_metered(prefs, &mut NoMetrics)
+    }
+
+    /// [`GsWorkspace::solve_partial`] with metric hooks.
+    pub fn solve_partial_metered<P: PrefOracle, M: Metrics>(
+        &mut self,
+        prefs: &P,
+        metrics: &mut M,
+    ) -> (PartialMatching, GsStats) {
+        let n = prefs.agents();
+        assert!(n > 0, "empty instance");
+        let fresh = self.reset(n);
+        metrics.workspace(fresh);
+        let mut stats = GsStats::default();
+        run_rounds(prefs, self, &mut NoTrace, metrics, &mut NoSpans, &mut stats);
+        metrics.solve_done(true, stats.proposals);
+        // A partial execution is not a warm-start basis: leave
+        // `solved_n` cleared (done by `reset`).
+        let mut partner_of_proposer = vec![UNMATCHED; n];
+        let mut partner_of_responder = vec![UNMATCHED; n];
+        for (w, &best) in self.best.iter().enumerate() {
+            if best != VACANT {
+                let m = best as u32;
+                partner_of_proposer[m as usize] = w as u32;
+                partner_of_responder[w] = m;
+            }
+        }
+        (
+            PartialMatching {
+                partner_of_proposer,
+                partner_of_responder,
+            },
+            stats,
+        )
+    }
 }
 
 /// The engine core, monomorphized per tracer, metrics sink, and span
 /// sink.
-fn run_core<P: BipartitePrefs, T: Tracer, M: Metrics, S: SpanSink>(
+fn run_core<P: PrefOracle, T: Tracer, M: Metrics, S: SpanSink>(
     prefs: &P,
     ws: &mut GsWorkspace,
     tracer: &mut T,
     metrics: &mut M,
     spans: &mut S,
 ) -> GsOutcome {
-    let n = prefs.n();
+    let n = prefs.agents();
     assert!(n > 0, "empty instance");
     let fresh = ws.reset(n);
     metrics.workspace(fresh);
@@ -366,7 +425,7 @@ fn finish(ws: &GsWorkspace, stats: GsStats) -> GsOutcome {
 /// holder from the previous run was her best-ever suitor) or has been
 /// regressed — and regressing a responder re-frees every proposer that
 /// had already passed her, so no stale rejection survives.
-fn warm_core<P: BipartitePrefs, T: Tracer, M: Metrics, S: SpanSink>(
+fn warm_core<P: BipartitePrefs + PrefOracle, T: Tracer, M: Metrics, S: SpanSink>(
     prefs: &P,
     ws: &mut GsWorkspace,
     deltas: &[PrefDelta],
@@ -511,7 +570,7 @@ fn warm_core<P: BipartitePrefs, T: Tracer, M: Metrics, S: SpanSink>(
 /// vanishes, leaving a tight single-pass loop whose only work per
 /// proposal is the fused entry load, the packed compare, and the free-list
 /// bookkeeping for the loser.
-fn run_rounds<P: BipartitePrefs, T: Tracer, M: Metrics, S: SpanSink>(
+fn run_rounds<P: PrefOracle, T: Tracer, M: Metrics, S: SpanSink>(
     prefs: &P,
     ws: &mut GsWorkspace,
     tracer: &mut T,
@@ -530,20 +589,30 @@ fn run_rounds<P: BipartitePrefs, T: Tracer, M: Metrics, S: SpanSink>(
             spans.begin(span::GS_ROUND, stats.rounds as u64);
         }
         for &m in &ws.free {
+            let pos = ws.next[m as usize];
+            if pos >= prefs.list_len(m) {
+                // List exhausted (truncated oracles only — complete
+                // backends always engage before running out): `m`
+                // leaves the pool unmatched.
+                continue;
+            }
             // One fused load: `rank << 32 | responder` (see
-            // `BipartitePrefs::proposal_entry`); swap the low word to get
-            // the packed candidate from the responder's point of view.
-            let entry = prefs.proposal_entry(m, ws.next[m as usize]);
+            // `PrefOracle::entry`); swap the low word to get the
+            // packed candidate from the responder's point of view.
+            let entry = prefs.entry(m, pos);
             let w = entry as u32;
             ws.next[m as usize] += 1;
             stats.proposals += 1;
             tracer.propose(m, w);
             metrics.proposal();
             // Packed compare: rank order decides (ranks within a list
-            // are distinct), and any candidate beats VACANT.
+            // are distinct), and any candidate beats VACANT — unless
+            // the responder does not rank the proposer at all
+            // (UNACCEPT_MIN, incomplete oracles), which loses even to
+            // a vacant slot.
             let cand = (entry & RANK_HI) | m as u64;
             let cur = ws.best[w as usize];
-            if cand < cur {
+            if cand < cur && cand < UNACCEPT_MIN {
                 ws.best[w as usize] = cand;
                 let holder = cur as u32;
                 if holder == FREE {
@@ -586,13 +655,13 @@ fn run_rounds<P: BipartitePrefs, T: Tracer, M: Metrics, S: SpanSink>(
 /// assert_eq!(out.matching.partner_of_proposer(1), 0); // (m', w)
 /// assert!(out.stats.proposals <= 4);                  // n² bound
 /// ```
-pub fn gale_shapley<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
+pub fn gale_shapley<P: PrefOracle>(prefs: &P) -> GsOutcome {
     GsWorkspace::new().solve(prefs)
 }
 
 /// [`gale_shapley`] recording counters into `metrics`; batch callers
 /// should hold a workspace and call [`GsWorkspace::solve_metered`].
-pub fn gale_shapley_metered<P: BipartitePrefs, M: Metrics>(
+pub fn gale_shapley_metered<P: PrefOracle, M: Metrics>(
     prefs: &P,
     metrics: &mut M,
 ) -> GsOutcome {
@@ -600,7 +669,7 @@ pub fn gale_shapley_metered<P: BipartitePrefs, M: Metrics>(
 }
 
 /// [`gale_shapley`] with a full event trace attached to the outcome.
-pub fn gale_shapley_traced<P: BipartitePrefs>(prefs: &P) -> GsOutcome {
+pub fn gale_shapley_traced<P: PrefOracle>(prefs: &P) -> GsOutcome {
     let mut events = Vec::new();
     let mut ws = GsWorkspace::new();
     let mut out = run_core(

@@ -46,6 +46,7 @@ pub use hospitals::{
 };
 pub use incomplete::{
     find_smi_blocking_pair, is_smi_stable, smi_gale_shapley, PartialMatching, SmiInstance,
+    UNMATCHED,
 };
 pub use matching::BipartiteMatching;
 pub use mcvitie::mcvitie_wilson;

@@ -1,0 +1,106 @@
+//! Differential suite for the implicit preference oracles: every oracle
+//! backend, materialized into explicit lists (and a `CsrPrefs` table) at
+//! n ≤ 64, must drive the GS engine to byte-equal matchings and proposal
+//! counts against the oracle-driven solve. The truncated oracle is
+//! checked against the SMI reference instead, since its partial
+//! matchings live in incomplete-list land.
+
+use kmatch_gs::{is_smi_stable, smi_gale_shapley, GsWorkspace, SmiInstance};
+use kmatch_prefs::{
+    materialize_bipartite, materialize_mutual_lists, CsrPrefs, DualOracle, RandomPermOracle,
+    ScoreOracle, TruncatedOracle,
+};
+
+/// The engine walks `entry(p, cursor)` in the same order whether the
+/// backend is the oracle itself, the materialized instance, or the CSR
+/// table built from it — so outcomes and counters must be identical.
+fn assert_oracle_matches_materialized<O: DualOracle>(oracle: &O) {
+    let inst = materialize_bipartite(oracle);
+    let csr = CsrPrefs::from_prefs(&inst);
+    let mut ws = GsWorkspace::new();
+    let via_oracle = ws.solve(oracle);
+    let via_inst = ws.solve(&inst);
+    let via_csr = ws.solve(&csr);
+    assert_eq!(
+        via_oracle.matching, via_inst.matching,
+        "oracle-driven and materialized-instance matchings diverge"
+    );
+    assert_eq!(via_oracle.stats, via_inst.stats);
+    assert_eq!(via_oracle.matching, via_csr.matching);
+    assert_eq!(via_oracle.stats, via_csr.stats);
+    assert!(kmatch_gs::is_stable(&inst, &via_oracle.matching));
+}
+
+#[test]
+fn random_perm_oracle_agrees_with_materialized_lists() {
+    for n in [1usize, 2, 3, 5, 8, 16, 33, 64] {
+        for seed in 0..8u64 {
+            assert_oracle_matches_materialized(&RandomPermOracle::new(n, seed));
+        }
+    }
+}
+
+#[test]
+fn score_oracle_agrees_with_materialized_lists() {
+    for n in [1usize, 2, 3, 5, 8, 16, 33, 64] {
+        for seed in 0..8u64 {
+            assert_oracle_matches_materialized(&ScoreOracle::popularity(n, seed));
+        }
+    }
+}
+
+#[test]
+fn explicit_score_lists_agree_too() {
+    // Hand-built scores with ties — the seeded tie-break must produce the
+    // same total order on every query path.
+    let scores: Vec<f64> = (0..48).map(|i| f64::from(i % 7)).collect();
+    for seed in 0..4u64 {
+        assert_oracle_matches_materialized(&ScoreOracle::from_scores(&scores, &scores, seed));
+    }
+}
+
+#[test]
+fn truncated_oracle_matches_smi_reference() {
+    for n in [2usize, 5, 16, 48, 64] {
+        for seed in 0..4u64 {
+            for cap in [1u32, 2, 5, 16] {
+                let capped = TruncatedOracle::new(RandomPermOracle::new(n, seed), cap);
+                let mut ws = GsWorkspace::new();
+                let (partial, stats) = ws.solve_partial(&capped);
+
+                let (proposers, responders) = materialize_mutual_lists(&capped);
+                let smi = SmiInstance::from_lists(proposers, responders)
+                    .expect("mutual materialization is symmetric by construction");
+                let (reference, ref_stats) = smi_gale_shapley(&smi);
+                assert_eq!(
+                    partial, reference,
+                    "truncated-oracle partial matching diverges from SMI (n={n} seed={seed} cap={cap})"
+                );
+                assert!(is_smi_stable(&smi, &partial));
+                // The oracle engine also proposes to (then gets refused by)
+                // responders that truncated the proposer away; the SMI
+                // reference never issues those, so it is a lower bound.
+                assert!(
+                    stats.proposals >= ref_stats.proposals,
+                    "oracle solve cannot propose less than the mutual-list reference"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_cap_at_n_is_the_complete_solve() {
+    for n in [3usize, 17, 40] {
+        let oracle = RandomPermOracle::new(n, 99);
+        let capped = TruncatedOracle::new(oracle, n as u32);
+        let mut ws = GsWorkspace::new();
+        let complete = ws.solve(&oracle);
+        let (partial, stats) = ws.solve_partial(&capped);
+        assert_eq!(stats, complete.stats);
+        assert_eq!(partial.matched_proposers().len(), n);
+        for (m, &w) in partial.partner_of_proposer.iter().enumerate() {
+            assert_eq!(complete.matching.partner_of_proposer(m as u32), w);
+        }
+    }
+}

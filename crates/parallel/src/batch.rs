@@ -17,7 +17,7 @@
 
 use kmatch_gs::{GsOutcome, GsStats, GsWorkspace};
 use kmatch_obs::{BatchRegistry, Clock, Metrics, SolverMetrics};
-use kmatch_prefs::BipartitePrefs;
+use kmatch_prefs::PrefOracle;
 use kmatch_trace::{span, FlightRecorder, SpanSink, TraceEvent};
 use rayon::prelude::*;
 
@@ -70,7 +70,7 @@ pub fn batch_path() -> &'static str {
 /// ```
 pub fn solve_batch<P>(instances: &[P]) -> Vec<GsOutcome>
 where
-    P: BipartitePrefs + Sync,
+    P: PrefOracle + Sync,
 {
     if batch_path() == "serial" {
         let mut ws = GsWorkspace::new();
@@ -100,7 +100,7 @@ pub fn solve_batch_metered<P, C>(
     clock: &C,
 ) -> Vec<GsOutcome>
 where
-    P: BipartitePrefs + Sync,
+    P: PrefOracle + Sync,
     C: Clock + Sync,
 {
     let len = instances.len();
@@ -170,7 +170,7 @@ pub fn solve_batch_traced<P, C>(
     flight_capacity: usize,
 ) -> (Vec<GsOutcome>, Vec<ChunkTrace>)
 where
-    P: BipartitePrefs + Sync,
+    P: PrefOracle + Sync,
     C: Clock + Sync,
 {
     let len = instances.len();

@@ -59,7 +59,7 @@ pub fn solve_batch_cached<P, C>(
     clock: &C,
 ) -> CachedBatchOutcome
 where
-    P: BipartitePrefs + ResponderListSlice + Sync,
+    P: BipartitePrefs + ResponderListSlice + kmatch_prefs::PrefOracle + Sync,
     C: Clock + Sync,
 {
     let keys: Vec<(u64, u64)> = instances.iter().map(bipartite_fingerprint).collect();

@@ -15,7 +15,7 @@
 //! no state).
 
 use kmatch_obs::{BatchRegistry, Clock, Metrics, SolverMetrics};
-use kmatch_prefs::RoommatesInstance;
+use kmatch_prefs::RoommatesPrefs;
 use kmatch_roommates::{RoommatesOutcome, RoommatesWorkspace};
 use kmatch_trace::{span, FlightRecorder, SpanSink};
 use rayon::prelude::*;
@@ -40,7 +40,7 @@ use crate::batch::ChunkTrace;
 /// let outcomes = solve_batch(&batch);
 /// assert_eq!(outcomes.len(), 32);
 /// ```
-pub fn solve_batch(instances: &[RoommatesInstance]) -> Vec<RoommatesOutcome> {
+pub fn solve_batch<R: RoommatesPrefs + Sync>(instances: &[R]) -> Vec<RoommatesOutcome> {
     if crate::batch::batch_path() == "serial" {
         let mut ws = RoommatesWorkspace::new();
         return instances.iter().map(|inst| ws.solve(inst)).collect();
@@ -59,8 +59,8 @@ pub fn solve_batch(instances: &[RoommatesInstance]) -> Vec<RoommatesOutcome> {
 /// path), absorbing the shard into `registry` once when the chunk
 /// completes; per-solve wall time is sampled from the injected `clock` at
 /// this front-end so the engine stays clock-free.
-pub fn solve_batch_metered<C: Clock + Sync>(
-    instances: &[RoommatesInstance],
+pub fn solve_batch_metered<R: RoommatesPrefs + Sync, C: Clock + Sync>(
+    instances: &[R],
     registry: &BatchRegistry,
     clock: &C,
 ) -> Vec<RoommatesOutcome> {
@@ -116,8 +116,8 @@ pub fn solve_batch_metered<C: Clock + Sync>(
 /// recording) wraps the chunk in a `batch.chunk` span around the
 /// per-solve `irving.*` spans; the returned [`ChunkTrace`]s feed
 /// `kmatch_trace::TraceTrack::workers` directly.
-pub fn solve_batch_traced<C: Clock + Sync>(
-    instances: &[RoommatesInstance],
+pub fn solve_batch_traced<R: RoommatesPrefs + Sync, C: Clock + Sync>(
+    instances: &[R],
     registry: &BatchRegistry,
     clock: &C,
     flight_capacity: usize,
@@ -126,7 +126,7 @@ pub fn solve_batch_traced<C: Clock + Sync>(
     if len == 0 {
         return (Vec::new(), Vec::new());
     }
-    let solve_chunk = |c: usize, chunk_insts: &[RoommatesInstance]| {
+    let solve_chunk = |c: usize, chunk_insts: &[R]| {
         let mut ws = RoommatesWorkspace::new();
         let mut shard = SolverMetrics::new();
         let mut rec = FlightRecorder::new(clock, flight_capacity);
@@ -202,6 +202,7 @@ pub fn batch_stats(outcomes: &[RoommatesOutcome]) -> RoommatesBatchStats {
 mod tests {
     use super::*;
     use kmatch_prefs::gen::uniform::uniform_roommates;
+    use kmatch_prefs::RoommatesInstance;
     use kmatch_roommates::solve;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

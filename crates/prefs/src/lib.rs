@@ -37,6 +37,7 @@ pub mod error;
 pub mod gen;
 pub mod ids;
 pub mod kpartite;
+pub mod oracle;
 pub mod roommates;
 pub mod views;
 
@@ -49,5 +50,10 @@ pub use delta::{DeltaSide, PrefDelta};
 pub use error::PrefsError;
 pub use ids::{GenderId, Member, Rank, UNRANKED};
 pub use kpartite::KPartiteInstance;
+pub use oracle::{
+    materialize_bipartite, materialize_lists, materialize_mutual_lists, materialize_roommates,
+    DualOracle, PrefOracle, RandomPermOracle, RoommatesOracleView, RoommatesPrefs, ScoreOracle,
+    TruncatedOracle,
+};
 pub use roommates::{MergeStrategy, RoommatesInstance};
 pub use views::{BipartitePrefs, KPartitePairView, ResponderListSlice, ReverseView};

@@ -1,0 +1,945 @@
+//! Lazy preference oracles: the queries the solver hot loops actually
+//! make, decoupled from any materialized `n × n` table.
+//!
+//! Every engine in the workspace — Gale–Shapley, Irving, the parallel
+//! batch front-ends — consumes preferences through [`PrefOracle`] (and
+//! the roommates engines through [`RoommatesPrefs`]). A materialized
+//! backend like [`crate::CsrPrefs`] is just one monomorphized
+//! implementation: its fused-entry fast path is reached through
+//! [`PrefOracle::entry`], so the compiled inner loop is the same code it
+//! was when the engines were bound on [`BipartitePrefs`] directly.
+//!
+//! The point of the indirection is the *implicit* backends, which answer
+//! rank and successor queries from O(n) or O(1) state and never write a
+//! preference list anywhere:
+//!
+//! | backend | model | `next_candidate` | `rank` | memory |
+//! |---|---|---|---|---|
+//! | [`crate::CsrPrefs`] | explicit lists | O(1) fused load | O(1) table | O(n²) |
+//! | [`RandomPermOracle`] | uniform random lists | O(1) expected (Feistel) | O(1) expected | O(1) |
+//! | [`ScoreOracle`] | global popularity order | O(1) | O(1) | O(n) |
+//! | [`TruncatedOracle`] | top-`K` of any inner oracle | inner | inner, clamped | inner |
+//!
+//! Mertens (*Random Stable Matchings*) shows uniform random instances
+//! need only ~`n·ln n` proposals, so with [`RandomPermOracle`] the
+//! engines solve n = 10⁶ instances in O(n) working memory — far past the
+//! `CSR_MAX_N` ceiling of the materialized path.
+//!
+//! Truncated lists follow the paper's §III-B forbidden-pairs semantics:
+//! a pair is acceptable only when *both* sides rank it inside the cap;
+//! one-sided entries surface as [`UNRANKED`] and the engines reject them.
+
+use crate::ids::{Rank, UNRANKED};
+use crate::views::{BipartitePrefs, ResponderListSlice};
+use crate::{BipartiteInstance, CsrPrefs, KPartitePairView, ReverseView, RoommatesInstance};
+
+/// Lazy bipartite preference access — exactly the queries the
+/// Gale–Shapley hot loop makes, with no `&[u32]` list exposure, so
+/// implementations may compute answers on demand instead of storing
+/// `n²` entries.
+///
+/// Conventions match [`BipartitePrefs`]: proposers and responders are
+/// dense indices `0..agents()`, rank `0` is most preferred, and
+/// [`UNRANKED`] marks an unacceptable pair (incomplete lists). Lists
+/// must be duplicate-free; positions `0..list_len(p)` enumerate
+/// proposer `p`'s list best-first.
+pub trait PrefOracle {
+    /// Members per side.
+    fn agents(&self) -> usize;
+
+    /// Length of proposer `p`'s preference list (`agents()` when
+    /// complete, shorter when truncated).
+    fn list_len(&self, p: u32) -> u32;
+
+    /// The responder at position `cursor` of `p`'s list (0 = best).
+    /// `cursor` must be `< list_len(p)`.
+    fn next_candidate(&self, p: u32, cursor: u32) -> u32;
+
+    /// Rank of responder `q` in proposer `p`'s list, or [`UNRANKED`]
+    /// when `q` is not on it.
+    fn rank(&self, p: u32, q: u32) -> Rank;
+
+    /// Rank of proposer `p` in responder `q`'s list, or [`UNRANKED`]
+    /// when `q` finds `p` unacceptable.
+    fn accept_rank(&self, q: u32, p: u32) -> Rank;
+
+    /// Does proposer `p` strictly prefer responder `a` over `b`?
+    /// Unranked responders lose to ranked ones.
+    #[inline]
+    fn prefers(&self, p: u32, a: u32, b: u32) -> bool {
+        self.rank(p, a) < self.rank(p, b)
+    }
+
+    /// Does responder `q` strictly prefer proposer `a` over `b`?
+    #[inline]
+    fn accepts(&self, q: u32, a: u32, b: u32) -> bool {
+        self.accept_rank(q, a) < self.accept_rank(q, b)
+    }
+
+    /// Packed proposal entry for `p`'s list position `cursor`:
+    /// `accept_rank(q, p) << 32 | q` where `q = next_candidate(p,
+    /// cursor)` — the one fused word the GS inner loop consumes per
+    /// proposal (see [`BipartitePrefs::proposal_entry`]). Overrides
+    /// must return exactly this value.
+    #[inline]
+    fn entry(&self, p: u32, cursor: u32) -> u64 {
+        let q = self.next_candidate(p, cursor);
+        (self.accept_rank(q, p) as u64) << 32 | q as u64
+    }
+}
+
+/// A [`PrefOracle`] that can also enumerate responder-side lists in
+/// order — what the roommates §III-B reduction and the materializers
+/// need on top of the proposer-driven GS queries.
+pub trait DualOracle: PrefOracle {
+    /// Length of responder `q`'s preference list.
+    fn accept_list_len(&self, q: u32) -> u32;
+
+    /// The proposer at position `cursor` of responder `q`'s list
+    /// (0 = best). `cursor` must be `< accept_list_len(q)`.
+    fn accept_candidate(&self, q: u32, cursor: u32) -> u32;
+}
+
+// `PrefOracle` is implemented per materialized type (not via a blanket
+// impl over `BipartitePrefs`) so implicit oracles can implement it
+// directly without tripping trait-coherence overlap.
+macro_rules! oracle_via_bipartite {
+    () => {
+        #[inline]
+        fn agents(&self) -> usize {
+            BipartitePrefs::n(self)
+        }
+        #[inline]
+        fn list_len(&self, p: u32) -> u32 {
+            BipartitePrefs::proposer_list(self, p).len() as u32
+        }
+        #[inline]
+        fn next_candidate(&self, p: u32, cursor: u32) -> u32 {
+            BipartitePrefs::proposer_list(self, p)[cursor as usize]
+        }
+        #[inline]
+        fn rank(&self, p: u32, q: u32) -> Rank {
+            BipartitePrefs::proposer_rank(self, p, q)
+        }
+        #[inline]
+        fn accept_rank(&self, q: u32, p: u32) -> Rank {
+            BipartitePrefs::responder_rank(self, q, p)
+        }
+        #[inline]
+        fn entry(&self, p: u32, cursor: u32) -> u64 {
+            BipartitePrefs::proposal_entry(self, p, cursor)
+        }
+    };
+}
+
+macro_rules! dual_via_responder_slice {
+    () => {
+        #[inline]
+        fn accept_list_len(&self, q: u32) -> u32 {
+            ResponderListSlice::responder_list_slice(self, q).len() as u32
+        }
+        #[inline]
+        fn accept_candidate(&self, q: u32, cursor: u32) -> u32 {
+            ResponderListSlice::responder_list_slice(self, q)[cursor as usize]
+        }
+    };
+}
+
+impl PrefOracle for BipartiteInstance {
+    oracle_via_bipartite!();
+}
+impl DualOracle for BipartiteInstance {
+    dual_via_responder_slice!();
+}
+
+impl PrefOracle for CsrPrefs {
+    oracle_via_bipartite!();
+}
+impl DualOracle for CsrPrefs {
+    dual_via_responder_slice!();
+}
+
+impl PrefOracle for KPartitePairView<'_> {
+    oracle_via_bipartite!();
+}
+impl DualOracle for KPartitePairView<'_> {
+    dual_via_responder_slice!();
+}
+
+impl<P: BipartitePrefs + ResponderListSlice> PrefOracle for ReverseView<'_, P> {
+    oracle_via_bipartite!();
+}
+
+/// SplitMix64 finalizer: the one hash primitive behind every implicit
+/// oracle (round keys, tie-breaks, scores).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Uniformly random complete preference lists that are never stored: a
+/// keyed 4-round Feistel network gives each agent an O(1)-evaluable
+/// *and* O(1)-invertible permutation of the other side.
+///
+/// The Feistel permutation acts on the smallest power-of-4 domain
+/// `≥ n`; indices landing outside `0..n` are cycle-walked (re-encrypted
+/// until they land inside), which preserves bijectivity and costs
+/// `< 4` expected evaluations. `next_candidate(p, c)` is the forward
+/// walk, `rank(p, q)` the inverse walk — both O(1) expected — and the
+/// whole oracle is a few words of state regardless of `n`.
+///
+/// Determinism: the list set is a pure function of `(n, seed)`, so a
+/// solve over this oracle is exactly reproducible, and materializing it
+/// (see [`materialize_bipartite`]) yields a [`BipartiteInstance`] whose
+/// solves agree byte-for-byte.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPermOracle {
+    n: u32,
+    /// Half-width of the Feistel domain: the permutation acts on
+    /// `2·half_bits`-bit values.
+    half_bits: u32,
+    half_mask: u32,
+    seed: u64,
+}
+
+const FEISTEL_ROUNDS: u64 = 4;
+
+impl RandomPermOracle {
+    /// Oracle over `n` agents per side, fully determined by `seed`.
+    ///
+    /// # Panics
+    /// If `n` is zero or exceeds `u32::MAX / 2`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "empty instance");
+        assert!(n <= (u32::MAX / 2) as usize, "side size exceeds u32 range");
+        let mut half_bits = 1u32;
+        while (1u64 << (2 * half_bits)) < n as u64 {
+            half_bits += 1;
+        }
+        RandomPermOracle {
+            n: n as u32,
+            half_bits,
+            half_mask: (1u32 << half_bits) - 1,
+            seed,
+        }
+    }
+
+    /// Round key for `agent` on `side` (0 = proposer lists, 1 =
+    /// responder lists) at Feistel round `round`.
+    #[inline]
+    fn round_key(&self, side: u64, agent: u32, round: u64) -> u64 {
+        mix(self
+            .seed
+            .wrapping_add(side << 62)
+            .wrapping_add((agent as u64) << 8)
+            .wrapping_add(round))
+    }
+
+    /// One forward pass of the Feistel permutation on the power-of-4
+    /// domain.
+    #[inline]
+    fn feistel(&self, v: u32, side: u64, agent: u32) -> u32 {
+        let (mut l, mut r) = (v >> self.half_bits, v & self.half_mask);
+        for round in 0..FEISTEL_ROUNDS {
+            let f = mix(self.round_key(side, agent, round) ^ r as u64) as u32 & self.half_mask;
+            (l, r) = (r, l ^ f);
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// One inverse pass of the Feistel permutation.
+    #[inline]
+    fn feistel_inv(&self, v: u32, side: u64, agent: u32) -> u32 {
+        let (mut l, mut r) = (v >> self.half_bits, v & self.half_mask);
+        for round in (0..FEISTEL_ROUNDS).rev() {
+            let f = mix(self.round_key(side, agent, round) ^ l as u64) as u32 & self.half_mask;
+            (l, r) = (r ^ f, l);
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// `agent`'s permutation applied to list position `i` (cycle-walked
+    /// into `0..n`).
+    #[inline]
+    fn perm(&self, side: u64, agent: u32, i: u32) -> u32 {
+        debug_assert!(i < self.n);
+        let mut v = self.feistel(i, side, agent);
+        while v >= self.n {
+            v = self.feistel(v, side, agent);
+        }
+        v
+    }
+
+    /// Inverse of [`RandomPermOracle::perm`]: the list position of `q`.
+    #[inline]
+    fn perm_inv(&self, side: u64, agent: u32, q: u32) -> u32 {
+        debug_assert!(q < self.n);
+        let mut v = self.feistel_inv(q, side, agent);
+        while v >= self.n {
+            v = self.feistel_inv(v, side, agent);
+        }
+        v
+    }
+}
+
+impl PrefOracle for RandomPermOracle {
+    #[inline]
+    fn agents(&self) -> usize {
+        self.n as usize
+    }
+    #[inline]
+    fn list_len(&self, _p: u32) -> u32 {
+        self.n
+    }
+    #[inline]
+    fn next_candidate(&self, p: u32, cursor: u32) -> u32 {
+        self.perm(0, p, cursor)
+    }
+    #[inline]
+    fn rank(&self, p: u32, q: u32) -> Rank {
+        self.perm_inv(0, p, q)
+    }
+    #[inline]
+    fn accept_rank(&self, q: u32, p: u32) -> Rank {
+        self.perm_inv(1, q, p)
+    }
+}
+
+impl DualOracle for RandomPermOracle {
+    #[inline]
+    fn accept_list_len(&self, _q: u32) -> u32 {
+        self.n
+    }
+    #[inline]
+    fn accept_candidate(&self, q: u32, cursor: u32) -> u32 {
+        self.perm(1, q, cursor)
+    }
+}
+
+/// Popularity model: every agent ranks the other side by a global
+/// score order (score descending, seeded hash tie-break), so all
+/// proposers share one list and all responders share another.
+///
+/// Rank and successor queries are O(1) array lookups against four
+/// `n`-word tables — O(n) memory total, no per-pair state. Identical
+/// lists drive GS into its serial-dictatorship worst case (`Θ(n²)`
+/// proposals), which is exactly why this backend exists next to
+/// [`RandomPermOracle`] in the scaling benches: one spans the lower
+/// envelope of proposal complexity, the other the upper.
+#[derive(Debug, Clone)]
+pub struct ScoreOracle {
+    /// `responder_order[r]` = responder at rank `r` of every proposer's
+    /// list.
+    responder_order: Vec<u32>,
+    /// Inverse of `responder_order`.
+    responder_rank: Vec<u32>,
+    /// `proposer_order[r]` = proposer at rank `r` of every responder's
+    /// list.
+    proposer_order: Vec<u32>,
+    /// Inverse of `proposer_order`.
+    proposer_rank: Vec<u32>,
+}
+
+impl ScoreOracle {
+    /// Build from explicit per-agent scores (higher = more desirable);
+    /// ties break by a seeded hash of the index, then by index.
+    ///
+    /// # Panics
+    /// If the score slices are empty or differ in length.
+    pub fn from_scores(proposer_scores: &[f64], responder_scores: &[f64], seed: u64) -> Self {
+        assert!(!proposer_scores.is_empty(), "empty instance");
+        assert_eq!(
+            proposer_scores.len(),
+            responder_scores.len(),
+            "sides must be the same size"
+        );
+        let order_of = |scores: &[f64], salt: u64| -> (Vec<u32>, Vec<u32>) {
+            let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+            order.sort_by(|&a, &b| {
+                scores[b as usize]
+                    .partial_cmp(&scores[a as usize])
+                    .expect("scores must not be NaN")
+                    .then_with(|| {
+                        mix(seed ^ salt ^ a as u64)
+                            .cmp(&mix(seed ^ salt ^ b as u64))
+                            .then(a.cmp(&b))
+                    })
+            });
+            let mut rank = vec![0u32; order.len()];
+            for (r, &agent) in order.iter().enumerate() {
+                rank[agent as usize] = r as u32;
+            }
+            (order, rank)
+        };
+        let (responder_order, responder_rank) = order_of(responder_scores, 0x00C0_FFEE);
+        let (proposer_order, proposer_rank) = order_of(proposer_scores, 0x0BAD_CAFE);
+        ScoreOracle {
+            responder_order,
+            responder_rank,
+            proposer_order,
+            proposer_rank,
+        }
+    }
+
+    /// Popularity instance with seeded pseudo-random scores on both
+    /// sides — the "everyone agrees who is popular" workload.
+    pub fn popularity(n: usize, seed: u64) -> Self {
+        let scores = |salt: u64| -> Vec<f64> {
+            (0..n as u64)
+                .map(|i| mix(seed ^ salt ^ i) as f64 / u64::MAX as f64)
+                .collect()
+        };
+        ScoreOracle::from_scores(&scores(0x005C_04E5), &scores(0x0000_FFE4), seed)
+    }
+}
+
+impl PrefOracle for ScoreOracle {
+    #[inline]
+    fn agents(&self) -> usize {
+        self.responder_order.len()
+    }
+    #[inline]
+    fn list_len(&self, _p: u32) -> u32 {
+        self.responder_order.len() as u32
+    }
+    #[inline]
+    fn next_candidate(&self, _p: u32, cursor: u32) -> u32 {
+        self.responder_order[cursor as usize]
+    }
+    #[inline]
+    fn rank(&self, _p: u32, q: u32) -> Rank {
+        self.responder_rank[q as usize]
+    }
+    #[inline]
+    fn accept_rank(&self, _q: u32, p: u32) -> Rank {
+        self.proposer_rank[p as usize]
+    }
+}
+
+impl DualOracle for ScoreOracle {
+    #[inline]
+    fn accept_list_len(&self, _q: u32) -> u32 {
+        self.proposer_order.len() as u32
+    }
+    #[inline]
+    fn accept_candidate(&self, _q: u32, cursor: u32) -> u32 {
+        self.proposer_order[cursor as usize]
+    }
+}
+
+/// Top-`K` truncation of any inner oracle: each side keeps only the
+/// first `cap` entries of its list; everything past the cap reports
+/// [`UNRANKED`].
+///
+/// A pair is *effectively* acceptable only when both sides rank it
+/// inside the cap — the engines reject one-sided entries on the
+/// [`UNRANKED`] accept rank — reproducing the §III-B forbidden-pairs
+/// semantics without materializing the filtered lists. Solves over a
+/// truncated oracle may leave agents unmatched; use the partial-match
+/// entry points (`solve_partial` in `kmatch-gs`).
+///
+/// Note for fused-entry consumers: this type must *not* forward
+/// [`PrefOracle::entry`] to the inner oracle — the packed accept rank
+/// has to pass through the truncation — so it relies on the default
+/// recomputing implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct TruncatedOracle<O> {
+    inner: O,
+    cap: u32,
+}
+
+impl<O: PrefOracle> TruncatedOracle<O> {
+    /// Keep the top `cap` entries of every list of `inner`.
+    ///
+    /// # Panics
+    /// If `cap` is zero.
+    pub fn new(inner: O, cap: u32) -> Self {
+        assert!(cap > 0, "cap must be at least 1");
+        TruncatedOracle { inner, cap }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// The per-list cap.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+}
+
+impl<O: PrefOracle> PrefOracle for TruncatedOracle<O> {
+    #[inline]
+    fn agents(&self) -> usize {
+        self.inner.agents()
+    }
+    #[inline]
+    fn list_len(&self, p: u32) -> u32 {
+        self.inner.list_len(p).min(self.cap)
+    }
+    #[inline]
+    fn next_candidate(&self, p: u32, cursor: u32) -> u32 {
+        debug_assert!(cursor < self.cap);
+        self.inner.next_candidate(p, cursor)
+    }
+    #[inline]
+    fn rank(&self, p: u32, q: u32) -> Rank {
+        let r = self.inner.rank(p, q);
+        if r >= self.cap {
+            UNRANKED
+        } else {
+            r
+        }
+    }
+    #[inline]
+    fn accept_rank(&self, q: u32, p: u32) -> Rank {
+        let r = self.inner.accept_rank(q, p);
+        if r >= self.cap {
+            UNRANKED
+        } else {
+            r
+        }
+    }
+}
+
+impl<O: DualOracle> DualOracle for TruncatedOracle<O> {
+    #[inline]
+    fn accept_list_len(&self, q: u32) -> u32 {
+        self.inner.accept_list_len(q).min(self.cap)
+    }
+    #[inline]
+    fn accept_candidate(&self, q: u32, cursor: u32) -> u32 {
+        debug_assert!(cursor < self.cap);
+        self.inner.accept_candidate(q, cursor)
+    }
+}
+
+/// Lazy roommates preference access — the queries Irving's algorithm
+/// makes ([`RoommatesPrefs::candidate`], [`RoommatesPrefs::rank_of`]),
+/// abstracted from [`RoommatesInstance`] so the engine can also run on
+/// the §III-B view of an implicit bipartite oracle.
+pub trait RoommatesPrefs {
+    /// Number of participants.
+    fn n(&self) -> usize;
+
+    /// Length of participant `p`'s preference list.
+    fn list_len(&self, p: u32) -> u32;
+
+    /// The participant at position `pos` of `p`'s list (0 = best).
+    /// `pos` must be `< list_len(p)`.
+    fn candidate(&self, p: u32, pos: u32) -> u32;
+
+    /// Rank of `q` in `p`'s list, or [`UNRANKED`] when absent.
+    fn rank_of(&self, p: u32, q: u32) -> Rank;
+
+    /// Does `p` strictly prefer `a` over `b`?
+    #[inline]
+    fn prefers(&self, p: u32, a: u32, b: u32) -> bool {
+        self.rank_of(p, a) < self.rank_of(p, b)
+    }
+}
+
+impl<R: RoommatesPrefs + ?Sized> RoommatesPrefs for &R {
+    #[inline]
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    #[inline]
+    fn list_len(&self, p: u32) -> u32 {
+        (**self).list_len(p)
+    }
+    #[inline]
+    fn candidate(&self, p: u32, pos: u32) -> u32 {
+        (**self).candidate(p, pos)
+    }
+    #[inline]
+    fn rank_of(&self, p: u32, q: u32) -> Rank {
+        (**self).rank_of(p, q)
+    }
+    #[inline]
+    fn prefers(&self, p: u32, a: u32, b: u32) -> bool {
+        (**self).prefers(p, a, b)
+    }
+}
+
+impl RoommatesPrefs for RoommatesInstance {
+    #[inline]
+    fn n(&self) -> usize {
+        RoommatesInstance::n(self)
+    }
+    #[inline]
+    fn list_len(&self, p: u32) -> u32 {
+        RoommatesInstance::list(self, p).len() as u32
+    }
+    #[inline]
+    fn candidate(&self, p: u32, pos: u32) -> u32 {
+        RoommatesInstance::list(self, p)[pos as usize]
+    }
+    #[inline]
+    fn rank_of(&self, p: u32, q: u32) -> Rank {
+        RoommatesInstance::rank_of(self, p, q)
+    }
+    #[inline]
+    fn prefers(&self, p: u32, a: u32, b: u32) -> bool {
+        RoommatesInstance::prefers(self, p, a, b)
+    }
+}
+
+/// The paper's §III-B reduction, lazily: a *complete* bipartite
+/// [`DualOracle`] over `n` agents per side viewed as a `2n`-participant
+/// roommates instance in which each side ranks only the other
+/// (proposer `p` is participant `p`, responder `q` is participant
+/// `n + q`, and same-side pairs are forbidden).
+///
+/// Irving's algorithm on this view finds stable matchings of the
+/// underlying marriage instance without materializing any list, which
+/// is how the roommates scaling benches reach n = 10⁵ participants.
+#[derive(Debug, Clone, Copy)]
+pub struct RoommatesOracleView<'a, O> {
+    inner: &'a O,
+    n: u32,
+}
+
+impl<'a, O: DualOracle> RoommatesOracleView<'a, O> {
+    /// View `inner` as a roommates instance over `2 · agents()`
+    /// participants.
+    ///
+    /// # Panics
+    /// If any list of `inner` is incomplete — the reduction's implicit
+    /// rank filter is only O(1) for complete inner oracles; truncated
+    /// oracles should be materialized first (see
+    /// [`materialize_roommates`]).
+    pub fn new(inner: &'a O) -> Self {
+        let n = inner.agents() as u32;
+        for p in 0..n {
+            assert!(
+                inner.list_len(p) == n && inner.accept_list_len(p) == n,
+                "RoommatesOracleView requires a complete inner oracle"
+            );
+        }
+        RoommatesOracleView { inner, n }
+    }
+
+    /// Agents per side of the underlying bipartite oracle.
+    pub fn side(&self) -> usize {
+        self.n as usize
+    }
+}
+
+impl<O: DualOracle> RoommatesPrefs for RoommatesOracleView<'_, O> {
+    #[inline]
+    fn n(&self) -> usize {
+        2 * self.n as usize
+    }
+    #[inline]
+    fn list_len(&self, _p: u32) -> u32 {
+        self.n
+    }
+    #[inline]
+    fn candidate(&self, p: u32, pos: u32) -> u32 {
+        if p < self.n {
+            self.n + self.inner.next_candidate(p, pos)
+        } else {
+            self.inner.accept_candidate(p - self.n, pos)
+        }
+    }
+    #[inline]
+    fn rank_of(&self, p: u32, q: u32) -> Rank {
+        if p < self.n {
+            if q >= self.n {
+                self.inner.rank(p, q - self.n)
+            } else {
+                UNRANKED
+            }
+        } else if q < self.n {
+            self.inner.accept_rank(p - self.n, q)
+        } else {
+            UNRANKED
+        }
+    }
+}
+
+/// Materialize an oracle's raw lists: `(proposer_lists,
+/// responder_lists)`, each list best-first, truncation included but
+/// *not* mutualized.
+pub fn materialize_lists<O: DualOracle>(oracle: &O) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let n = oracle.agents() as u32;
+    let proposers = (0..n)
+        .map(|p| {
+            (0..oracle.list_len(p))
+                .map(|c| oracle.next_candidate(p, c))
+                .collect()
+        })
+        .collect();
+    let responders = (0..n)
+        .map(|q| {
+            (0..oracle.accept_list_len(q))
+                .map(|c| oracle.accept_candidate(q, c))
+                .collect()
+        })
+        .collect();
+    (proposers, responders)
+}
+
+/// Materialize an oracle's lists with one-sided entries dropped: `q`
+/// stays on `p`'s list only when `q` also ranks `p` (and vice versa) —
+/// the §III-B mutual-acceptability closure a truncated oracle implies.
+/// Order within each list is preserved.
+pub fn materialize_mutual_lists<O: DualOracle>(oracle: &O) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let (mut proposers, mut responders) = materialize_lists(oracle);
+    for (p, list) in proposers.iter_mut().enumerate() {
+        list.retain(|&q| oracle.accept_rank(q, p as u32) != UNRANKED);
+    }
+    for (q, list) in responders.iter_mut().enumerate() {
+        list.retain(|&p| oracle.rank(p, q as u32) != UNRANKED);
+    }
+    (proposers, responders)
+}
+
+/// Materialize a *complete* oracle into an owned
+/// [`BipartiteInstance`] — the differential-testing bridge between an
+/// implicit backend and every materialized code path.
+///
+/// # Panics
+/// If the oracle's lists are not complete permutations.
+pub fn materialize_bipartite<O: DualOracle>(oracle: &O) -> BipartiteInstance {
+    let (proposers, responders) = materialize_lists(oracle);
+    BipartiteInstance::from_lists(&proposers, &responders)
+        .expect("complete oracle lists must form valid permutations")
+}
+
+/// Materialize a complete oracle's §III-B roommates reduction into an
+/// owned [`RoommatesInstance`] over `2n` participants — the
+/// differential baseline for [`RoommatesOracleView`].
+///
+/// # Panics
+/// If the oracle's lists are not complete permutations.
+pub fn materialize_roommates<O: DualOracle>(oracle: &O) -> RoommatesInstance {
+    let n = oracle.agents() as u32;
+    let (proposers, responders) = materialize_lists(oracle);
+    let mut lists: Vec<Vec<u32>> = Vec::with_capacity(2 * n as usize);
+    for list in proposers {
+        lists.push(list.into_iter().map(|q| n + q).collect());
+    }
+    lists.extend(responders);
+    RoommatesInstance::from_lists(lists)
+        .expect("complete oracle lists must form a valid roommates instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::uniform::uniform_bipartite;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn assert_is_permutation(seen: &[u32], n: u32) {
+        let mut hit = vec![false; n as usize];
+        for &q in seen {
+            assert!(q < n, "candidate out of range");
+            assert!(!hit[q as usize], "duplicate candidate {q}");
+            hit[q as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "missing candidates");
+    }
+
+    #[test]
+    fn random_perm_lists_are_permutations_with_exact_inverse() {
+        for n in [1usize, 2, 3, 7, 16, 33, 64, 100] {
+            let o = RandomPermOracle::new(n, 0x5EED ^ n as u64);
+            for p in 0..n as u32 {
+                let list: Vec<u32> = (0..n as u32).map(|c| o.next_candidate(p, c)).collect();
+                assert_is_permutation(&list, n as u32);
+                for (c, &q) in list.iter().enumerate() {
+                    assert_eq!(o.rank(p, q), c as u32, "n={n} p={p}");
+                }
+                let accept: Vec<u32> = (0..n as u32).map(|c| o.accept_candidate(p, c)).collect();
+                assert_is_permutation(&accept, n as u32);
+                for (c, &q) in accept.iter().enumerate() {
+                    assert_eq!(o.accept_rank(p, q), c as u32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_perm_seeds_decorrelate_sides_and_agents() {
+        let n = 64usize;
+        let o = RandomPermOracle::new(n, 7);
+        let row = |p: u32| -> Vec<u32> { (0..n as u32).map(|c| o.next_candidate(p, c)).collect() };
+        assert_ne!(row(0), row(1), "agents must get distinct lists");
+        let accept0: Vec<u32> = (0..n as u32).map(|c| o.accept_candidate(0, c)).collect();
+        assert_ne!(row(0), accept0, "sides must be salted apart");
+        let o2 = RandomPermOracle::new(n, 8);
+        assert_ne!(
+            row(0),
+            (0..n as u32).map(|c| o2.next_candidate(0, c)).collect::<Vec<_>>(),
+            "seed must change the lists"
+        );
+    }
+
+    #[test]
+    fn fused_entry_default_matches_components() {
+        let o = RandomPermOracle::new(19, 3);
+        for p in 0..19u32 {
+            for c in 0..19u32 {
+                let e = o.entry(p, c);
+                let q = e as u32;
+                assert_eq!(q, o.next_candidate(p, c));
+                assert_eq!((e >> 32) as u32, o.accept_rank(q, p));
+            }
+        }
+    }
+
+    #[test]
+    fn score_oracle_orders_by_score_then_tiebreak() {
+        let o = ScoreOracle::from_scores(&[0.1, 0.9, 0.5], &[0.3, 0.2, 0.8], 42);
+        // Responder order (every proposer's list): by responder score
+        // descending → 2, 0, 1.
+        assert_eq!(
+            (0..3).map(|c| o.next_candidate(0, c)).collect::<Vec<_>>(),
+            vec![2, 0, 1]
+        );
+        // Proposer order (every responder's list): 1, 2, 0.
+        assert_eq!(
+            (0..3).map(|c| o.accept_candidate(0, c)).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
+        for q in 0..3u32 {
+            assert_eq!(o.rank(1, o.next_candidate(1, q)), q);
+        }
+    }
+
+    #[test]
+    fn score_oracle_ties_break_deterministically() {
+        let tied = vec![1.0; 40];
+        let a = ScoreOracle::from_scores(&tied, &tied, 9);
+        let b = ScoreOracle::from_scores(&tied, &tied, 9);
+        let list = |o: &ScoreOracle| -> Vec<u32> { (0..40).map(|c| o.next_candidate(0, c)).collect() };
+        assert_eq!(list(&a), list(&b), "same seed, same order");
+        assert_is_permutation(&list(&a), 40);
+        let c = ScoreOracle::from_scores(&tied, &tied, 10);
+        assert_ne!(list(&a), list(&c), "tie-break must depend on the seed");
+    }
+
+    #[test]
+    fn truncated_oracle_clamps_both_sides() {
+        let o = TruncatedOracle::new(RandomPermOracle::new(12, 5), 4);
+        assert_eq!(o.list_len(3), 4);
+        assert_eq!(o.accept_list_len(3), 4);
+        for p in 0..12u32 {
+            for c in 0..4u32 {
+                let q = o.next_candidate(p, c);
+                assert_eq!(o.rank(p, q), c);
+            }
+            // Everything past the cap is unranked.
+            for q in 0..12u32 {
+                let inner_rank = o.inner().rank(p, q);
+                if inner_rank >= 4 {
+                    assert_eq!(o.rank(p, q), UNRANKED);
+                }
+            }
+        }
+        // The fused entry must reflect the truncated accept rank.
+        for p in 0..12u32 {
+            for c in 0..4u32 {
+                let e = o.entry(p, c);
+                let q = e as u32;
+                assert_eq!((e >> 32) as u32, o.accept_rank(q, p));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_and_instance_agree_through_the_oracle_face() {
+        let inst = uniform_bipartite(23, &mut ChaCha8Rng::seed_from_u64(77));
+        let csr = CsrPrefs::from_prefs(&inst);
+        assert_eq!(PrefOracle::agents(&inst), PrefOracle::agents(&csr));
+        for p in 0..23u32 {
+            assert_eq!(PrefOracle::list_len(&inst, p), 23);
+            for c in 0..23u32 {
+                assert_eq!(
+                    PrefOracle::entry(&inst, p, c),
+                    PrefOracle::entry(&csr, p, c),
+                    "fused entries must agree"
+                );
+                assert_eq!(
+                    PrefOracle::next_candidate(&inst, p, c),
+                    PrefOracle::next_candidate(&csr, p, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_random_oracle_round_trips() {
+        let o = RandomPermOracle::new(17, 99);
+        let inst = materialize_bipartite(&o);
+        for p in 0..17u32 {
+            for c in 0..17u32 {
+                assert_eq!(PrefOracle::entry(&inst, p, c), o.entry(p, c));
+            }
+            for q in 0..17u32 {
+                assert_eq!(PrefOracle::rank(&inst, p, q), o.rank(p, q));
+                assert_eq!(PrefOracle::accept_rank(&inst, q, p), o.accept_rank(q, p));
+            }
+        }
+    }
+
+    #[test]
+    fn mutual_lists_drop_one_sided_entries() {
+        let o = TruncatedOracle::new(RandomPermOracle::new(10, 2), 3);
+        let (proposers, responders) = materialize_mutual_lists(&o);
+        for (p, list) in proposers.iter().enumerate() {
+            for &q in list {
+                assert_ne!(o.rank(p as u32, q), UNRANKED);
+                assert_ne!(o.accept_rank(q, p as u32), UNRANKED);
+                assert!(responders[q as usize].contains(&(p as u32)));
+            }
+        }
+        // Mutualization drops something at this cap and size (each side
+        // keeps 3 of 10; intersections are sparse).
+        assert!(proposers.iter().any(|l| l.len() < 3));
+    }
+
+    #[test]
+    fn roommates_view_matches_materialized_reduction() {
+        let o = RandomPermOracle::new(9, 4);
+        let view = RoommatesOracleView::new(&o);
+        let inst = materialize_roommates(&o);
+        assert_eq!(RoommatesPrefs::n(&view), 18);
+        assert_eq!(RoommatesPrefs::n(&inst), 18);
+        for p in 0..18u32 {
+            assert_eq!(
+                RoommatesPrefs::list_len(&view, p),
+                RoommatesPrefs::list_len(&inst, p)
+            );
+            for pos in 0..RoommatesPrefs::list_len(&view, p) {
+                assert_eq!(
+                    RoommatesPrefs::candidate(&view, p, pos),
+                    RoommatesPrefs::candidate(&inst, p, pos)
+                );
+            }
+            for q in 0..18u32 {
+                assert_eq!(
+                    RoommatesPrefs::rank_of(&view, p, q),
+                    RoommatesPrefs::rank_of(&inst, p, q),
+                    "p={p} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "complete inner oracle")]
+    fn roommates_view_rejects_truncated_oracles() {
+        let o = TruncatedOracle::new(RandomPermOracle::new(8, 1), 3);
+        let _ = RoommatesOracleView::new(&o);
+    }
+}

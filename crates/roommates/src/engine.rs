@@ -34,7 +34,7 @@
 //!   allocation).
 
 use kmatch_obs::{Metrics, NoMetrics};
-use kmatch_prefs::RoommatesInstance;
+use kmatch_prefs::RoommatesPrefs;
 use kmatch_trace::{span, NoSpans, SpanSink};
 
 use crate::matching::RoommatesMatching;
@@ -173,8 +173,8 @@ impl SeedCursors {
 /// Phase 1 over the implicit threshold tables: the exact proposal
 /// schedule of [`crate::phase1::phase1_logged`] (same free-stack order,
 /// same truncations). Returns the culprit whose list emptied, if any.
-fn phase1<T: Tracer, M: Metrics>(
-    inst: &RoommatesInstance,
+fn phase1<R: RoommatesPrefs, T: Tracer, M: Metrics>(
+    inst: &R,
     ws: &mut RoommatesWorkspace,
     proposals: &mut u64,
     tracer: &mut T,
@@ -292,8 +292,8 @@ fn eliminate_rotation(ws: &mut RoommatesWorkspace) -> Option<u32> {
 
 /// The engine core, monomorphized per tracer, metrics sink, and span
 /// sink.
-pub(crate) fn run_core<T: Tracer, M: Metrics, S: SpanSink>(
-    inst: &RoommatesInstance,
+pub(crate) fn run_core<R: RoommatesPrefs, T: Tracer, M: Metrics, S: SpanSink>(
+    inst: &R,
     ws: &mut RoommatesWorkspace,
     policy: &RotationPolicy,
     tracer: &mut T,
@@ -372,15 +372,15 @@ impl RoommatesWorkspace {
     /// ([`RotationPolicy::FirstAvailable`]) — the zero-allocation fast
     /// path. Produces exactly the outcome, certificate, and counters of
     /// [`crate::solver::solve_reference`].
-    pub fn solve(&mut self, inst: &RoommatesInstance) -> RoommatesOutcome {
+    pub fn solve<R: RoommatesPrefs>(&mut self, inst: &R) -> RoommatesOutcome {
         self.solve_with(inst, &RotationPolicy::FirstAvailable)
     }
 
     /// [`RoommatesWorkspace::solve`] with an explicit rotation-seeding
     /// policy (see [`crate::fair_smp`] for why the seed matters).
-    pub fn solve_with(
+    pub fn solve_with<R: RoommatesPrefs>(
         &mut self,
-        inst: &RoommatesInstance,
+        inst: &R,
         policy: &RotationPolicy,
     ) -> RoommatesOutcome {
         run_core(inst, self, policy, &mut NoTrace, &mut NoMetrics, &mut NoSpans)
@@ -391,9 +391,9 @@ impl RoommatesWorkspace {
     /// fresh/reuse, and the per-solve summary. Wall time is the front-end's
     /// job (engines stay clock-free). With [`kmatch_obs::NoMetrics`] this
     /// monomorphizes to exactly [`RoommatesWorkspace::solve`].
-    pub fn solve_metered<M: Metrics>(
+    pub fn solve_metered<R: RoommatesPrefs, M: Metrics>(
         &mut self,
-        inst: &RoommatesInstance,
+        inst: &R,
         metrics: &mut M,
     ) -> RoommatesOutcome {
         self.solve_metered_with(inst, &RotationPolicy::FirstAvailable, metrics)
@@ -401,9 +401,9 @@ impl RoommatesWorkspace {
 
     /// [`RoommatesWorkspace::solve_metered`] with an explicit
     /// rotation-seeding policy.
-    pub fn solve_metered_with<M: Metrics>(
+    pub fn solve_metered_with<R: RoommatesPrefs, M: Metrics>(
         &mut self,
-        inst: &RoommatesInstance,
+        inst: &R,
         policy: &RotationPolicy,
         metrics: &mut M,
     ) -> RoommatesOutcome {
@@ -415,9 +415,9 @@ impl RoommatesWorkspace {
     /// and `irving.phase2` phase spans (see [`kmatch_trace::span`]).
     /// With [`kmatch_trace::NoSpans`] this monomorphizes to exactly
     /// [`RoommatesWorkspace::solve_metered`].
-    pub fn solve_spanned<M: Metrics, S: SpanSink>(
+    pub fn solve_spanned<R: RoommatesPrefs, M: Metrics, S: SpanSink>(
         &mut self,
-        inst: &RoommatesInstance,
+        inst: &R,
         metrics: &mut M,
         spans: &mut S,
     ) -> RoommatesOutcome {
@@ -426,9 +426,9 @@ impl RoommatesWorkspace {
 
     /// [`RoommatesWorkspace::solve_spanned`] with an explicit
     /// rotation-seeding policy.
-    pub fn solve_spanned_with<M: Metrics, S: SpanSink>(
+    pub fn solve_spanned_with<R: RoommatesPrefs, M: Metrics, S: SpanSink>(
         &mut self,
-        inst: &RoommatesInstance,
+        inst: &R,
         policy: &RotationPolicy,
         metrics: &mut M,
         spans: &mut S,
@@ -446,6 +446,7 @@ mod tests {
         fig2_deadlock_smp, no_stable_roommates_4, section3b_left, section3b_right,
     };
     use kmatch_prefs::gen::uniform::{uniform_bipartite, uniform_roommates};
+    use kmatch_prefs::RoommatesInstance;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -15,7 +15,7 @@
 //!   matchings, certificates, proposal counts, and rotation counts
 //!   (pinned by `tests/prop_fastpath.rs`).
 
-use kmatch_prefs::RoommatesInstance;
+use kmatch_prefs::{RoommatesInstance, RoommatesPrefs};
 
 use crate::active::ActiveTable;
 use crate::engine::{run_core, LogTrace};
@@ -91,20 +91,20 @@ impl RoommatesOutcome {
 /// assert!(solve(&section3b_left()).is_stable());
 /// assert!(!solve(&section3b_right()).is_stable());
 /// ```
-pub fn solve(inst: &RoommatesInstance) -> RoommatesOutcome {
+pub fn solve<R: RoommatesPrefs>(inst: &R) -> RoommatesOutcome {
     solve_with(inst, RotationPolicy::FirstAvailable)
 }
 
 /// Solve with an explicit rotation-seeding policy (see
 /// [`crate::fair_smp`] for why the seed matters).
-pub fn solve_with(inst: &RoommatesInstance, policy: RotationPolicy) -> RoommatesOutcome {
+pub fn solve_with<R: RoommatesPrefs>(inst: &R, policy: RotationPolicy) -> RoommatesOutcome {
     RoommatesWorkspace::new().solve_with(inst, &policy)
 }
 
 /// [`solve`] with metric hooks — the transient-workspace face of
 /// [`RoommatesWorkspace::solve_metered`].
-pub fn solve_metered<M: kmatch_obs::Metrics>(
-    inst: &RoommatesInstance,
+pub fn solve_metered<R: RoommatesPrefs, M: kmatch_obs::Metrics>(
+    inst: &R,
     metrics: &mut M,
 ) -> RoommatesOutcome {
     RoommatesWorkspace::new().solve_metered(inst, metrics)
@@ -112,7 +112,7 @@ pub fn solve_metered<M: kmatch_obs::Metrics>(
 
 /// Solve with [`RotationPolicy::FirstAvailable`], also returning the full
 /// event trace in the paper's §III-B style.
-pub fn solve_traced(inst: &RoommatesInstance) -> (RoommatesOutcome, Vec<RoommatesEvent>) {
+pub fn solve_traced<R: RoommatesPrefs>(inst: &R) -> (RoommatesOutcome, Vec<RoommatesEvent>) {
     let mut events = Vec::new();
     let out = solve_with_logged(inst, RotationPolicy::FirstAvailable, &mut |e| {
         events.push(e)
@@ -123,8 +123,8 @@ pub fn solve_traced(inst: &RoommatesInstance) -> (RoommatesOutcome, Vec<Roommate
 /// [`solve_with`] plus an event callback, running the traced instantiation
 /// of the linked-list engine (event-for-event identical to
 /// [`solve_with_logged_reference`]).
-pub fn solve_with_logged(
-    inst: &RoommatesInstance,
+pub fn solve_with_logged<R: RoommatesPrefs>(
+    inst: &R,
     policy: RotationPolicy,
     log: &mut dyn FnMut(RoommatesEvent),
 ) -> RoommatesOutcome {

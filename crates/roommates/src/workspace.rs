@@ -42,7 +42,7 @@
 //! `scan` cursors here and the monotone seed cursors in [`crate::engine`]
 //! sound.
 
-use kmatch_prefs::RoommatesInstance;
+use kmatch_prefs::RoommatesPrefs;
 
 use crate::solver::SolveStats;
 
@@ -179,7 +179,7 @@ impl RoommatesWorkspace {
     /// [`RoommatesWorkspace::materialize`]. Returns whether the phase-1
     /// buffers had to grow (the metrics fresh/reuse signal; the arena
     /// grows lazily in `materialize` and tracks the same high-water mark).
-    pub(crate) fn reset(&mut self, inst: &RoommatesInstance) -> bool {
+    pub(crate) fn reset<R: RoommatesPrefs>(&mut self, inst: &R) -> bool {
         let n = inst.n();
         let fresh = self.thresh.capacity() < n
             || self.holds.capacity() < n
@@ -213,16 +213,17 @@ impl RoommatesWorkspace {
     /// permanently dead (thresholds only tighten), so the cursor never
     /// revisits it: total walk length over a whole solve is bounded by the
     /// entries phase 1 deletes, amortized O(1) per proposal.
-    pub(crate) fn p1_first(&mut self, inst: &RoommatesInstance, x: u32) -> Option<u32> {
-        let row = inst.list(x);
+    pub(crate) fn p1_first<R: RoommatesPrefs>(&mut self, inst: &R, x: u32) -> Option<u32> {
         // Own-side truncation bound: positions above thresh[x] are dead.
         // `thresh` is the rank of the pair x currently holds — that pair
         // is alive, so the cursor can never sit beyond the bound.
-        let end = (row.len() as u32).min(self.thresh[x as usize].saturating_add(1));
+        let end = inst
+            .list_len(x)
+            .min(self.thresh[x as usize].saturating_add(1));
         let mut h = self.scan[x as usize];
         debug_assert!(h <= end, "scan cursor past the live bound");
         while h < end {
-            let q = row[h as usize];
+            let q = inst.candidate(x, h);
             if inst.rank_of(q, x) <= self.thresh[q as usize] {
                 self.scan[x as usize] = h;
                 return Some(q);
@@ -238,11 +239,12 @@ impl RoommatesWorkspace {
     /// order — the entries of `y`'s row in `(new_rank, old bound]` whose
     /// partner side is still alive. Traced runs only; must be called
     /// *before* the threshold is updated.
-    pub(crate) fn collect_p1_removed(&mut self, inst: &RoommatesInstance, y: u32, new_rank: u32) {
-        let row = inst.list(y);
-        let old_end = (row.len() as u32).min(self.thresh[y as usize].saturating_add(1));
+    pub(crate) fn collect_p1_removed<R: RoommatesPrefs>(&mut self, inst: &R, y: u32, new_rank: u32) {
+        let old_end = inst
+            .list_len(y)
+            .min(self.thresh[y as usize].saturating_add(1));
         for pos in (new_rank + 1)..old_end {
-            let z = row[pos as usize];
+            let z = inst.candidate(y, pos);
             if inst.rank_of(z, y) <= self.thresh[z as usize] {
                 self.removed.push(z);
             }
@@ -255,7 +257,7 @@ impl RoommatesWorkspace {
     /// O(Σ thresh) ≤ O(total entries) with one partner-side rank probe
     /// per candidate — and the arena itself is as small as the reduced
     /// tables actually are.
-    pub(crate) fn materialize(&mut self, inst: &RoommatesInstance) {
+    pub(crate) fn materialize<R: RoommatesPrefs>(&mut self, inst: &R) {
         let n = inst.n();
         self.entries.clear();
         self.off.clear();
@@ -267,11 +269,12 @@ impl RoommatesWorkspace {
         self.len.clear();
         self.off.push(0);
         for p in 0..n as u32 {
-            let row = inst.list(p);
             let base = self.entries.len() as u32;
-            let end = (row.len() as u32).min(self.thresh[p as usize].saturating_add(1));
+            let end = inst
+                .list_len(p)
+                .min(self.thresh[p as usize].saturating_add(1));
             for pos in self.scan[p as usize]..end {
-                let q = row[pos as usize];
+                let q = inst.candidate(p, pos);
                 if inst.rank_of(q, p) <= self.thresh[q as usize] {
                     self.entries.push(q);
                 }
@@ -444,6 +447,7 @@ impl RoommatesWorkspace {
 mod tests {
     use super::*;
     use kmatch_prefs::gen::paper::section3b_left;
+    use kmatch_prefs::RoommatesInstance;
 
     fn fresh(inst: &RoommatesInstance) -> RoommatesWorkspace {
         let mut ws = RoommatesWorkspace::new();

@@ -1,0 +1,71 @@
+//! Differential suite for the lazy §III-B roommates reduction: Irving on
+//! a [`RoommatesOracleView`] over an implicit bipartite oracle must be
+//! indistinguishable — matching, certificate, proposal and rotation
+//! counts — from Irving on the fully materialized doubled instance.
+
+use kmatch_prefs::{
+    materialize_roommates, DualOracle, RandomPermOracle, RoommatesOracleView, ScoreOracle,
+};
+use kmatch_roommates::{solve_reference, RoommatesOutcome, RoommatesWorkspace};
+
+fn assert_view_matches_materialized<O: DualOracle>(oracle: &O) {
+    let view = RoommatesOracleView::new(oracle);
+    let inst = materialize_roommates(oracle);
+    let mut ws = RoommatesWorkspace::new();
+    let via_view = ws.solve(&view);
+    let via_inst = ws.solve(&inst);
+    let reference = solve_reference(&inst);
+    for (fast, slow) in [(&via_view, &via_inst), (&via_view, &reference)] {
+        assert_eq!(fast.stats(), slow.stats(), "instrumentation diverged");
+        match (fast, slow) {
+            (
+                RoommatesOutcome::Stable { matching: a, .. },
+                RoommatesOutcome::Stable { matching: b, .. },
+            ) => assert_eq!(a, b),
+            (
+                RoommatesOutcome::NoStableMatching { culprit: a, .. },
+                RoommatesOutcome::NoStableMatching { culprit: b, .. },
+            ) => assert_eq!(a, b),
+            _ => panic!("oracle view and materialized reduction disagree on existence"),
+        }
+    }
+}
+
+#[test]
+fn random_perm_view_agrees_with_materialized_reduction() {
+    for n in [1usize, 2, 3, 5, 8, 16, 33, 64] {
+        for seed in 0..6u64 {
+            assert_view_matches_materialized(&RandomPermOracle::new(n, seed));
+        }
+    }
+}
+
+#[test]
+fn score_view_agrees_with_materialized_reduction() {
+    for n in [1usize, 2, 5, 16, 64] {
+        for seed in 0..6u64 {
+            assert_view_matches_materialized(&ScoreOracle::popularity(n, seed));
+        }
+    }
+}
+
+#[test]
+fn view_solves_are_stable_marriages_of_the_underlying_instance() {
+    // The §III-B reduction always has a stable matching (it is a marriage
+    // instance in disguise), and every pair must be cross-side.
+    for n in [4usize, 20, 50] {
+        let oracle = RandomPermOracle::new(n, 7);
+        let view = RoommatesOracleView::new(&oracle);
+        let out = RoommatesWorkspace::new().solve(&view);
+        let m = out
+            .matching()
+            .expect("marriage reductions always have a stable matching");
+        for (a, b) in m.pairs() {
+            let (lo, hi) = (a.min(b), a.max(b));
+            assert!(
+                (lo as usize) < n && (hi as usize) >= n,
+                "pair ({a}, {b}) is not cross-side"
+            );
+        }
+    }
+}

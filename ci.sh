@@ -27,6 +27,32 @@ for key in '"schema": "kmatch.run_report/v1"' '"solves"' '"proposals"' \
     || { echo "metrics smoke: missing $key in report.json"; exit 1; }
 done
 
+echo "==> straggler smoke"
+# The work-stealing batch executor's straggler accounting must land in
+# the run report and survive validation.
+./target/release/kmatch batch --kind gs --n 32 --count 120 --seed 2 \
+    --threads 3 --metrics-out "$SMOKE_DIR/straggler.json"
+./target/release/kmatch report validate --input "$SMOKE_DIR/straggler.json"
+for key in '"straggler"' '"forced_steal"' '"chunk_sizes"' '"busy_ns"' \
+    '"steal_ns"' '"idle_ns"' '"chunks_executed"' '"chunks_stolen"'; do
+  grep -qF "$key" "$SMOKE_DIR/straggler.json" \
+    || { echo "straggler smoke: missing $key in straggler.json"; exit 1; }
+done
+# Forced-steal stress: every chunk seeds on worker 0's deque, so every
+# other worker's work arrives only by stealing — the most adversarial
+# schedule the executor can produce. Outcomes must not move: the solver
+# totals printed for the plain and forced runs have to be identical.
+plain="$(./target/release/kmatch batch --kind gs --n 32 --count 120 --seed 2 \
+    --threads 3 2>/dev/null | grep 'total proposals')"
+forced="$(./target/release/kmatch batch --kind gs --n 32 --count 120 --seed 2 \
+    --threads 3 --force-steal on \
+    --metrics-out "$SMOKE_DIR/forced.json" 2>/dev/null | grep 'total proposals')"
+[ "$plain" = "$forced" ] \
+    || { echo "straggler smoke: forced-steal run diverged: $plain vs $forced"; exit 1; }
+./target/release/kmatch report validate --input "$SMOKE_DIR/forced.json"
+grep -qF '"forced_steal": true' "$SMOKE_DIR/forced.json" \
+    || { echo "straggler smoke: forced.json does not record forced_steal"; exit 1; }
+
 echo "==> oracle smoke"
 # A 100k-agent SMP solve through the implicit random-permutation oracle:
 # no materialized lists, so this must run in O(n) memory and finish in

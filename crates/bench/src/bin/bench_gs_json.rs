@@ -15,8 +15,10 @@
 //! it is the oracle one. Run with
 //! `cargo run --release --bin bench_gs_json`.
 
-#[path = "support/counting_alloc.rs"]
-mod counting_alloc;
+use kmatch_testsupport::CountingAlloc;
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
 
 use kmatch_bench::harness::{
     bipartite_batch, measure_blocks, rayon_threads, write_results, OverheadRow,
@@ -130,7 +132,7 @@ fn single_row(n: usize, reps: usize) -> SingleRow {
 /// a million agents per side — where materialized lists would need
 /// ~8 TB and the oracle needs a few words.
 fn scaling_series() -> Vec<GsScalingRow> {
-    let mut hook = counting_alloc::bytes_allocated_in;
+    let mut hook = kmatch_testsupport::bytes_allocated_in;
     [
         (GsBackend::Csr, 4_096, 5),
         (GsBackend::Scores, 10_000, 5),

@@ -14,8 +14,10 @@
 //! allocation bytes recorded per point. Run with
 //! `cargo run --release --bin bench_roommates_json`.
 
-#[path = "support/counting_alloc.rs"]
-mod counting_alloc;
+use kmatch_testsupport::CountingAlloc;
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
 
 use kmatch_bench::harness::{
     measure_blocks, rayon_threads, roommates_batch, write_results, OverheadRow,
@@ -113,7 +115,7 @@ impl_json_struct!(Report {
 /// written down, so memory stays far below the 2n × 2n a materialized
 /// reduction would cost.
 fn scaling_series() -> Vec<RoommatesScalingRow> {
-    let mut hook = counting_alloc::bytes_allocated_in;
+    let mut hook = kmatch_testsupport::bytes_allocated_in;
     [(2_000usize, 4usize), (10_000, 3)]
         .into_iter()
         .map(|(n, reps)| run_roommates_point(n, 1, reps, &mut hook))

@@ -13,10 +13,15 @@
 //! * `roommates_solvability.csv` — P(stable matching exists) vs n;
 //! * `weak_failure.csv` — weakened-condition failure rate of non-bitonic
 //!   trees vs (k, n);
-//! * `quorum_frontier.csv` — quorum-stability rate vs q.
+//! * `quorum_frontier.csv` — quorum-stability rate vs q;
+//! * `batch_throughput.csv` — work-stealing batch executor throughput
+//!   over an n × batch-size × threads grid, with per-run straggler
+//!   aggregates (busy/steal/idle time, chunks stolen).
 
-#[path = "support/counting_alloc.rs"]
-mod counting_alloc;
+use kmatch_testsupport::CountingAlloc;
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
 
 use kmatch_bench::scaling::{run_gs_point, GsBackend};
 use kmatch_bench::{rng, sweep::Csv};
@@ -42,6 +47,7 @@ fn main() {
     roommates_solvability(quick, &out_dir);
     weak_failure(quick, &out_dir);
     quorum_frontier(quick, &out_dir);
+    batch_throughput(quick, &out_dir);
     println!("sweeps written under {out_dir}/");
 }
 
@@ -61,7 +67,7 @@ fn gs_scaling(quick: bool, out_dir: &str) {
         "alloc_bytes",
         "nlogn_ratio",
     ]);
-    let mut hook = counting_alloc::bytes_allocated_in;
+    let mut hook = kmatch_testsupport::bytes_allocated_in;
     let sizes: &[usize] = if quick {
         &[256, 1024]
     } else {
@@ -220,6 +226,85 @@ fn weak_failure(quick: bool, out_dir: &str) {
     csv.write(format!("{out_dir}/weak_failure.csv"))
         .expect("write CSV");
     println!("weak_failure.csv: {} rows", csv.len());
+}
+
+/// Work-stealing batch executor throughput over an n × batch-size ×
+/// threads grid — both solver kinds, one row per cell — with the
+/// [`StealReport`]'s straggler aggregates alongside so imbalance is
+/// visible next to the throughput it costs. Thread counts above the
+/// host's core count still measure correctly (the executor spawns real
+/// threads); they just time-slice.
+fn batch_throughput(quick: bool, out_dir: &str) {
+    use kmatch_obs::{BatchRegistry, StdClock};
+    use kmatch_parallel::{ExecPolicy, StealReport};
+    use kmatch_prefs::gen::uniform::uniform_bipartite;
+
+    let mut csv = Csv::new(&[
+        "kind",
+        "n",
+        "count",
+        "threads",
+        "chunks",
+        "wall_ns",
+        "inst_per_s",
+        "busy_ns",
+        "steal_ns",
+        "idle_ns",
+        "chunks_stolen",
+    ]);
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 256, 1024] };
+    let counts: &[usize] = if quick { &[64] } else { &[64, 256, 1024] };
+    let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let clock = StdClock::new();
+    let mut push = |kind: &str, n: usize, count: usize, t: usize, report: &StealReport| {
+        let busy: u64 = report.workers.iter().map(|w| w.busy_ns).sum();
+        let steal: u64 = report.workers.iter().map(|w| w.steal_ns).sum();
+        let idle: u64 = report.workers.iter().map(|w| w.idle_ns).sum();
+        csv.row(vec![
+            kind.to_string(),
+            n.to_string(),
+            count.to_string(),
+            t.to_string(),
+            report.plan.len().to_string(),
+            report.wall_ns.to_string(),
+            format!(
+                "{:.1}",
+                count as f64 / (report.wall_ns as f64 / 1e9).max(1e-12)
+            ),
+            busy.to_string(),
+            steal.to_string(),
+            idle.to_string(),
+            report.chunks_stolen().to_string(),
+        ]);
+    };
+    for &n in sizes {
+        for &count in counts {
+            let gs_batch: Vec<_> = {
+                let mut r = rng(26_000 + n as u64);
+                (0..count).map(|_| uniform_bipartite(n, &mut r)).collect()
+            };
+            let rm_batch: Vec<_> = {
+                let mut r = rng(26_500 + n as u64);
+                (0..count).map(|_| uniform_roommates(n, &mut r)).collect()
+            };
+            for &t in threads {
+                let policy = ExecPolicy::with_threads(t);
+                let registry = BatchRegistry::new();
+                let (_, report) = kmatch_parallel::solve_batch_metered_with(
+                    &gs_batch, &registry, &clock, &policy,
+                );
+                push("gs", n, count, t, &report);
+                let registry = BatchRegistry::new();
+                let (_, report) = kmatch_parallel::roommates::solve_batch_metered_with(
+                    &rm_batch, &registry, &clock, &policy,
+                );
+                push("roommates", n, count, t, &report);
+            }
+        }
+    }
+    csv.write(format!("{out_dir}/batch_throughput.csv"))
+        .expect("write CSV");
+    println!("batch_throughput.csv: {} rows", csv.len());
 }
 
 fn quorum_frontier(quick: bool, out_dir: &str) {

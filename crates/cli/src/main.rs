@@ -493,7 +493,17 @@ fn solve_smp(args: &Args) -> Result<(), String> {
     if let (Some(inst), Some(matching)) = (&inst, &matching) {
         print_smp_matching(inst, matching);
     }
-    write_metrics(args, "smp", n, 1, seed, wall_ns, metrics)
+    write_metrics(
+        args,
+        "smp",
+        n,
+        1,
+        seed,
+        rayon::current_num_threads(),
+        wall_ns,
+        metrics,
+        None,
+    )
 }
 
 /// Per-index failures from a `batch --input` file, reported as a
@@ -586,35 +596,67 @@ where
     (out, errors)
 }
 
-/// Emit the RunReport when `--metrics-out` was given.
+/// Emit the RunReport when `--metrics-out` was given. A `straggler`
+/// section (from the work-stealing executor's [`StealReport`]) rides
+/// along when the batch ran through the deque executor.
+#[allow(clippy::too_many_arguments)]
 fn write_metrics(
     args: &Args,
     kind: &str,
     n: usize,
     instances: usize,
     seed: u64,
+    threads: usize,
     wall_ns: u64,
     merged: kmatch_obs::SolverMetrics,
+    straggler: Option<kmatch_obs::StragglerSection>,
 ) -> Result<(), String> {
     let Some(path) = args.flag("metrics-out") else {
         return Ok(());
     };
     let format = args.flag("metrics-format").unwrap_or("json");
-    let report = kmatch_obs::RunReport::new(
-        kind,
-        n,
-        instances,
-        seed,
-        rayon::current_num_threads(),
-        wall_ns,
-        merged,
-        None,
-    );
+    let mut report =
+        kmatch_obs::RunReport::new(kind, n, instances, seed, threads, wall_ns, merged, None);
+    if let Some(section) = straggler {
+        report = report.with_straggler(section);
+    }
     report
         .write(std::path::Path::new(path), format)
         .map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("wrote {path} ({format})");
     Ok(())
+}
+
+/// Summarize the work-stealing executor's straggler accounting on
+/// stderr: per-worker busy/steal/idle time and how many of its chunks
+/// were stolen rather than scheduled.
+fn print_straggler(report: Option<&kmatch_parallel::StealReport>) {
+    let Some(report) = report else {
+        return;
+    };
+    let ms = |ns: u64| ns as f64 / 1e6;
+    eprintln!(
+        "executor       : {} thread(s), {} chunk(s){}",
+        report.threads,
+        report.plan.len(),
+        if report.forced_steal {
+            ", forced steal"
+        } else {
+            ""
+        }
+    );
+    for w in &report.workers {
+        eprintln!(
+            "  worker {:<3}   : busy {:.3} ms, steal {:.3} ms, idle {:.3} ms, \
+             {} chunk(s) ({} stolen)",
+            w.worker,
+            ms(w.busy_ns),
+            ms(w.steal_ns),
+            ms(w.idle_ns),
+            w.chunks_executed,
+            w.chunks_stolen
+        );
+    }
 }
 
 /// Export the per-chunk timelines a traced batch returned: one
@@ -657,10 +699,34 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
         "trace-out",
         "trace-format",
         "flight-recorder",
+        "threads",
+        "force-steal",
     ])?;
     let topts = TraceOpts::from_args(args)?;
     let seed: u64 = args.flag_or("seed", 0)?;
     let kind = args.flag("kind").unwrap_or("gs");
+    let force_steal = match args.flag("force-steal").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(format!(
+                "unknown --force-steal value: {other} (expected on|off)"
+            ))
+        }
+    };
+    let policy = kmatch_parallel::ExecPolicy {
+        threads: match args.flag("threads") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value for --threads: {v}"))?,
+            ),
+        },
+        force_steal,
+    };
+    // An explicit executor policy asks for straggler accounting, which the
+    // plain/cached fast paths do not produce.
+    let policy_explicit = policy.threads.is_some() || policy.force_steal;
     if let Some(fmt) = args.flag("metrics-format") {
         if !matches!(fmt, "json" | "prom") {
             return Err(format!("unknown metrics format: {fmt} (expected json|prom)"));
@@ -673,6 +739,9 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
     };
     if topts.enabled() && cache_on {
         return Err("--trace-out is not supported with --cache on".to_string());
+    }
+    if cache_on && policy_explicit {
+        return Err("--threads/--force-steal are not supported with --cache on".to_string());
     }
     let metered = args.flag("metrics-out").is_some();
     let registry = kmatch_obs::BatchRegistry::new();
@@ -702,6 +771,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             let n = batch.iter().map(|i| i.n()).max().unwrap_or(0);
             let start = std::time::Instant::now();
             let mut chunk_traces: Option<Vec<kmatch_parallel::ChunkTrace>> = None;
+            let mut steal_report: Option<kmatch_parallel::StealReport> = None;
             let (outcomes, cache_line) = if cache_on {
                 let mut cache = SolveCache::default();
                 let cached =
@@ -714,19 +784,21 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                 );
                 (cached.outcomes, Some(line))
             } else if topts.enabled() {
-                let (outs, traces) = kmatch_parallel::solve_batch_traced(
+                let (outs, traces, report) = kmatch_parallel::solve_batch_traced_with(
                     &batch,
                     &registry,
                     &clock,
                     topts.chunk_capacity(),
+                    &policy,
                 );
                 chunk_traces = Some(traces);
+                steal_report = Some(report);
                 (outs, None)
-            } else if metered {
-                (
-                    kmatch_parallel::solve_batch_metered(&batch, &registry, &clock),
-                    None,
-                )
+            } else if metered || policy_explicit {
+                let (outs, report) =
+                    kmatch_parallel::solve_batch_metered_with(&batch, &registry, &clock, &policy);
+                steal_report = Some(report);
+                (outs, None)
             } else {
                 (kmatch_parallel::solve_batch(&batch), None)
             };
@@ -743,6 +815,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                 elapsed.as_secs_f64() * 1e3,
                 count as f64 / elapsed.as_secs_f64().max(1e-12)
             );
+            print_straggler(steal_report.as_ref());
             write_chunk_traces(&topts, chunk_traces)?;
             write_metrics(
                 args,
@@ -750,8 +823,10 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                 n,
                 count,
                 seed,
+                policy.requested_threads(),
                 elapsed.as_nanos() as u64,
                 registry.take(),
+                steal_report.as_ref().map(|r| r.straggler_section()),
             )?;
         }
         "roommates" => {
@@ -783,17 +858,24 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             let n = batch.iter().map(|i| i.n()).max().unwrap_or(0);
             let start = std::time::Instant::now();
             let mut chunk_traces: Option<Vec<kmatch_parallel::ChunkTrace>> = None;
+            let mut steal_report: Option<kmatch_parallel::StealReport> = None;
             let outcomes = if topts.enabled() {
-                let (outs, traces) = kmatch_parallel::roommates::solve_batch_traced(
+                let (outs, traces, report) = kmatch_parallel::roommates::solve_batch_traced_with(
                     &batch,
                     &registry,
                     &clock,
                     topts.chunk_capacity(),
+                    &policy,
                 );
                 chunk_traces = Some(traces);
+                steal_report = Some(report);
                 outs
-            } else if metered {
-                kmatch_parallel::roommates::solve_batch_metered(&batch, &registry, &clock)
+            } else if metered || policy_explicit {
+                let (outs, report) = kmatch_parallel::roommates::solve_batch_metered_with(
+                    &batch, &registry, &clock, &policy,
+                );
+                steal_report = Some(report);
+                outs
             } else {
                 kmatch_parallel::roommates::solve_batch(&batch)
             };
@@ -812,6 +894,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                 elapsed.as_secs_f64() * 1e3,
                 count as f64 / elapsed.as_secs_f64().max(1e-12)
             );
+            print_straggler(steal_report.as_ref());
             write_chunk_traces(&topts, chunk_traces)?;
             write_metrics(
                 args,
@@ -819,8 +902,10 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                 n,
                 count,
                 seed,
+                policy.requested_threads(),
                 elapsed.as_nanos() as u64,
                 registry.take(),
+                steal_report.as_ref().map(|r| r.straggler_section()),
             )?;
         }
         other => return Err(format!("unknown batch kind: {other}")),
@@ -938,8 +1023,10 @@ fn delta_cmd(args: &Args) -> Result<(), String> {
         n,
         deltas.len(),
         0,
+        rayon::current_num_threads(),
         start.elapsed().as_nanos() as u64,
         metrics,
+        None,
     )
 }
 
@@ -1055,8 +1142,10 @@ fn bind_cmd(args: &Args) -> Result<(), String> {
         n,
         1,
         0,
+        rayon::current_num_threads(),
         start.elapsed().as_nanos() as u64,
         metrics,
+        None,
     )
 }
 

@@ -567,9 +567,23 @@ fn warm_core<P: BipartitePrefs + PrefOracle, T: Tracer, M: Metrics, S: SpanSink>
 
 /// Event-ordered rounds: one pass per proposal, tracer hooks at the exact
 /// points the reference engine emits them. With `NoTrace` every hook
-/// vanishes, leaving a tight single-pass loop whose only work per
-/// proposal is the fused entry load, the packed compare, and the free-list
-/// bookkeeping for the loser.
+/// vanishes, leaving a tight loop whose only work per proposal is the
+/// fused half-width entry load (widened from the u32 arena row — the
+/// hottest stream, now 16 entries per cache line), the packed compare,
+/// and the free-list bookkeeping for the loser.
+///
+/// Two restructurings were built, measured, and *rejected* on the bench
+/// host; the numbers live in DESIGN.md §6g so they are not re-attempted
+/// blind. (1) Cmov-style selects ([`std::hint::select_unpredictable`])
+/// for the accept/displace commit lost 15–20%: the accept branch is
+/// mostly-reject and predicts far better than a forced
+/// always-store-both-words dependency chain. (2) A software-pipelined
+/// lookahead pass issuing each entry load 12 proposals early via
+/// [`PrefOracle::prefetch_entry`] lost 4–9% at every CSR-representable
+/// size: the consumed entry stream is only ~`n ln n` words per solve, so
+/// it stays L2-resident up to n ≈ 4096 and the out-of-order window
+/// already covers the remaining latency. The trait hook stays for
+/// memory-tiered backends that can outrun the LLC.
 fn run_rounds<P: PrefOracle, T: Tracer, M: Metrics, S: SpanSink>(
     prefs: &P,
     ws: &mut GsWorkspace,
@@ -590,10 +604,10 @@ fn run_rounds<P: PrefOracle, T: Tracer, M: Metrics, S: SpanSink>(
         }
         for &m in &ws.free {
             let pos = ws.next[m as usize];
+            // `pos >= list_len` only on truncated oracles (complete
+            // backends engage before exhausting a list): the proposer
+            // leaves the pool unmatched.
             if pos >= prefs.list_len(m) {
-                // List exhausted (truncated oracles only — complete
-                // backends always engage before running out): `m`
-                // leaves the pool unmatched.
                 continue;
             }
             // One fused load: `rank << 32 | responder` (see

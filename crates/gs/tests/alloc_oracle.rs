@@ -1,50 +1,16 @@
 //! Memory proof for the implicit-oracle substrate: a GS solve at n = 10⁴
 //! driven by a [`RandomPermOracle`] must allocate O(n) bytes — workspace
 //! arrays plus the returned matching — never the O(n²) a materialized
-//! preference table would cost. Measured with a byte-counting
-//! `GlobalAlloc`; the counter is thread-local so the harness's other
-//! threads cannot pollute it.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
+//! preference table would cost. Measured with the shared byte-counting
+//! [`kmatch_testsupport::CountingAlloc`]; the counter is thread-local so
+//! the harness's other threads cannot pollute it.
 
 use kmatch_gs::GsWorkspace;
 use kmatch_prefs::RandomPermOracle;
-
-thread_local! {
-    static BYTES: Cell<u64> = const { Cell::new(0) };
-}
-
-struct ByteCountingAlloc;
-
-// SAFETY: delegates directly to the system allocator; the counter is a
-// thread-local add with no allocation of its own.
-unsafe impl GlobalAlloc for ByteCountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let _ = BYTES.try_with(|c| c.set(c.get() + layout.size() as u64));
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let _ = BYTES.try_with(|c| c.set(c.get() + new_size as u64));
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
+use kmatch_testsupport::{bytes_in as bytes_allocated_in, CountingAlloc};
 
 #[global_allocator]
-static COUNTER: ByteCountingAlloc = ByteCountingAlloc;
-
-/// Bytes requested from the allocator by `f` on this thread (gross, not
-/// net — frees are not subtracted, so this bounds peak *and* churn).
-fn bytes_allocated_in(f: impl FnOnce()) -> u64 {
-    let before = BYTES.with(Cell::get);
-    f();
-    BYTES.with(Cell::get) - before
-}
+static COUNTER: CountingAlloc = CountingAlloc;
 
 #[test]
 fn random_oracle_solve_allocates_linear_not_quadratic() {

@@ -40,4 +40,6 @@ pub use histogram::Log2Histogram;
 pub use metrics::{Metrics, NoMetrics, SolverMetrics};
 pub use prom::{escape_label_value, label_pair, unescape_label_value};
 pub use registry::BatchRegistry;
-pub use report::{OverheadReport, RunReport, TimingSummary, RUN_REPORT_SCHEMA};
+pub use report::{
+    OverheadReport, RunReport, StragglerSection, StragglerWorker, TimingSummary, RUN_REPORT_SCHEMA,
+};

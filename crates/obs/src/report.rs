@@ -9,7 +9,7 @@
 use std::io;
 use std::path::Path;
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::metrics::SolverMetrics;
 
@@ -63,6 +63,63 @@ impl TimingSummary {
     }
 }
 
+/// One worker's straggler-accounting row from the work-stealing batch
+/// executor: how its wall time split across running chunks (`busy_ns`),
+/// sweeping victim deques (`steal_ns`), and waiting at the final barrier
+/// for slower workers (`idle_ns`) — a worker with large `idle_ns` was
+/// starved, a worker whose `busy_ns` dominates the batch wall time is the
+/// straggler everyone else waited on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StragglerWorker {
+    /// Worker index, `0..threads`.
+    pub worker: u64,
+    /// Time spent executing chunks.
+    pub busy_ns: u64,
+    /// Time spent in steal sweeps (successful or not).
+    pub steal_ns: u64,
+    /// Time between this worker finishing and the whole batch finishing.
+    pub idle_ns: u64,
+    /// Chunks this worker executed (own + stolen).
+    pub chunks_executed: u64,
+    /// Of those, chunks taken from another worker's deque.
+    pub chunks_stolen: u64,
+}
+
+serde::impl_json_struct!(StragglerWorker {
+    worker,
+    busy_ns,
+    steal_ns,
+    idle_ns,
+    chunks_executed,
+    chunks_stolen,
+});
+
+/// The `straggler` section of a run report: the chunk plan the
+/// work-stealing executor ran (sizes in chunk-index order — balanced, so
+/// they differ by at most one) and one [`StragglerWorker`] row per
+/// worker. Attached by the batch front-ends via
+/// [`RunReport::with_straggler`]; absent for workloads that never went
+/// through the executor.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StragglerSection {
+    /// Workers the executor ran.
+    pub threads: u64,
+    /// Whether the forced-steal stress mode (all chunks seeded on worker
+    /// 0) was active.
+    pub forced_steal: bool,
+    /// Instances per chunk, in chunk-index order.
+    pub chunk_sizes: Vec<u64>,
+    /// Per-worker accounting rows, in worker order.
+    pub workers: Vec<StragglerWorker>,
+}
+
+serde::impl_json_struct!(StragglerSection {
+    threads,
+    forced_steal,
+    chunk_sizes,
+    workers,
+});
+
 /// One named instrumentation-overhead measurement attached to a run
 /// report: wall time of the same workload with a piece of
 /// instrumentation off (`plain_ns`) and on (`instrumented_ns`), plus
@@ -113,6 +170,9 @@ pub struct RunReport {
     /// Named instrumentation-overhead rows (empty unless attached via
     /// [`RunReport::with_overhead`]).
     pub overheads: Vec<OverheadReport>,
+    /// Work-stealing executor straggler accounting (absent unless
+    /// attached via [`RunReport::with_straggler`]).
+    pub straggler: Option<StragglerSection>,
 }
 
 impl RunReport {
@@ -140,6 +200,7 @@ impl RunReport {
             timing: TimingSummary::from_metrics(&metrics),
             metrics,
             overheads: Vec::new(),
+            straggler: None,
         }
     }
 
@@ -160,6 +221,13 @@ impl RunReport {
             instrumented_ns,
             overhead_pct: (instrumented_ns / plain_ns - 1.0) * 100.0,
         });
+        self
+    }
+
+    /// Attach the work-stealing executor's straggler section (builder
+    /// style).
+    pub fn with_straggler(mut self, section: StragglerSection) -> Self {
+        self.straggler = Some(section);
         self
     }
 
@@ -253,6 +321,15 @@ impl RunReport {
                 return Err(format!("missing `timing.{key}` key"));
             }
         }
+        // The straggler section is optional, but when present it must be
+        // well-formed (the CI smoke check greps its keys out of batch
+        // reports).
+        if let Some(straggler) = v.get("straggler") {
+            if !matches!(straggler, Value::Null) {
+                crate::report::StragglerSection::from_value(straggler)
+                    .map_err(|e| format!("malformed `straggler` section: {e}"))?;
+            }
+        }
         Ok(v)
     }
 }
@@ -299,6 +376,7 @@ impl Serialize for RunReport {
                         .collect(),
                 ),
             ),
+            ("straggler".into(), self.straggler.to_value()),
         ])
     }
 }
@@ -440,6 +518,49 @@ mod tests {
             .unwrap()
             .get("overheads")
             .is_some());
+    }
+
+    #[test]
+    fn straggler_section_serializes_and_validates() {
+        let section = StragglerSection {
+            threads: 2,
+            forced_steal: true,
+            chunk_sizes: vec![3, 3, 2],
+            workers: vec![
+                StragglerWorker {
+                    worker: 0,
+                    busy_ns: 100,
+                    steal_ns: 0,
+                    idle_ns: 20,
+                    chunks_executed: 2,
+                    chunks_stolen: 0,
+                },
+                StragglerWorker {
+                    worker: 1,
+                    busy_ns: 80,
+                    steal_ns: 10,
+                    idle_ns: 0,
+                    chunks_executed: 1,
+                    chunks_stolen: 1,
+                },
+            ],
+        };
+        let text = sample_report().with_straggler(section.clone()).to_json_string();
+        let v = RunReport::validate_json_str(&text).expect("valid with straggler");
+        let s = v.get("straggler").expect("section present");
+        assert_eq!(s.get("threads"), Some(&Value::Number(2.0)));
+        assert_eq!(s.get("forced_steal"), Some(&Value::Bool(true)));
+        assert_eq!(
+            StragglerSection::from_value(s).expect("round-trips"),
+            section
+        );
+        // Reports without the section validate (key serializes as null).
+        let bare = sample_report().to_json_string();
+        RunReport::validate_json_str(&bare).expect("absent section is fine");
+        // A malformed section is rejected.
+        let broken = text.replace("\"busy_ns\"", "\"fuzzy_ns\"");
+        let err = RunReport::validate_json_str(&broken).unwrap_err();
+        assert!(err.contains("straggler"), "{err}");
     }
 
     #[test]

@@ -1,15 +1,18 @@
 //! Batch throughput front-end: solve many independent bipartite instances
-//! across the rayon pool.
+//! across a work-stealing pool.
 //!
 //! Throughput-oriented callers (parameter sweeps, Monte-Carlo experiments,
 //! the `bench_throughput` benchmark) solve thousands of instances whose
 //! only relationship is that they arrive together. Each solve is
 //! independent, so the batch is embarrassingly parallel; the interesting
-//! part is keeping the per-solve constant factor down. [`solve_batch`]
-//! does that by giving every worker thread one [`GsWorkspace`] via
-//! `map_init`, so scratch buffers are allocated once per thread and reused
-//! for every instance the thread processes — the per-instance allocations
-//! are exactly the two partner arrays owned by each returned matching.
+//! part is keeping the per-solve constant factor down and the workers
+//! evenly loaded. The batch is split by [`ChunkPlan::balanced`] into
+//! contiguous chunks whose sizes differ by at most one and executed by
+//! [`crate::steal::run_chunks`]: each chunk gets its own [`GsWorkspace`]
+//! (allocated once per chunk, reused for every instance in it), idle
+//! workers steal queued chunks, and results are reduced in chunk-index
+//! order — so the output, the metrics-shard absorption order, and the
+//! chunk traces are byte-identical regardless of the steal schedule.
 //!
 //! Results are returned in input order and are identical to calling
 //! [`kmatch_gs::gale_shapley`] on each instance serially (GS is
@@ -19,15 +22,18 @@ use kmatch_gs::{GsOutcome, GsStats, GsWorkspace};
 use kmatch_obs::{BatchRegistry, Clock, Metrics, SolverMetrics};
 use kmatch_prefs::PrefOracle;
 use kmatch_trace::{span, FlightRecorder, SpanSink, TraceEvent};
-use rayon::prelude::*;
 
-/// The span timeline one batch worker recorded for its chunk: a
-/// `batch.chunk` span (arg = chunk index) enclosing the per-solve engine
-/// spans, captured through a fixed-capacity [`FlightRecorder`] so a huge
-/// chunk keeps only its most recent events.
+use crate::steal::{run_chunks, ChunkPlan, ExecPolicy, StealReport};
+
+/// The span timeline one batch chunk recorded: a `batch.chunk` span
+/// (arg = chunk index) enclosing the per-solve engine spans, captured
+/// through a fixed-capacity [`FlightRecorder`] so a huge chunk keeps only
+/// its most recent events.
 #[derive(Debug, Clone)]
 pub struct ChunkTrace {
     /// Chunk index — also the worker-track id in the exported trace.
+    /// Deliberately the *chunk*, not the OS thread that happened to run
+    /// it: chunk timelines stay byte-identical across steal schedules.
     pub worker: usize,
     /// Events the chunk's flight recorder overwrote (0 when the ring
     /// never wrapped).
@@ -50,9 +56,20 @@ pub fn batch_path() -> &'static str {
     }
 }
 
+/// A clock that always reads zero, for the unmetered front-end — the
+/// executor's accounting hooks cost two loads of a constant per chunk.
+struct NullClock;
+
+impl Clock for NullClock {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        0
+    }
+}
+
 /// Solve every instance with proposer-proposing Gale–Shapley, fanning the
-/// batch across the rayon pool with one reusable [`GsWorkspace`] per
-/// worker thread.
+/// batch across the work-stealing executor with one reusable
+/// [`GsWorkspace`] per chunk.
 ///
 /// Output order matches input order, and each outcome equals the one
 /// `gale_shapley` would produce for that instance.
@@ -76,19 +93,25 @@ where
         let mut ws = GsWorkspace::new();
         return instances.iter().map(|inst| ws.solve(inst)).collect();
     }
-    instances
-        .par_iter()
-        .map_init(GsWorkspace::new, |ws, inst| ws.solve(inst))
-        .collect()
+    let plan = ChunkPlan::balanced(instances.len(), ExecPolicy::default().requested_threads());
+    let (per_chunk, _) = run_chunks(&plan, &ExecPolicy::default(), &NullClock, |_, (lo, hi)| {
+        let mut ws = GsWorkspace::new();
+        instances[lo..hi]
+            .iter()
+            .map(|inst| ws.solve(inst))
+            .collect::<Vec<GsOutcome>>()
+    });
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// [`solve_batch`] with sharded metrics and per-solve wall timing.
 ///
-/// Every worker solves a contiguous chunk of the batch through its own
-/// [`GsWorkspace`] **and** its own thread-private [`SolverMetrics`] shard —
-/// the hot path performs plain `u64` increments, no atomics, no locks.
-/// Each shard is absorbed into `registry` exactly once, when its chunk
-/// completes. Per-solve wall time is sampled from the injected `clock`
+/// Every chunk solves through its own [`GsWorkspace`] **and** its own
+/// chunk-private [`SolverMetrics`] shard — the hot path performs plain
+/// `u64` increments, no atomics, no locks. Shards are absorbed into
+/// `registry` **in chunk-index order after the run**, so the registry's
+/// state (including `shards_absorbed`) is independent of the steal
+/// schedule. Per-solve wall time is sampled from the injected `clock`
 /// here at the front-end, keeping the engine clock-free.
 ///
 /// Output order matches input order and each outcome equals
@@ -103,14 +126,27 @@ where
     P: PrefOracle + Sync,
     C: Clock + Sync,
 {
-    let len = instances.len();
-    if len == 0 {
-        return Vec::new();
-    }
-    if batch_path() == "serial" {
+    solve_batch_metered_with(instances, registry, clock, &ExecPolicy::default()).0
+}
+
+/// [`solve_batch_metered`] under an explicit [`ExecPolicy`], returning
+/// the executor's [`StealReport`] (chunk plan, per-worker straggler
+/// accounting, worker span tracks) alongside the outcomes.
+pub fn solve_batch_metered_with<P, C>(
+    instances: &[P],
+    registry: &BatchRegistry,
+    clock: &C,
+    policy: &ExecPolicy,
+) -> (Vec<GsOutcome>, StealReport)
+where
+    P: PrefOracle + Sync,
+    C: Clock + Sync,
+{
+    let plan = ChunkPlan::balanced(instances.len(), policy.requested_threads());
+    let (per_chunk, report) = run_chunks(&plan, policy, clock, |_, (lo, hi)| {
         let mut ws = GsWorkspace::new();
         let mut shard = SolverMetrics::new();
-        let outs: Vec<GsOutcome> = instances
+        let outs: Vec<GsOutcome> = instances[lo..hi]
             .iter()
             .map(|inst| {
                 let t0 = clock.now_ns();
@@ -119,37 +155,18 @@ where
                 out
             })
             .collect();
+        (outs, shard)
+    });
+    let mut outs = Vec::with_capacity(instances.len());
+    for (chunk_outs, shard) in per_chunk {
+        outs.extend(chunk_outs);
         registry.absorb(shard);
-        return outs;
     }
-    let threads = rayon::current_num_threads().clamp(1, len);
-    let chunk = len.div_ceil(threads);
-    let chunks = len.div_ceil(chunk);
-    let per_chunk: Vec<Vec<GsOutcome>> = (0..chunks)
-        .into_par_iter()
-        .map(|c| {
-            let lo = c * chunk;
-            let hi = ((c + 1) * chunk).min(len);
-            let mut ws = GsWorkspace::new();
-            let mut shard = SolverMetrics::new();
-            let outs: Vec<GsOutcome> = instances[lo..hi]
-                .iter()
-                .map(|inst| {
-                    let t0 = clock.now_ns();
-                    let out = ws.solve_metered(inst, &mut shard);
-                    shard.solve_ns(clock.now_ns().saturating_sub(t0));
-                    out
-                })
-                .collect();
-            registry.absorb(shard);
-            outs
-        })
-        .collect();
-    per_chunk.into_iter().flatten().collect()
+    (outs, report)
 }
 
 /// [`solve_batch_metered`] that additionally records a span timeline per
-/// worker chunk.
+/// chunk.
 ///
 /// Each chunk solves through its own [`FlightRecorder`] of
 /// `flight_capacity` events (preallocated before the chunk's first solve;
@@ -173,16 +190,37 @@ where
     P: PrefOracle + Sync,
     C: Clock + Sync,
 {
+    let (outs, traces, _) =
+        solve_batch_traced_with(instances, registry, clock, flight_capacity, &ExecPolicy::default());
+    (outs, traces)
+}
+
+/// [`solve_batch_traced`] under an explicit [`ExecPolicy`], returning the
+/// executor's [`StealReport`] as well.
+pub fn solve_batch_traced_with<P, C>(
+    instances: &[P],
+    registry: &BatchRegistry,
+    clock: &C,
+    flight_capacity: usize,
+    policy: &ExecPolicy,
+) -> (Vec<GsOutcome>, Vec<ChunkTrace>, StealReport)
+where
+    P: PrefOracle + Sync,
+    C: Clock + Sync,
+{
     let len = instances.len();
     if len == 0 {
-        return (Vec::new(), Vec::new());
+        let plan = ChunkPlan::balanced(0, policy.requested_threads());
+        let (_, report) = run_chunks(&plan, policy, clock, |_, _| ());
+        return (Vec::new(), Vec::new(), report);
     }
-    let solve_chunk = |c: usize, chunk_insts: &[P]| {
+    let plan = ChunkPlan::balanced(len, policy.requested_threads());
+    let (per_chunk, report) = run_chunks(&plan, policy, clock, |c, (lo, hi)| {
         let mut ws = GsWorkspace::new();
         let mut shard = SolverMetrics::new();
         let mut rec = FlightRecorder::new(clock, flight_capacity);
         rec.begin(span::BATCH_CHUNK, c as u64);
-        let outs: Vec<GsOutcome> = chunk_insts
+        let outs: Vec<GsOutcome> = instances[lo..hi]
             .iter()
             .map(|inst| {
                 let t0 = clock.now_ns();
@@ -192,36 +230,21 @@ where
             })
             .collect();
         rec.end(span::BATCH_CHUNK);
-        registry.absorb(shard);
         let trace = ChunkTrace {
             worker: c,
             dropped: rec.dropped(),
             events: rec.events(),
         };
-        (outs, trace)
-    };
-    if batch_path() == "serial" {
-        let (outs, trace) = solve_chunk(0, instances);
-        return (outs, vec![trace]);
-    }
-    let threads = rayon::current_num_threads().clamp(1, len);
-    let chunk = len.div_ceil(threads);
-    let chunks = len.div_ceil(chunk);
-    let per_chunk: Vec<(Vec<GsOutcome>, ChunkTrace)> = (0..chunks)
-        .into_par_iter()
-        .map(|c| {
-            let lo = c * chunk;
-            let hi = ((c + 1) * chunk).min(len);
-            solve_chunk(c, &instances[lo..hi])
-        })
-        .collect();
+        (outs, shard, trace)
+    });
     let mut outs = Vec::with_capacity(len);
-    let mut traces = Vec::with_capacity(chunks);
-    for (chunk_outs, trace) in per_chunk {
+    let mut traces = Vec::with_capacity(plan.len());
+    for (chunk_outs, shard, trace) in per_chunk {
         outs.extend(chunk_outs);
+        registry.absorb(shard);
         traces.push(trace);
     }
-    (outs, traces)
+    (outs, traces, report)
 }
 
 /// Sum the instrumentation counters of a batch: total proposals and the
@@ -299,9 +322,11 @@ mod tests {
             assert_eq!(a.matching, b.matching);
             assert_eq!(a.stats, b.stats);
         }
-        // One shard per worker chunk, not per solve.
+        // One shard per chunk of the balanced plan, not per solve.
         let shards = registry.shards_absorbed();
-        assert!(shards >= 1 && shards <= rayon::current_num_threads() as u64);
+        let chunks =
+            ChunkPlan::balanced(batch.len(), ExecPolicy::default().requested_threads()).len();
+        assert_eq!(shards, chunks as u64);
         let merged = registry.take();
         assert_eq!(merged.solves, 120);
         assert_eq!(
@@ -310,6 +335,37 @@ mod tests {
         );
         assert_eq!(merged.solve_wall_ns.count(), 120);
         assert_eq!(registry.shards_absorbed(), 0, "take() resets the count");
+    }
+
+    #[test]
+    fn metered_with_reports_straggler_accounting() {
+        use kmatch_obs::{BatchRegistry, ManualClock};
+        let mut rng = ChaCha8Rng::seed_from_u64(56);
+        let batch: Vec<BipartiteInstance> =
+            (0..60).map(|_| uniform_bipartite(12, &mut rng)).collect();
+        let registry = BatchRegistry::new();
+        let clock = ManualClock::new();
+        let policy = ExecPolicy {
+            threads: Some(3),
+            force_steal: true,
+        };
+        let (outs, report) = solve_batch_metered_with(&batch, &registry, &clock, &policy);
+        assert_eq!(outs.len(), 60);
+        assert_eq!(report.threads, 3);
+        assert!(report.forced_steal);
+        assert_eq!(report.chunks_executed(), report.plan.len() as u64);
+        assert_eq!(
+            report.plan.sizes().iter().sum::<u64>(),
+            60,
+            "plan covers the batch"
+        );
+        let section = report.straggler_section();
+        assert_eq!(section.workers.len(), 3);
+        // Outcomes are identical to the serial reference despite the
+        // forced-steal schedule.
+        for (inst, out) in batch.iter().zip(&outs) {
+            assert_eq!(out.matching, gale_shapley(inst).matching);
+        }
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! * [`roommates`] — the same front-end for Irving's stable-roommates
 //!   solver (one reusable `RoommatesWorkspace` per worker), feeding the
 //!   solvability sweeps.
+//! * [`steal`] — the work-stealing chunk executor under the batch
+//!   front-ends: balanced chunk plans (no `div_ceil` tail imbalance),
+//!   deque-based stealing with oversubscription, deterministic
+//!   chunk-index reduction order, and per-worker straggler accounting
+//!   rendered as the `straggler` section of `kmatch.run_report/v1`.
 //! * [`pram`] — the paper's own cost model, implemented as an explicit
 //!   simulator: EREW round accounting reproducing Corollary 1
 //!   (`≤ Δ·n²` iterations with `k − 1` processors), the 2-round even–odd
@@ -40,13 +45,20 @@ pub mod executor;
 pub mod pram;
 pub mod roommates;
 pub mod scratch;
+pub mod steal;
 
 pub use batch::{
-    batch_path, batch_stats, solve_batch, solve_batch_metered, solve_batch_traced, ChunkTrace,
+    batch_path, batch_stats, solve_batch, solve_batch_metered, solve_batch_metered_with,
+    solve_batch_traced, solve_batch_traced_with, ChunkTrace,
 };
 pub use cached::{solve_batch_cached, CachedBatchOutcome};
 pub use executor::{
     parallel_bind, parallel_bind_metered, parallel_bind_scheduled, ParallelBindingOutcome,
 };
-pub use pram::{crew_cost, erew_cost, replication_rounds, PramCost, PramModel};
+pub use pram::{
+    crew_cost, erew_cost, replication_rounds, rounds_consistent_with_pram, PramCost, PramModel,
+};
 pub use scratch::WorkerScratch;
+pub use steal::{
+    run_chunks, ChunkPlan, ExecPolicy, StealReport, WorkerReport, OVERSUBSCRIPTION,
+};

@@ -114,6 +114,36 @@ pub fn crew_cost(tree: &BindingTree, per_edge: &[GsStats]) -> PramCost {
     }
 }
 
+/// Cross-check a real parallel execution against the PRAM simulator's
+/// round accounting: the number of barrier-separated rounds the executor
+/// actually ran must equal the model's depth for the same per-edge costs.
+///
+/// * With a `schedule`, the outcome came from
+///   [`crate::parallel_bind_scheduled`], which runs one barrier per
+///   schedule round — the EREW discipline of Corollary 1 (and exactly two
+///   rounds for an even–odd path schedule, Corollary 2). The model depth
+///   is [`erew_cost`]'s.
+/// * Without a schedule, the outcome came from the unscheduled executor
+///   ([`crate::parallel_bind`] / [`crate::parallel_bind_metered`]), which
+///   launches every binding concurrently in a single round — the CREW
+///   discipline, whose [`crew_cost`] depth is 1 (replication rounds are
+///   model bookkeeping, not executed GS rounds).
+///
+/// The CI batch smoke step and the executor tests run this after every
+/// scheduled bind so a drift between the executor's barrier structure and
+/// the cost model's accounting cannot land silently.
+pub fn rounds_consistent_with_pram(
+    outcome: &crate::executor::ParallelBindingOutcome,
+    tree: &BindingTree,
+    schedule: Option<&Schedule>,
+) -> bool {
+    let modeled = match schedule {
+        Some(s) => erew_cost(tree, &outcome.per_edge, Some(s)).depth(),
+        None => crew_cost(tree, &outcome.per_edge).depth(),
+    };
+    outcome.rounds_executed == modeled
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +222,41 @@ mod tests {
         assert_eq!(replication_rounds(5), 3);
         assert_eq!(replication_rounds(8), 3);
         assert_eq!(replication_rounds(9), 4);
+    }
+
+    #[test]
+    fn executed_rounds_agree_with_pram_accounting() {
+        use crate::executor::{parallel_bind, parallel_bind_scheduled};
+        let mut rng = ChaCha8Rng::seed_from_u64(56);
+        // Scheduled binds execute one barrier per EREW round: the
+        // edge-coloring schedule on random trees (Corollary 1) and the
+        // two-round even–odd schedule on paths (Corollary 2).
+        for k in [4usize, 7, 9] {
+            let inst = uniform_kpartite(k, 6, &mut rng);
+            let tree = random_tree(k, &mut rng);
+            let schedule = tree_edge_coloring(&tree);
+            let out = parallel_bind_scheduled(&inst, &tree, &schedule);
+            assert!(
+                rounds_consistent_with_pram(&out, &tree, Some(&schedule)),
+                "k={k}: executed {} rounds, EREW model depth {}",
+                out.rounds_executed,
+                erew_cost(&tree, &out.per_edge, Some(&schedule)).depth()
+            );
+        }
+        let inst = uniform_kpartite(8, 6, &mut rng);
+        let tree = BindingTree::path(8);
+        let schedule = even_odd_path_schedule(&tree).unwrap();
+        let out = parallel_bind_scheduled(&inst, &tree, &schedule);
+        assert_eq!(out.rounds_executed, 2, "Corollary 2");
+        assert!(rounds_consistent_with_pram(&out, &tree, Some(&schedule)));
+        // The unscheduled executor is the CREW shape: all bindings in
+        // one round.
+        let out = parallel_bind(&inst, &tree);
+        assert!(rounds_consistent_with_pram(&out, &tree, None));
+        // A drifted round count is caught.
+        let mut drifted = out;
+        drifted.rounds_executed += 1;
+        assert!(!rounds_consistent_with_pram(&drifted, &tree, None));
     }
 
     #[test]

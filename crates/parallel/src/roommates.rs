@@ -3,11 +3,15 @@
 //! The solvability experiments behind `roommates_solvability.csv` (and the
 //! Mertens-style scaling studies the ROADMAP aims at) need thousands of
 //! independent Irving solves per data point. Like [`crate::batch`] for
-//! Gale–Shapley, [`solve_batch`] fans the instances across the rayon pool
-//! with one reusable [`RoommatesWorkspace`] per worker thread, so the
-//! steady-state cost per instance is the solve itself — the only
-//! per-instance allocation is the partner array owned by each stable
-//! matching (unsolvable instances allocate nothing at all).
+//! Gale–Shapley, [`solve_batch`] fans the instances across the
+//! work-stealing chunk executor ([`crate::steal`]) with one reusable
+//! [`RoommatesWorkspace`] per chunk, so the steady-state cost per
+//! instance is the solve itself — the only per-instance allocation is the
+//! partner array owned by each stable matching (unsolvable instances
+//! allocate nothing at all). Roommates batches are where stealing earns
+//! its keep: an unsolvable instance aborts in phase 1 while a solvable
+//! one runs full rotation elimination, so equal-count chunks are far from
+//! equal-work chunks.
 //!
 //! Results are returned in input order and are identical to calling
 //! [`kmatch_roommates::solve`] on each instance serially (Irving's
@@ -18,13 +22,13 @@ use kmatch_obs::{BatchRegistry, Clock, Metrics, SolverMetrics};
 use kmatch_prefs::RoommatesPrefs;
 use kmatch_roommates::{RoommatesOutcome, RoommatesWorkspace};
 use kmatch_trace::{span, FlightRecorder, SpanSink};
-use rayon::prelude::*;
 
 use crate::batch::ChunkTrace;
+use crate::steal::{run_chunks, ChunkPlan, ExecPolicy, StealReport};
 
 /// Solve every roommates instance with the zero-allocation Irving fast
-/// path, fanning the batch across the rayon pool with one reusable
-/// [`RoommatesWorkspace`] per worker thread.
+/// path, fanning the batch across the work-stealing executor with one
+/// reusable [`RoommatesWorkspace`] per chunk.
 ///
 /// Output order matches input order, and each outcome equals the one
 /// [`kmatch_roommates::solve`] would produce for that instance.
@@ -45,33 +49,54 @@ pub fn solve_batch<R: RoommatesPrefs + Sync>(instances: &[R]) -> Vec<RoommatesOu
         let mut ws = RoommatesWorkspace::new();
         return instances.iter().map(|inst| ws.solve(inst)).collect();
     }
-    instances
-        .par_iter()
-        .map_init(RoommatesWorkspace::new, |ws, inst| ws.solve(inst))
-        .collect()
+    struct NullClock;
+    impl Clock for NullClock {
+        #[inline]
+        fn now_ns(&self) -> u64 {
+            0
+        }
+    }
+    let plan = ChunkPlan::balanced(instances.len(), ExecPolicy::default().requested_threads());
+    let (per_chunk, _) = run_chunks(&plan, &ExecPolicy::default(), &NullClock, |_, (lo, hi)| {
+        let mut ws = RoommatesWorkspace::new();
+        instances[lo..hi]
+            .iter()
+            .map(|inst| ws.solve(inst))
+            .collect::<Vec<RoommatesOutcome>>()
+    });
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// [`solve_batch`] with sharded metrics and per-solve wall timing.
 ///
-/// Mirrors [`crate::batch::solve_batch_metered`]: each worker solves a
-/// contiguous chunk through its own [`RoommatesWorkspace`] and
-/// thread-private [`SolverMetrics`] shard (no atomics or locks on the hot
-/// path), absorbing the shard into `registry` once when the chunk
-/// completes; per-solve wall time is sampled from the injected `clock` at
-/// this front-end so the engine stays clock-free.
+/// Mirrors [`crate::batch::solve_batch_metered`]: each chunk solves
+/// through its own [`RoommatesWorkspace`] and chunk-private
+/// [`SolverMetrics`] shard (no atomics or locks on the hot path); shards
+/// are absorbed into `registry` in chunk-index order after the run, so
+/// registry state is independent of the steal schedule; per-solve wall
+/// time is sampled from the injected `clock` at this front-end so the
+/// engine stays clock-free.
 pub fn solve_batch_metered<R: RoommatesPrefs + Sync, C: Clock + Sync>(
     instances: &[R],
     registry: &BatchRegistry,
     clock: &C,
 ) -> Vec<RoommatesOutcome> {
-    let len = instances.len();
-    if len == 0 {
-        return Vec::new();
-    }
-    if crate::batch::batch_path() == "serial" {
+    solve_batch_metered_with(instances, registry, clock, &ExecPolicy::default()).0
+}
+
+/// [`solve_batch_metered`] under an explicit [`ExecPolicy`], returning
+/// the executor's [`StealReport`] alongside the outcomes.
+pub fn solve_batch_metered_with<R: RoommatesPrefs + Sync, C: Clock + Sync>(
+    instances: &[R],
+    registry: &BatchRegistry,
+    clock: &C,
+    policy: &ExecPolicy,
+) -> (Vec<RoommatesOutcome>, StealReport) {
+    let plan = ChunkPlan::balanced(instances.len(), policy.requested_threads());
+    let (per_chunk, report) = run_chunks(&plan, policy, clock, |_, (lo, hi)| {
         let mut ws = RoommatesWorkspace::new();
         let mut shard = SolverMetrics::new();
-        let outs: Vec<RoommatesOutcome> = instances
+        let outs: Vec<RoommatesOutcome> = instances[lo..hi]
             .iter()
             .map(|inst| {
                 let t0 = clock.now_ns();
@@ -80,37 +105,18 @@ pub fn solve_batch_metered<R: RoommatesPrefs + Sync, C: Clock + Sync>(
                 out
             })
             .collect();
+        (outs, shard)
+    });
+    let mut outs = Vec::with_capacity(instances.len());
+    for (chunk_outs, shard) in per_chunk {
+        outs.extend(chunk_outs);
         registry.absorb(shard);
-        return outs;
     }
-    let threads = rayon::current_num_threads().clamp(1, len);
-    let chunk = len.div_ceil(threads);
-    let chunks = len.div_ceil(chunk);
-    let per_chunk: Vec<Vec<RoommatesOutcome>> = (0..chunks)
-        .into_par_iter()
-        .map(|c| {
-            let lo = c * chunk;
-            let hi = ((c + 1) * chunk).min(len);
-            let mut ws = RoommatesWorkspace::new();
-            let mut shard = SolverMetrics::new();
-            let outs: Vec<RoommatesOutcome> = instances[lo..hi]
-                .iter()
-                .map(|inst| {
-                    let t0 = clock.now_ns();
-                    let out = ws.solve_metered(inst, &mut shard);
-                    shard.solve_ns(clock.now_ns().saturating_sub(t0));
-                    out
-                })
-                .collect();
-            registry.absorb(shard);
-            outs
-        })
-        .collect();
-    per_chunk.into_iter().flatten().collect()
+    (outs, report)
 }
 
 /// [`solve_batch_metered`] that additionally records a span timeline per
-/// worker chunk — the roommates mirror of
+/// chunk — the roommates mirror of
 /// [`crate::batch::solve_batch_traced`]. Each chunk's [`FlightRecorder`]
 /// (capacity `flight_capacity`, preallocated, never allocating while
 /// recording) wraps the chunk in a `batch.chunk` span around the
@@ -122,16 +128,33 @@ pub fn solve_batch_traced<R: RoommatesPrefs + Sync, C: Clock + Sync>(
     clock: &C,
     flight_capacity: usize,
 ) -> (Vec<RoommatesOutcome>, Vec<ChunkTrace>) {
+    let (outs, traces, _) =
+        solve_batch_traced_with(instances, registry, clock, flight_capacity, &ExecPolicy::default());
+    (outs, traces)
+}
+
+/// [`solve_batch_traced`] under an explicit [`ExecPolicy`], returning the
+/// executor's [`StealReport`] as well.
+pub fn solve_batch_traced_with<R: RoommatesPrefs + Sync, C: Clock + Sync>(
+    instances: &[R],
+    registry: &BatchRegistry,
+    clock: &C,
+    flight_capacity: usize,
+    policy: &ExecPolicy,
+) -> (Vec<RoommatesOutcome>, Vec<ChunkTrace>, StealReport) {
     let len = instances.len();
     if len == 0 {
-        return (Vec::new(), Vec::new());
+        let plan = ChunkPlan::balanced(0, policy.requested_threads());
+        let (_, report) = run_chunks(&plan, policy, clock, |_, _| ());
+        return (Vec::new(), Vec::new(), report);
     }
-    let solve_chunk = |c: usize, chunk_insts: &[R]| {
+    let plan = ChunkPlan::balanced(len, policy.requested_threads());
+    let (per_chunk, report) = run_chunks(&plan, policy, clock, |c, (lo, hi)| {
         let mut ws = RoommatesWorkspace::new();
         let mut shard = SolverMetrics::new();
         let mut rec = FlightRecorder::new(clock, flight_capacity);
         rec.begin(span::BATCH_CHUNK, c as u64);
-        let outs: Vec<RoommatesOutcome> = chunk_insts
+        let outs: Vec<RoommatesOutcome> = instances[lo..hi]
             .iter()
             .map(|inst| {
                 let t0 = clock.now_ns();
@@ -141,36 +164,21 @@ pub fn solve_batch_traced<R: RoommatesPrefs + Sync, C: Clock + Sync>(
             })
             .collect();
         rec.end(span::BATCH_CHUNK);
-        registry.absorb(shard);
         let trace = ChunkTrace {
             worker: c,
             dropped: rec.dropped(),
             events: rec.events(),
         };
-        (outs, trace)
-    };
-    if crate::batch::batch_path() == "serial" {
-        let (outs, trace) = solve_chunk(0, instances);
-        return (outs, vec![trace]);
-    }
-    let threads = rayon::current_num_threads().clamp(1, len);
-    let chunk = len.div_ceil(threads);
-    let chunks = len.div_ceil(chunk);
-    let per_chunk: Vec<(Vec<RoommatesOutcome>, ChunkTrace)> = (0..chunks)
-        .into_par_iter()
-        .map(|c| {
-            let lo = c * chunk;
-            let hi = ((c + 1) * chunk).min(len);
-            solve_chunk(c, &instances[lo..hi])
-        })
-        .collect();
+        (outs, shard, trace)
+    });
     let mut outs = Vec::with_capacity(len);
-    let mut traces = Vec::with_capacity(chunks);
-    for (chunk_outs, trace) in per_chunk {
+    let mut traces = Vec::with_capacity(plan.len());
+    for (chunk_outs, shard, trace) in per_chunk {
         outs.extend(chunk_outs);
+        registry.absorb(shard);
         traces.push(trace);
     }
-    (outs, traces)
+    (outs, traces, report)
 }
 
 /// Aggregate statistics of a solved roommates batch.
@@ -260,6 +268,31 @@ mod tests {
         assert_eq!(merged.proposals, agg.proposals);
         assert_eq!(merged.phase2_rotations, agg.rotations);
         assert_eq!(merged.solve_wall_ns.count(), 100);
+    }
+
+    #[test]
+    fn forced_steal_matches_serial_reference() {
+        use kmatch_obs::{BatchRegistry, ManualClock};
+        let mut rng = ChaCha8Rng::seed_from_u64(65);
+        let batch: Vec<RoommatesInstance> =
+            (0..80).map(|_| uniform_roommates(14, &mut rng)).collect();
+        let registry = BatchRegistry::new();
+        let policy = ExecPolicy {
+            threads: Some(4),
+            force_steal: true,
+        };
+        let (outs, report) =
+            solve_batch_metered_with(&batch, &registry, &ManualClock::new(), &policy);
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.chunks_executed(), report.plan.len() as u64);
+        for (inst, out) in batch.iter().zip(&outs) {
+            let seq = solve(inst);
+            assert_eq!(out.matching(), seq.matching());
+            assert_eq!(out.stats(), seq.stats());
+        }
+        // Registry absorbed one shard per chunk, in chunk order.
+        assert_eq!(registry.shards_absorbed(), report.plan.len() as u64);
+        assert_eq!(registry.take().solves, 80);
     }
 
     #[test]

@@ -1,0 +1,564 @@
+//! Work-stealing chunk executor with deterministic reduction order and
+//! per-worker straggler accounting.
+//!
+//! The batch front-ends ([`crate::batch`], [`crate::roommates`]) used to
+//! fan a batch out as `len.div_ceil(threads)` static chunks — one per
+//! worker, assigned up front. Two problems:
+//!
+//! 1. **Imbalance.** `div_ceil` rounds every chunk *up*, so the last
+//!    chunk absorbs all the rounding slack: 10 instances on 4 threads
+//!    became chunks of 3/3/3/1, and 9 on 4 became 3/3/3/0 — a worker
+//!    with an empty or near-empty chunk idles while the others run a
+//!    full share. [`ChunkPlan::balanced`] splits `len` into chunks whose
+//!    sizes differ by **at most one**.
+//! 2. **Stragglers.** Instance solve times vary (an unsolvable
+//!    roommates instance exits phase 1 early; a adversarial GS instance
+//!    runs Θ(n²) proposals), so equal-*count* chunks are not
+//!    equal-*work* chunks. [`run_chunks`] oversubscribes the plan
+//!    ([`OVERSUBSCRIPTION`]× more chunks than workers) and lets idle
+//!    workers steal queued chunks from the back of a victim's deque.
+//!
+//! **Determinism.** Work stealing makes the chunk→worker assignment a
+//! race, so everything observable must be a function of the *chunk*
+//! alone, never the worker: callers give each chunk its own workspace,
+//! metrics shard, and flight recorder, and [`run_chunks`] returns the
+//! per-chunk results **in chunk-index order** regardless of which worker
+//! ran what when. The differential suite in `tests/steal_determinism.rs`
+//! pins byte-equality against the serial path across adversarial chunk
+//! sizes and forced-steal schedules.
+//!
+//! **Straggler accounting.** Each worker splits its wall time into
+//! `busy` (running chunks), `steal` (sweeping victim deques), and `idle`
+//! (done, waiting at the join barrier for stragglers), and records
+//! `exec.busy`/`exec.steal`/`exec.idle` spans on a per-*worker* trace
+//! track (distinct from the deterministic per-*chunk* `batch.chunk`
+//! timelines). The [`StealReport`] renders as the `straggler` section of
+//! `kmatch.run_report/v1` via [`StealReport::straggler_section`].
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use kmatch_obs::{Clock, StragglerSection, StragglerWorker};
+use kmatch_trace::{span, EventKind, TraceEvent};
+
+/// How many chunks the plan creates per worker. Oversubscription is what
+/// gives the stealing executor room to rebalance: with one chunk per
+/// worker nothing is ever left to steal, and a straggler chunk pins its
+/// worker for the whole batch. 4× keeps per-chunk overhead (one
+/// workspace + one metrics shard per chunk) negligible while letting a
+/// worker that drew cheap chunks take up to three quarters of a slow
+/// peer's queue.
+pub const OVERSUBSCRIPTION: usize = 4;
+
+/// Execution policy for the batch front-ends: worker count and the
+/// forced-steal stress mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Worker threads; `None` uses the rayon pool width
+    /// (`rayon::current_num_threads()`). Values are clamped to the chunk
+    /// count — extra workers would have nothing to do.
+    pub threads: Option<usize>,
+    /// Seed **all** chunks on worker 0's deque instead of round-robin,
+    /// so every other worker must steal everything it runs. Maximizes
+    /// steal-path coverage; the determinism suite runs under this mode
+    /// to show the schedule cannot leak into results.
+    pub force_steal: bool,
+}
+
+impl ExecPolicy {
+    /// A policy with an explicit worker count (testing and the CLI
+    /// `--threads` flag).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecPolicy {
+            threads: Some(threads),
+            force_steal: false,
+        }
+    }
+
+    /// The worker count this policy resolves to before chunk clamping.
+    pub fn requested_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1)
+    }
+}
+
+/// A balanced partition of `0..len` into contiguous chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Half-open `(lo, hi)` index ranges, in order, covering `0..len`.
+    pub spans: Vec<(usize, usize)>,
+}
+
+impl ChunkPlan {
+    /// Split `len` items into `min(len, threads × OVERSUBSCRIPTION)`
+    /// contiguous chunks whose sizes differ by at most one (the first
+    /// `len % chunks` chunks take the extra item). A single-threaded
+    /// plan is one chunk — chunking buys nothing without concurrency.
+    pub fn balanced(len: usize, threads: usize) -> ChunkPlan {
+        if len == 0 {
+            return ChunkPlan { spans: Vec::new() };
+        }
+        let chunks = if threads <= 1 {
+            1
+        } else {
+            len.min(threads * OVERSUBSCRIPTION)
+        };
+        let base = len / chunks;
+        let rem = len % chunks;
+        let mut spans = Vec::with_capacity(chunks);
+        let mut lo = 0;
+        for c in 0..chunks {
+            let size = base + usize::from(c < rem);
+            spans.push((lo, lo + size));
+            lo += size;
+        }
+        debug_assert_eq!(lo, len);
+        ChunkPlan { spans }
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the plan is empty (zero items).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Chunk sizes in chunk-index order (the run-report form).
+    pub fn sizes(&self) -> Vec<u64> {
+        self.spans.iter().map(|&(lo, hi)| (hi - lo) as u64).collect()
+    }
+}
+
+/// One worker's straggler accounting: where its wall time went and how
+/// many chunks it ran versus stole.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker index.
+    pub worker: usize,
+    /// Time executing chunks.
+    pub busy_ns: u64,
+    /// Time sweeping victim deques (successful or failed).
+    pub steal_ns: u64,
+    /// Time between this worker running out of work and the slowest
+    /// worker finishing (the join barrier).
+    pub idle_ns: u64,
+    /// Chunks executed (own + stolen).
+    pub chunks_executed: u64,
+    /// Of those, chunks popped from another worker's deque.
+    pub chunks_stolen: u64,
+}
+
+/// Everything a stealing run reports besides the per-chunk results: the
+/// plan it executed, per-worker accounting, and the per-worker
+/// `exec.busy`/`exec.steal`/`exec.idle` span tracks.
+#[derive(Debug, Clone)]
+pub struct StealReport {
+    /// Workers the run used (after clamping to the chunk count).
+    pub threads: usize,
+    /// Whether forced-steal seeding was active.
+    pub forced_steal: bool,
+    /// The chunk plan executed.
+    pub plan: ChunkPlan,
+    /// Per-worker accounting, indexed by worker.
+    pub workers: Vec<WorkerReport>,
+    /// Per-worker span timelines (busy/steal/idle), for the trace
+    /// exporter's worker tracks. Indexed by worker.
+    pub worker_tracks: Vec<Vec<TraceEvent>>,
+    /// Wall time of the whole run, by the injected clock.
+    pub wall_ns: u64,
+}
+
+impl StealReport {
+    /// The `straggler` section of `kmatch.run_report/v1` for this run.
+    pub fn straggler_section(&self) -> StragglerSection {
+        StragglerSection {
+            threads: self.threads as u64,
+            forced_steal: self.forced_steal,
+            chunk_sizes: self.plan.sizes(),
+            workers: self
+                .workers
+                .iter()
+                .map(|w| StragglerWorker {
+                    worker: w.worker as u64,
+                    busy_ns: w.busy_ns,
+                    steal_ns: w.steal_ns,
+                    idle_ns: w.idle_ns,
+                    chunks_executed: w.chunks_executed,
+                    chunks_stolen: w.chunks_stolen,
+                })
+                .collect(),
+        }
+    }
+
+    /// Total chunks executed across workers (= the plan's chunk count).
+    pub fn chunks_executed(&self) -> u64 {
+        self.workers.iter().map(|w| w.chunks_executed).sum()
+    }
+
+    /// Total chunks that moved between workers.
+    pub fn chunks_stolen(&self) -> u64 {
+        self.workers.iter().map(|w| w.chunks_stolen).sum()
+    }
+}
+
+fn event(kind: EventKind, name: &'static str, ts_ns: u64, arg: u64) -> TraceEvent {
+    TraceEvent {
+        kind,
+        name,
+        ts_ns,
+        arg,
+    }
+}
+
+/// Run `work(chunk_index, (lo, hi))` for every chunk of `plan` across a
+/// work-stealing pool of scoped threads, returning the results **in
+/// chunk-index order** plus the [`StealReport`].
+///
+/// Each chunk is claimed exactly once: workers pop their own deque from
+/// the front and steal from victims' backs; chunks are never re-queued,
+/// so a full failed sweep of every deque means the run is draining its
+/// last chunks and the worker exits to the join barrier. `work` must
+/// derive its result from the chunk alone (own workspace, own shard) —
+/// that is what makes the output independent of the steal schedule.
+///
+/// With one worker (or one chunk) the loop degenerates to an in-place
+/// serial drain in chunk order — no threads are spawned, which is also
+/// the deterministic reference the differential tests compare against.
+pub fn run_chunks<R, C, F>(
+    plan: &ChunkPlan,
+    policy: &ExecPolicy,
+    clock: &C,
+    work: F,
+) -> (Vec<R>, StealReport)
+where
+    R: Send,
+    C: Clock + Sync,
+    F: Fn(usize, (usize, usize)) -> R + Sync,
+{
+    let chunks = plan.len();
+    let threads = policy.requested_threads().min(chunks.max(1));
+    let start_ns = clock.now_ns();
+    if chunks == 0 {
+        return (
+            Vec::new(),
+            StealReport {
+                threads,
+                forced_steal: policy.force_steal,
+                plan: plan.clone(),
+                workers: vec![WorkerReport::default()],
+                worker_tracks: vec![Vec::new()],
+                wall_ns: 0,
+            },
+        );
+    }
+
+    // Per-worker deques of chunk indices. Round-robin seeding spreads
+    // the (balanced) chunks evenly; forced-steal seeding front-loads
+    // worker 0 so everyone else exercises the steal path.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| {
+            let seed: VecDeque<usize> = (0..chunks)
+                .filter(|c| {
+                    if policy.force_steal {
+                        w == 0
+                    } else {
+                        c % threads == w
+                    }
+                })
+                .collect();
+            Mutex::new(seed)
+        })
+        .collect();
+
+    let work = &work;
+    let run_worker = |w: usize| {
+        let mut results: Vec<(usize, R)> = Vec::new();
+        let mut rep = WorkerReport {
+            worker: w,
+            ..WorkerReport::default()
+        };
+        let mut track: Vec<TraceEvent> = Vec::new();
+        let run_one = |c: usize,
+                           rep: &mut WorkerReport,
+                           track: &mut Vec<TraceEvent>,
+                           results: &mut Vec<(usize, R)>| {
+            let t0 = clock.now_ns();
+            track.push(event(EventKind::Begin, span::EXEC_BUSY, t0, c as u64));
+            let r = work(c, plan.spans[c]);
+            let t1 = clock.now_ns();
+            track.push(event(EventKind::End, span::EXEC_BUSY, t1, c as u64));
+            rep.busy_ns += t1.saturating_sub(t0);
+            rep.chunks_executed += 1;
+            results.push((c, r));
+        };
+        loop {
+            let own = deques[w].lock().expect("chunk deque poisoned").pop_front();
+            if let Some(c) = own {
+                run_one(c, &mut rep, &mut track, &mut results);
+                continue;
+            }
+            // Own deque empty: sweep victims back-to-front. Chunks are
+            // never re-queued, so a completely empty sweep means no
+            // unclaimed work exists anywhere and the worker is done.
+            let t0 = clock.now_ns();
+            let mut found = None;
+            for offset in 1..threads {
+                let victim = (w + offset) % threads;
+                if let Some(c) = deques[victim]
+                    .lock()
+                    .expect("chunk deque poisoned")
+                    .pop_back()
+                {
+                    found = Some(c);
+                    break;
+                }
+            }
+            let t1 = clock.now_ns();
+            rep.steal_ns += t1.saturating_sub(t0);
+            match found {
+                Some(c) => {
+                    track.push(event(EventKind::Begin, span::EXEC_STEAL, t0, c as u64));
+                    track.push(event(EventKind::End, span::EXEC_STEAL, t1, c as u64));
+                    rep.chunks_stolen += 1;
+                    run_one(c, &mut rep, &mut track, &mut results);
+                }
+                None => break,
+            }
+        }
+        (results, rep, track, clock.now_ns())
+    };
+
+    // (slotted results, report, span track, exit timestamp) per worker.
+    type WorkerRun<R> = (Vec<(usize, R)>, WorkerReport, Vec<TraceEvent>, u64);
+    let mut per_worker: Vec<WorkerRun<R>> =
+        if threads <= 1 {
+            vec![run_worker(0)]
+        } else {
+            let run_worker = &run_worker;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| scope.spawn(move || run_worker(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("steal worker panicked"))
+                    .collect()
+            })
+        };
+
+    let end_ns = clock.now_ns();
+    let wall_ns = end_ns.saturating_sub(start_ns);
+    // Idle = the stretch between a worker running dry and the join
+    // barrier releasing — the straggler signal. Computed here because a
+    // worker cannot know when the *last* worker finishes.
+    for (_, rep, track, exit_ns) in &mut per_worker {
+        rep.idle_ns = end_ns.saturating_sub(*exit_ns);
+        if rep.idle_ns > 0 {
+            track.push(event(
+                EventKind::Begin,
+                span::EXEC_IDLE,
+                *exit_ns,
+                rep.worker as u64,
+            ));
+            track.push(event(EventKind::End, span::EXEC_IDLE, end_ns, rep.worker as u64));
+        }
+    }
+
+    let mut slots: Vec<Option<R>> = (0..chunks).map(|_| None).collect();
+    let mut workers = Vec::with_capacity(threads);
+    let mut worker_tracks = Vec::with_capacity(threads);
+    for (chunk_results, rep, track, _) in per_worker {
+        for (c, r) in chunk_results {
+            debug_assert!(slots[c].is_none(), "chunk {c} executed twice");
+            slots[c] = Some(r);
+        }
+        workers.push(rep);
+        worker_tracks.push(track);
+    }
+    let results: Vec<R> = slots
+        .into_iter()
+        .map(|r| r.expect("every chunk executed exactly once"))
+        .collect();
+    (
+        results,
+        StealReport {
+            threads,
+            forced_steal: policy.force_steal,
+            plan: plan.clone(),
+            workers,
+            worker_tracks,
+            wall_ns,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kmatch_obs::ManualClock;
+    use kmatch_trace::check_well_formed;
+
+    #[test]
+    fn balanced_plan_sizes_differ_by_at_most_one() {
+        for len in [0usize, 1, 2, 3, 9, 10, 16, 97, 1000] {
+            for threads in [1usize, 2, 3, 4, 7, 16] {
+                let plan = ChunkPlan::balanced(len, threads);
+                if len == 0 {
+                    assert!(plan.is_empty());
+                    continue;
+                }
+                // Coverage: contiguous, in order, exactly 0..len.
+                let mut next = 0;
+                for &(lo, hi) in &plan.spans {
+                    assert_eq!(lo, next);
+                    assert!(hi > lo, "no empty chunks");
+                    next = hi;
+                }
+                assert_eq!(next, len);
+                let sizes = plan.sizes();
+                let max = *sizes.iter().max().unwrap();
+                let min = *sizes.iter().min().unwrap();
+                assert!(
+                    max - min <= 1,
+                    "len={len} threads={threads}: sizes {sizes:?} not balanced"
+                );
+                let expected = if threads <= 1 {
+                    1
+                } else {
+                    len.min(threads * OVERSUBSCRIPTION)
+                };
+                assert_eq!(plan.len(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn div_ceil_tail_imbalance_is_gone() {
+        // The motivating case: 9 items on 4 threads. The old
+        // `div_ceil` fan-out made chunks of 3/3/3 with a worker idle;
+        // 10 on 4 made 3/3/3/1. Balanced plans never have a chunk more
+        // than one item larger than another.
+        let plan = ChunkPlan::balanced(10, 4);
+        let sizes = plan.sizes();
+        assert!(
+            sizes.iter().all(|&s| s == 1),
+            "oversubscribed 10 items / 16 slots: {sizes:?}"
+        );
+        // Below the oversubscription ceiling the rounding slack spreads
+        // instead of landing on the tail: 100 items on 8 threads is 32
+        // chunks of 3/3/…/4, never 4/4/…/0.
+        let plan = ChunkPlan::balanced(100, 8);
+        let sizes = plan.sizes();
+        assert_eq!(sizes.len(), 32);
+        assert_eq!(sizes.iter().sum::<u64>(), 100);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4), "{sizes:?}");
+    }
+
+    #[test]
+    fn results_come_back_in_chunk_index_order() {
+        let clock = ManualClock::new();
+        let plan = ChunkPlan::balanced(23, 2);
+        for policy in [
+            ExecPolicy::default(),
+            ExecPolicy::with_threads(1),
+            ExecPolicy::with_threads(3),
+            ExecPolicy {
+                threads: Some(3),
+                force_steal: true,
+            },
+        ] {
+            let (results, report) = run_chunks(&plan, &policy, &clock, |c, (lo, hi)| {
+                (c, lo, hi)
+            });
+            assert_eq!(results.len(), plan.len());
+            for (i, &(c, lo, hi)) in results.iter().enumerate() {
+                assert_eq!(c, i);
+                assert_eq!((lo, hi), plan.spans[i]);
+            }
+            assert_eq!(report.chunks_executed(), plan.len() as u64);
+            assert_eq!(report.plan, plan);
+        }
+    }
+
+    #[test]
+    fn forced_steal_seeds_everything_on_worker_zero() {
+        // With forced-steal seeding, any chunk a worker other than 0
+        // executes must have been stolen.
+        let clock = ManualClock::new();
+        let plan = ChunkPlan::balanced(64, 4);
+        let policy = ExecPolicy {
+            threads: Some(4),
+            force_steal: true,
+        };
+        let (_, report) = run_chunks(&plan, &policy, &clock, |_, _| ());
+        assert_eq!(report.threads, 4);
+        assert!(report.forced_steal);
+        for w in &report.workers[1..] {
+            assert_eq!(
+                w.chunks_stolen, w.chunks_executed,
+                "worker {} ran a chunk it never stole",
+                w.worker
+            );
+        }
+        assert_eq!(report.chunks_executed(), plan.len() as u64);
+    }
+
+    #[test]
+    fn empty_plan_runs_nothing() {
+        let clock = ManualClock::new();
+        let plan = ChunkPlan::balanced(0, 4);
+        let (results, report) = run_chunks(&plan, &ExecPolicy::default(), &clock, |_, _| 7u32);
+        assert!(results.is_empty());
+        assert_eq!(report.chunks_executed(), 0);
+        assert_eq!(report.straggler_section().chunk_sizes, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn worker_tracks_are_well_formed_spans() {
+        let clock = ManualClock::new();
+        let plan = ChunkPlan::balanced(40, 3);
+        let policy = ExecPolicy {
+            threads: Some(3),
+            force_steal: true,
+        };
+        let (_, report) = run_chunks(&plan, &policy, &clock, |_, _| ());
+        assert_eq!(report.worker_tracks.len(), 3);
+        for track in &report.worker_tracks {
+            check_well_formed(track, false).expect("balanced begin/end per worker track");
+        }
+        // Every executed chunk shows up as exactly one exec.busy span
+        // across the tracks.
+        let busy_begins = report
+            .worker_tracks
+            .iter()
+            .flatten()
+            .filter(|e| e.name == span::EXEC_BUSY && e.kind == EventKind::Begin)
+            .count();
+        assert_eq!(busy_begins, plan.len());
+    }
+
+    #[test]
+    fn straggler_section_mirrors_worker_reports() {
+        let clock = ManualClock::new();
+        let plan = ChunkPlan::balanced(10, 2);
+        let (_, report) = run_chunks(
+            &plan,
+            &ExecPolicy::with_threads(2),
+            &clock,
+            |_, (lo, hi)| hi - lo,
+        );
+        let section = report.straggler_section();
+        assert_eq!(section.threads, report.threads as u64);
+        assert_eq!(section.chunk_sizes, plan.sizes());
+        assert_eq!(section.workers.len(), report.workers.len());
+        for (row, rep) in section.workers.iter().zip(&report.workers) {
+            assert_eq!(row.worker, rep.worker as u64);
+            assert_eq!(row.chunks_executed, rep.chunks_executed);
+            assert_eq!(row.chunks_stolen, rep.chunks_stolen);
+        }
+    }
+}

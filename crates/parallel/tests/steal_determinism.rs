@@ -1,0 +1,185 @@
+//! Differential determinism suite for the work-stealing batch executor.
+//!
+//! The executor's contract: the steal schedule — which worker runs which
+//! chunk, and in what interleaving — must be completely unobservable.
+//! Outcomes, the merged metrics a registry accumulates, and the
+//! per-chunk span timelines must be byte-equal to the serial path across
+//! adversarial chunk sizes (batches smaller than the pool, prime sizes,
+//! empty batches) and across the forced-steal stress schedule that makes
+//! every worker but one steal everything it runs.
+//!
+//! Under a `ManualClock` every timestamp is 0, so "byte-equal" here is
+//! literal: `Vec<TraceEvent>` equality, not equality-modulo-timing.
+
+use kmatch_gs::GsWorkspace;
+use kmatch_obs::{BatchRegistry, ManualClock, SolverMetrics};
+use kmatch_parallel::steal::ExecPolicy;
+use kmatch_parallel::{solve_batch_metered_with, solve_batch_traced_with, ChunkTrace};
+use kmatch_prefs::gen::uniform::{uniform_bipartite, uniform_roommates};
+use kmatch_prefs::{BipartiteInstance, RoommatesInstance};
+use kmatch_roommates::RoommatesWorkspace;
+use kmatch_trace::check_well_formed;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn policies(threads: usize) -> [ExecPolicy; 3] {
+    [
+        ExecPolicy::with_threads(1), // the serial reference
+        ExecPolicy {
+            threads: Some(threads),
+            force_steal: false,
+        },
+        ExecPolicy {
+            threads: Some(threads),
+            force_steal: true,
+        },
+    ]
+}
+
+/// Metrics with the plan-*dependent* workspace-provenance counters
+/// normalized away: a plan with more chunks legitimately reports more
+/// fresh (and fewer reused) workspaces, but every engine-level counter
+/// and histogram must be identical across plans.
+fn normalized(mut m: SolverMetrics) -> SolverMetrics {
+    m.workspace_fresh = 0;
+    m.workspace_reused = 0;
+    m
+}
+
+fn assert_traces_equal(a: &[ChunkTrace], b: &[ChunkTrace]) {
+    assert_eq!(a.len(), b.len(), "chunk trace count diverged");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.worker, y.worker, "chunk index order diverged");
+        assert_eq!(x.dropped, y.dropped);
+        assert_eq!(x.events, y.events, "chunk {} timeline diverged", x.worker);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gs_batch_is_steal_schedule_invariant(
+        count in 0usize..48,
+        n in 2usize..14,
+        threads in 2usize..5,
+        seed in 0u64..512,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let batch: Vec<BipartiteInstance> =
+            (0..count).map(|_| uniform_bipartite(n, &mut rng)).collect();
+        // Serial reference: one workspace, input order.
+        let mut ws = GsWorkspace::new();
+        let reference: Vec<_> = batch.iter().map(|i| ws.solve(i)).collect();
+
+        let mut merged: Vec<SolverMetrics> = Vec::new();
+        let mut traces: Vec<Vec<ChunkTrace>> = Vec::new();
+        for policy in policies(threads) {
+            let registry = BatchRegistry::new();
+            let clock = ManualClock::new();
+            let (outs, chunk_traces, report) =
+                solve_batch_traced_with(&batch, &registry, &clock, 4096, &policy);
+            prop_assert_eq!(outs.len(), reference.len());
+            for (a, b) in outs.iter().zip(&reference) {
+                prop_assert_eq!(&a.matching, &b.matching);
+                prop_assert_eq!(a.stats, b.stats);
+            }
+            prop_assert_eq!(report.chunks_executed(), report.plan.len() as u64);
+            for track in &report.worker_tracks {
+                check_well_formed(track, false).expect("worker track well-formed");
+            }
+            for t in &chunk_traces {
+                check_well_formed(&t.events, true).expect("chunk timeline well-formed");
+            }
+            merged.push(registry.take());
+            traces.push(chunk_traces);
+        }
+        // Same plan (same threads) => byte-identical merged metrics
+        // whether or not every chunk was stolen; across plans only the
+        // workspace-provenance split may move.
+        prop_assert_eq!(&merged[1], &merged[2]);
+        prop_assert_eq!(
+            normalized(merged[0].clone()),
+            normalized(merged[1].clone())
+        );
+        prop_assert_eq!(
+            merged[0].workspace_fresh + merged[0].workspace_reused,
+            merged[1].workspace_fresh + merged[1].workspace_reused
+        );
+        // Same plan => byte-equal chunk timelines too.
+        assert_traces_equal(&traces[1], &traces[2]);
+    }
+
+    #[test]
+    fn roommates_batch_is_steal_schedule_invariant(
+        count in 0usize..40,
+        n in 2usize..12,
+        threads in 2usize..5,
+        seed in 0u64..512,
+    ) {
+        let n = n * 2; // roommates instances need an even member count
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let batch: Vec<RoommatesInstance> =
+            (0..count).map(|_| uniform_roommates(n, &mut rng)).collect();
+        let mut ws = RoommatesWorkspace::new();
+        let reference: Vec<_> = batch.iter().map(|i| ws.solve(i)).collect();
+
+        let mut merged: Vec<SolverMetrics> = Vec::new();
+        let mut traces: Vec<Vec<ChunkTrace>> = Vec::new();
+        for policy in policies(threads) {
+            let registry = BatchRegistry::new();
+            let clock = ManualClock::new();
+            let (outs, chunk_traces, report) =
+                kmatch_parallel::roommates::solve_batch_traced_with(
+                    &batch, &registry, &clock, 4096, &policy,
+                );
+            prop_assert_eq!(outs.len(), reference.len());
+            for (a, b) in outs.iter().zip(&reference) {
+                prop_assert_eq!(a.matching(), b.matching());
+                prop_assert_eq!(a.stats(), b.stats());
+            }
+            prop_assert_eq!(report.chunks_executed(), report.plan.len() as u64);
+            for track in &report.worker_tracks {
+                check_well_formed(track, false).expect("worker track well-formed");
+            }
+            merged.push(registry.take());
+            traces.push(chunk_traces);
+        }
+        prop_assert_eq!(&merged[1], &merged[2]);
+        prop_assert_eq!(
+            normalized(merged[0].clone()),
+            normalized(merged[1].clone())
+        );
+        assert_traces_equal(&traces[1], &traces[2]);
+    }
+
+    #[test]
+    fn metered_registry_state_is_plan_deterministic(
+        count in 1usize..32,
+        threads in 2usize..5,
+        seed in 0u64..256,
+    ) {
+        // Running the same batch twice under the same policy must leave
+        // two registries in identical states, including the shard count
+        // (absorption happens in chunk-index order after the run).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let batch: Vec<BipartiteInstance> =
+            (0..count).map(|_| uniform_bipartite(10, &mut rng)).collect();
+        let policy = ExecPolicy {
+            threads: Some(threads),
+            force_steal: true,
+        };
+        let (reg_a, reg_b) = (BatchRegistry::new(), BatchRegistry::new());
+        let clock = ManualClock::new();
+        let (outs_a, rep_a) = solve_batch_metered_with(&batch, &reg_a, &clock, &policy);
+        let (outs_b, rep_b) = solve_batch_metered_with(&batch, &reg_b, &clock, &policy);
+        prop_assert_eq!(outs_a.len(), outs_b.len());
+        for (a, b) in outs_a.iter().zip(&outs_b) {
+            prop_assert_eq!(&a.matching, &b.matching);
+        }
+        prop_assert_eq!(reg_a.shards_absorbed(), reg_b.shards_absorbed());
+        prop_assert_eq!(reg_a.take(), reg_b.take());
+        prop_assert_eq!(rep_a.plan, rep_b.plan);
+    }
+}

@@ -46,12 +46,26 @@ pub struct CsrPrefs {
     proposer_ranks: Vec<u16>,
     /// `responder_ranks[w * n + m]` = rank of proposer `m` for responder `w`.
     responder_ranks: Vec<u16>,
-    /// `entries[m * n + pos]` = packed proposal entry
-    /// `responder_rank(w, m) << 32 | w` for the responder `w` that proposer
+    /// `entries[m * n + pos]` = *half-width* packed proposal entry
+    /// `responder_rank(w, m) << 16 | w` for the responder `w` that proposer
     /// `m` ranks at `pos` — the fused datum behind
-    /// [`BipartitePrefs::proposal_entry`]. Proposers walk their rows left
-    /// to right, so the solver's per-proposal access here is sequential.
-    entries: Vec<u64>,
+    /// [`BipartitePrefs::proposal_entry`], which widens it back to the
+    /// `rank << 32 | w` wire format on load. Both halves fit 16 bits
+    /// under the [`CSR_MAX_N`] cap, and halving the word doubles the
+    /// entries per cache line on the solver's hottest stream (its
+    /// per-proposal access here is sequential: proposers walk their rows
+    /// left to right).
+    entries: Vec<u32>,
+}
+
+/// Widen a half-width arena entry (`rank << 16 | responder`) to the
+/// `rank << 32 | responder` wire format of
+/// [`BipartitePrefs::proposal_entry`] — two ALU ops, repaying the halved
+/// memory traffic many times over on arena-missing instances.
+#[inline(always)]
+fn widen_entry(e: u32) -> u64 {
+    let e = e as u64;
+    ((e & 0xFFFF_0000) << 16) | (e & 0xFFFF)
 }
 
 impl CsrPrefs {
@@ -100,9 +114,10 @@ impl CsrPrefs {
         self.entries.reserve(square);
         for m in 0..n {
             let list = &self.proposer_lists[m * n..m * n + n];
-            self.entries.extend(list.iter().map(|&w| {
-                (self.responder_ranks[w as usize * n + m] as u64) << 32 | w as u64
-            }));
+            self.entries.extend(
+                list.iter()
+                    .map(|&w| (self.responder_ranks[w as usize * n + m] as u32) << 16 | w),
+            );
         }
     }
 
@@ -143,7 +158,7 @@ impl CsrPrefs {
         }
         for (pos, &w) in self.proposer_lists[base..base + n].iter().enumerate() {
             self.entries[base + pos] =
-                (self.responder_ranks[w as usize * n + m as usize] as u64) << 32 | w as u64;
+                (self.responder_ranks[w as usize * n + m as usize] as u32) << 16 | w;
         }
     }
 
@@ -163,8 +178,7 @@ impl CsrPrefs {
         }
         for m in 0..n {
             let pos = self.proposer_ranks[m * n + w as usize] as usize;
-            self.entries[m * n + pos] =
-                (self.responder_ranks[base + m] as u64) << 32 | w as u64;
+            self.entries[m * n + pos] = (self.responder_ranks[base + m] as u32) << 16 | w;
         }
     }
 }
@@ -205,7 +219,7 @@ impl BipartitePrefs for CsrPrefs {
 
     #[inline]
     fn proposal_entry(&self, m: u32, pos: u32) -> u64 {
-        self.entries[m as usize * self.n + pos as usize]
+        widen_entry(self.entries[m as usize * self.n + pos as usize])
     }
 }
 

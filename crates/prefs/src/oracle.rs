@@ -86,6 +86,21 @@ pub trait PrefOracle {
         let q = self.next_candidate(p, cursor);
         (self.accept_rank(q, p) as u64) << 32 | q as u64
     }
+
+    /// Pull the cache line behind `entry(p, cursor)` toward the core
+    /// without consuming the value — the GS strip kernel calls this one
+    /// strip ahead of the commit loop so arena rows arrive before they
+    /// are needed. `cursor` must be `< list_len(p)`, like
+    /// [`PrefOracle::entry`].
+    ///
+    /// The default is a no-op: compute-backed oracles (scores, Feistel
+    /// permutations) have nothing to warm, and doubling their entry
+    /// arithmetic would cost more than a cache miss saves. Materialized
+    /// (memory-bound) backends override it with a discarded read.
+    #[inline]
+    fn prefetch_entry(&self, p: u32, cursor: u32) {
+        let _ = (p, cursor);
+    }
 }
 
 /// A [`PrefOracle`] that can also enumerate responder-side lists in
@@ -128,6 +143,13 @@ macro_rules! oracle_via_bipartite {
         #[inline]
         fn entry(&self, p: u32, cursor: u32) -> u64 {
             BipartitePrefs::proposal_entry(self, p, cursor)
+        }
+        #[inline]
+        fn prefetch_entry(&self, p: u32, cursor: u32) {
+            // A discarded-but-forced read is the safe-code stand-in for a
+            // prefetch instruction: it charges the memory system with the
+            // line now so the commit loop's real load hits cache.
+            std::hint::black_box(BipartitePrefs::proposal_entry(self, p, cursor));
         }
     };
 }
@@ -538,6 +560,20 @@ pub trait RoommatesPrefs {
     /// Rank of `q` in `p`'s list, or [`UNRANKED`] when absent.
     fn rank_of(&self, p: u32, q: u32) -> Rank;
 
+    /// Fused candidate word for position `pos` of `p`'s list:
+    /// `rank_of(q, p) << 32 | q` with `q = candidate(p, pos)` — the
+    /// candidate and the rank that candidate assigns `p` in one value,
+    /// the pair Irving's phase-1 liveness predicate
+    /// (`rank_of(q, p) ≤ thresh[q]`) consumes per probe. Materialized
+    /// backends override this with a precomputed streamed arena
+    /// ([`RoommatesInstance::candidate_entry`]); the default recomputes
+    /// it, so implicit oracles monomorphize through the same kernels.
+    #[inline]
+    fn candidate_entry(&self, p: u32, pos: u32) -> u64 {
+        let q = self.candidate(p, pos);
+        ((self.rank_of(q, p) as u64) << 32) | q as u64
+    }
+
     /// Does `p` strictly prefer `a` over `b`?
     #[inline]
     fn prefers(&self, p: u32, a: u32, b: u32) -> bool {
@@ -563,6 +599,10 @@ impl<R: RoommatesPrefs + ?Sized> RoommatesPrefs for &R {
         (**self).rank_of(p, q)
     }
     #[inline]
+    fn candidate_entry(&self, p: u32, pos: u32) -> u64 {
+        (**self).candidate_entry(p, pos)
+    }
+    #[inline]
     fn prefers(&self, p: u32, a: u32, b: u32) -> bool {
         (**self).prefers(p, a, b)
     }
@@ -584,6 +624,10 @@ impl RoommatesPrefs for RoommatesInstance {
     #[inline]
     fn rank_of(&self, p: u32, q: u32) -> Rank {
         RoommatesInstance::rank_of(self, p, q)
+    }
+    #[inline]
+    fn candidate_entry(&self, p: u32, pos: u32) -> u64 {
+        RoommatesInstance::candidate_entry(self, p, pos)
     }
     #[inline]
     fn prefers(&self, p: u32, a: u32, b: u32) -> bool {

@@ -48,7 +48,24 @@ pub struct RoommatesInstance {
     entries: Vec<u32>,
     /// `ranks[p * n + q]` = rank of `q` in `p`'s list, or [`UNRANKED`].
     ranks: Vec<Rank>,
+    /// *Half-width* fused candidate words, parallel to `entries` (built
+    /// only when `n ≤ `[`FUSED_MAX_N`], empty otherwise): the word for
+    /// `p`'s entry at position `pos` packs
+    /// `rank_of(q, p) << 16 | q` for `q = entries[offsets[p] + pos]` —
+    /// the partner-side rank Irving's phase-1 liveness predicate needs,
+    /// hoisted out of the n² rank table. The solvers' dead-prefix scans
+    /// read candidates in row order, so this turns one random 64-byte
+    /// cache line per probe (`ranks[q * n + p]`, a fresh line for every
+    /// `q`) into 4 streamed bytes.
+    fused: Vec<u32>,
 }
+
+/// Largest participant count for which the fused candidate arena is
+/// materialized: with `n ≤ 2^16` both the partner rank and the partner id
+/// fit 16 bits, so one `u32` holds the pair (the same half-width packing
+/// as the bipartite CSR arena). Instances beyond the cap simply fall back
+/// to computing `candidate_entry` from the rank table.
+pub const FUSED_MAX_N: usize = 1 << 16;
 
 impl RoommatesInstance {
     /// Build an instance from per-participant lists.
@@ -104,11 +121,23 @@ impl RoommatesInstance {
             entries.extend_from_slice(list);
             offsets.push(entries.len() as u32);
         }
+        let mut fused = Vec::new();
+        if n <= FUSED_MAX_N {
+            fused.reserve_exact(entries.len());
+            for (p, list) in lists.iter().enumerate() {
+                for &q in list {
+                    // Mutual acceptability (verified above) guarantees the
+                    // partner-side rank exists, and `rank < n ≤ 2^16`.
+                    fused.push((ranks[q as usize * n + p] << 16) | q);
+                }
+            }
+        }
         Ok(RoommatesInstance {
             n,
             offsets,
             entries,
             ranks,
+            fused,
         })
     }
 
@@ -214,6 +243,21 @@ impl RoommatesInstance {
         self.ranks[p as usize * self.n + q as usize]
     }
 
+    /// Fused candidate word for position `pos` of `p`'s list:
+    /// `rank_of(q, p) << 32 | q` with `q = candidate(p, pos)` — the
+    /// candidate together with the rank that candidate assigns `p`, in
+    /// one load. Served from the half-width fused arena when it exists
+    /// (`n ≤ `[`FUSED_MAX_N`]), recomputed from the rank table otherwise.
+    #[inline]
+    pub fn candidate_entry(&self, p: u32, pos: u32) -> u64 {
+        if self.fused.is_empty() {
+            let q = self.list(p)[pos as usize];
+            return ((self.rank_of(q, p) as u64) << 32) | q as u64;
+        }
+        let e = self.fused[self.offsets[p as usize] as usize + pos as usize] as u64;
+        ((e & 0xFFFF_0000) << 16) | (e & 0xFFFF)
+    }
+
     /// Is `q` acceptable to `p` (equivalently, by mutuality, `p` to `q`)?
     #[inline]
     pub fn acceptable(&self, p: u32, q: u32) -> bool {
@@ -272,6 +316,18 @@ impl RoommatesInstance {
         self.entries[lo..hi].copy_from_slice(row);
         for (r, &q) in row.iter().enumerate() {
             self.ranks[p_us * self.n + q as usize] = r as Rank;
+        }
+        if !self.fused.is_empty() {
+            for (r, &q) in row.iter().enumerate() {
+                // p's own row: new candidate order, partner-side ranks
+                // (`rank_of(q, p)`) untouched by the reorder.
+                self.fused[lo + r] = (self.ranks[q as usize * self.n + p_us] << 16) | q;
+                // q's entry for p carries `rank_of(p, q)`, which the
+                // reorder just set to `r`; its position in q's row is
+                // q's (unchanged) rank for p.
+                let qpos = self.offsets[q as usize] + self.ranks[q as usize * self.n + p_us];
+                self.fused[qpos as usize] = ((r as u32) << 16) | p;
+            }
         }
         Ok(())
     }
@@ -334,6 +390,27 @@ mod tests {
         let rm = RoommatesInstance::from_kpartite(&inst, MergeStrategy::ConcatByGender);
         // m: whole W list then whole U list: [w, w', u', u] = [2, 3, 5, 4].
         assert_eq!(rm.list(0), &[2, 3, 5, 4]);
+    }
+
+    #[test]
+    fn fused_entries_match_rank_table_and_survive_set_row() {
+        let mut inst = section3b_left();
+        let check = |inst: &RoommatesInstance| {
+            for p in 0..inst.n() as u32 {
+                for (pos, &q) in inst.list(p).iter().enumerate() {
+                    assert_eq!(
+                        inst.candidate_entry(p, pos as u32),
+                        ((inst.rank_of(q, p) as u64) << 32) | q as u64,
+                        "fused word for ({p}, {pos})"
+                    );
+                }
+            }
+        };
+        check(&inst);
+        // Reorder m's row: both m's own fused words and every partner's
+        // word for m must be rewritten.
+        inst.set_row(0, &[4, 3, 2, 5]).unwrap();
+        check(&inst);
     }
 
     #[test]

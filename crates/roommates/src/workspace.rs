@@ -222,11 +222,37 @@ impl RoommatesWorkspace {
             .min(self.thresh[x as usize].saturating_add(1));
         let mut h = self.scan[x as usize];
         debug_assert!(h <= end, "scan cursor past the live bound");
-        while h < end {
-            let q = inst.candidate(x, h);
-            if inst.rank_of(q, x) <= self.thresh[q as usize] {
+        // 4-lane strip over the dead prefix, on fused candidate words
+        // (`rank_of(q, x) << 32 | q`, one streamed load per probe instead
+        // of a random rank-table line — see
+        // [`kmatch_prefs::RoommatesPrefs::candidate_entry`]). The
+        // liveness predicate is pure, so over-evaluating the trailing
+        // lanes of the hit strip has no side effects; the first live lane
+        // is recovered from the mask bit index. Dead prefixes dominate
+        // (one hit per proposal vs. millions of dead probes on large
+        // instances), so most strips fold to an all-dead mask with one
+        // branch instead of four.
+        while h + 4 <= end {
+            let e0 = inst.candidate_entry(x, h);
+            let e1 = inst.candidate_entry(x, h + 1);
+            let e2 = inst.candidate_entry(x, h + 2);
+            let e3 = inst.candidate_entry(x, h + 3);
+            let mask = u32::from((e0 >> 32) as u32 <= self.thresh[e0 as u32 as usize])
+                | u32::from((e1 >> 32) as u32 <= self.thresh[e1 as u32 as usize]) << 1
+                | u32::from((e2 >> 32) as u32 <= self.thresh[e2 as u32 as usize]) << 2
+                | u32::from((e3 >> 32) as u32 <= self.thresh[e3 as u32 as usize]) << 3;
+            if mask != 0 {
+                h += mask.trailing_zeros();
                 self.scan[x as usize] = h;
-                return Some(q);
+                return Some(inst.candidate(x, h));
+            }
+            h += 4;
+        }
+        while h < end {
+            let e = inst.candidate_entry(x, h);
+            if (e >> 32) as u32 <= self.thresh[e as u32 as usize] {
+                self.scan[x as usize] = h;
+                return Some(e as u32);
             }
             h += 1;
         }
@@ -273,10 +299,30 @@ impl RoommatesWorkspace {
             let end = inst
                 .list_len(p)
                 .min(self.thresh[p as usize].saturating_add(1));
-            for pos in self.scan[p as usize]..end {
-                let q = inst.candidate(p, pos);
-                if inst.rank_of(q, p) <= self.thresh[q as usize] {
-                    self.entries.push(q);
+            // Same 4-lane fused-word strip as `p1_first`: survivors are
+            // sparse, so most strips fold to an all-dead mask with one
+            // branch instead of four. Set bits are drained in index order
+            // to keep the arena row best-first.
+            let mut pos = self.scan[p as usize];
+            while pos + 4 <= end {
+                let e0 = inst.candidate_entry(p, pos);
+                let e1 = inst.candidate_entry(p, pos + 1);
+                let e2 = inst.candidate_entry(p, pos + 2);
+                let e3 = inst.candidate_entry(p, pos + 3);
+                let mut mask = u32::from((e0 >> 32) as u32 <= self.thresh[e0 as u32 as usize])
+                    | u32::from((e1 >> 32) as u32 <= self.thresh[e1 as u32 as usize]) << 1
+                    | u32::from((e2 >> 32) as u32 <= self.thresh[e2 as u32 as usize]) << 2
+                    | u32::from((e3 >> 32) as u32 <= self.thresh[e3 as u32 as usize]) << 3;
+                while mask != 0 {
+                    self.entries.push(inst.candidate(p, pos + mask.trailing_zeros()));
+                    mask &= mask - 1;
+                }
+                pos += 4;
+            }
+            for pos in pos..end {
+                let e = inst.candidate_entry(p, pos);
+                if (e >> 32) as u32 <= self.thresh[e as u32 as usize] {
+                    self.entries.push(e as u32);
                 }
             }
             let e = self.entries.len() as u32;

@@ -5,52 +5,20 @@
 //! unsolvable instances, and must allocate exactly once per solve (the
 //! partner array owned by the returned matching) for solvable ones.
 //!
-//! Measured with a counting `GlobalAlloc` wrapper; the counters are
-//! thread-local so the test harness's other threads cannot pollute them.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
+//! Measured with the shared [`kmatch_testsupport::CountingAlloc`]; the
+//! counters are thread-local so the test harness's other threads cannot
+//! pollute them.
 
 use kmatch_prefs::gen::paper::no_stable_roommates_4;
 use kmatch_prefs::gen::uniform::uniform_roommates;
 use kmatch_prefs::RoommatesInstance;
 use kmatch_roommates::RoommatesWorkspace;
+use kmatch_testsupport::{allocations_in, CountingAlloc};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-thread_local! {
-    static ALLOCS: Cell<u64> = const { Cell::new(0) };
-}
-
-struct CountingAlloc;
-
-// SAFETY: delegates directly to the system allocator; the counter is a
-// thread-local increment with no allocation of its own.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
-
-/// Allocations performed by `f` on this thread.
-fn allocations_in(f: impl FnOnce()) -> u64 {
-    let before = ALLOCS.with(Cell::get);
-    f();
-    ALLOCS.with(Cell::get) - before
-}
 
 #[test]
 fn unsolvable_steady_state_allocates_nothing() {

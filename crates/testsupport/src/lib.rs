@@ -1,0 +1,85 @@
+//! Shared test-support utilities for the kmatch workspace.
+//!
+//! The workspace's library crates `#![forbid(unsafe_code)]`; the one
+//! `unsafe` block the test and bench infrastructure legitimately needs —
+//! a byte-counting [`GlobalAlloc`] wrapper — lives here exactly once.
+//! The gs/roommates/trace zero-allocation suites and the JSON bench
+//! emitters used to each carry their own copy (the bench bins shared one
+//! by `#[path]` inclusion); now they all consume [`CountingAlloc`].
+//!
+//! A consumer installs the counter with two lines of *safe* code:
+//!
+//! ```
+//! use kmatch_testsupport::{bytes_allocated_in, CountingAlloc};
+//!
+//! #[global_allocator]
+//! static COUNTER: CountingAlloc = CountingAlloc;
+//!
+//! let bytes = bytes_allocated_in(&mut || drop(Vec::<u8>::with_capacity(64)));
+//! assert!(bytes >= 64);
+//! ```
+//!
+//! Declaring the `#[global_allocator]` static stays at each root (a
+//! program admits only one, and not every binary in a crate wants its
+//! allocator wrapped), but the `unsafe impl` is no longer duplicated.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counting allocator: delegates to [`System`] and adds every request to
+/// two thread-local *gross* tallies — bytes requested and allocation
+/// events. Frees are never subtracted, so a measurement bounds peak and
+/// churn together, and other threads cannot pollute it.
+pub struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counters are
+// plain thread-local adds that perform no allocation of their own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = BYTES.try_with(|c| c.set(c.get() + layout.size() as u64));
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = BYTES.try_with(|c| c.set(c.get() + new_size as u64));
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Gross bytes requested from the allocator by `f` on this thread — the
+/// `kmatch_bench::scaling::BytesHook` shape the scaling points expect.
+/// Reads zero unless a [`CountingAlloc`] is installed as the program's
+/// `#[global_allocator]`.
+pub fn bytes_allocated_in(f: &mut dyn FnMut()) -> u64 {
+    let before = BYTES.with(Cell::get);
+    f();
+    BYTES.with(Cell::get) - before
+}
+
+/// [`bytes_allocated_in`] for a one-shot closure — the ergonomic form
+/// the test suites use.
+pub fn bytes_in(f: impl FnOnce()) -> u64 {
+    let before = BYTES.with(Cell::get);
+    f();
+    BYTES.with(Cell::get) - before
+}
+
+/// Allocation *events* performed by `f` on this thread (the
+/// zero-steady-state-allocation suites count events, not bytes: "at most
+/// two allocations per solve" is the matching's two partner arrays).
+pub fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(Cell::get);
+    f();
+    ALLOCS.with(Cell::get) - before
+}

@@ -87,6 +87,16 @@ pub mod span {
     pub const CACHE_HIT: &str = "cache.hit";
     /// Instant: content-addressed solve cache miss.
     pub const CACHE_MISS: &str = "cache.miss";
+    /// Work-stealing executor: a worker running one chunk (arg = chunk
+    /// index). These live on per-*worker* tracks, distinct from the
+    /// deterministic per-*chunk* `batch.chunk` timelines.
+    pub const EXEC_BUSY: &str = "exec.busy";
+    /// Work-stealing executor: a successful steal sweep (arg = the chunk
+    /// index taken from a victim's deque).
+    pub const EXEC_STEAL: &str = "exec.steal";
+    /// Work-stealing executor: a worker waiting at the final barrier for
+    /// stragglers to finish (arg = worker index).
+    pub const EXEC_IDLE: &str = "exec.idle";
 }
 
 /// Warm-resolve fallback reason codes, carried as the `arg` of

@@ -2,48 +2,15 @@
 //!
 //! The ring buffer is fully preallocated at construction; recording —
 //! including overwriting once the ring wraps — must never touch the
-//! allocator. Measured with the same counting `GlobalAlloc` wrapper the
-//! engine crates use.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
+//! allocator. Measured with the shared [`kmatch_testsupport::CountingAlloc`]
+//! the engine crates use.
 
 use kmatch_obs::ManualClock;
+use kmatch_testsupport::{allocations_in, CountingAlloc};
 use kmatch_trace::{FlightRecorder, SpanSink};
-
-thread_local! {
-    static ALLOCS: Cell<u64> = const { Cell::new(0) };
-}
-
-struct CountingAlloc;
-
-// SAFETY: delegates directly to the system allocator; the counter is a
-// thread-local increment with no allocation of its own.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
 
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
-
-/// Allocations performed by `f` on this thread.
-fn allocations_in(f: impl FnOnce()) -> u64 {
-    let before = ALLOCS.with(Cell::get);
-    f();
-    ALLOCS.with(Cell::get) - before
-}
 
 #[test]
 fn recording_allocates_nothing_even_after_wrap() {

@@ -133,6 +133,59 @@ done
 grep -qF '"bind.edge"' "$SMOKE_DIR/bind.trace.json" \
     || { echo "trace smoke: missing bind.edge in bind trace"; exit 1; }
 
+echo "==> serve smoke"
+# Live telemetry plane: a background `kmatch serve` must expose
+# spec-shaped Prometheus text (batch counters, straggler accounting,
+# both conformance gauge families), a validating /report and /trace,
+# deterministic ledger rows, and shut down cleanly on /shutdown.
+./target/release/kmatch serve --addr 127.0.0.1:0 \
+    --port-file "$SMOKE_DIR/serve.port" --n 24 --count 32 --seed 8 \
+    --iters 3 --flight-recorder 256 --ledger-out "$SMOKE_DIR/serve.jsonl" \
+    --linger-ms 60000 &
+SERVE_PID=$!
+for _ in $(seq 1 200); do
+  [ -s "$SMOKE_DIR/serve.port" ] && break
+  sleep 0.05
+done
+[ -s "$SMOKE_DIR/serve.port" ] \
+    || { echo "serve smoke: port file never appeared"; exit 1; }
+ADDR="$(tr -d '[:space:]' < "$SMOKE_DIR/serve.port")"
+./target/release/kmatch fetch --addr "$ADDR" --path /healthz \
+    | grep -qx 'ok' || { echo "serve smoke: /healthz failed"; exit 1; }
+# The workload publishes /report after its first iteration; poll for it.
+for _ in $(seq 1 200); do
+  ./target/release/kmatch fetch --addr "$ADDR" --path /report \
+      > "$SMOKE_DIR/serve.report.json" 2>/dev/null && break
+  sleep 0.05
+done
+./target/release/kmatch report validate --input "$SMOKE_DIR/serve.report.json"
+./target/release/kmatch fetch --addr "$ADDR" --path /metrics \
+    > "$SMOKE_DIR/serve.metrics.prom"
+for family in 'kmatch_proposals_total' 'kmatch_solves_total' \
+    'kmatch_exec_busy_ns_total' 'kmatch_exec_chunks_total' \
+    'kmatch_live_shards_absorbed' 'kmatch_theorem3_ratio' \
+    'kmatch_proposals_vs_nlogn'; do
+  grep -q "^$family " "$SMOKE_DIR/serve.metrics.prom" \
+    || { echo "serve smoke: missing $family sample on /metrics"; exit 1; }
+done
+grep -Eq '^kmatch_theorem3_ratio [0-9]' "$SMOKE_DIR/serve.metrics.prom" \
+    || { echo "serve smoke: theorem3 gauge never observed"; exit 1; }
+grep -Eq '^kmatch_proposals_vs_nlogn [0-9]' "$SMOKE_DIR/serve.metrics.prom" \
+    || { echo "serve smoke: nlogn gauge never observed"; exit 1; }
+./target/release/kmatch fetch --addr "$ADDR" --path /trace \
+    > "$SMOKE_DIR/serve.trace.json"
+./target/release/kmatch trace validate --input "$SMOKE_DIR/serve.trace.json"
+./target/release/kmatch fetch --addr "$ADDR" --path /shutdown > /dev/null
+wait "$SERVE_PID" \
+    || { echo "serve smoke: serve did not exit cleanly"; exit 1; }
+# Every iteration solved the same seeded batch: the appended rows must
+# validate and show zero counter drift under ledger diff.
+./target/release/kmatch ledger validate --input "$SMOKE_DIR/serve.jsonl"
+./target/release/kmatch ledger stats --input "$SMOKE_DIR/serve.jsonl"
+./target/release/kmatch ledger diff --input "$SMOKE_DIR/serve.jsonl" \
+    | grep -qF 'zero counter drift' \
+    || { echo "serve smoke: ledger rows drifted"; exit 1; }
+
 echo "==> bench regression gate"
 # Committed baselines must pass against themselves: the gate's exact
 # rules (counters, row shapes) hold trivially, and its tolerance rules

@@ -23,6 +23,7 @@ use kmatch_core::{
 };
 use kmatch_graph::{random_tree, BindingTree};
 use kmatch_gs::{mean_proposer_rank, mean_responder_rank, GsWorkspace};
+use kmatch_incremental::fingerprint::{self, Fp};
 use kmatch_incremental::{IncrementalBinder, IncrementalGs, SolveCache};
 use kmatch_obs::Metrics;
 use kmatch_prefs::serde_support::{KPartiteDto, PrefDeltaDto, RoommatesDto};
@@ -64,7 +65,16 @@ USAGE:
   kmatch verify kary   --input FILE --matching FILE [--weak]
   kmatch lattice       --n N [--seed S] [--limit L]
   kmatch trace         --input FILE            (roommates JSON, paper-style trace)
+  kmatch trace validate --input FILE           (check a kmatch.trace/v1 document)
   kmatch render-tree   --k K [--tree path|star|balanced|random] [--seed S]
+  kmatch serve         [--addr HOST:PORT] [--port-file FILE] [--n N] [--count C]
+                       [--seed S] [--iters I] [--threads T] [--flight-recorder N]
+                       [--ledger-out FILE] [--linger-ms MS] [--max-connections M]
+  kmatch fetch         --addr HOST:PORT [--path /metrics] [--timeout-ms MS]
+  kmatch ledger validate --input FILE
+  kmatch ledger tail   --input FILE [--limit N]
+  kmatch ledger stats  --input FILE
+  kmatch ledger diff   --input FILE [--fingerprint HEX]
 
   batch --input takes a JSON array of instances (bipartite DTOs for
   --kind gs, roommates DTOs for --kind roommates) and may repeat; the
@@ -99,6 +109,22 @@ USAGE:
   (--trace-format json). --flight-recorder N records into a
   fixed-capacity ring that keeps only the newest N events (per worker
   chunk for batch). solve smp traces --mode gs only.
+
+  --ledger-out FILE (solve smp, batch, delta, bind, serve) appends one
+  kmatch.ledger/v1 JSONL provenance row per run: workload fingerprint,
+  prefs backend, seed, threads, wall time, merged counters, straggler
+  aggregates, and the Theorem-3 / n·ln n conformance ratios. Inspect
+  with kmatch ledger tail|stats, check with ledger validate, and compare
+  two same-fingerprint rows with ledger diff (zero counter drift means
+  the runs were deterministic replicas).
+
+  serve runs a repeating GS batch workload (plus a small k-ary bind that
+  feeds the Theorem-3 gauge) and exposes live telemetry over HTTP:
+  /metrics (Prometheus text), /healthz, /report (latest run report),
+  /trace (armed flight-recorder snapshot), /shutdown. --port-file
+  publishes the bound address for scripts using --addr 127.0.0.1:0;
+  --linger-ms keeps serving after the workload ends. fetch is the
+  matching std-TcpStream client (exits nonzero on non-200).
 ";
 
 fn main() -> ExitCode {
@@ -126,8 +152,12 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         (Some("report"), Some("validate")) => report_validate(&args),
         (Some("verify"), Some("kary")) => verify_kary(&args),
         (Some("lattice"), _) => lattice(&args),
+        (Some("trace"), Some("validate")) => trace_validate(&args),
         (Some("trace"), _) => trace_cmd(&args),
         (Some("render-tree"), _) => render_tree_cmd(&args),
+        (Some("serve"), _) => serve_cmd(&args),
+        (Some("fetch"), _) => fetch_cmd(&args),
+        (Some("ledger"), sub) => ledger_cmd(&args, sub),
         _ => Err("unrecognized command".to_string()),
     }
 }
@@ -386,6 +416,7 @@ fn solve_smp(args: &Args) -> Result<(), String> {
         "list-cap",
         "metrics-out",
         "metrics-format",
+        "ledger-out",
         "trace-out",
         "trace-format",
         "flight-recorder",
@@ -424,10 +455,14 @@ fn solve_smp(args: &Args) -> Result<(), String> {
         return Err("--trace-out on solve smp is only supported for --mode gs".to_string());
     }
     if mode != "gs"
-        && (backend != "csr" || list_cap.is_some() || args.flag("metrics-out").is_some())
+        && (backend != "csr"
+            || list_cap.is_some()
+            || args.flag("metrics-out").is_some()
+            || args.flag("ledger-out").is_some())
     {
         return Err(
-            "--prefs/--list-cap/--metrics-out on solve smp are only supported for --mode gs"
+            "--prefs/--list-cap/--metrics-out/--ledger-out on solve smp are only supported \
+             for --mode gs"
                 .to_string(),
         );
     }
@@ -493,6 +528,13 @@ fn solve_smp(args: &Args) -> Result<(), String> {
     if let (Some(inst), Some(matching)) = (&inst, &matching) {
         print_smp_matching(inst, matching);
     }
+    // CSR materialized the lists, so the fingerprint covers the actual
+    // preference content; the implicit oracles are keyed by their
+    // generator descriptor instead (same (n, seed) ⇒ same rows).
+    let meta = match (&inst, backend) {
+        (Some(inst), _) => RunMeta::new(backend, kmatch_incremental::bipartite_fingerprint(inst)),
+        (None, b) => RunMeta::new(b, descriptor_fp(&format!("smp.{b}"), &[n as u64, seed])),
+    };
     write_metrics(
         args,
         "smp",
@@ -503,6 +545,7 @@ fn solve_smp(args: &Args) -> Result<(), String> {
         wall_ns,
         metrics,
         None,
+        &meta,
     )
 }
 
@@ -596,9 +639,78 @@ where
     (out, errors)
 }
 
-/// Emit the RunReport when `--metrics-out` was given. A `straggler`
-/// section (from the work-stealing executor's [`StealReport`]) rides
-/// along when the batch ran through the deque executor.
+/// Hex rendering of a two-lane fingerprint, as stored in ledger rows.
+fn fp_hex(fp: Fp) -> String {
+    format!("{:016x}{:016x}", fp.0, fp.1)
+}
+
+/// Content fingerprint of an ordered batch of bipartite instances.
+fn gs_batch_fp(batch: &[BipartiteInstance]) -> Fp {
+    batch
+        .iter()
+        .fold((fingerprint::SEED0, fingerprint::SEED1), |acc, inst| {
+            let f = kmatch_incremental::bipartite_fingerprint(inst);
+            (fingerprint::mix(acc.0, f.0), fingerprint::mix(acc.1, f.1))
+        })
+}
+
+/// Content fingerprint of an ordered batch of roommates instances.
+fn roommates_batch_fp(batch: &[RoommatesInstance]) -> Fp {
+    batch
+        .iter()
+        .fold((fingerprint::SEED0, fingerprint::SEED1), |acc, inst| {
+            (0..inst.n() as u32).fold(acc, |acc, p| {
+                let f = kmatch_incremental::hash_row_fp(p as u64, inst.list(p));
+                (fingerprint::mix(acc.0, f.0), fingerprint::mix(acc.1, f.1))
+            })
+        })
+}
+
+/// Descriptor fingerprint for workloads whose preference rows are never
+/// materialized (implicit oracles) or not cheaply hashable: hashes the
+/// generator inputs instead of the rows.
+fn descriptor_fp(tag: &str, words: &[u64]) -> Fp {
+    let seeded = tag.bytes().fold(
+        (fingerprint::SEED0, fingerprint::SEED1),
+        |(h0, h1), b| (fingerprint::mix(h0, b as u64), fingerprint::mix(h1, b as u64)),
+    );
+    words.iter().fold(seeded, |(h0, h1), &w| {
+        (fingerprint::mix(h0, w), fingerprint::mix(h1, w))
+    })
+}
+
+/// Run provenance for the artifact emitters: which preference backend
+/// solved, the workload fingerprint a ledger row is keyed by, and the
+/// Theorem-3 `(observed proposals, (k−1)n² bound)` pair for binding
+/// runs.
+struct RunMeta {
+    backend: String,
+    fingerprint: Fp,
+    theorem3: Option<(u64, u64)>,
+}
+
+impl RunMeta {
+    fn new(backend: &str, fingerprint: Fp) -> Self {
+        RunMeta {
+            backend: backend.to_string(),
+            fingerprint,
+            theorem3: None,
+        }
+    }
+
+    fn with_theorem3(mut self, observed: u64, bound: u64) -> Self {
+        self.theorem3 = Some((observed, bound));
+        self
+    }
+}
+
+/// Emit the per-run artifacts: the RunReport when `--metrics-out` was
+/// given, and one appended `kmatch.ledger/v1` provenance row when
+/// `--ledger-out` was. A `straggler` section (from the work-stealing
+/// executor's [`StealReport`]) rides along in both when the run went
+/// through the deque executor; ledger rows additionally carry the
+/// conformance ratios (Theorem-3 for binding runs, Mertens `n ln n` for
+/// GS workloads).
 #[allow(clippy::too_many_arguments)]
 fn write_metrics(
     args: &Args,
@@ -610,20 +722,56 @@ fn write_metrics(
     wall_ns: u64,
     merged: kmatch_obs::SolverMetrics,
     straggler: Option<kmatch_obs::StragglerSection>,
+    meta: &RunMeta,
 ) -> Result<(), String> {
-    let Some(path) = args.flag("metrics-out") else {
-        return Ok(());
-    };
-    let format = args.flag("metrics-format").unwrap_or("json");
-    let mut report =
-        kmatch_obs::RunReport::new(kind, n, instances, seed, threads, wall_ns, merged, None);
-    if let Some(section) = straggler {
-        report = report.with_straggler(section);
+    if let Some(path) = args.flag("metrics-out") {
+        let format = args.flag("metrics-format").unwrap_or("json");
+        let mut report = kmatch_obs::RunReport::new(
+            kind,
+            n,
+            instances,
+            seed,
+            threads,
+            wall_ns,
+            merged.clone(),
+            meta.theorem3.map(|(_, bound)| bound),
+        );
+        if let Some(section) = &straggler {
+            report = report.with_straggler(section.clone());
+        }
+        report
+            .write(std::path::Path::new(path), format)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path} ({format})");
     }
-    report
-        .write(std::path::Path::new(path), format)
-        .map_err(|e| format!("writing {path}: {e}"))?;
-    eprintln!("wrote {path} ({format})");
+    if let Some(path) = args.flag("ledger-out") {
+        let theorem3 = meta
+            .theorem3
+            .and_then(|(observed, bound)| kmatch_obs::theorem3_ratio(observed, bound));
+        // The Mertens n ln n expectation is a GS quantity; other kinds
+        // leave the ratio unset.
+        let nlogn = matches!(kind, "gs" | "smp")
+            .then(|| kmatch_obs::nlogn_ratio(merged.proposals, n as u64, instances as u64))
+            .flatten();
+        let mut row = kmatch_obs::LedgerRow::new(
+            kind,
+            &fp_hex(meta.fingerprint),
+            &meta.backend,
+            n as u64,
+            instances as u64,
+            seed,
+            threads as u64,
+            wall_ns,
+            &merged,
+        )
+        .with_conformance(theorem3, nlogn);
+        if let Some(section) = &straggler {
+            row = row.with_straggler(section);
+        }
+        kmatch_obs::append_row(std::path::Path::new(path), &row)
+            .map_err(|e| format!("appending {path}: {e}"))?;
+        eprintln!("appended {path} (ledger)");
+    }
     Ok(())
 }
 
@@ -696,6 +844,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
         "errors-out",
         "metrics-out",
         "metrics-format",
+        "ledger-out",
         "trace-out",
         "trace-format",
         "flight-recorder",
@@ -743,7 +892,9 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
     if cache_on && policy_explicit {
         return Err("--threads/--force-steal are not supported with --cache on".to_string());
     }
-    let metered = args.flag("metrics-out").is_some();
+    // Ledger rows carry merged engine counters, so `--ledger-out` forces
+    // the metered batch path exactly like `--metrics-out` does.
+    let metered = args.flag("metrics-out").is_some() || args.flag("ledger-out").is_some();
     let registry = kmatch_obs::BatchRegistry::new();
     let clock = kmatch_obs::StdClock::new();
     let inputs: Vec<&str> = args.flag_values("input").collect();
@@ -817,6 +968,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             );
             print_straggler(steal_report.as_ref());
             write_chunk_traces(&topts, chunk_traces)?;
+            let meta = RunMeta::new(if cache_on { "csr+cache" } else { "csr" }, gs_batch_fp(&batch));
             write_metrics(
                 args,
                 "gs",
@@ -827,6 +979,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                 elapsed.as_nanos() as u64,
                 registry.take(),
                 steal_report.as_ref().map(|r| r.straggler_section()),
+                &meta,
             )?;
         }
         "roommates" => {
@@ -896,6 +1049,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
             );
             print_straggler(steal_report.as_ref());
             write_chunk_traces(&topts, chunk_traces)?;
+            let meta = RunMeta::new("csr", roommates_batch_fp(&batch));
             write_metrics(
                 args,
                 "roommates",
@@ -906,6 +1060,7 @@ fn batch_cmd(args: &Args) -> Result<(), String> {
                 elapsed.as_nanos() as u64,
                 registry.take(),
                 steal_report.as_ref().map(|r| r.straggler_section()),
+                &meta,
             )?;
         }
         other => return Err(format!("unknown batch kind: {other}")),
@@ -923,6 +1078,7 @@ fn delta_cmd(args: &Args) -> Result<(), String> {
         "deltas",
         "metrics-out",
         "metrics-format",
+        "ledger-out",
         "trace-out",
         "trace-format",
         "flight-recorder",
@@ -1017,6 +1173,10 @@ fn delta_cmd(args: &Args) -> Result<(), String> {
     if let Some(sink) = sink {
         topts.write(&TraceTrack::main(sink.into_events().0))?;
     }
+    // Fingerprint the *final* preference state (the shadow instance has
+    // every delta applied), so replaying the same stream is recognizably
+    // the same workload in the ledger.
+    let meta = RunMeta::new("csr", kmatch_incremental::bipartite_fingerprint(&shadow));
     write_metrics(
         args,
         "delta",
@@ -1027,6 +1187,7 @@ fn delta_cmd(args: &Args) -> Result<(), String> {
         start.elapsed().as_nanos() as u64,
         metrics,
         None,
+        &meta,
     )
 }
 
@@ -1055,6 +1216,7 @@ fn bind_cmd(args: &Args) -> Result<(), String> {
         "updates",
         "metrics-out",
         "metrics-format",
+        "ledger-out",
         "trace-out",
         "trace-format",
         "flight-recorder",
@@ -1136,6 +1298,12 @@ fn bind_cmd(args: &Args) -> Result<(), String> {
     if let Some(sink) = sink {
         topts.write(&TraceTrack::main(sink.into_events().0))?;
     }
+    // Theorem 3 (IPPS 2016): any binding run executes at most (k−1)n²
+    // proposals. The observed/bound pair feeds the conformance gauge and
+    // the ledger row's ratio.
+    let bound = ((k - 1) * n * n) as u64;
+    let meta = RunMeta::new("kpartite", descriptor_fp("bind", &[k as u64, n as u64]))
+        .with_theorem3(first.total_proposals(), bound);
     write_metrics(
         args,
         "bind",
@@ -1146,6 +1314,7 @@ fn bind_cmd(args: &Args) -> Result<(), String> {
         start.elapsed().as_nanos() as u64,
         metrics,
         None,
+        &meta,
     )
 }
 
@@ -1166,6 +1335,296 @@ fn report_validate(args: &Args) -> Result<(), String> {
     };
     println!("OK {input}: kind={kind}, instances={instances}");
     Ok(())
+}
+
+/// Validate a `kmatch.trace/v1` document (the native `--trace-format
+/// json` export, or what `kmatch serve` publishes on `/trace`).
+fn trace_validate(args: &Args) -> Result<(), String> {
+    args.check_known(&["input"])?;
+    let input: String = args.require("input")?;
+    let text = fs::read_to_string(&input).map_err(|e| format!("reading {input}: {e}"))?;
+    let tracks = kmatch_trace::validate_trace_json(&text).map_err(|e| format!("{input}: {e}"))?;
+    println!("OK {input}: {} tracks ({})", tracks.len(), tracks.join(", "));
+    Ok(())
+}
+
+/// `kmatch serve`: bind the std-only scrape server, then drive a
+/// repeating GS batch workload (plus a small 3-partite bind feeding the
+/// Theorem-3 gauge) on this thread. Every chunk absorbs into the
+/// process-lifetime [`kmatch_obs::LiveRegistry`] the server scrapes, the
+/// latest run report and flight-recorder snapshot are published to
+/// `/report` and `/trace`, and `--ledger-out` appends one provenance row
+/// per iteration. The workload repeats the *same* seeded batch, so the
+/// appended rows are deterministic replicas — `kmatch ledger diff` over
+/// them must report zero counter drift.
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    use std::sync::Arc;
+
+    use kmatch_serve::{ScrapeServer, ServeOptions, ServeState};
+    use kmatch_trace::{span, to_trace_json, FlightRecorder, SpanSink};
+
+    args.check_known(&[
+        "addr",
+        "port-file",
+        "n",
+        "count",
+        "seed",
+        "iters",
+        "threads",
+        "flight-recorder",
+        "ledger-out",
+        "linger-ms",
+        "max-connections",
+    ])?;
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
+    let n: usize = args.flag_or("n", 32)?;
+    if n == 0 {
+        return Err("need --n >= 1".to_string());
+    }
+    let count: usize = args.flag_or("count", 64)?;
+    if count == 0 {
+        return Err("need --count >= 1".to_string());
+    }
+    let seed: u64 = args.flag_or("seed", 0)?;
+    let iters: usize = args.flag_or("iters", 1)?;
+    let linger_ms: u64 = args.flag_or("linger-ms", 0)?;
+    let ring_cap: usize = args.flag_or("flight-recorder", 4096)?;
+    let max_connections: usize = args.flag_or("max-connections", 64)?;
+    // Deterministic replicas by default: an unpinned thread count lets
+    // the steal schedule vary the workspace_{fresh,reused} counters
+    // between iterations, which would read as ledger drift.
+    let policy = kmatch_parallel::ExecPolicy {
+        threads: Some(args.flag_or("threads", 1)?),
+        force_steal: false,
+    };
+
+    let live = Arc::new(kmatch_obs::LiveRegistry::new());
+    let state = Arc::new(ServeState::new(Arc::clone(&live)));
+    let server = ScrapeServer::bind(addr, Arc::clone(&state), ServeOptions { max_connections })
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(path) = args.flag("port-file") {
+        kmatch_obs::report::write_text_file(std::path::Path::new(path), &format!("{local}\n"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    println!("serving on http://{local} (/metrics /healthz /report /trace /shutdown)");
+    let (join, shutdown) = server.spawn().map_err(|e| e.to_string())?;
+
+    // The flight-recorder ring and the solvers live on this thread; the
+    // serve thread only ever receives finished JSON strings.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let batch: Vec<BipartiteInstance> = (0..count)
+        .map(|_| kmatch_prefs::gen::uniform::uniform_bipartite(n, &mut rng))
+        .collect();
+    let batch_fp = gs_batch_fp(&batch);
+    let kn = n.clamp(2, 16);
+    let kinst = kmatch_prefs::gen::uniform::uniform_kpartite(
+        3,
+        kn,
+        &mut ChaCha8Rng::seed_from_u64(seed.wrapping_add(1)),
+    );
+    let ktree = BindingTree::path(3);
+    let theorem3_bound = (2 * kn * kn) as u64;
+    let clock = kmatch_obs::StdClock::new();
+    let mut ring = FlightRecorder::new(&clock, ring_cap);
+    for iter in 0..iters {
+        if shutdown.is_shutdown() {
+            break;
+        }
+        let registry = kmatch_obs::BatchRegistry::with_live(Arc::clone(&live));
+        ring.begin(span::BATCH_CHUNK, iter as u64);
+        let start = std::time::Instant::now();
+        let (outcomes, report) =
+            kmatch_parallel::solve_batch_metered_with(&batch, &registry, &clock, &policy);
+        ring.end(span::BATCH_CHUNK);
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let stats = kmatch_parallel::batch_stats(&outcomes);
+        let section = report.straggler_section();
+        live.absorb_straggler(&section);
+        live.observe_run("csr", wall_ns);
+        let merged = registry.take();
+        live.observe_nlogn(merged.proposals, n as u64, count as u64);
+
+        ring.begin(span::BIND_EDGE, iter as u64);
+        let bout = bind_with_stats(&kinst, &ktree);
+        ring.end(span::BIND_EDGE);
+        live.observe_theorem3(bout.total_proposals(), theorem3_bound);
+
+        let run_report = kmatch_obs::RunReport::new(
+            "gs",
+            n,
+            count,
+            seed,
+            policy.requested_threads(),
+            wall_ns,
+            merged.clone(),
+            None,
+        )
+        .with_straggler(section.clone());
+        state.publish_report(run_report.to_json_string());
+        state.publish_trace(to_trace_json(&[ring.snapshot().into_track(0, "serve ring")]));
+
+        if let Some(path) = args.flag("ledger-out") {
+            let row = kmatch_obs::LedgerRow::new(
+                "gs",
+                &fp_hex(batch_fp),
+                "csr",
+                n as u64,
+                count as u64,
+                seed,
+                policy.requested_threads() as u64,
+                wall_ns,
+                &merged,
+            )
+            .with_conformance(
+                kmatch_obs::theorem3_ratio(bout.total_proposals(), theorem3_bound),
+                kmatch_obs::nlogn_ratio(merged.proposals, n as u64, count as u64),
+            )
+            .with_straggler(&section);
+            kmatch_obs::append_row(std::path::Path::new(path), &row)
+                .map_err(|e| format!("appending {path}: {e}"))?;
+        }
+        println!(
+            "iter {iter}: {count} instances, {} proposals, {:.3} ms",
+            stats.proposals,
+            wall_ns as f64 / 1e6
+        );
+    }
+
+    // Keep the endpoints scrapeable until --linger-ms elapses or a
+    // client hits /shutdown.
+    let lingering = std::time::Instant::now();
+    while !shutdown.is_shutdown() && (lingering.elapsed().as_millis() as u64) < linger_ms {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    shutdown.shutdown();
+    let stats = join
+        .join()
+        .map_err(|_| "serve thread panicked".to_string())?
+        .map_err(|e| format!("serve loop: {e}"))?;
+    println!(
+        "served {} requests ({} rejected at the connection cap)",
+        stats.served, stats.rejected
+    );
+    Ok(())
+}
+
+/// `kmatch fetch`: one GET against a running `kmatch serve`, printing
+/// the body to stdout. Exits nonzero on a non-200 status so shell
+/// smokes can gate on it directly.
+fn fetch_cmd(args: &Args) -> Result<(), String> {
+    args.check_known(&["addr", "path", "timeout-ms"])?;
+    let addr: String = args.require("addr")?;
+    let path = args.flag("path").unwrap_or("/metrics");
+    let timeout_ms: u64 = args.flag_or("timeout-ms", 2000)?;
+    let (status, body) = kmatch_serve::http_get(&addr, path, timeout_ms)
+        .map_err(|e| format!("GET {addr}{path}: {e}"))?;
+    print!("{body}");
+    if status != 200 {
+        return Err(format!("GET {path}: HTTP {status}"));
+    }
+    Ok(())
+}
+
+/// `kmatch ledger`: inspect a `kmatch.ledger/v1` JSONL file.
+fn ledger_cmd(args: &Args, sub: Option<&str>) -> Result<(), String> {
+    let read = |args: &Args| -> Result<(String, Vec<kmatch_obs::LedgerRow>), String> {
+        let input: String = args.require("input")?;
+        let rows = kmatch_obs::read_ledger(std::path::Path::new(&input))
+            .map_err(|e| format!("{input}: {e}"))?;
+        Ok((input, rows))
+    };
+    match sub {
+        Some("validate") => {
+            args.check_known(&["input"])?;
+            let (input, rows) = read(args)?;
+            println!("OK {input}: {} rows", rows.len());
+            Ok(())
+        }
+        Some("tail") => {
+            args.check_known(&["input", "limit"])?;
+            let limit: usize = args.flag_or("limit", 10)?;
+            let (_, rows) = read(args)?;
+            for row in rows.iter().skip(rows.len().saturating_sub(limit)) {
+                println!("{}", row.to_jsonl());
+            }
+            Ok(())
+        }
+        Some("stats") => {
+            args.check_known(&["input"])?;
+            let (input, rows) = read(args)?;
+            println!("{input}: {} rows", rows.len());
+            // Aggregate per workload kind, in first-seen order.
+            let mut kinds: Vec<(String, u64, u64, u64, u64)> = Vec::new();
+            let mut fps: Vec<&str> = Vec::new();
+            for row in &rows {
+                if !fps.contains(&row.fingerprint.as_str()) {
+                    fps.push(&row.fingerprint);
+                }
+                let proposals = row.counter("proposals").unwrap_or(0);
+                match kinds.iter_mut().find(|(k, ..)| k == &row.kind) {
+                    Some(agg) => {
+                        agg.1 += 1;
+                        agg.2 += row.instances;
+                        agg.3 += proposals;
+                        agg.4 += row.wall_ns;
+                    }
+                    None => {
+                        kinds.push((row.kind.clone(), 1, row.instances, proposals, row.wall_ns))
+                    }
+                }
+            }
+            for (kind, runs, instances, proposals, wall_ns) in &kinds {
+                println!(
+                    "  {kind:<10}: {runs} runs, {instances} instances, \
+                     {proposals} proposals, {:.3} ms total",
+                    *wall_ns as f64 / 1e6
+                );
+            }
+            println!("  fingerprints: {} distinct", fps.len());
+            Ok(())
+        }
+        Some("diff") => {
+            args.check_known(&["input", "fingerprint"])?;
+            let (_, rows) = read(args)?;
+            let fp = match args.flag("fingerprint") {
+                Some(f) => f.to_string(),
+                None => rows
+                    .last()
+                    .ok_or_else(|| "empty ledger".to_string())?
+                    .fingerprint
+                    .clone(),
+            };
+            let selected: Vec<&kmatch_obs::LedgerRow> =
+                rows.iter().filter(|r| r.fingerprint == fp).collect();
+            if selected.len() < 2 {
+                return Err(format!(
+                    "need at least two rows with fingerprint {fp} (found {})",
+                    selected.len()
+                ));
+            }
+            let drift = kmatch_obs::diff_counters(selected[0], selected[selected.len() - 1]);
+            if drift.is_empty() {
+                println!(
+                    "OK fingerprint {fp}: {} rows, zero counter drift",
+                    selected.len()
+                );
+                Ok(())
+            } else {
+                for (name, delta) in &drift {
+                    println!("{name}: {delta:+}");
+                }
+                Err(format!(
+                    "{} counters drifted between same-fingerprint rows (fingerprint {fp})",
+                    drift.len()
+                ))
+            }
+        }
+        other => Err(format!(
+            "unknown ledger subcommand: {} (expected validate|tail|stats|diff)",
+            other.unwrap_or("<none>")
+        )),
+    }
 }
 
 fn verify_kary(args: &Args) -> Result<(), String> {
@@ -1208,6 +1667,8 @@ fn verify_kary(args: &Args) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
+    use kmatch_trace::span;
+
     use super::*;
 
     fn call(words: &[&str]) -> Result<(), String> {
@@ -1538,7 +1999,7 @@ mod tests {
         .unwrap();
         let text = std::fs::read_to_string(&trace).unwrap();
         let names =
-            kmatch_trace::chrome_trace_names(&text, &["gs.solve", "gs.round"]).unwrap();
+            kmatch_trace::chrome_trace_names(&text, &[span::GS_SOLVE, span::GS_ROUND]).unwrap();
         assert!(names.len() >= 2);
         // Native format carries the schema tag.
         call(&[
@@ -1570,11 +2031,11 @@ mod tests {
         ])
         .unwrap();
         let text = std::fs::read_to_string(&trace).unwrap();
-        kmatch_trace::chrome_trace_names(&text, &["batch.chunk", "gs.solve"]).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &[span::BATCH_CHUNK, span::GS_SOLVE]).unwrap();
         assert!(text.contains("worker-0"));
         // Batch timelines go through per-chunk flight recorders, which
         // are phase-level by design: no per-round spans on the tracks.
-        assert!(!text.contains("gs.round"), "got:\n{text}");
+        assert!(!text.contains(span::GS_ROUND), "got:\n{text}");
         // Roommates batch traces the Irving phases, through a tiny
         // flight recorder that must wrap without corrupting the export.
         call(&[
@@ -1592,7 +2053,7 @@ mod tests {
         ])
         .unwrap();
         let text = std::fs::read_to_string(&trace).unwrap();
-        kmatch_trace::chrome_trace_names(&text, &["irving.phase1"]).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &[span::IRVING_PHASE1]).unwrap();
         // Tracing composes with --metrics-out but not --cache.
         let report = dir.join("report.json");
         call(&[
@@ -1640,7 +2101,7 @@ mod tests {
         .unwrap();
         call(&["bind", "--input", p, "--tree", "path", "--trace-out", t]).unwrap();
         let text = std::fs::read_to_string(&trace).unwrap();
-        kmatch_trace::chrome_trace_names(&text, &["bind.edge", "gs.solve"]).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &[span::BIND_EDGE, span::GS_SOLVE]).unwrap();
 
         // Incremental bind with an update: dirty and clean edge spans.
         let updates = dir.join("updates.json");
@@ -1664,7 +2125,7 @@ mod tests {
         ])
         .unwrap();
         let text = std::fs::read_to_string(&trace).unwrap();
-        kmatch_trace::chrome_trace_names(&text, &["bind.edge.dirty", "bind.edge.clean"]).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &[span::BIND_EDGE_DIRTY, span::BIND_EDGE_CLEAN]).unwrap();
 
         // Delta replay: cache instants plus engine spans.
         let binst = dir.join("bipartite.json");
@@ -1692,7 +2153,7 @@ mod tests {
         ])
         .unwrap();
         let text = std::fs::read_to_string(&trace).unwrap();
-        kmatch_trace::chrome_trace_names(&text, &["cache.miss", "gs.solve"]).unwrap();
+        kmatch_trace::chrome_trace_names(&text, &[span::CACHE_MISS, span::GS_SOLVE]).unwrap();
     }
 
     #[test]
@@ -1744,5 +2205,232 @@ mod tests {
             panic!("metrics.counters.proposals missing");
         };
         assert!(*p >= 200.0, "a complete solve proposes at least n times");
+    }
+
+    #[test]
+    fn out_files_create_parent_dirs_and_fail_cleanly_when_unwritable() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test15");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Nested, not-yet-existing parents for all three artifact flags.
+        let report = dir.join("a/b/report.json");
+        let trace = dir.join("c/d/run.trace.json");
+        let ledger = dir.join("e/f/ledger.jsonl");
+        call(&[
+            "batch",
+            "--n",
+            "8",
+            "--count",
+            "4",
+            "--metrics-out",
+            report.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--ledger-out",
+            ledger.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(report.is_file() && trace.is_file() && ledger.is_file());
+        call(&["ledger", "validate", "--input", ledger.to_str().unwrap()]).unwrap();
+        // An unwritable destination (a path *under* a regular file) is a
+        // clean Err naming the path — never a panic.
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "not a dir").unwrap();
+        let bad = blocker.join("sub/out.json");
+        for flag in ["--metrics-out", "--trace-out", "--ledger-out"] {
+            let err = call(&["batch", "--n", "8", "--count", "2", flag, bad.to_str().unwrap()])
+                .unwrap_err();
+            assert!(
+                err.contains("blocker") && (err.contains("writing") || err.contains("appending")),
+                "{flag}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_out_rows_validate_tail_stats_and_diff_with_zero_drift() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test16");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ledger = dir.join("ledger.jsonl");
+        let l = ledger.to_str().unwrap();
+        // Two identical runs append two same-fingerprint rows; a third
+        // different workload adds a second fingerprint.
+        for _ in 0..2 {
+            call(&["batch", "--n", "10", "--count", "6", "--seed", "3", "--ledger-out", l])
+                .unwrap();
+        }
+        call(&["batch", "--n", "6", "--count", "3", "--seed", "4", "--ledger-out", l]).unwrap();
+        call(&["ledger", "validate", "--input", l]).unwrap();
+        call(&["ledger", "tail", "--input", l, "--limit", "2"]).unwrap();
+        call(&["ledger", "stats", "--input", l]).unwrap();
+        let rows = kmatch_obs::read_ledger(&ledger).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].fingerprint, rows[1].fingerprint);
+        assert_ne!(rows[0].fingerprint, rows[2].fingerprint);
+        assert!(rows[0].proposals_vs_nlogn.is_some(), "gs rows carry the n ln n ratio");
+        // Identical workloads show zero counter drift.
+        call(&[
+            "ledger", "diff", "--input", l, "--fingerprint", &rows[0].fingerprint,
+        ])
+        .unwrap();
+        // The lone row of the second fingerprint cannot be diffed.
+        assert!(call(&[
+            "ledger", "diff", "--input", l, "--fingerprint", &rows[2].fingerprint
+        ])
+        .is_err());
+        // Rows from different workloads drift — diff (keyed by the last
+        // row's fingerprint by default) exits nonzero when counters move.
+        let mut forged = rows[0].clone();
+        forged.fingerprint = rows[2].fingerprint.clone();
+        kmatch_obs::append_row(&ledger, &forged).unwrap();
+        assert!(call(&["ledger", "diff", "--input", l]).is_err());
+    }
+
+    #[test]
+    fn bind_ledger_row_records_theorem3_ratio() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test17");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst = dir.join("inst.json");
+        call(&[
+            "gen", "kpartite", "--k", "3", "--n", "6", "--seed", "2", "--out",
+            inst.to_str().unwrap(),
+        ])
+        .unwrap();
+        let ledger = dir.join("bind.jsonl");
+        call(&[
+            "bind",
+            "--input",
+            inst.to_str().unwrap(),
+            "--incremental",
+            "true",
+            "--ledger-out",
+            ledger.to_str().unwrap(),
+        ])
+        .unwrap();
+        let rows = kmatch_obs::read_ledger(&ledger).unwrap();
+        assert_eq!(rows.len(), 1);
+        let ratio = rows[0].theorem3_ratio.expect("bind rows carry the Theorem-3 ratio");
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "Theorem 3 bounds proposals by (k-1)n², got ratio {ratio}"
+        );
+        assert!(rows[0].proposals_vs_nlogn.is_none(), "n ln n is a GS-only ratio");
+    }
+
+    #[test]
+    fn serve_exposes_live_telemetry_and_deterministic_ledger() {
+        let dir = std::env::temp_dir().join("kmatch-cli-test18");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let ledger = dir.join("serve.jsonl");
+        let (pf, l) = (
+            port_file.to_str().unwrap().to_string(),
+            ledger.to_str().unwrap().to_string(),
+        );
+        // The workload thread runs the whole serve command; the test
+        // plays the scraping client, then stops the server via
+        // /shutdown (which also breaks the linger loop).
+        let serve = std::thread::spawn(move || {
+            call(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--port-file",
+                &pf,
+                "--n",
+                "10",
+                "--count",
+                "8",
+                "--seed",
+                "5",
+                "--iters",
+                "2",
+                "--flight-recorder",
+                "64",
+                "--ledger-out",
+                &l,
+                "--linger-ms",
+                "30000",
+            ])
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                let text = text.trim().to_string();
+                if !text.is_empty() {
+                    break text;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "port file never appeared");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let get = |path: &str| kmatch_serve::http_get(&addr, path, 2000);
+        assert_eq!(get("/healthz").unwrap(), (200, "ok\n".to_string()));
+        // The first run report is published after the first iteration's
+        // gauges are observed, so poll /report until it exists — from
+        // then on /metrics must show live (non-NaN) conformance gauges.
+        let report = loop {
+            let (status, body) = get("/report").unwrap();
+            if status == 200 {
+                break body;
+            }
+            assert!(std::time::Instant::now() < deadline, "report never published");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        kmatch_obs::RunReport::validate_json_str(&report).unwrap();
+        let (status, metrics) = get("/metrics").unwrap();
+        assert_eq!(status, 200);
+        for needle in [
+            "kmatch_proposals_total",
+            "kmatch_live_shards_absorbed",
+            "kmatch_exec_busy_ns_total",
+            "kmatch_theorem3_ratio ",
+            "kmatch_proposals_vs_nlogn ",
+        ] {
+            assert!(metrics.contains(needle), "missing {needle}:\n{metrics}");
+        }
+        assert!(
+            !metrics.contains("kmatch_theorem3_ratio NaN")
+                && !metrics.contains("kmatch_proposals_vs_nlogn NaN"),
+            "conformance gauges still unset:\n{metrics}"
+        );
+        let (status, trace) = get("/trace").unwrap();
+        assert_eq!(status, 200);
+        // The validator returns the distinct span names; the ring holds
+        // the batch-chunk and binding spans, and the snapshot's track
+        // carries the "serve ring" label verbatim in the document.
+        let names = kmatch_trace::validate_trace_json(&trace).unwrap();
+        assert!(names.iter().any(|n| n == span::BATCH_CHUNK), "{names:?}");
+        assert!(names.iter().any(|n| n == span::BIND_EDGE), "{names:?}");
+        assert!(trace.contains("serve ring"), "{trace}");
+        assert_eq!(get("/nope").unwrap().0, 404);
+        let (status, _) = get("/shutdown").unwrap();
+        assert_eq!(status, 200);
+        serve.join().unwrap().unwrap();
+        // Both iterations solved the same seeded batch: two rows, one
+        // fingerprint, zero counter drift.
+        let rows = kmatch_obs::read_ledger(&ledger).unwrap();
+        assert_eq!(rows.len(), 2);
+        call(&["ledger", "validate", "--input", ledger.to_str().unwrap()]).unwrap();
+        call(&["ledger", "diff", "--input", ledger.to_str().unwrap()]).unwrap();
+        assert!(rows[0].straggler.is_some(), "serve rows carry straggler aggregates");
+    }
+
+    #[test]
+    fn fetch_command_requires_a_live_server() {
+        // Nothing listens on a fresh ephemeral port that was never
+        // bound; fetch must surface that as a clean error.
+        assert!(call(&[
+            "fetch",
+            "--addr",
+            "127.0.0.1:1",
+            "--path",
+            "/healthz",
+            "--timeout-ms",
+            "200",
+        ])
+        .is_err());
     }
 }

@@ -5,8 +5,6 @@
 //! `--flight-recorder N` swaps the unbounded recorder for a
 //! fixed-capacity ring that keeps only the newest `N` events.
 
-use std::fs;
-
 use kmatch_obs::Clock;
 use kmatch_trace::{
     to_chrome_json, to_trace_json, FlightRecorder, SpanSink, TraceEvent, TraceRecorder, TraceTrack,
@@ -81,7 +79,10 @@ impl TraceOpts {
             "chrome" => to_chrome_json(tracks),
             _ => to_trace_json(tracks),
         };
-        fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        // Shared output-file discipline: create parent directories,
+        // surface unwritable paths as a clean error (nonzero exit).
+        kmatch_obs::report::write_text_file(std::path::Path::new(path), &text)
+            .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path} ({} trace)", self.format);
         Ok(())
     }

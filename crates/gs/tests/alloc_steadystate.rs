@@ -103,6 +103,48 @@ fn nospans_steady_state_allocates_like_plain() {
 }
 
 #[test]
+fn live_registry_attached_adds_no_hot_path_allocations() {
+    // The scrape layer's contract: with a `LiveRegistry` attached via
+    // `BatchRegistry::with_live`, the solve hot loop still accumulates
+    // into a plain thread-private shard — the atomics are touched only
+    // by the absorb at the chunk boundary, and even that absorb is
+    // allocation-free (fixed-size atomic arrays, no heap).
+    use std::sync::Arc;
+
+    use kmatch_obs::{BatchRegistry, LiveRegistry};
+
+    let mut rng = ChaCha8Rng::seed_from_u64(14);
+    let inst = uniform_bipartite(64, &mut rng);
+    let csr = CsrPrefs::from_prefs(&inst);
+    let mut ws = GsWorkspace::new();
+    ws.solve(&csr);
+    let reps = 50u64;
+    let plain = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve(&csr));
+        }
+    });
+
+    let live = Arc::new(LiveRegistry::new());
+    let registry = BatchRegistry::with_live(Arc::clone(&live));
+    let mut shard = SolverMetrics::new();
+    let mirrored = allocations_in(|| {
+        for _ in 0..reps {
+            std::hint::black_box(ws.solve_metered(&csr, &mut shard));
+        }
+        registry.absorb(std::mem::take(&mut shard));
+    });
+    assert!(
+        mirrored <= plain && mirrored <= reps * ALLOCS_PER_SOLVE,
+        "an attached LiveRegistry must add zero allocations: \
+         hot loop on a plain shard, chunk-boundary absorb on fixed atomics \
+         (plain {plain}, mirrored {mirrored})"
+    );
+    assert_eq!(live.counter("solves"), Some(reps));
+    assert_eq!(live.shards_absorbed(), 1);
+}
+
+#[test]
 fn counting_allocator_is_live() {
     // Sanity: the harness actually observes allocations.
     let allocs = allocations_in(|| {

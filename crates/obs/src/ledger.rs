@@ -1,0 +1,471 @@
+//! The persistent run ledger: append-only JSONL provenance.
+//!
+//! Every solve/batch/bind/delta run can append one `kmatch.ledger/v1`
+//! row to a ledger file (`--ledger-out` in the CLI): workload identity
+//! (kind, content fingerprint, prefs backend, shape, seed), execution
+//! context (threads, wall time), the merged scalar counters, executor
+//! straggler aggregates, and the two paper-conformance ratios. Rows are
+//! one compact JSON object per line, so the file greps, tails, and
+//! appends like a log while each line validates like a
+//! [`crate::RunReport`].
+//!
+//! Because solves are deterministic, two rows with the same fingerprint
+//! produced by the same workload must carry identical counters — the
+//! `kmatch ledger diff` subcommand (and [`diff_counters`] here) turns
+//! that into a drift check: any nonzero counter delta between
+//! same-fingerprint rows means the engines changed behaviour between
+//! the two runs.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::metrics::{SolverMetrics, SCALAR_COUNTERS};
+use crate::report::StragglerSection;
+
+/// Schema tag carried by every ledger row.
+pub const LEDGER_SCHEMA: &str = "kmatch.ledger/v1";
+
+/// Executor straggler aggregates flattened for a ledger row: sums over
+/// the per-worker accounting of one run's [`StragglerSection`], plus
+/// the slowest worker's busy time (the straggler itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LedgerStraggler {
+    /// Workers the executor ran.
+    pub threads: u64,
+    /// Whether forced-steal stress mode was active.
+    pub forced_steal: bool,
+    /// Chunks executed (own + stolen) across all workers.
+    pub chunks: u64,
+    /// Of those, chunks stolen from another worker's deque.
+    pub chunks_stolen: u64,
+    /// Summed worker busy time.
+    pub busy_ns: u64,
+    /// Summed worker steal-sweep time.
+    pub steal_ns: u64,
+    /// Summed worker barrier-wait time.
+    pub idle_ns: u64,
+    /// Busy time of the slowest worker.
+    pub max_busy_ns: u64,
+}
+
+serde::impl_json_struct!(LedgerStraggler {
+    threads,
+    forced_steal,
+    chunks,
+    chunks_stolen,
+    busy_ns,
+    steal_ns,
+    idle_ns,
+    max_busy_ns,
+});
+
+impl LedgerStraggler {
+    /// Aggregate a run report's straggler section.
+    pub fn from_section(section: &StragglerSection) -> Self {
+        let mut agg = LedgerStraggler {
+            threads: section.threads,
+            forced_steal: section.forced_steal,
+            ..LedgerStraggler::default()
+        };
+        for w in &section.workers {
+            agg.chunks += w.chunks_executed;
+            agg.chunks_stolen += w.chunks_stolen;
+            agg.busy_ns += w.busy_ns;
+            agg.steal_ns += w.steal_ns;
+            agg.idle_ns += w.idle_ns;
+            agg.max_busy_ns = agg.max_busy_ns.max(w.busy_ns);
+        }
+        agg
+    }
+}
+
+/// One provenance row of the run ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRow {
+    /// Always [`LEDGER_SCHEMA`].
+    pub schema: String,
+    /// Append time, milliseconds since the Unix epoch.
+    pub ts_unix_ms: u64,
+    /// Workload kind: `"gs"`, `"roommates"`, `"kary"`, `"delta"`, …
+    pub kind: String,
+    /// Content fingerprint of the workload (hex; two 64-bit lanes), or a
+    /// descriptor fingerprint for implicit-oracle workloads whose rows
+    /// are never materialized.
+    pub fingerprint: String,
+    /// Preference backend the run solved through (`"csr"`, `"random"`,
+    /// `"score"`, …).
+    pub backend: String,
+    /// Members per side (or per gender).
+    pub n: u64,
+    /// Instances solved.
+    pub instances: u64,
+    /// RNG seed of the workload (0 when not applicable).
+    pub seed: u64,
+    /// Worker threads available to the run.
+    pub threads: u64,
+    /// Wall time of the whole run.
+    pub wall_ns: u64,
+    /// Merged scalar counters in [`SCALAR_COUNTERS`] order, serialized
+    /// as a JSON object keyed by counter name.
+    pub counters: Vec<(String, u64)>,
+    /// Observed / Theorem-3 bound, for binding runs.
+    pub theorem3_ratio: Option<f64>,
+    /// Observed / Mertens ~`n ln n`, for GS runs.
+    pub proposals_vs_nlogn: Option<f64>,
+    /// Executor straggler aggregates, for batch runs.
+    pub straggler: Option<LedgerStraggler>,
+}
+
+impl LedgerRow {
+    /// Assemble a row from merged run metrics. The timestamp is stamped
+    /// here from the system clock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: &str,
+        fingerprint: &str,
+        backend: &str,
+        n: u64,
+        instances: u64,
+        seed: u64,
+        threads: u64,
+        wall_ns: u64,
+        metrics: &SolverMetrics,
+    ) -> Self {
+        let values = metrics.scalar_values();
+        LedgerRow {
+            schema: LEDGER_SCHEMA.to_string(),
+            ts_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            kind: kind.to_string(),
+            fingerprint: fingerprint.to_string(),
+            backend: backend.to_string(),
+            n,
+            instances,
+            seed,
+            threads,
+            wall_ns,
+            counters: SCALAR_COUNTERS
+                .iter()
+                .zip(values)
+                .map(|((name, _), v)| (name.to_string(), v))
+                .collect(),
+            theorem3_ratio: None,
+            proposals_vs_nlogn: None,
+            straggler: None,
+        }
+    }
+
+    /// Attach the conformance ratios (builder style).
+    pub fn with_conformance(mut self, theorem3: Option<f64>, nlogn: Option<f64>) -> Self {
+        self.theorem3_ratio = theorem3;
+        self.proposals_vs_nlogn = nlogn;
+        self
+    }
+
+    /// Attach executor straggler aggregates (builder style).
+    pub fn with_straggler(mut self, section: &StragglerSection) -> Self {
+        self.straggler = Some(LedgerStraggler::from_section(section));
+        self
+    }
+
+    /// Read one counter back by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The row as one compact JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("ledger serialization is infallible")
+    }
+}
+
+impl Serialize for LedgerRow {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schema".into(), Value::String(self.schema.clone())),
+            ("ts_unix_ms".into(), Value::Number(self.ts_unix_ms as f64)),
+            ("kind".into(), Value::String(self.kind.clone())),
+            ("fingerprint".into(), Value::String(self.fingerprint.clone())),
+            ("backend".into(), Value::String(self.backend.clone())),
+            ("n".into(), Value::Number(self.n as f64)),
+            ("instances".into(), Value::Number(self.instances as f64)),
+            ("seed".into(), Value::Number(self.seed as f64)),
+            ("threads".into(), Value::Number(self.threads as f64)),
+            ("wall_ns".into(), Value::Number(self.wall_ns as f64)),
+            (
+                "counters".into(),
+                Value::Object(
+                    self.counters
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Value::Number(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            ("theorem3_ratio".into(), self.theorem3_ratio.to_value()),
+            (
+                "proposals_vs_nlogn".into(),
+                self.proposals_vs_nlogn.to_value(),
+            ),
+            ("straggler".into(), self.straggler.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for LedgerRow {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| serde::Error::msg(format!("missing field `{key}` in LedgerRow")))
+        };
+        let counters = match field("counters")? {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(name, fv)| {
+                    u64::from_value(fv)
+                        .map(|v| (name.clone(), v))
+                        .map_err(|e| serde::Error::msg(format!("counter `{name}`: {e}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            other => {
+                return Err(serde::Error::msg(format!(
+                    "expected `counters` object, got {other:?}"
+                )))
+            }
+        };
+        let num = |key: &str| -> Result<u64, serde::Error> {
+            u64::from_value(field(key)?)
+                .map_err(|e| serde::Error::msg(format!("field `{key}` of LedgerRow: {e}")))
+        };
+        Ok(LedgerRow {
+            schema: String::from_value(field("schema")?)?,
+            ts_unix_ms: num("ts_unix_ms")?,
+            kind: String::from_value(field("kind")?)?,
+            fingerprint: String::from_value(field("fingerprint")?)?,
+            backend: String::from_value(field("backend")?)?,
+            n: num("n")?,
+            instances: num("instances")?,
+            seed: num("seed")?,
+            threads: num("threads")?,
+            wall_ns: num("wall_ns")?,
+            counters,
+            theorem3_ratio: Option::<f64>::from_value(field("theorem3_ratio")?)?,
+            proposals_vs_nlogn: Option::<f64>::from_value(field("proposals_vs_nlogn")?)?,
+            straggler: Option::<LedgerStraggler>::from_value(field("straggler")?)?,
+        })
+    }
+}
+
+/// Validate one JSONL line as a `kmatch.ledger/v1` row: JSON shape,
+/// schema tag, non-empty fingerprint, and the numeric-field sanity the
+/// shared number parser enforces (negative or overflowing counters and
+/// nanosecond accounting are rejected at `u64` conversion).
+pub fn validate_line(line: &str) -> Result<LedgerRow, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    match v.get("schema") {
+        Some(Value::String(s)) if s == LEDGER_SCHEMA => {}
+        Some(Value::String(s)) => {
+            return Err(format!("schema mismatch: got {s:?}, expected {LEDGER_SCHEMA:?}"))
+        }
+        _ => return Err("missing `schema` key".to_string()),
+    }
+    let row = LedgerRow::from_value(&v).map_err(|e| e.to_string())?;
+    if row.fingerprint.is_empty() {
+        return Err("empty `fingerprint`".to_string());
+    }
+    if let Some(s) = &row.straggler {
+        let span = s.busy_ns.checked_add(s.steal_ns).and_then(|x| x.checked_add(s.idle_ns));
+        if span.is_none() {
+            return Err("straggler accounting overflows u64".to_string());
+        }
+        if s.max_busy_ns > s.busy_ns {
+            return Err(format!(
+                "straggler max_busy_ns {} exceeds summed busy_ns {}",
+                s.max_busy_ns, s.busy_ns
+            ));
+        }
+        if s.chunks_stolen > s.chunks {
+            return Err(format!(
+                "straggler chunks_stolen {} exceeds chunks {}",
+                s.chunks_stolen, s.chunks
+            ));
+        }
+    }
+    Ok(row)
+}
+
+/// Read and validate a whole ledger file, skipping blank lines. Errors
+/// carry the 1-based line number.
+pub fn read_ledger(path: &Path) -> Result<Vec<LedgerRow>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        rows.push(validate_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(rows)
+}
+
+/// Append one row to the ledger at `path`, creating parent directories
+/// as needed. The write is a single `write_all` of one line, so
+/// concurrent appenders interleave at line granularity on POSIX
+/// append-mode files.
+pub fn append_row(path: &Path, row: &LedgerRow) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut line = row.to_jsonl();
+    line.push('\n');
+    file.write_all(line.as_bytes())
+}
+
+/// Counter drift between two rows: `(name, b - a)` for every counter
+/// whose value differs (counters present in only one row count as drift
+/// from zero). Empty means the rows agree — the expected outcome for
+/// two runs of the same fingerprint.
+pub fn diff_counters(a: &LedgerRow, b: &LedgerRow) -> Vec<(String, i128)> {
+    let mut out: Vec<(String, i128)> = Vec::new();
+    for (name, av) in &a.counters {
+        let bv = b.counter(name).unwrap_or(0);
+        if bv != *av {
+            out.push((name.clone(), bv as i128 - *av as i128));
+        }
+    }
+    for (name, bv) in &b.counters {
+        if a.counter(name).is_none() && *bv != 0 {
+            out.push((name.clone(), *bv as i128));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::report::StragglerWorker;
+
+    fn sample_metrics() -> SolverMetrics {
+        let mut m = SolverMetrics::new();
+        m.proposal();
+        m.proposal();
+        m.solve_done(true, 2);
+        m
+    }
+
+    fn sample_row() -> LedgerRow {
+        LedgerRow::new("gs", "deadbeef01234567", "csr", 16, 50, 1, 2, 987654, &sample_metrics())
+    }
+
+    #[test]
+    fn row_round_trips_through_jsonl() {
+        let section = StragglerSection {
+            threads: 2,
+            forced_steal: false,
+            chunk_sizes: vec![25, 25],
+            workers: vec![
+                StragglerWorker {
+                    worker: 0,
+                    busy_ns: 500,
+                    steal_ns: 10,
+                    idle_ns: 0,
+                    chunks_executed: 1,
+                    chunks_stolen: 0,
+                },
+                StragglerWorker {
+                    worker: 1,
+                    busy_ns: 300,
+                    steal_ns: 0,
+                    idle_ns: 200,
+                    chunks_executed: 1,
+                    chunks_stolen: 1,
+                },
+            ],
+        };
+        let row = sample_row()
+            .with_conformance(Some(0.25), Some(1.1))
+            .with_straggler(&section);
+        let line = row.to_jsonl();
+        assert_eq!(line.lines().count(), 1, "one row is one line");
+        let back = validate_line(&line).expect("round trip");
+        assert_eq!(back, row);
+        assert_eq!(back.counter("proposals"), Some(2));
+        let agg = back.straggler.unwrap();
+        assert_eq!(agg.busy_ns, 800);
+        assert_eq!(agg.max_busy_ns, 500);
+        assert_eq!(agg.chunks, 2);
+        assert_eq!(agg.chunks_stolen, 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        assert!(validate_line("not json").is_err());
+        let err = validate_line("{}").unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        let wrong = sample_row().to_jsonl().replace(LEDGER_SCHEMA, "kmatch.ledger/v9");
+        assert!(validate_line(&wrong).unwrap_err().contains("mismatch"));
+        // Negative accounting is rejected by the numeric parser.
+        let row = sample_row();
+        let negative = row.to_jsonl().replace("\"wall_ns\":987654", "\"wall_ns\":-5");
+        let err = validate_line(&negative).unwrap_err();
+        assert!(err.contains("wall_ns"), "{err}");
+        let neg_counter = row.to_jsonl().replace("\"proposals\":2", "\"proposals\":-2");
+        assert!(validate_line(&neg_counter).is_err());
+        // Empty fingerprints are meaningless provenance.
+        let blank = row.to_jsonl().replace("deadbeef01234567", "");
+        assert!(validate_line(&blank).unwrap_err().contains("fingerprint"));
+    }
+
+    #[test]
+    fn append_and_read_ledger() {
+        let dir = std::env::temp_dir().join("kmatch-obs-ledger-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Parent directories are created on demand.
+        let path = dir.join("nested").join("runs.jsonl");
+        append_row(&path, &sample_row()).unwrap();
+        append_row(&path, &sample_row().with_conformance(None, Some(0.9))).unwrap();
+        let rows = read_ledger(&path).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].proposals_vs_nlogn, Some(0.9));
+        // A corrupt line is reported with its line number.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(b"{\"schema\": \"garbage\"}\n")
+            .unwrap();
+        let err = read_ledger(&path).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn diff_reports_counter_drift() {
+        let a = sample_row();
+        let b = sample_row();
+        assert!(diff_counters(&a, &b).is_empty(), "identical rows have zero drift");
+        let mut m = sample_metrics();
+        m.proposal();
+        let c = LedgerRow::new("gs", "deadbeef01234567", "csr", 16, 50, 1, 2, 987654, &m);
+        let drift = diff_counters(&a, &c);
+        assert_eq!(drift, vec![("proposals".to_string(), 1)]);
+        let back = diff_counters(&c, &a);
+        assert_eq!(back, vec![("proposals".to_string(), -1)]);
+    }
+}

@@ -24,12 +24,22 @@
 //!   seed, outcome, counters, timing percentiles) the CLI and the bench
 //!   emitters write, serialized to JSON or Prometheus text exposition
 //!   format.
+//! * [`LiveRegistry`] — the process-lifetime scrape layer: atomic
+//!   counters/gauges a [`BatchRegistry`] built with
+//!   [`BatchRegistry::with_live`] mirrors into at chunk boundaries, plus
+//!   the Theorem-3 and Mertens `n ln n` conformance gauges the
+//!   `kmatch serve` endpoint exports.
+//! * [`ledger`] — the append-only `kmatch.ledger/v1` JSONL provenance
+//!   log: one validated row per run, with counter-drift diffing between
+//!   same-fingerprint rows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod histogram;
+pub mod ledger;
+pub mod live;
 pub mod metrics;
 pub mod prom;
 pub mod registry;
@@ -37,8 +47,16 @@ pub mod report;
 
 pub use clock::{Clock, ManualClock, StdClock};
 pub use histogram::Log2Histogram;
-pub use metrics::{Metrics, NoMetrics, SolverMetrics};
-pub use prom::{escape_label_value, label_pair, unescape_label_value};
+pub use ledger::{
+    append_row, diff_counters, read_ledger, validate_line, LedgerRow, LedgerStraggler,
+    LEDGER_SCHEMA,
+};
+pub use live::{nlogn_ratio, theorem3_ratio, LiveRegistry};
+pub use metrics::{Metrics, NoMetrics, SolverMetrics, SCALAR_COUNTERS};
+pub use prom::{
+    escape_label_value, label_pair, sanitize_label_name, sanitize_metric_name,
+    unescape_label_value,
+};
 pub use registry::BatchRegistry;
 pub use report::{
     OverheadReport, RunReport, StragglerSection, StragglerWorker, TimingSummary, RUN_REPORT_SCHEMA,

@@ -1,0 +1,460 @@
+//! Process-lifetime live telemetry: the atomics-based gauge/counter
+//! layer behind the `kmatch serve` scrape endpoint.
+//!
+//! The observability stack keeps three tiers, slowest-changing first:
+//!
+//! 1. engine hot paths increment a thread-private [`SolverMetrics`]
+//!    shard — plain `u64`s, no atomics, no locks;
+//! 2. the sharded [`crate::BatchRegistry`] absorbs each shard once, at
+//!    its chunk boundary, under one short mutex;
+//! 3. a registry built with [`crate::BatchRegistry::with_live`] forwards
+//!    every absorbed shard into a shared [`LiveRegistry`] — ~22 relaxed
+//!    atomic adds per *chunk*, never per solve — which a scrape server
+//!    can render at any moment without stopping the run.
+//!
+//! The live layer carries the scalar counters (named by
+//! [`SCALAR_COUNTERS`], the same authority the JSON/Prometheus report
+//! renderers use), executor straggler aggregates, per-backend run
+//! counters, and the two paper-conformance gauges:
+//!
+//! * `kmatch_theorem3_ratio` — observed binding-run proposals divided by
+//!   the Theorem-3 bound `(k−1)·n²`; the paper guarantees ≤ 1.
+//! * `kmatch_proposals_vs_nlogn` — observed GS proposals divided by
+//!   Mertens' expectation of ~`n ln n` for uniformly random instances; a
+//!   healthy random workload sits near 1, a degenerate oracle drifts
+//!   toward `n / ln n`.
+//!
+//! Histograms stay in the per-run [`crate::RunReport`]s — merging log₂
+//! buckets atomically would put contention back on the absorb path for
+//! data the scrape endpoint can already get from `/report`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::{SolverMetrics, SCALAR_COUNTERS};
+use crate::report::StragglerSection;
+
+/// Observed proposals of a binding run against the Theorem-3 bound
+/// `(k−1)·n²`, as a ratio (`None` when the bound is degenerate). The
+/// shared formula behind the `kmatch_theorem3_ratio` gauge and the
+/// ledger's `theorem3_ratio` column.
+pub fn theorem3_ratio(total_proposals: u64, bound: u64) -> Option<f64> {
+    if bound == 0 {
+        return None;
+    }
+    Some(total_proposals as f64 / bound as f64)
+}
+
+/// Observed GS proposals against Mertens' ~`n ln n` expectation for
+/// `instances` uniformly random instances of size `n`, as a ratio
+/// (`None` when `n < 2` or nothing was solved — `ln n` would be zero or
+/// the ratio meaningless). The shared formula behind the
+/// `kmatch_proposals_vs_nlogn` gauge and the ledger's
+/// `proposals_vs_nlogn` column.
+pub fn nlogn_ratio(proposals: u64, n: u64, instances: u64) -> Option<f64> {
+    if n < 2 || instances == 0 {
+        return None;
+    }
+    let expected = instances as f64 * n as f64 * (n as f64).ln();
+    Some(proposals as f64 / expected)
+}
+
+/// Executor straggler aggregates mirrored into the live layer: the
+/// worker-summed `exec.busy` / `exec.steal` / `exec.idle` span names as
+/// monotonic nanosecond counters.
+#[derive(Debug, Default)]
+struct ExecTotals {
+    busy_ns: AtomicU64,
+    steal_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    chunks: AtomicU64,
+    chunks_stolen: AtomicU64,
+}
+
+const RATIO_UNSET: u64 = u64::MAX;
+
+/// Process-lifetime scrape registry: every counter and gauge is an
+/// atomic, so one shared instance can be read by a scrape server thread
+/// while batch drivers keep absorbing — no locks on either side (the
+/// only mutex guards the rarely-touched per-backend name list).
+///
+/// ```
+/// use kmatch_obs::{LiveRegistry, Metrics, SolverMetrics};
+///
+/// let live = LiveRegistry::new();
+/// let mut shard = SolverMetrics::new();
+/// shard.proposal();
+/// live.absorb(&shard);                     // chunk boundary, not hot path
+/// assert_eq!(live.counter("proposals"), Some(1));
+/// assert!(live.to_prometheus().contains("kmatch_proposals_total 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct LiveRegistry {
+    counters: [AtomicU64; SCALAR_COUNTERS.len()],
+    shards_absorbed: AtomicU64,
+    runs: AtomicU64,
+    last_run_wall_ns: AtomicU64,
+    exec: ExecTotals,
+    /// `f64` bits; `RATIO_UNSET` until first observation.
+    theorem3: AtomicU64,
+    /// `f64` bits; `RATIO_UNSET` until first observation.
+    nlogn: AtomicU64,
+    /// Per-backend run counters. The *family name* is derived from the
+    /// backend string (`kmatch_backend_<name>_runs_total`), so it is
+    /// sanitized once at insert via
+    /// [`crate::prom::sanitize_metric_name`].
+    backend_runs: Mutex<Vec<(String, u64)>>,
+}
+
+impl LiveRegistry {
+    /// An empty registry. Typically wrapped in an `Arc` and shared
+    /// between the scrape server and the batch drivers.
+    pub fn new() -> Self {
+        let reg = LiveRegistry::default();
+        reg.theorem3.store(RATIO_UNSET, Ordering::Relaxed);
+        reg.nlogn.store(RATIO_UNSET, Ordering::Relaxed);
+        reg
+    }
+
+    /// Add one completed [`SolverMetrics`] shard into the live counters.
+    /// Called from [`crate::BatchRegistry::absorb`] (when attached) or
+    /// directly by single-solve front-ends — always at a chunk/run
+    /// boundary, never from a solver hot loop, and never allocating.
+    pub fn absorb(&self, shard: &SolverMetrics) {
+        let values = shard.scalar_values();
+        for (slot, v) in self.counters.iter().zip(values) {
+            if v != 0 {
+                slot.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.shards_absorbed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one completed run: bumps the total and per-backend run
+    /// counters and the last-run wall-time gauge.
+    pub fn observe_run(&self, backend: &str, wall_ns: u64) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.last_run_wall_ns.store(wall_ns, Ordering::Relaxed);
+        let family = format!(
+            "kmatch_backend_{}_runs_total",
+            crate::prom::sanitize_metric_name(backend)
+        );
+        let mut by_backend = self.backend_runs.lock().expect("live registry poisoned");
+        match by_backend.iter_mut().find(|(name, _)| *name == family) {
+            Some((_, count)) => *count += 1,
+            None => by_backend.push((family, 1)),
+        }
+    }
+
+    /// Fold one executor straggler section into the `exec.*` totals.
+    pub fn absorb_straggler(&self, section: &StragglerSection) {
+        let mut busy = 0u64;
+        let mut steal = 0u64;
+        let mut idle = 0u64;
+        let mut chunks = 0u64;
+        let mut stolen = 0u64;
+        for w in &section.workers {
+            busy += w.busy_ns;
+            steal += w.steal_ns;
+            idle += w.idle_ns;
+            chunks += w.chunks_executed;
+            stolen += w.chunks_stolen;
+        }
+        self.exec.busy_ns.fetch_add(busy, Ordering::Relaxed);
+        self.exec.steal_ns.fetch_add(steal, Ordering::Relaxed);
+        self.exec.idle_ns.fetch_add(idle, Ordering::Relaxed);
+        self.exec.chunks.fetch_add(chunks, Ordering::Relaxed);
+        self.exec.chunks_stolen.fetch_add(stolen, Ordering::Relaxed);
+    }
+
+    /// Set the `kmatch_theorem3_ratio` gauge from a binding run's
+    /// observed proposals and its `(k−1)·n²` bound. Degenerate bounds
+    /// leave the gauge untouched.
+    pub fn observe_theorem3(&self, total_proposals: u64, bound: u64) {
+        if let Some(r) = theorem3_ratio(total_proposals, bound) {
+            self.theorem3.store(r.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Set the `kmatch_proposals_vs_nlogn` gauge from a GS run's
+    /// observed proposals. Degenerate shapes leave the gauge untouched.
+    pub fn observe_nlogn(&self, proposals: u64, n: u64, instances: u64) {
+        if let Some(r) = nlogn_ratio(proposals, n, instances) {
+            self.nlogn.store(r.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Read one scalar counter back by its [`SCALAR_COUNTERS`] name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        SCALAR_COUNTERS
+            .iter()
+            .position(|(n, _)| *n == name)
+            .map(|i| self.counters[i].load(Ordering::Relaxed))
+    }
+
+    /// Shards absorbed into the live layer so far.
+    pub fn shards_absorbed(&self) -> u64 {
+        self.shards_absorbed.load(Ordering::Relaxed)
+    }
+
+    /// Completed runs observed so far.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Current Theorem-3 conformance ratio, if any run set it.
+    pub fn theorem3(&self) -> Option<f64> {
+        ratio_load(&self.theorem3)
+    }
+
+    /// Current `n ln n` conformance ratio, if any run set it.
+    pub fn nlogn(&self) -> Option<f64> {
+        ratio_load(&self.nlogn)
+    }
+
+    /// Render the whole live layer as Prometheus text exposition. The
+    /// scalar counter families reuse the report renderer's
+    /// `kmatch_<name>_total` names (unlabelled: these are process
+    /// totals); conformance gauges render `NaN` until first observed so
+    /// scrapers always see the family.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, (name, help)) in SCALAR_COUNTERS.iter().enumerate() {
+            let family = format!("kmatch_{name}_total");
+            crate::prom::write_family_header(&mut out, &family, "counter", help);
+            let _ = writeln!(out, "{family} {}", self.counters[i].load(Ordering::Relaxed));
+        }
+        let gauges: [(&str, &str, u64); 2] = [
+            (
+                "kmatch_live_last_run_wall_ns",
+                "Wall time of the most recent completed run",
+                self.last_run_wall_ns.load(Ordering::Relaxed),
+            ),
+            (
+                "kmatch_live_shards_absorbed",
+                "Metric shards absorbed into the live layer",
+                self.shards_absorbed.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, v) in gauges {
+            crate::prom::write_family_header(&mut out, name, "gauge", help);
+            let _ = writeln!(out, "{name} {v}");
+        }
+        crate::prom::write_family_header(
+            &mut out,
+            "kmatch_live_runs_total",
+            "counter",
+            "Completed runs observed by the live layer",
+        );
+        let _ = writeln!(out, "kmatch_live_runs_total {}", self.runs.load(Ordering::Relaxed));
+        let exec_rows: [(&str, &str, u64); 5] = [
+            ("kmatch_exec_busy_ns_total", "Worker time executing chunks", self.exec.busy_ns.load(Ordering::Relaxed)),
+            ("kmatch_exec_steal_ns_total", "Worker time in steal sweeps", self.exec.steal_ns.load(Ordering::Relaxed)),
+            ("kmatch_exec_idle_ns_total", "Worker time waiting at the batch barrier", self.exec.idle_ns.load(Ordering::Relaxed)),
+            ("kmatch_exec_chunks_total", "Chunks executed by the work-stealing pool", self.exec.chunks.load(Ordering::Relaxed)),
+            ("kmatch_exec_chunks_stolen_total", "Chunks taken from another worker's deque", self.exec.chunks_stolen.load(Ordering::Relaxed)),
+        ];
+        for (name, help, v) in exec_rows {
+            crate::prom::write_family_header(&mut out, name, "counter", help);
+            let _ = writeln!(out, "{name} {v}");
+        }
+        let conformance: [(&str, &str, Option<f64>); 2] = [
+            (
+                "kmatch_theorem3_ratio",
+                "Observed binding-run proposals / Theorem-3 bound (k-1)*n^2 (paper guarantees <= 1)",
+                self.theorem3(),
+            ),
+            (
+                "kmatch_proposals_vs_nlogn",
+                "Observed GS proposals / Mertens ~n ln n expectation for random instances",
+                self.nlogn(),
+            ),
+        ];
+        for (name, help, v) in conformance {
+            crate::prom::write_family_header(&mut out, name, "gauge", help);
+            match v {
+                Some(r) => {
+                    let _ = writeln!(out, "{name} {r}");
+                }
+                None => {
+                    let _ = writeln!(out, "{name} NaN");
+                }
+            }
+        }
+        let by_backend = self.backend_runs.lock().expect("live registry poisoned");
+        for (family, count) in by_backend.iter() {
+            crate::prom::write_family_header(
+                &mut out,
+                family,
+                "counter",
+                "Completed runs through this prefs backend",
+            );
+            let _ = writeln!(out, "{family} {count}");
+        }
+        out
+    }
+}
+
+fn ratio_load(slot: &AtomicU64) -> Option<f64> {
+    let bits = slot.load(Ordering::Relaxed);
+    if bits == RATIO_UNSET {
+        None
+    } else {
+        Some(f64::from_bits(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::report::StragglerWorker;
+    use std::sync::Arc;
+
+    #[test]
+    fn absorb_accumulates_scalar_counters() {
+        let live = LiveRegistry::new();
+        let mut shard = SolverMetrics::new();
+        shard.proposal();
+        shard.proposal();
+        shard.solve_done(true, 2);
+        live.absorb(&shard);
+        live.absorb(&shard);
+        assert_eq!(live.counter("proposals"), Some(4));
+        assert_eq!(live.counter("solves"), Some(2));
+        assert_eq!(live.counter("nonsense"), None);
+        assert_eq!(live.shards_absorbed(), 2);
+    }
+
+    #[test]
+    fn conformance_formulas() {
+        assert_eq!(theorem3_ratio(50, 100), Some(0.5));
+        assert_eq!(theorem3_ratio(5, 0), None);
+        assert_eq!(nlogn_ratio(10, 1, 1), None);
+        assert_eq!(nlogn_ratio(10, 100, 0), None);
+        let r = nlogn_ratio(1000, 100, 2).unwrap();
+        assert!((r - 1000.0 / (2.0 * 100.0 * (100.0f64).ln())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauges_render_nan_until_observed() {
+        let live = LiveRegistry::new();
+        assert_eq!(live.theorem3(), None);
+        let text = live.to_prometheus();
+        assert!(text.contains("kmatch_theorem3_ratio NaN"));
+        assert!(text.contains("kmatch_proposals_vs_nlogn NaN"));
+        live.observe_theorem3(50, 200);
+        live.observe_nlogn(800, 64, 3);
+        assert_eq!(live.theorem3(), Some(0.25));
+        assert!(live.nlogn().unwrap() > 0.0);
+        let text = live.to_prometheus();
+        assert!(text.contains("kmatch_theorem3_ratio 0.25"), "{text}");
+        assert!(!text.contains("kmatch_theorem3_ratio NaN"));
+        // Degenerate observations do not clobber a set gauge.
+        live.observe_theorem3(1, 0);
+        assert_eq!(live.theorem3(), Some(0.25));
+    }
+
+    #[test]
+    fn straggler_aggregates_sum_workers() {
+        let live = LiveRegistry::new();
+        let section = StragglerSection {
+            threads: 2,
+            forced_steal: false,
+            chunk_sizes: vec![2, 2],
+            workers: vec![
+                StragglerWorker {
+                    worker: 0,
+                    busy_ns: 100,
+                    steal_ns: 5,
+                    idle_ns: 0,
+                    chunks_executed: 1,
+                    chunks_stolen: 0,
+                },
+                StragglerWorker {
+                    worker: 1,
+                    busy_ns: 60,
+                    steal_ns: 10,
+                    idle_ns: 40,
+                    chunks_executed: 1,
+                    chunks_stolen: 1,
+                },
+            ],
+        };
+        live.absorb_straggler(&section);
+        live.absorb_straggler(&section);
+        let text = live.to_prometheus();
+        assert!(text.contains("kmatch_exec_busy_ns_total 320"), "{text}");
+        assert!(text.contains("kmatch_exec_steal_ns_total 30"));
+        assert!(text.contains("kmatch_exec_idle_ns_total 80"));
+        assert!(text.contains("kmatch_exec_chunks_total 4"));
+        assert!(text.contains("kmatch_exec_chunks_stolen_total 2"));
+    }
+
+    #[test]
+    fn backend_families_are_sanitized() {
+        let live = LiveRegistry::new();
+        live.observe_run("random", 123);
+        live.observe_run("random", 456);
+        live.observe_run("csr/mat-erialized\n", 1);
+        assert_eq!(live.runs(), 3);
+        let text = live.to_prometheus();
+        assert!(text.contains("kmatch_backend_random_runs_total 2"), "{text}");
+        assert!(text.contains("kmatch_backend_csr_mat_erialized__runs_total 1"), "{text}");
+        assert!(text.contains("kmatch_live_runs_total 3"));
+        assert!(text.contains("kmatch_live_last_run_wall_ns 1"));
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.split_once(' ').expect("sample shape");
+            assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'), "{name}");
+            assert!(value.parse::<f64>().is_ok() || value == "NaN", "{value}");
+        }
+    }
+
+    #[test]
+    fn counter_families_end_in_total() {
+        // The Prometheus convention the satellite audit pins: every
+        // `# TYPE ... counter` family name must end in `_total`.
+        let live = LiveRegistry::new();
+        live.observe_run("random", 1);
+        for line in live.to_prometheus().lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap();
+                if parts.next() == Some("counter") {
+                    assert!(name.ends_with("_total"), "counter family {name} lacks _total");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_scrape_and_absorb() {
+        let live = Arc::new(LiveRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let live = Arc::clone(&live);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let mut shard = SolverMetrics::new();
+                        shard.proposal();
+                        live.absorb(&shard);
+                    }
+                });
+            }
+            let live = Arc::clone(&live);
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let _ = live.to_prometheus();
+                }
+            });
+        });
+        assert_eq!(live.counter("proposals"), Some(200));
+        assert_eq!(live.shards_absorbed(), 200);
+    }
+}

@@ -269,39 +269,76 @@ impl Metrics for SolverMetrics {
     }
 }
 
+/// The scalar counter names and `# HELP` texts in serialization order —
+/// the single naming authority shared by the JSON renderer, the
+/// Prometheus renderer, the process-lifetime [`crate::LiveRegistry`],
+/// and the run-ledger rows, so the exposition surfaces can't drift.
+pub const SCALAR_COUNTERS: [(&str, &str); 22] = [
+    ("solves", "Solves completed"),
+    ("solvable", "Solves that produced a matching"),
+    ("unsolvable", "Solves with no stable matching"),
+    ("proposals", "Proposals issued"),
+    ("rejections", "Proposers rejected back to the free list"),
+    ("holder_swaps", "Provisional holders displaced"),
+    ("rounds", "Synchronous GS proposal rounds"),
+    ("phase1_truncations", "Irving phase-1 threshold tightenings"),
+    ("phase2_rotations", "Irving phase-2 rotations eliminated"),
+    ("workspace_reused", "Solves reusing grown workspace buffers"),
+    ("workspace_fresh", "Solves that grew workspace buffers"),
+    ("binding_edges", "Binding edges executed by the k-ary driver"),
+    ("theorem3_checks", "Theorem-3 proposal-bound checks"),
+    ("theorem3_violations", "Theorem-3 bound violations (must stay 0)"),
+    ("cache_hits", "Solve-cache lookups returning a stored matching"),
+    ("cache_misses", "Solve-cache lookups that had to solve"),
+    ("cache_evictions", "Cached matchings evicted for capacity"),
+    ("edges_dirty", "Incremental-rebind edges re-solved"),
+    ("edges_clean", "Incremental-rebind edges reused verbatim"),
+    ("warm_solves", "Warm-start re-solves reusing prior state"),
+    ("warm_fallbacks", "Warm-start requests falling back to cold"),
+    ("refreed_proposers", "Proposers re-freed by warm re-solves"),
+];
+
 /// The scalar counters in serialization order, shared by the JSON and
 /// Prometheus renderers (name, value, `# HELP` text).
-fn counter_rows(m: &SolverMetrics) -> [(&'static str, u64, &'static str); 22] {
-    [
-        ("solves", m.solves, "Solves completed"),
-        ("solvable", m.solvable, "Solves that produced a matching"),
-        ("unsolvable", m.unsolvable, "Solves with no stable matching"),
-        ("proposals", m.proposals, "Proposals issued"),
-        ("rejections", m.rejections, "Proposers rejected back to the free list"),
-        ("holder_swaps", m.holder_swaps, "Provisional holders displaced"),
-        ("rounds", m.rounds, "Synchronous GS proposal rounds"),
-        ("phase1_truncations", m.phase1_truncations, "Irving phase-1 threshold tightenings"),
-        ("phase2_rotations", m.phase2_rotations, "Irving phase-2 rotations eliminated"),
-        ("workspace_reused", m.workspace_reused, "Solves reusing grown workspace buffers"),
-        ("workspace_fresh", m.workspace_fresh, "Solves that grew workspace buffers"),
-        ("binding_edges", m.binding_edges, "Binding edges executed by the k-ary driver"),
-        ("theorem3_checks", m.theorem3_checks, "Theorem-3 proposal-bound checks"),
-        ("theorem3_violations", m.theorem3_violations, "Theorem-3 bound violations (must stay 0)"),
-        ("cache_hits", m.cache_hits, "Solve-cache lookups returning a stored matching"),
-        ("cache_misses", m.cache_misses, "Solve-cache lookups that had to solve"),
-        ("cache_evictions", m.cache_evictions, "Cached matchings evicted for capacity"),
-        ("edges_dirty", m.edges_dirty, "Incremental-rebind edges re-solved"),
-        ("edges_clean", m.edges_clean, "Incremental-rebind edges reused verbatim"),
-        ("warm_solves", m.warm_solves, "Warm-start re-solves reusing prior state"),
-        ("warm_fallbacks", m.warm_fallbacks, "Warm-start requests falling back to cold"),
-        ("refreed_proposers", m.refreed_proposers, "Proposers re-freed by warm re-solves"),
-    ]
+fn counter_rows(m: &SolverMetrics) -> [(&'static str, u64, &'static str); SCALAR_COUNTERS.len()] {
+    let values = m.scalar_values();
+    std::array::from_fn(|i| (SCALAR_COUNTERS[i].0, values[i], SCALAR_COUNTERS[i].1))
 }
 
 impl SolverMetrics {
     /// A zeroed metrics shard.
     pub fn new() -> Self {
         SolverMetrics::default()
+    }
+
+    /// The scalar counter values in [`SCALAR_COUNTERS`] order — the
+    /// value column of every naming surface (JSON, Prometheus, live
+    /// registry, ledger rows).
+    pub fn scalar_values(&self) -> [u64; SCALAR_COUNTERS.len()] {
+        [
+            self.solves,
+            self.solvable,
+            self.unsolvable,
+            self.proposals,
+            self.rejections,
+            self.holder_swaps,
+            self.rounds,
+            self.phase1_truncations,
+            self.phase2_rotations,
+            self.workspace_reused,
+            self.workspace_fresh,
+            self.binding_edges,
+            self.theorem3_checks,
+            self.theorem3_violations,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.edges_dirty,
+            self.edges_clean,
+            self.warm_solves,
+            self.warm_fallbacks,
+            self.refreed_proposers,
+        ]
     }
 
     /// Element-wise merge of `other` into `self` — the registry's

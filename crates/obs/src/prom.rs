@@ -48,9 +48,55 @@ pub fn unescape_label_value(v: &str) -> String {
     out
 }
 
-/// Render `name="value"` with the value escaped.
+/// Sanitize a metric *name* to the exposition charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Names — unlike label values — have no
+/// escape syntax, so out-of-charset characters (from e.g. a
+/// prefs-backend string baked into a family name) are replaced with
+/// `_`; a leading digit gets a `_` prefix and an empty input becomes
+/// `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    sanitize_name(name, true)
+}
+
+/// Sanitize a label *name* to `[a-zA-Z_][a-zA-Z0-9_]*` (label names,
+/// unlike metric names, may not contain `:`). Same replacement rules as
+/// [`sanitize_metric_name`].
+pub fn sanitize_label_name(name: &str) -> String {
+    sanitize_name(name, false)
+}
+
+fn sanitize_name(name: &str, allow_colon: bool) -> String {
+    let valid = |c: char, first: bool| {
+        c.is_ascii_alphabetic()
+            || c == '_'
+            || (allow_colon && c == ':')
+            || (!first && c.is_ascii_digit())
+    };
+    let mut out = String::with_capacity(name.len().max(1));
+    for c in name.chars() {
+        if valid(c, out.is_empty()) {
+            out.push(c);
+        } else if out.is_empty() && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render `name="value"` with the name sanitized (names have no escape
+/// syntax in the exposition format) and the value escaped.
 pub fn label_pair(name: &str, value: &str) -> String {
-    format!("{name}=\"{}\"", escape_label_value(value))
+    format!(
+        "{}=\"{}\"",
+        sanitize_label_name(name),
+        escape_label_value(value)
+    )
 }
 
 /// Escape `# HELP` docstring text (backslash and newline only, per the
@@ -72,6 +118,7 @@ fn escape_help(v: &str) -> String {
 /// `histogram`).
 pub fn write_family_header(out: &mut String, name: &str, kind: &str, help: &str) {
     use std::fmt::Write;
+    let name = sanitize_metric_name(name);
     let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
     let _ = writeln!(out, "# TYPE {name} {kind}");
 }
@@ -116,6 +163,60 @@ mod tests {
             out,
             "# HELP kmatch_x_total multi\\nline help\n# TYPE kmatch_x_total counter\n"
         );
+    }
+
+    #[test]
+    fn sanitized_names_stay_in_charset() {
+        let hostile = [
+            "plain_name",
+            "prefs-backend/random",
+            "9starts_with_digit",
+            "spaces and\ttabs",
+            "quo\"te{inject=\"1\"}",
+            "new\nline",
+            "",
+            "ünïcödé",
+        ];
+        let metric_ok = |c: char, first: bool| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (!first && c.is_ascii_digit())
+        };
+        for s in hostile {
+            let m = sanitize_metric_name(s);
+            assert!(!m.is_empty(), "never empty for {s:?}");
+            for (i, c) in m.chars().enumerate() {
+                assert!(metric_ok(c, i == 0), "bad char {c:?} in {m:?} from {s:?}");
+            }
+            let l = sanitize_label_name(s);
+            assert!(!l.contains(':'), "label names may not contain colons: {l:?}");
+        }
+        // Already-valid names pass through unchanged.
+        assert_eq!(sanitize_metric_name("kmatch_proposals_total"), "kmatch_proposals_total");
+        assert_eq!(sanitize_metric_name("ns:sub_total"), "ns:sub_total");
+        assert_eq!(sanitize_label_name("kind"), "kind");
+        // Specific rewrites.
+        assert_eq!(sanitize_metric_name("prefs-backend/random"), "prefs_backend_random");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn hostile_name_and_value_round_trip_as_one_sample_line() {
+        // A backend string attacking both positions at once: used as a
+        // label *name* it must be sanitized (no escape syntax exists);
+        // used as a label *value* it must be escaped and recoverable.
+        let hostile = "rand-om\"}\nbackend\\v2";
+        let pair = label_pair(hostile, hostile);
+        let line = format!("kmatch_run_info{{{pair}}} 1");
+        assert_eq!(line.lines().count(), 1, "stays a single sample line");
+        let (name, rest) = pair.split_once("=\"").expect("name=\"value\" shape");
+        assert_eq!(name, sanitize_label_name(hostile));
+        assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        let escaped = rest.strip_suffix('"').expect("closing quote");
+        assert_eq!(unescape_label_value(escaped), hostile, "value survives byte-for-byte");
+        // Family headers sanitize hostile family names too.
+        let mut out = String::new();
+        write_family_header(&mut out, hostile, "gauge", "help");
+        assert!(out.starts_with("# HELP rand_om___backend_v2 "), "{out}");
     }
 
     #[test]

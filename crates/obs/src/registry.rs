@@ -6,8 +6,9 @@
 //! chunk, the shard is absorbed into the registry under one short mutex —
 //! synchronization cost is O(threads) per batch, not O(solves).
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
+use crate::live::LiveRegistry;
 use crate::metrics::SolverMetrics;
 
 /// Aggregation point for per-thread metric shards.
@@ -28,6 +29,11 @@ use crate::metrics::SolverMetrics;
 #[derive(Debug, Default)]
 pub struct BatchRegistry {
     inner: Mutex<Inner>,
+    /// Optional process-lifetime mirror: every absorbed shard is also
+    /// added (relaxed atomics, still only at chunk boundaries) into the
+    /// attached [`LiveRegistry`], so a scrape endpoint can watch the
+    /// run without the hot path ever seeing an atomic.
+    live: Option<Arc<LiveRegistry>>,
 }
 
 #[derive(Debug, Default)]
@@ -42,10 +48,24 @@ impl BatchRegistry {
         BatchRegistry::default()
     }
 
+    /// A registry that forwards every absorbed shard into `live` — the
+    /// scrape server's process-lifetime counters stay current at chunk
+    /// granularity while [`BatchRegistry::take`] keeps its per-run
+    /// drain semantics (taking does *not* reset the live mirror).
+    pub fn with_live(live: Arc<LiveRegistry>) -> Self {
+        BatchRegistry {
+            live: Some(live),
+            ..BatchRegistry::default()
+        }
+    }
+
     /// Merge a completed worker shard into the registry. Called once per
     /// worker per batch, after the worker's chunk is done — never from the
     /// solve hot path.
     pub fn absorb(&self, shard: SolverMetrics) {
+        if let Some(live) = &self.live {
+            live.absorb(&shard);
+        }
         let mut inner = self.inner.lock().expect("metrics registry poisoned");
         inner.merged.merge(&shard);
         inner.shards_absorbed += 1;
@@ -108,6 +128,31 @@ mod tests {
         assert_eq!(drained.proposals, 1);
         assert_eq!(reg.snapshot(), SolverMetrics::default());
         assert_eq!(reg.shards_absorbed(), 0);
+    }
+
+    #[test]
+    fn attached_live_registry_mirrors_absorbs() {
+        let live = Arc::new(LiveRegistry::new());
+        let reg = BatchRegistry::with_live(Arc::clone(&live));
+        for _ in 0..3 {
+            let mut shard = SolverMetrics::new();
+            shard.proposal();
+            shard.solve_done(true, 1);
+            reg.absorb(shard);
+        }
+        assert_eq!(live.counter("proposals"), Some(3));
+        assert_eq!(live.shards_absorbed(), 3);
+        // Draining the batch registry leaves the process-lifetime
+        // mirror untouched.
+        let drained = reg.take();
+        assert_eq!(drained.proposals, 3);
+        assert_eq!(live.counter("proposals"), Some(3));
+        // The next batch keeps accumulating in the mirror.
+        let mut shard = SolverMetrics::new();
+        shard.proposal();
+        reg.absorb(shard);
+        assert_eq!(live.counter("proposals"), Some(4));
+        assert_eq!(reg.snapshot().proposals, 1);
     }
 
     #[test]

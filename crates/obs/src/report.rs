@@ -270,7 +270,7 @@ impl RunReport {
     }
 
     /// Write the report to `path` in the requested format (`"json"` or
-    /// `"prom"`).
+    /// `"prom"`), creating parent directories as needed.
     pub fn write(&self, path: &Path, format: &str) -> io::Result<()> {
         let text = match format {
             "json" => self.to_json_string(),
@@ -282,7 +282,7 @@ impl RunReport {
                 ))
             }
         };
-        std::fs::write(path, text)
+        write_text_file(path, &text)
     }
 
     /// Validate that `text` parses as JSON and carries the required
@@ -386,12 +386,20 @@ impl Serialize for RunReport {
 pub fn write_json_file<T: Serialize>(path: &Path, value: &T) -> io::Result<()> {
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_text_file(path, &(json + "\n"))
+}
+
+/// Write text to `path`, creating parent directories first — the
+/// output-file funnel behind every `--*-out` flag, so a nested path that
+/// doesn't exist yet works and an unwritable one surfaces as a plain
+/// `io::Error` (never a panic).
+pub fn write_text_file(path: &Path, text: &str) -> io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
-    std::fs::write(path, json + "\n")
+    std::fs::write(path, text)
 }
 
 #[cfg(test)]

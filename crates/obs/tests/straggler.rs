@@ -1,0 +1,123 @@
+//! Contract tests for the `straggler` section of `kmatch.run_report/v1`
+//! and its aggregation into the live scrape layer.
+//!
+//! The section is produced by the work-stealing executor
+//! (`kmatch-parallel`), but its schema lives here — these tests pin the
+//! wire format: serde round-trip fidelity, validator rejection of
+//! physically impossible idle accounting (negative or u64-overflowing
+//! nanosecond values), and the worker-summed merge into
+//! [`LiveRegistry`] across different worker counts.
+
+use kmatch_obs::{
+    LiveRegistry, RunReport, SolverMetrics, StragglerSection, StragglerWorker,
+};
+use serde::{Deserialize, Serialize};
+
+/// A section with `threads` workers and recognizable per-worker values.
+fn section(threads: u64) -> StragglerSection {
+    StragglerSection {
+        threads,
+        forced_steal: threads > 1,
+        chunk_sizes: (0..threads).map(|i| 8 + i).collect(),
+        workers: (0..threads)
+            .map(|i| StragglerWorker {
+                worker: i,
+                busy_ns: 100 * (i + 1),
+                steal_ns: 10 * (i + 1),
+                idle_ns: 5 * (i + 1),
+                chunks_executed: 2 + i,
+                chunks_stolen: i % 2,
+            })
+            .collect(),
+    }
+}
+
+fn report_with_straggler(threads: u64) -> RunReport {
+    let mut metrics = SolverMetrics::new();
+    metrics.proposals = 37;
+    RunReport::new("gs", 16, 4, 7, threads as usize, 424_242, metrics, None)
+        .with_straggler(section(threads))
+}
+
+#[test]
+fn straggler_section_round_trips_through_value_tree() {
+    for threads in [1, 2, 7] {
+        let original = section(threads);
+        let back = StragglerSection::from_value(&original.to_value())
+            .expect("straggler section must round-trip");
+        assert_eq!(back, original, "threads={threads}");
+    }
+}
+
+#[test]
+fn straggler_section_round_trips_inside_a_run_report() {
+    let report = report_with_straggler(2);
+    let text = report.to_json_string();
+    let tree = RunReport::validate_json_str(&text).expect("report must validate");
+    let straggler = tree.get("straggler").expect("straggler key present");
+    let back = StragglerSection::from_value(straggler).unwrap();
+    assert_eq!(back, section(2));
+}
+
+#[test]
+fn validator_rejects_negative_idle_accounting() {
+    let text = report_with_straggler(1).to_json_string();
+    // Worker 0 idle accounting is 5 * (0 + 1) = 5 ns; a negative value
+    // is physically impossible and must fail u64 conversion.
+    let hostile = text.replace("\"idle_ns\": 5", "\"idle_ns\": -5");
+    assert_ne!(hostile, text, "substitution must have matched");
+    let err = RunReport::validate_json_str(&hostile).unwrap_err();
+    assert!(err.contains("straggler"), "{err}");
+    assert!(err.contains("-5"), "{err}");
+}
+
+#[test]
+fn validator_rejects_overflowing_idle_accounting() {
+    let text = report_with_straggler(1).to_json_string();
+    // ~9.9e19 exceeds u64::MAX (~1.8e19): the JSON parses (numbers are
+    // f64) but the u64 field conversion must refuse it.
+    let hostile = text.replace("\"idle_ns\": 5", "\"idle_ns\": 98765432109876543210");
+    assert_ne!(hostile, text, "substitution must have matched");
+    let err = RunReport::validate_json_str(&hostile).unwrap_err();
+    assert!(err.contains("straggler"), "{err}");
+}
+
+#[test]
+fn validator_accepts_reports_without_a_straggler_section() {
+    let mut report = report_with_straggler(1);
+    report.straggler = None;
+    RunReport::validate_json_str(&report.to_json_string())
+        .expect("the section is optional");
+}
+
+#[test]
+fn live_registry_merges_sections_across_worker_counts() {
+    let live = LiveRegistry::new();
+    let mut want_busy = 0u64;
+    let mut want_steal = 0u64;
+    let mut want_idle = 0u64;
+    let mut want_chunks = 0u64;
+    let mut want_stolen = 0u64;
+    for threads in [1u64, 2, 7] {
+        let s = section(threads);
+        for w in &s.workers {
+            want_busy += w.busy_ns;
+            want_steal += w.steal_ns;
+            want_idle += w.idle_ns;
+            want_chunks += w.chunks_executed;
+            want_stolen += w.chunks_stolen;
+        }
+        live.absorb_straggler(&s);
+    }
+    let prom = live.to_prometheus();
+    for (family, want) in [
+        ("kmatch_exec_busy_ns_total", want_busy),
+        ("kmatch_exec_steal_ns_total", want_steal),
+        ("kmatch_exec_idle_ns_total", want_idle),
+        ("kmatch_exec_chunks_total", want_chunks),
+        ("kmatch_exec_chunks_stolen_total", want_stolen),
+    ] {
+        let line = format!("{family} {want}");
+        assert!(prom.contains(&line), "missing {line:?} in:\n{prom}");
+    }
+}

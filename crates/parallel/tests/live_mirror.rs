@@ -1,0 +1,89 @@
+//! The batch front-ends feed the process-lifetime scrape layer for
+//! free: a [`BatchRegistry`] built with [`BatchRegistry::with_live`]
+//! mirrors every chunk shard into the attached [`LiveRegistry`] at
+//! absorb time, so `kmatch serve`'s `/metrics` stays current at chunk
+//! granularity without the batch drivers changing at all.
+
+use std::sync::Arc;
+
+use kmatch_obs::{BatchRegistry, LiveRegistry, ManualClock};
+use kmatch_parallel::steal::ExecPolicy;
+use kmatch_parallel::solve_batch_metered_with;
+use kmatch_prefs::gen::uniform::uniform_bipartite;
+use kmatch_prefs::BipartiteInstance;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn batch(count: usize, n: usize, seed: u64) -> Vec<BipartiteInstance> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..count).map(|_| uniform_bipartite(n, &mut rng)).collect()
+}
+
+#[test]
+fn batch_chunks_mirror_into_the_live_registry() {
+    let instances = batch(13, 12, 5);
+    let live = Arc::new(LiveRegistry::new());
+    let registry = BatchRegistry::with_live(Arc::clone(&live));
+    let clock = ManualClock::new();
+    let policy = ExecPolicy::with_threads(3);
+
+    let (outcomes, report) =
+        solve_batch_metered_with(&instances, &registry, &clock, &policy);
+    assert_eq!(outcomes.len(), 13);
+
+    // The live mirror saw exactly the chunk-boundary absorbs (one per
+    // chunk), and its counters equal the registry's merged view.
+    let merged = registry.snapshot();
+    assert_eq!(live.shards_absorbed(), registry.shards_absorbed());
+    assert_eq!(live.counter("solves"), Some(merged.solves));
+    assert_eq!(live.counter("proposals"), Some(merged.proposals));
+    assert_eq!(live.counter("rejections"), Some(merged.rejections));
+    assert!(merged.proposals > 0, "the workload must have proposed");
+
+    // Straggler accounting flows in via the explicit fold.
+    live.absorb_straggler(&report.straggler_section());
+    let prom = live.to_prometheus();
+    assert!(prom.contains("kmatch_exec_chunks_total"), "{prom}");
+
+    // Draining the batch registry between measurement windows leaves
+    // the process-lifetime mirror accumulating.
+    let drained = registry.take();
+    assert_eq!(drained.proposals, merged.proposals);
+    assert_eq!(live.counter("proposals"), Some(merged.proposals));
+
+    let (more, _) = solve_batch_metered_with(&instances, &registry, &clock, &policy);
+    assert_eq!(more.len(), 13);
+    assert_eq!(
+        live.counter("proposals"),
+        Some(merged.proposals + registry.snapshot().proposals)
+    );
+}
+
+#[test]
+fn live_mirror_is_schedule_independent() {
+    // The mirrored totals must not depend on the steal schedule: the
+    // same workload under 1 thread, 3 threads, and forced stealing
+    // lands identical engine counters in the live layer.
+    let instances = batch(11, 10, 9);
+    let mut totals = Vec::new();
+    for policy in [
+        ExecPolicy::with_threads(1),
+        ExecPolicy::with_threads(3),
+        ExecPolicy {
+            threads: Some(3),
+            force_steal: true,
+        },
+    ] {
+        let live = Arc::new(LiveRegistry::new());
+        let registry = BatchRegistry::with_live(Arc::clone(&live));
+        solve_batch_metered_with(&instances, &registry, &ManualClock::new(), &policy);
+        totals.push((
+            live.counter("solves"),
+            live.counter("proposals"),
+            live.counter("rejections"),
+            live.counter("rounds"),
+        ));
+    }
+    assert_eq!(totals[0], totals[1], "thread count leaked into live counters");
+    assert_eq!(totals[0], totals[2], "steal schedule leaked into live counters");
+}

@@ -1,0 +1,510 @@
+//! # kmatch-serve — std-only live telemetry scrape server
+//!
+//! A deliberately small HTTP/1.1 server hand-rolled on [`std::net`]
+//! (the workspace is hermetic: no registry access, so no hyper/axum).
+//! It exposes the process-lifetime [`LiveRegistry`] plus the latest
+//! published run report and flight-recorder trace snapshot:
+//!
+//! | Route       | Response                                               |
+//! |-------------|--------------------------------------------------------|
+//! | `/healthz`  | `200 ok` — liveness probe                              |
+//! | `/metrics`  | Prometheus text exposition from the [`LiveRegistry`]   |
+//! | `/report`   | latest `kmatch.run_report/v1` JSON (404 until one is published) |
+//! | `/trace`    | latest `kmatch.trace/v1` JSON snapshot (404 until one is published) |
+//! | `/shutdown` | `200` and initiates graceful server shutdown           |
+//!
+//! The server owns no solver state: the workload thread publishes
+//! documents into a shared [`ServeState`] and the scrape side reads
+//! them. Metrics flow through the registry's relaxed atomics, so a
+//! scrape never blocks a chunk absorb and vice versa.
+//!
+//! Lifecycle: [`ScrapeServer::bind`] on an address (use port `0` for an
+//! ephemeral port), then either [`ScrapeServer::run`] on the current
+//! thread or [`ScrapeServer::spawn`] for a background thread plus a
+//! [`ShutdownHandle`]. Shutdown is graceful: the flag is set, the
+//! acceptor is poked awake with a loopback connection, in-flight
+//! handler threads are joined, and `run` returns its [`ServeStats`].
+//! Each accepted connection is served by a short-lived thread; beyond
+//! [`ServeOptions::max_connections`] concurrent handlers the acceptor
+//! answers `503 Service Unavailable` inline instead of queueing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use kmatch_obs::LiveRegistry;
+
+/// Per-connection socket timeout. A scrape request is a handful of
+/// bytes; anything slower than this is a stuck peer, not a client.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Upper bound on request-head size (we never accept bodies).
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Shared document store the workload publishes into and the scrape
+/// endpoints read from.
+///
+/// `/metrics` reads the [`LiveRegistry`] directly (atomics, never
+/// blocked by publishing); `/report` and `/trace` serve the most
+/// recently published JSON documents verbatim.
+#[derive(Debug)]
+pub struct ServeState {
+    live: Arc<LiveRegistry>,
+    report: Mutex<Option<String>>,
+    trace: Mutex<Option<String>>,
+}
+
+impl ServeState {
+    /// New state around the process-lifetime registry.
+    pub fn new(live: Arc<LiveRegistry>) -> Self {
+        ServeState {
+            live,
+            report: Mutex::new(None),
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// The registry `/metrics` scrapes.
+    pub fn live(&self) -> &Arc<LiveRegistry> {
+        &self.live
+    }
+
+    /// Replace the document served at `/report` (expects
+    /// `kmatch.run_report/v1` JSON).
+    pub fn publish_report(&self, json: String) {
+        *self.report.lock().expect("report slot poisoned") = Some(json);
+    }
+
+    /// Replace the document served at `/trace` (expects
+    /// `kmatch.trace/v1` JSON).
+    pub fn publish_trace(&self, json: String) {
+        *self.trace.lock().expect("trace slot poisoned") = Some(json);
+    }
+
+    fn report_snapshot(&self) -> Option<String> {
+        self.report.lock().expect("report slot poisoned").clone()
+    }
+
+    fn trace_snapshot(&self) -> Option<String> {
+        self.trace.lock().expect("trace slot poisoned").clone()
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Maximum concurrent in-flight handler threads. Connections beyond
+    /// the cap receive `503 Service Unavailable` immediately.
+    pub max_connections: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_connections: 64,
+        }
+    }
+}
+
+/// Counters from one server lifetime, returned by [`ScrapeServer::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections dispatched to a handler.
+    pub served: u64,
+    /// Connections refused with `503` because the cap was reached.
+    pub rejected: u64,
+}
+
+/// Sets the shutdown flag and wakes the blocked acceptor.
+///
+/// Cloneable and cheap: hand one to the workload thread (stop serving
+/// when the run ends) and keep one for signal handling. Calling
+/// [`ShutdownHandle::shutdown`] more than once is harmless.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Request graceful shutdown: set the flag, then poke the acceptor
+    /// awake with a throwaway loopback connection so `run` observes the
+    /// flag without waiting for the next real scrape.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Ignore failure: if the listener is already gone the acceptor
+        // has exited and there is nothing to wake.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+    }
+
+    /// Whether shutdown has been requested — by any handle clone or by
+    /// the `/shutdown` route. Workload loops poll this to stop producing
+    /// once the server is going away.
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// The bound scrape server. See the crate docs for the route table.
+#[derive(Debug)]
+pub struct ScrapeServer {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    opts: ServeOptions,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ScrapeServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// prepare to serve `state`.
+    pub fn bind(addr: &str, state: Arc<ServeState>, opts: ServeOptions) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(ScrapeServer {
+            listener,
+            state,
+            opts,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actual bound address (resolves port `0` to the real port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Serve until shutdown is requested (via a [`ShutdownHandle`] or
+    /// the `/shutdown` route), then join in-flight handlers and return
+    /// the lifetime stats. Blocks the calling thread.
+    pub fn run(self) -> io::Result<ServeStats> {
+        let addr = self.local_addr()?;
+        let mut stats = ServeStats::default();
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        let active = Arc::new(AtomicU64::new(0));
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(err) => return Err(err),
+            };
+            if self.shutdown.load(Ordering::SeqCst) {
+                // The wake-up poke (or a scrape racing shutdown):
+                // close it unanswered and exit.
+                drop(stream);
+                break;
+            }
+            handlers.retain(|h| !h.is_finished());
+            if active.load(Ordering::SeqCst) >= self.opts.max_connections as u64 {
+                stats.rejected += 1;
+                // Drain the request head before answering: closing a
+                // socket with unread bytes sends RST, which would
+                // discard the 503 from the peer's receive buffer.
+                let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                let _ = read_request_path(&stream);
+                let _ = respond(
+                    &stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "connection cap reached\n",
+                );
+                continue;
+            }
+            stats.served += 1;
+            active.fetch_add(1, Ordering::SeqCst);
+            let state = Arc::clone(&self.state);
+            let flag = Arc::clone(&self.shutdown);
+            let active = Arc::clone(&active);
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &state, &flag, addr);
+                active.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        Ok(stats)
+    }
+
+    /// Run on a new background thread; returns the join handle (which
+    /// yields the [`ServeStats`]) and a [`ShutdownHandle`].
+    pub fn spawn(self) -> io::Result<(JoinHandle<io::Result<ServeStats>>, ShutdownHandle)> {
+        let handle = self.shutdown_handle()?;
+        let join = std::thread::spawn(move || self.run());
+        Ok((join, handle))
+    }
+}
+
+/// Serve one accepted connection: parse the request head, route, write
+/// one response, close.
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServeState,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let path = match read_request_path(&stream) {
+        Some(path) => path,
+        None => return, // unreadable / oversized / non-GET: just close
+    };
+    let _ = match path.as_str() {
+        "/healthz" => respond(&stream, 200, "OK", "text/plain; charset=utf-8", "ok\n"),
+        "/metrics" => respond(
+            &stream,
+            200,
+            "OK",
+            // The Prometheus text exposition content type.
+            "text/plain; version=0.0.4; charset=utf-8",
+            &state.live().to_prometheus(),
+        ),
+        "/report" => match state.report_snapshot() {
+            Some(json) => respond(&stream, 200, "OK", "application/json", &json),
+            None => respond(
+                &stream,
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "no report published yet\n",
+            ),
+        },
+        "/trace" => match state.trace_snapshot() {
+            Some(json) => respond(&stream, 200, "OK", "application/json", &json),
+            None => respond(
+                &stream,
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "no trace published yet\n",
+            ),
+        },
+        "/shutdown" => {
+            let res = respond(
+                &stream,
+                200,
+                "OK",
+                "text/plain; charset=utf-8",
+                "shutting down\n",
+            );
+            shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so it observes the flag now rather
+            // than on the next scrape.
+            let _ = TcpStream::connect_timeout(&addr, IO_TIMEOUT);
+            res
+        }
+        _ => respond(
+            &stream,
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "unknown route\n",
+        ),
+    };
+}
+
+/// Read the request head and return the path of a `GET` request, or
+/// `None` for anything malformed (other methods, oversized heads,
+/// timeouts).
+fn read_request_path(mut stream: &TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !contains_head_end(&buf) {
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Strip any query string: routes are exact.
+    let path = path.split('?').next().unwrap_or(path);
+    Some(path.to_string())
+}
+
+fn contains_head_end(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+/// Write one complete `Connection: close` HTTP/1.1 response.
+fn respond(
+    mut stream: &TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal blocking HTTP GET against a scrape server: returns
+/// `(status, body)`. This is the client half the CLI (`kmatch fetch`)
+/// and the CI smoke use — std `TcpStream` only, no curl dependency.
+pub fn http_get(addr: &str, path: &str, timeout_ms: u64) -> io::Result<(u16, String)> {
+    let timeout = Duration::from_millis(timeout_ms.max(1));
+    let sock_addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    parse_response(&response)
+}
+
+/// Split a raw HTTP/1.1 response into `(status, body)`.
+fn parse_response(response: &str) -> io::Result<(u16, String)> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let status_line = response
+        .lines()
+        .next()
+        .ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| bad("response head never terminated"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_server(opts: ServeOptions) -> (Arc<ServeState>, String, JoinHandle<io::Result<ServeStats>>, ShutdownHandle) {
+        let state = Arc::new(ServeState::new(Arc::new(LiveRegistry::new())));
+        let server = ScrapeServer::bind("127.0.0.1:0", Arc::clone(&state), opts).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let (join, handle) = server.spawn().unwrap();
+        (state, addr, join, handle)
+    }
+
+    #[test]
+    fn routes_serve_health_metrics_report_trace() {
+        let (state, addr, join, handle) = spawn_server(ServeOptions::default());
+
+        let (status, body) = http_get(&addr, "/healthz", 2000).unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, body) = http_get(&addr, "/metrics", 2000).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("kmatch_live_runs_total"), "{body}");
+        assert!(body.contains("kmatch_theorem3_ratio"), "{body}");
+
+        // Report and trace 404 until the workload publishes them.
+        let (status, _) = http_get(&addr, "/report", 2000).unwrap();
+        assert_eq!(status, 404);
+        state.publish_report("{\"schema\":\"kmatch.run_report/v1\"}".to_string());
+        let (status, body) = http_get(&addr, "/report", 2000).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("run_report"));
+
+        let (status, _) = http_get(&addr, "/trace", 2000).unwrap();
+        assert_eq!(status, 404);
+        state.publish_trace("{\"schema\":\"kmatch.trace/v1\"}".to_string());
+        let (status, body) = http_get(&addr, "/trace", 2000).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("kmatch.trace/v1"));
+
+        let (status, _) = http_get(&addr, "/nope", 2000).unwrap();
+        assert_eq!(status, 404);
+
+        handle.shutdown();
+        let stats = join.join().unwrap().unwrap();
+        assert!(stats.served >= 7, "served {}", stats.served);
+    }
+
+    #[test]
+    fn metrics_reflect_live_registry_updates() {
+        let (state, addr, join, handle) = spawn_server(ServeOptions::default());
+        state.live().observe_run("uniform", 1234);
+        let (status, body) = http_get(&addr, "/metrics", 2000).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("kmatch_live_runs_total 1"), "{body}");
+        assert!(body.contains("kmatch_backend_uniform_runs_total 1"), "{body}");
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_zero_rejects_with_503() {
+        let opts = ServeOptions { max_connections: 0 };
+        let (_state, addr, join, handle) = spawn_server(opts);
+        let (status, body) = http_get(&addr, "/healthz", 2000).unwrap();
+        assert_eq!(status, 503);
+        assert!(body.contains("connection cap"), "{body}");
+        handle.shutdown();
+        let stats = join.join().unwrap().unwrap();
+        assert_eq!(stats.served, 0);
+        assert!(stats.rejected >= 1);
+    }
+
+    #[test]
+    fn shutdown_route_stops_the_server() {
+        let (_state, addr, join, _handle) = spawn_server(ServeOptions::default());
+        let (status, body) = http_get(&addr, "/shutdown", 2000).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("shutting down"));
+        let stats = join.join().unwrap().unwrap();
+        assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let (_state, _addr, join, handle) = spawn_server(ServeOptions::default());
+        handle.shutdown();
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn response_parser_handles_status_and_body() {
+        let (status, body) =
+            parse_response("HTTP/1.1 404 Not Found\r\nContent-Length: 3\r\n\r\nno\n").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, "no\n");
+        assert!(parse_response("garbage").is_err());
+        assert!(parse_response("").is_err());
+    }
+}

@@ -264,31 +264,32 @@ pub fn chrome_trace_names(text: &str, required: &[&str]) -> Result<Vec<String>, 
 mod tests {
     use super::*;
     use crate::sink::TraceEvent;
+    use crate::span;
 
     fn sample_tracks() -> Vec<TraceTrack> {
         let t0 = vec![
             TraceEvent {
                 kind: EventKind::Begin,
-                name: "gs.solve",
+                name: span::GS_SOLVE,
                 ts_ns: 1000,
                 arg: 16,
             },
             TraceEvent {
                 kind: EventKind::Instant,
-                name: "cache.miss",
+                name: span::CACHE_MISS,
                 ts_ns: 1500,
                 arg: 0,
             },
             TraceEvent {
                 kind: EventKind::End,
-                name: "gs.solve",
+                name: span::GS_SOLVE,
                 ts_ns: 2000,
                 arg: 0,
             },
         ];
         let t1 = vec![TraceEvent {
             kind: EventKind::Instant,
-            name: "cache.hit",
+            name: span::CACHE_HIT,
             ts_ns: 1200,
             arg: 0,
         }];
@@ -299,12 +300,12 @@ mod tests {
     fn chrome_export_validates_and_reports_names() {
         let text = to_chrome_json(&sample_tracks());
         let names = validate_chrome_json(&text).unwrap();
-        assert!(names.contains(&"gs.solve".to_string()));
-        assert!(names.contains(&"cache.miss".to_string()));
-        assert!(names.contains(&"cache.hit".to_string()));
-        chrome_trace_names(&text, &["gs.solve", "cache.hit"]).unwrap();
-        let err = chrome_trace_names(&text, &["irving.phase1"]).unwrap_err();
-        assert!(err.contains("irving.phase1"), "{err}");
+        assert!(names.contains(&span::GS_SOLVE.to_string()));
+        assert!(names.contains(&span::CACHE_MISS.to_string()));
+        assert!(names.contains(&span::CACHE_HIT.to_string()));
+        chrome_trace_names(&text, &[span::GS_SOLVE, span::CACHE_HIT]).unwrap();
+        let err = chrome_trace_names(&text, &[span::IRVING_PHASE1]).unwrap_err();
+        assert!(err.contains(span::IRVING_PHASE1), "{err}");
     }
 
     #[test]

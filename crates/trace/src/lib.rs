@@ -43,7 +43,7 @@ pub use export::{
     chrome_trace_names, to_chrome_json, to_trace_json, validate_chrome_json, validate_trace_json,
     TraceTrack, TRACE_SCHEMA,
 };
-pub use recorder::{FlightRecorder, TraceRecorder};
+pub use recorder::{FlightRecorder, RingSnapshot, TraceRecorder};
 pub use sink::{check_well_formed, EventKind, NoSpans, SpanSink, TraceEvent};
 
 /// The span/instant name taxonomy. Every instrumentation site in the

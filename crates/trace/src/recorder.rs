@@ -3,7 +3,41 @@
 
 use kmatch_obs::Clock;
 
+use crate::export::TraceTrack;
 use crate::sink::{EventKind, SpanSink, TraceEvent};
+
+/// A point-in-time copy of an armed [`FlightRecorder`] ring — the
+/// snapshot a live endpoint (`kmatch serve`'s `/trace`) takes while the
+/// recorder keeps running. Taking a snapshot needs only `&self`, so a
+/// ring behind a mutex can be photographed between workload iterations
+/// without disturbing it.
+#[derive(Debug, Clone)]
+pub struct RingSnapshot {
+    /// Ring capacity at snapshot time.
+    pub capacity: usize,
+    /// Events lost to overwriting before the snapshot.
+    pub dropped: u64,
+    /// The surviving events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RingSnapshot {
+    /// Package the snapshot as one export track (the `dropped` count
+    /// rides along as the track label suffix when nonzero, so a wrapped
+    /// ring is visible in the exported timeline).
+    pub fn into_track(self, tid: u64, label: &str) -> TraceTrack {
+        let label = if self.dropped > 0 {
+            format!("{label} (dropped {})", self.dropped)
+        } else {
+            label.to_string()
+        };
+        TraceTrack {
+            tid,
+            label,
+            events: self.events,
+        }
+    }
+}
 
 /// Unbounded event log. Timestamps come from the injected [`Clock`],
 /// taken by reference so one shared clock (e.g. a
@@ -137,6 +171,18 @@ impl<'c, C: Clock> FlightRecorder<'c, C> {
             .collect()
     }
 
+    /// Photograph the armed ring: capacity, drop count, and surviving
+    /// events as one [`RingSnapshot`]. Non-destructive (`&self`), so
+    /// the recorder keeps recording afterwards — this is the `/trace`
+    /// endpoint's read path.
+    pub fn snapshot(&self) -> RingSnapshot {
+        RingSnapshot {
+            capacity: self.capacity(),
+            dropped: self.dropped(),
+            events: self.events(),
+        }
+    }
+
     #[inline]
     fn push(&mut self, kind: EventKind, name: &'static str, arg: u64) {
         let cap = self.buf.len();
@@ -256,6 +302,33 @@ mod tests {
         assert!(rec.is_empty());
         assert_eq!(rec.dropped(), 2);
         assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_nondestructive_and_labels_drops() {
+        let clock = ManualClock::new();
+        let mut rec = FlightRecorder::new(&clock, 4);
+        rec.begin("a", 0);
+        rec.end("a");
+        let snap = rec.snapshot();
+        assert_eq!(snap.capacity, 4);
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.events.len(), 2);
+        // The ring keeps recording after the photograph.
+        rec.instant("i", 1);
+        assert_eq!(rec.len(), 3);
+        let track = snap.into_track(0, "serve ring");
+        assert_eq!(track.label, "serve ring");
+        assert_eq!(track.events.len(), 2);
+
+        // Once wrapped, the drop count rides on the track label.
+        for i in 0..10u64 {
+            rec.instant("tick", i);
+        }
+        let track = rec.snapshot().into_track(3, "serve ring");
+        assert_eq!(track.tid, 3);
+        assert_eq!(track.label, "serve ring (dropped 9)");
+        assert_eq!(track.events.len(), 4);
     }
 
     #[test]

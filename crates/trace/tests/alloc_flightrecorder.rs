@@ -7,7 +7,7 @@
 
 use kmatch_obs::ManualClock;
 use kmatch_testsupport::{allocations_in, CountingAlloc};
-use kmatch_trace::{FlightRecorder, SpanSink};
+use kmatch_trace::{span, FlightRecorder, SpanSink};
 
 #[global_allocator]
 static COUNTER: CountingAlloc = CountingAlloc;
@@ -20,9 +20,9 @@ fn recording_allocates_nothing_even_after_wrap() {
         // 40 full laps around the ring: fill, wrap, overwrite.
         for i in 0..(256u64 * 40) {
             clock.set(i);
-            rec.begin("gs.round", i);
-            rec.instant("cache.miss", 0);
-            rec.end("gs.round");
+            rec.begin(span::GS_ROUND, i);
+            rec.instant(span::CACHE_MISS, 0);
+            rec.end(span::GS_ROUND);
         }
     });
     assert_eq!(
